@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! predictor's smoothing factor, the pacing strategies' planning horizon,
+//! and the measurement plane (analytic vs DES). Criterion's reports make
+//! the performance cost of each choice visible; the printed speedups in
+//! EXPERIMENTS.md cover the quality side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::engine::{Engine, EngineConfig, MeasurementMode};
+use greensprint::pmk::Strategy;
+use greensprint::predictor::Predictor;
+use gs_sim::{SimDuration, SimRng};
+use std::hint::black_box;
+
+fn base_cfg() -> EngineConfig {
+    EngineConfig {
+        green: GreenConfig::re_sbatt(),
+        strategy: Strategy::Pacing,
+        availability: AvailabilityLevel::Medium,
+        burst_duration: SimDuration::from_mins(10),
+        measurement: MeasurementMode::Analytic,
+        seed: 7,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_predictor_alpha(c: &mut Criterion) {
+    // The paper picks α = 0.3; sweep the filter cost and the tracking
+    // error on a noisy signal for the alternatives.
+    let mut g = c.benchmark_group("ablation_predictor_alpha");
+    for alpha in [0.1_f64, 0.3, 0.5, 0.9] {
+        g.bench_function(format!("alpha_{alpha}"), |b| {
+            b.iter(|| {
+                let mut p = Predictor::with_alpha(alpha);
+                let mut rng = SimRng::seed_from_u64(5);
+                let mut err = 0.0;
+                let mut signal = 300.0;
+                for _ in 0..512 {
+                    signal = (signal + rng.normal(0.0, 40.0)).clamp(0.0, 635.0);
+                    let pred = p.re_supply_w(signal);
+                    err += (pred - signal).abs();
+                    p.observe_re_supply(signal);
+                }
+                black_box(err)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_planning_horizon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_planning_horizon");
+    g.sample_size(10);
+    for mins in [2u64, 10, 30] {
+        g.bench_function(format!("horizon_{mins}min"), |b| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    planning_horizon: SimDuration::from_mins(mins),
+                    ..base_cfg()
+                };
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_measurement_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_measurement_plane");
+    g.sample_size(10);
+    g.bench_function("analytic", |b| {
+        b.iter(|| black_box(Engine::new(base_cfg()).run()))
+    });
+    g.bench_function("des", |b| {
+        b.iter(|| {
+            let cfg = EngineConfig {
+                measurement: MeasurementMode::Des,
+                ..base_cfg()
+            };
+            black_box(Engine::new(cfg).run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_epoch_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_epoch_length");
+    g.sample_size(10);
+    for secs in [30u64, 60, 300] {
+        g.bench_function(format!("epoch_{secs}s"), |b| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    epoch: SimDuration::from_secs(secs),
+                    ..base_cfg()
+                };
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_predictor_alpha,
+    bench_planning_horizon,
+    bench_measurement_plane,
+    bench_epoch_length
+);
+criterion_main!(ablations);

@@ -1,0 +1,189 @@
+//! One Criterion bench group per paper table/figure: each benchmark runs
+//! the exact code path that regenerates that artifact (scaled to a single
+//! representative cell where the full figure is a grid), so regressions in
+//! any experiment's cost are caught.
+//!
+//! The full-figure outputs themselves are produced by the `experiments`
+//! binary; see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::engine::{Engine, EngineConfig, MeasurementMode};
+use greensprint::pmk::Strategy;
+use gs_sim::{SimDuration, SimRng};
+use gs_tco::TcoParams;
+use gs_workload::apps::Application;
+use gs_workload::arrivals::DiurnalTrace;
+use std::hint::black_box;
+
+fn cell(
+    app: Application,
+    green: GreenConfig,
+    strategy: Strategy,
+    availability: AvailabilityLevel,
+    mins: u64,
+    intensity: u8,
+) -> EngineConfig {
+    EngineConfig {
+        app,
+        green,
+        strategy,
+        availability,
+        burst_duration: SimDuration::from_mins(mins),
+        burst_intensity_cores: intensity,
+        measurement: MeasurementMode::Analytic,
+        seed: 7,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_green_configs", |b| {
+        b.iter(|| black_box(GreenConfig::table1()))
+    });
+    c.bench_function("table2_workload_profiles", |b| {
+        b.iter(|| {
+            for app in Application::ALL {
+                black_box(app.profile().max_speedup());
+            }
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_diurnal_trace_day", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(1);
+            black_box(DiurnalTrace::generate(1, 4, &mut rng))
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_power_profile");
+    g.sample_size(10);
+    g.bench_function("one_hour_day_slice", |b| {
+        b.iter(|| {
+            let cfg = EngineConfig {
+                availability: AvailabilityLevel::Medium,
+                burst_duration: SimDuration::from_mins(60),
+                burst_start_hour: 0.0,
+                measurement: MeasurementMode::Analytic,
+                ..EngineConfig::default()
+            };
+            black_box(Engine::new(cfg).run_with_monitor())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_specjbb_re_batt");
+    g.sample_size(10);
+    for strategy in Strategy::SPRINTING {
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let cfg = cell(
+                    Application::SpecJbb,
+                    GreenConfig::re_batt(),
+                    strategy,
+                    AvailabilityLevel::Medium,
+                    10,
+                    12,
+                );
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_power_configs");
+    g.sample_size(10);
+    for green in GreenConfig::table1() {
+        g.bench_function(green.name.clone(), |b| {
+            let green = green.clone();
+            b.iter(|| {
+                let cfg = cell(
+                    Application::SpecJbb,
+                    green.clone(),
+                    Strategy::Hybrid,
+                    AvailabilityLevel::Medium,
+                    10,
+                    12,
+                );
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig9_other_apps");
+    g.sample_size(10);
+    for app in [Application::WebSearch, Application::Memcached] {
+        g.bench_function(app.profile().name, |b| {
+            b.iter(|| {
+                let cfg = cell(
+                    app,
+                    GreenConfig::re_sbatt(),
+                    Strategy::Hybrid,
+                    AvailabilityLevel::Medium,
+                    10,
+                    12,
+                );
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_burst_intensity");
+    g.sample_size(10);
+    for intensity in [12u8, 9, 7] {
+        g.bench_function(format!("int_{intensity}"), |b| {
+            b.iter(|| {
+                let cfg = cell(
+                    Application::SpecJbb,
+                    GreenConfig::re_sbatt(),
+                    Strategy::Hybrid,
+                    AvailabilityLevel::Medium,
+                    10,
+                    intensity,
+                );
+                black_box(Engine::new(cfg).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_tco_poi_sweep", |b| {
+        b.iter(|| {
+            let tco = TcoParams::paper();
+            let mut acc = 0.0;
+            for h in 0..60 {
+                acc += tco.poi(h as f64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig1,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8_fig9,
+    bench_fig10,
+    bench_fig11
+);
+criterion_main!(figures);

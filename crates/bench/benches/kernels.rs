@@ -1,0 +1,178 @@
+//! Kernel benchmarks: the hot inner loops every experiment leans on —
+//! the request-level DES, the queueing solvers, the battery model, the
+//! solar generator, the PSS planner, and the Q-learner.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use greensprint::profiler::ProfileTable;
+use greensprint::qlearning::{reward, QLearner, RewardInputs};
+use gs_cluster::ServerSetting;
+use gs_power::battery::{Battery, BatterySpec};
+use gs_power::pss::PowerSourceSelector;
+use gs_power::solar::{SolarTrace, WeatherModel};
+use gs_sim::{SimDuration, SimRng};
+use gs_workload::apps::Application;
+use gs_workload::des::ServerSim;
+use gs_workload::queueing::Station;
+use std::hint::black_box;
+
+fn bench_des(c: &mut Criterion) {
+    let app = Application::Memcached.profile();
+    let setting = ServerSetting::max_sprint();
+    let offered = app.slo_capacity(setting);
+    let epoch = SimDuration::from_secs(10);
+    let mut g = c.benchmark_group("des");
+    // ~offered × 10 s requests simulated per iteration.
+    g.throughput(Throughput::Elements((offered * 10.0) as u64));
+    g.bench_function("memcached_epoch_at_capacity", |b| {
+        b.iter(|| {
+            let mut sim = ServerSim::new(SimRng::seed_from_u64(1));
+            black_box(sim.advance_epoch(&app, setting, offered, offered, epoch))
+        })
+    });
+    g.finish();
+}
+
+fn bench_queueing(c: &mut Criterion) {
+    let st = Station {
+        cores: 12,
+        mean_service_s: 0.08,
+        service_cv: 0.32,
+    };
+    c.bench_function("queueing_sojourn_tail", |b| {
+        b.iter(|| black_box(st.sojourn_tail(100.0, 0.5)))
+    });
+    c.bench_function("queueing_slo_capacity_solve", |b| {
+        b.iter(|| black_box(st.slo_capacity(0.5, 0.99)))
+    });
+    let mut g = c.benchmark_group("profiles");
+    g.sample_size(10);
+    g.bench_function("exhaustive_63_setting_sweep", |b| {
+        let app = Application::SpecJbb.profile();
+        b.iter(|| black_box(ProfileTable::build(&app)))
+    });
+    g.finish();
+}
+
+fn bench_battery(c: &mut Criterion) {
+    c.bench_function("battery_discharge_step", |b| {
+        let mut batt = Battery::new_full(BatterySpec::paper_batt());
+        b.iter(|| {
+            black_box(batt.discharge(155.0, SimDuration::from_millis(100)));
+            if batt.at_dod_floor() {
+                batt.reset_full();
+            }
+        })
+    });
+    c.bench_function("battery_sustainable_power", |b| {
+        let batt = Battery::new_full(BatterySpec::paper_batt());
+        b.iter(|| black_box(batt.sustainable_power(SimDuration::from_mins(10))))
+    });
+}
+
+fn bench_solar(c: &mut Criterion) {
+    c.bench_function("solar_generate_week", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(11);
+            black_box(SolarTrace::generate(7, &WeatherModel::default(), &mut rng))
+        })
+    });
+}
+
+fn bench_pss(c: &mut Criterion) {
+    let pss = PowerSourceSelector::new();
+    c.bench_function("pss_plan", |b| {
+        b.iter(|| black_box(pss.plan(465.0, 300.0, 200.0, 90.0, 0.0)))
+    });
+}
+
+fn bench_qlearning(c: &mut Criterion) {
+    let profiles = ProfileTable::cached(Application::SpecJbb);
+    let max = profiles.get(ServerSetting::max_sprint());
+    c.bench_function("qlearner_bootstrap", |b| {
+        b.iter(|| {
+            let mut q = QLearner::new(max.full_load_power_w, max.slo_capacity);
+            q.bootstrap(profiles);
+            black_box(q)
+        })
+    });
+    c.bench_function("qlearner_choose_and_update", |b| {
+        let mut q = QLearner::new(max.full_load_power_w, max.slo_capacity);
+        q.bootstrap(profiles);
+        let mut rng = SimRng::seed_from_u64(3);
+        let actions = ServerSetting::all();
+        b.iter(|| {
+            let s = q.state(140.0, 50.0);
+            let a = q.best_action(s, &actions, &mut rng);
+            let r = reward(&RewardInputs {
+                power_supply_w: 140.0,
+                power_current_w: 130.0,
+                qos_target_s: 0.5,
+                qos_current_s: 0.3,
+                offered_slo_fraction: 1.0,
+                slo_percentile: 0.99,
+            });
+            q.update(s, a, r, s);
+            black_box(a)
+        })
+    });
+}
+
+fn bench_loadgen(c: &mut Criterion) {
+    use gs_workload::loadgen::{Driver, RateSchedule};
+    let app = Application::SpecJbb.profile();
+    let mut g = c.benchmark_group("loadgen");
+    g.sample_size(10);
+    g.bench_function("driver_steady_state_run", |b| {
+        let driver = Driver {
+            warmup: SimDuration::from_secs(10),
+            measure: SimDuration::from_secs(60),
+            tick: SimDuration::from_secs(5),
+        };
+        let schedule = RateSchedule::Constant(30.0);
+        b.iter(|| black_box(driver.run(&app, ServerSetting::max_sprint(), &schedule, 3)))
+    });
+    g.finish();
+}
+
+fn bench_scale_out(c: &mut Criterion) {
+    use greensprint::config::{AvailabilityLevel, GreenConfig};
+    use greensprint::datacenter::{run_datacenter, DatacenterConfig, RackSpec};
+    use greensprint::engine::{EngineConfig, MeasurementMode};
+    use greensprint::pmk::Strategy;
+    let mut g = c.benchmark_group("datacenter_scale_out");
+    g.sample_size(10);
+    for n_racks in [1usize, 4, 16] {
+        g.bench_function(format!("racks_{n_racks}"), |b| {
+            let cfg = DatacenterConfig {
+                racks: (0..n_racks)
+                    .map(|i| RackSpec {
+                        app: Application::ALL[i % 3],
+                        green: GreenConfig::re_sbatt(),
+                        strategy: Strategy::Hybrid,
+                    })
+                    .collect(),
+                template: EngineConfig {
+                    availability: AvailabilityLevel::Medium,
+                    burst_duration: SimDuration::from_mins(5),
+                    measurement: MeasurementMode::Analytic,
+                    ..EngineConfig::default()
+                },
+            };
+            b.iter(|| black_box(run_datacenter(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_des,
+    bench_queueing,
+    bench_battery,
+    bench_solar,
+    bench_pss,
+    bench_qlearning,
+    bench_loadgen,
+    bench_scale_out
+);
+criterion_main!(kernels);

@@ -1,0 +1,172 @@
+//! CPU-affinity masks — the `taskset` half of the prototype's control
+//! plane ("we use cpufreq to scale frequency and taskset to redirect
+//! workload threads to right cores", paper §IV).
+//!
+//! When sprinting brings cores online or takes them offline, the workload
+//! threads must be pinned onto exactly the live set; the mask type here
+//! renders the same hexadecimal form `taskset` consumes, so a deployment
+//! can shell out verbatim.
+
+use crate::dvfs::{ServerSetting, MAX_CORES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CPU set over the server's possible cores (up to 12 in the prototype,
+/// with capacity for larger parts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuMask(u64);
+
+impl CpuMask {
+    /// The empty mask.
+    pub const EMPTY: CpuMask = CpuMask(0);
+
+    /// A mask of the first `n` CPUs (the convention the control plane
+    /// uses: cores are brought online in index order).
+    pub fn first_n(n: u8) -> Self {
+        assert!(n as u32 <= u64::BITS, "mask supports up to 64 CPUs");
+        if n == 0 {
+            CpuMask(0)
+        } else {
+            CpuMask(u64::MAX >> (u64::BITS - n as u32))
+        }
+    }
+
+    /// The mask matching a sprint setting's active cores.
+    pub fn for_setting(setting: ServerSetting) -> Self {
+        Self::first_n(setting.cores)
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of CPUs in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `cpu` is in the set.
+    pub fn contains(self, cpu: u8) -> bool {
+        cpu < 64 && self.0 & (1 << cpu) != 0
+    }
+
+    /// Add a CPU.
+    pub fn with(self, cpu: u8) -> Self {
+        assert!(cpu < 64);
+        CpuMask(self.0 | (1 << cpu))
+    }
+
+    /// Remove a CPU.
+    pub fn without(self, cpu: u8) -> Self {
+        CpuMask(self.0 & !(1u64 << (cpu as u32 % 64)))
+    }
+
+    /// The `taskset`-compatible hexadecimal rendering (e.g. `0xfff` for
+    /// all 12 prototype cores).
+    pub fn to_taskset_hex(self) -> String {
+        format!("{:#x}", self.0)
+    }
+
+    /// Parse a `taskset`-style hex mask (`0xfff` or `fff`).
+    pub fn from_taskset_hex(s: &str) -> Option<Self> {
+        let digits = s.trim().trim_start_matches("0x");
+        u64::from_str_radix(digits, 16).ok().map(CpuMask)
+    }
+
+    /// The CPUs this mask would migrate threads *off of* when shrinking
+    /// to `target` (the cores about to be offlined).
+    pub fn evacuating_to(self, target: CpuMask) -> CpuMask {
+        CpuMask(self.0 & !target.0)
+    }
+}
+
+impl fmt::Display for CpuMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_taskset_hex())
+    }
+}
+
+/// The list form `taskset -c` accepts (e.g. `0-5` or `0-3,6`).
+pub fn cpu_list(mask: CpuMask) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut run_start: Option<u8> = None;
+    for cpu in 0..=MAX_CORES {
+        let inside = cpu < MAX_CORES && mask.contains(cpu);
+        match (inside, run_start) {
+            (true, None) => run_start = Some(cpu),
+            (false, Some(s)) => {
+                let end = cpu - 1;
+                parts.push(if s == end {
+                    s.to_string()
+                } else {
+                    format!("{s}-{end}")
+                });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_and_setting_masks() {
+        assert_eq!(CpuMask::first_n(0), CpuMask::EMPTY);
+        assert_eq!(CpuMask::first_n(6).bits(), 0x3f);
+        assert_eq!(CpuMask::for_setting(ServerSetting::normal()).count(), 6);
+        assert_eq!(
+            CpuMask::for_setting(ServerSetting::max_sprint()).to_taskset_hex(),
+            "0xfff"
+        );
+    }
+
+    #[test]
+    fn contains_with_without() {
+        let m = CpuMask::first_n(6);
+        assert!(m.contains(0) && m.contains(5));
+        assert!(!m.contains(6));
+        assert!(m.with(7).contains(7));
+        assert!(!m.without(0).contains(0));
+        assert_eq!(m.without(0).count(), 5);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for n in [0u8, 1, 6, 12] {
+            let m = CpuMask::first_n(n);
+            assert_eq!(CpuMask::from_taskset_hex(&m.to_taskset_hex()), Some(m));
+        }
+        assert_eq!(CpuMask::from_taskset_hex("fff"), Some(CpuMask::first_n(12)));
+        assert_eq!(CpuMask::from_taskset_hex("zzz"), None);
+    }
+
+    #[test]
+    fn evacuation_set() {
+        let sprint = CpuMask::for_setting(ServerSetting::max_sprint());
+        let normal = CpuMask::for_setting(ServerSetting::normal());
+        let evict = sprint.evacuating_to(normal);
+        assert_eq!(evict.count(), 6);
+        assert!(evict.contains(11) && !evict.contains(0));
+        // Growing evacuates nothing.
+        assert_eq!(normal.evacuating_to(sprint), CpuMask::EMPTY);
+    }
+
+    #[test]
+    fn cpu_list_rendering() {
+        assert_eq!(cpu_list(CpuMask::first_n(6)), "0-5");
+        assert_eq!(cpu_list(CpuMask::first_n(1)), "0");
+        assert_eq!(cpu_list(CpuMask::EMPTY), "");
+        let gappy = CpuMask::first_n(4).with(6);
+        assert_eq!(cpu_list(gappy), "0-3,6");
+    }
+
+    #[test]
+    fn full_prototype_mask() {
+        assert_eq!(cpu_list(CpuMask::first_n(12)), "0-11");
+    }
+}

@@ -1,0 +1,138 @@
+//! The 10-server prototype cluster with its green-provisioned subset.
+
+use crate::power_model::PowerModel;
+use crate::server::{Provisioning, Server};
+
+/// The paper's cluster size.
+pub const PAPER_CLUSTER_SIZE: usize = 10;
+
+/// The prototype cluster: `n` servers, the first `n_green` of which hang
+/// off the green bus (renewable + battery), the rest utility-dependent.
+#[derive(Debug)]
+pub struct Cluster {
+    servers: Vec<Server>,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` servers with `n_green` green-provisioned,
+    /// all hosting an application with the given power model.
+    pub fn new(n: usize, n_green: usize, power_model: PowerModel) -> Self {
+        assert!(n_green <= n, "green subset larger than cluster");
+        let servers = (0..n)
+            .map(|id| {
+                let prov = if id < n_green {
+                    Provisioning::Green
+                } else {
+                    Provisioning::GridOnly
+                };
+                Server::new(id, prov, power_model)
+            })
+            .collect();
+        Cluster { servers }
+    }
+
+    /// The paper's prototype: 10 servers with `n_green` on the green bus
+    /// (3 for the 30 % configurations, 2 for SRE).
+    pub fn paper_prototype(n_green: usize, power_model: PowerModel) -> Self {
+        Self::new(PAPER_CLUSTER_SIZE, n_green, power_model)
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to all servers.
+    pub fn servers_mut(&mut self) -> &mut [Server] {
+        &mut self.servers
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True if the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Indices of the green-provisioned servers.
+    pub fn green_ids(&self) -> Vec<usize> {
+        self.servers
+            .iter()
+            .filter(|s| s.is_green())
+            .map(Server::id)
+            .collect()
+    }
+
+    /// Number of green-provisioned servers.
+    pub fn green_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_green()).count()
+    }
+
+    /// Aggregate power (W) of the green subset at a common utilization.
+    pub fn green_power_w(&self, utilization: f64) -> f64 {
+        self.servers
+            .iter()
+            .filter(|s| s.is_green())
+            .map(|s| s.power_w(utilization))
+            .sum()
+    }
+
+    /// Aggregate power (W) of the whole cluster at a common utilization.
+    pub fn total_power_w(&self, utilization: f64) -> f64 {
+        self.servers.iter().map(|s| s.power_w(utilization)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::ServerSetting;
+
+    fn cluster() -> Cluster {
+        Cluster::paper_prototype(3, PowerModel::from_max_sprint_power(155.0))
+    }
+
+    #[test]
+    fn paper_prototype_shape() {
+        let c = cluster();
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.green_count(), 3);
+        assert_eq!(c.green_ids(), vec![0, 1, 2]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn aggregate_power_at_normal_hits_grid_budget() {
+        let mut c = cluster();
+        for s in c.servers_mut() {
+            s.apply_setting(ServerSetting::normal());
+        }
+        // 10 servers fully loaded at Normal ≈ 1000 W grid budget (§IV).
+        let p = c.total_power_w(1.0);
+        assert!((p - 1000.0).abs() < 15.0, "total={p}");
+    }
+
+    #[test]
+    fn full_sprint_cluster_power_matches_paper() {
+        let mut c = cluster();
+        for s in c.servers_mut() {
+            s.apply_setting(ServerSetting::max_sprint());
+        }
+        // Paper §IV-A: the saturated 12-core cluster hits 1550 W.
+        let p = c.total_power_w(1.0);
+        assert!((p - 1550.0).abs() < 1.0, "total={p}");
+        // The 3 green servers at full sprint: 465 W, under the 635.25 W
+        // peak green supply.
+        let g = c.green_power_w(1.0);
+        assert!((g - 465.0).abs() < 1.0, "green={g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "green subset")]
+    fn rejects_oversized_green_subset() {
+        Cluster::new(2, 3, PowerModel::from_max_sprint_power(155.0));
+    }
+}

@@ -1,0 +1,318 @@
+//! The server control plane.
+//!
+//! The prototype "uses `cpufreq` to scale frequency and `taskset` to
+//! redirect workload threads to right cores" (paper §IV). We expose both
+//! knobs behind the [`ServerControl`] trait with two backends:
+//!
+//! * [`SimControl`] — an in-memory backend used by the simulator; it also
+//!   counts transitions, since core on/off and P-state changes are not free
+//!   on real machines.
+//! * [`SysfsControl`] — a backend that speaks the Linux cpufreq/hotplug
+//!   sysfs file formats (`cpuN/online`, `cpuN/cpufreq/scaling_setspeed`,
+//!   `scaling_cur_freq`, `scaling_available_frequencies`) rooted at an
+//!   arbitrary directory. Rooting at `/sys/devices/system/cpu` drives real
+//!   hardware; tests root it at a fake tree.
+
+use crate::dvfs::{ServerSetting, FREQ_LEVELS_KHZ, MAX_CORES, NUM_FREQ_LEVELS};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from applying or reading a server setting.
+#[derive(Debug)]
+pub enum ControlError {
+    /// An I/O failure against the sysfs tree.
+    Io(io::Error),
+    /// The sysfs tree holds a value the model can't represent.
+    Unrepresentable(String),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Io(e) => write!(f, "control I/O error: {e}"),
+            ControlError::Unrepresentable(s) => write!(f, "unrepresentable state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<io::Error> for ControlError {
+    fn from(e: io::Error) -> Self {
+        ControlError::Io(e)
+    }
+}
+
+/// A server's sprint-setting control plane.
+pub trait ServerControl {
+    /// Apply a sprint setting (bring cores online/offline, set frequency).
+    fn apply(&mut self, setting: ServerSetting) -> Result<(), ControlError>;
+    /// Read back the currently applied setting.
+    fn read(&self) -> Result<ServerSetting, ControlError>;
+}
+
+/// In-memory control backend for simulation.
+#[derive(Debug, Clone)]
+pub struct SimControl {
+    current: ServerSetting,
+    transitions: u64,
+    core_toggles: u64,
+}
+
+impl Default for SimControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimControl {
+    /// A simulated server starting in Normal mode.
+    pub fn new() -> Self {
+        SimControl {
+            current: ServerSetting::normal(),
+            transitions: 0,
+            core_toggles: 0,
+        }
+    }
+
+    /// Number of `apply` calls that changed the setting.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total cores brought online or offline across all transitions.
+    pub fn core_toggles(&self) -> u64 {
+        self.core_toggles
+    }
+}
+
+impl ServerControl for SimControl {
+    fn apply(&mut self, setting: ServerSetting) -> Result<(), ControlError> {
+        if setting != self.current {
+            self.transitions += 1;
+            self.core_toggles += setting.cores.abs_diff(self.current.cores) as u64;
+            self.current = setting;
+        }
+        Ok(())
+    }
+
+    fn read(&self) -> Result<ServerSetting, ControlError> {
+        Ok(self.current)
+    }
+}
+
+/// Sysfs-format control backend.
+///
+/// Layout under `root` (one directory per logical CPU):
+///
+/// ```text
+/// cpu0/online                                  "0" | "1"
+/// cpu0/cpufreq/scaling_available_frequencies   "1200000 1300000 … 2000000"
+/// cpu0/cpufreq/scaling_setspeed                target kHz (written)
+/// cpu0/cpufreq/scaling_cur_freq                current kHz (read)
+/// ```
+///
+/// Cores are brought online in index order; like `taskset` pinning, the
+/// first `cores` CPUs host the workload. cpu0 is never offlined (Linux
+/// forbids it).
+#[derive(Debug, Clone)]
+pub struct SysfsControl {
+    root: PathBuf,
+}
+
+impl SysfsControl {
+    /// Control a sysfs tree rooted at `root` (e.g.
+    /// `/sys/devices/system/cpu` on real hardware).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        SysfsControl { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Create a fake sysfs tree under `root` with `MAX_CORES` CPUs, all
+    /// online at the lowest frequency — for tests and dry runs.
+    pub fn create_fake_tree(root: impl AsRef<Path>) -> io::Result<SysfsControl> {
+        let root = root.as_ref();
+        for cpu in 0..MAX_CORES {
+            let cpufreq = root.join(format!("cpu{cpu}")).join("cpufreq");
+            fs::create_dir_all(&cpufreq)?;
+            fs::write(root.join(format!("cpu{cpu}/online")), "1")?;
+            let freqs: Vec<String> = FREQ_LEVELS_KHZ.iter().map(|f| f.to_string()).collect();
+            fs::write(
+                cpufreq.join("scaling_available_frequencies"),
+                freqs.join(" "),
+            )?;
+            fs::write(cpufreq.join("scaling_setspeed"), FREQ_LEVELS_KHZ[0].to_string())?;
+            fs::write(cpufreq.join("scaling_cur_freq"), FREQ_LEVELS_KHZ[0].to_string())?;
+        }
+        Ok(SysfsControl::new(root))
+    }
+
+    fn cpu_dir(&self, cpu: u8) -> PathBuf {
+        self.root.join(format!("cpu{cpu}"))
+    }
+
+    fn write_file(&self, path: &Path, value: &str) -> Result<(), ControlError> {
+        fs::write(path, value).map_err(ControlError::from)
+    }
+
+    fn read_trimmed(&self, path: &Path) -> Result<String, ControlError> {
+        Ok(fs::read_to_string(path)?.trim().to_string())
+    }
+}
+
+impl ServerControl for SysfsControl {
+    fn apply(&mut self, setting: ServerSetting) -> Result<(), ControlError> {
+        // Bring the first `cores` CPUs online, the rest offline. cpu0 has
+        // no writable online file on Linux; skip it (always online).
+        for cpu in 0..MAX_CORES {
+            let want_online = cpu < setting.cores;
+            if cpu > 0 {
+                self.write_file(
+                    &self.cpu_dir(cpu).join("online"),
+                    if want_online { "1" } else { "0" },
+                )?;
+            }
+            if want_online {
+                let khz = setting.freq_khz().to_string();
+                let freq_dir = self.cpu_dir(cpu).join("cpufreq");
+                self.write_file(&freq_dir.join("scaling_setspeed"), &khz)?;
+                // The fake tree mirrors setspeed into cur_freq; on real
+                // hardware the governor does this.
+                let cur = freq_dir.join("scaling_cur_freq");
+                if cur.exists() {
+                    self.write_file(&cur, &khz)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read(&self) -> Result<ServerSetting, ControlError> {
+        let mut cores = 1u8; // cpu0 is always online
+        for cpu in 1..MAX_CORES {
+            let online = self.read_trimmed(&self.cpu_dir(cpu).join("online"))?;
+            if online == "1" {
+                cores += 1;
+            }
+        }
+        let khz: u32 = self
+            .read_trimmed(&self.cpu_dir(0).join("cpufreq/scaling_cur_freq"))?
+            .parse()
+            .map_err(|e| ControlError::Unrepresentable(format!("bad kHz value: {e}")))?;
+        let freq_idx = FREQ_LEVELS_KHZ
+            .iter()
+            .position(|&f| f == khz)
+            .ok_or_else(|| ControlError::Unrepresentable(format!("unknown frequency {khz} kHz")))?;
+        if !(crate::dvfs::NORMAL_CORES..=MAX_CORES).contains(&cores) {
+            return Err(ControlError::Unrepresentable(format!(
+                "online core count {cores} outside the sprint range"
+            )));
+        }
+        debug_assert!(freq_idx < NUM_FREQ_LEVELS);
+        Ok(ServerSetting::new(cores, freq_idx as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_control_tracks_transitions() {
+        let mut c = SimControl::new();
+        assert_eq!(c.read().unwrap(), ServerSetting::normal());
+        c.apply(ServerSetting::max_sprint()).unwrap();
+        assert_eq!(c.read().unwrap(), ServerSetting::max_sprint());
+        assert_eq!(c.transitions(), 1);
+        assert_eq!(c.core_toggles(), 6);
+        // Re-applying the same setting is free.
+        c.apply(ServerSetting::max_sprint()).unwrap();
+        assert_eq!(c.transitions(), 1);
+        c.apply(ServerSetting::new(9, 4)).unwrap();
+        assert_eq!(c.core_toggles(), 9);
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gs-sysfs-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sysfs_roundtrip() {
+        let root = temp_root("roundtrip");
+        let mut c = SysfsControl::create_fake_tree(&root).unwrap();
+        // Initial tree: all 12 online at 1.2 GHz → reads as 12c@1.2.
+        assert_eq!(c.read().unwrap(), ServerSetting::new(12, 0));
+        for setting in [
+            ServerSetting::normal(),
+            ServerSetting::new(9, 4),
+            ServerSetting::max_sprint(),
+        ] {
+            c.apply(setting).unwrap();
+            assert_eq!(c.read().unwrap(), setting, "after applying {setting}");
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_writes_expected_files() {
+        let root = temp_root("files");
+        let mut c = SysfsControl::create_fake_tree(&root).unwrap();
+        c.apply(ServerSetting::new(8, 3)).unwrap();
+        // cpu7 online, cpu8 offline.
+        assert_eq!(fs::read_to_string(root.join("cpu7/online")).unwrap(), "1");
+        assert_eq!(fs::read_to_string(root.join("cpu8/online")).unwrap(), "0");
+        // Frequency written in kHz to online cores.
+        assert_eq!(
+            fs::read_to_string(root.join("cpu0/cpufreq/scaling_setspeed")).unwrap(),
+            "1500000"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_missing_tree_errors() {
+        let c = SysfsControl::new("/nonexistent/gs-test");
+        assert!(matches!(c.read(), Err(ControlError::Io(_))));
+    }
+
+    #[test]
+    fn sysfs_rejects_unknown_frequency() {
+        let root = temp_root("badfreq");
+        let c = SysfsControl::create_fake_tree(&root).unwrap();
+        fs::write(root.join("cpu0/cpufreq/scaling_cur_freq"), "999000").unwrap();
+        match c.read() {
+            Err(ControlError::Unrepresentable(msg)) => assert!(msg.contains("999000")),
+            other => panic!("expected Unrepresentable, got {other:?}"),
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_rejects_out_of_range_core_count() {
+        let root = temp_root("badcores");
+        let c = SysfsControl::create_fake_tree(&root).unwrap();
+        // Offline all but cpu0..=2 (3 cores, below the 6-core floor).
+        for cpu in 3..MAX_CORES {
+            fs::write(root.join(format!("cpu{cpu}/online")), "0").unwrap();
+        }
+        assert!(matches!(c.read(), Err(ControlError::Unrepresentable(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn control_error_display() {
+        let e = ControlError::Unrepresentable("x".into());
+        assert!(e.to_string().contains("unrepresentable"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # gs-cluster — the server and cluster model
+//!
+//! Models the paper's prototype hardware (§IV): 10 servers, each with two
+//! 6-core Intel Xeon E5-2620 processors (12 cores), 9 DVFS states from
+//! 1.2 GHz to 2.0 GHz, 76 W idle power, and sprinting that scales the core
+//! count from 6 (Normal) to 12.
+//!
+//! * [`dvfs`] — frequency levels and the two-dimensional sprint-setting
+//!   space `S = cores × frequency` (paper §III-B).
+//! * [`power_model`] — the calibrated server power model.
+//! * [`control`] — the control plane: a trait for applying a setting to a
+//!   server with a simulated backend and a sysfs-format backend (the
+//!   paper's `cpufreq` + `taskset` knobs).
+//! * [`server`] / [`cluster`] — server state and the 10-node topology with
+//!   its green-provisioned subset.
+
+pub mod affinity;
+pub mod cluster;
+pub mod control;
+pub mod dvfs;
+pub mod power_model;
+pub mod server;
+
+pub use affinity::CpuMask;
+pub use cluster::Cluster;
+pub use control::{ControlError, ServerControl, SimControl, SysfsControl};
+pub use dvfs::{ServerSetting, FREQ_LEVELS_KHZ, MAX_CORES, NORMAL_CORES, NUM_FREQ_LEVELS};
+pub use power_model::PowerModel;
+pub use server::Server;

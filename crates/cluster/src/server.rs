@@ -1,0 +1,131 @@
+//! A single server: identity, provisioning, live sprint setting, and its
+//! power draw under the calibrated model.
+
+use crate::control::{ServerControl, SimControl};
+use crate::dvfs::ServerSetting;
+use crate::power_model::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Which power bus feeds a server (paper Fig. 2: some racks hang off the
+/// green bus + battery, the rest are utility-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provisioning {
+    /// Green bus: renewable + server-level battery, grid as Normal-mode
+    /// backstop.
+    Green,
+    /// Utility-dependent: grid only, inside the grid budget.
+    GridOnly,
+}
+
+/// One server of the prototype cluster.
+#[derive(Debug)]
+pub struct Server {
+    id: usize,
+    provisioning: Provisioning,
+    power_model: PowerModel,
+    control: SimControl,
+}
+
+impl Server {
+    /// Create a server in Normal mode.
+    pub fn new(id: usize, provisioning: Provisioning, power_model: PowerModel) -> Self {
+        Server {
+            id,
+            provisioning,
+            power_model,
+            control: SimControl::new(),
+        }
+    }
+
+    /// Stable identifier (index in the cluster).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Bus assignment.
+    pub fn provisioning(&self) -> Provisioning {
+        self.provisioning
+    }
+
+    /// True if on the green bus.
+    pub fn is_green(&self) -> bool {
+        self.provisioning == Provisioning::Green
+    }
+
+    /// The calibrated power model for the application it hosts.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Replace the power model (when the hosted application changes).
+    pub fn set_power_model(&mut self, m: PowerModel) {
+        self.power_model = m;
+    }
+
+    /// Currently applied sprint setting.
+    pub fn setting(&self) -> ServerSetting {
+        self.control.read().expect("sim control cannot fail")
+    }
+
+    /// Apply a sprint setting.
+    pub fn apply_setting(&mut self, s: ServerSetting) {
+        self.control.apply(s).expect("sim control cannot fail");
+    }
+
+    /// Setting transitions so far (knob-churn diagnostic).
+    pub fn setting_transitions(&self) -> u64 {
+        self.control.transitions()
+    }
+
+    /// Power draw (W) at the current setting and the given utilization.
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        self.power_model.power_w(self.setting(), utilization)
+    }
+
+    /// Planning power (W) at full load for an arbitrary setting.
+    pub fn planned_power_w(&self, setting: ServerSetting) -> f64 {
+        self.power_model.full_load_power_w(setting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(0, Provisioning::Green, PowerModel::from_max_sprint_power(155.0))
+    }
+
+    #[test]
+    fn starts_in_normal_mode() {
+        let s = server();
+        assert_eq!(s.setting(), ServerSetting::normal());
+        assert!(s.is_green());
+        assert_eq!(s.id(), 0);
+    }
+
+    #[test]
+    fn apply_and_read_setting() {
+        let mut s = server();
+        s.apply_setting(ServerSetting::max_sprint());
+        assert_eq!(s.setting(), ServerSetting::max_sprint());
+        assert_eq!(s.setting_transitions(), 1);
+    }
+
+    #[test]
+    fn power_tracks_setting_and_utilization() {
+        let mut s = server();
+        assert_eq!(s.power_w(0.0), 76.0);
+        s.apply_setting(ServerSetting::max_sprint());
+        assert!((s.power_w(1.0) - 155.0).abs() < 1e-9);
+        assert!(s.power_w(0.5) < 155.0);
+        assert!((s.planned_power_w(ServerSetting::normal()) - 99.7).abs() < 0.5);
+    }
+
+    #[test]
+    fn grid_only_provisioning() {
+        let s = Server::new(3, Provisioning::GridOnly, PowerModel::from_max_sprint_power(146.0));
+        assert!(!s.is_green());
+        assert_eq!(s.provisioning(), Provisioning::GridOnly);
+    }
+}

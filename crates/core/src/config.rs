@@ -1,0 +1,214 @@
+//! Green-provisioning configurations (paper Table I) and the renewable
+//! availability levels of the evaluation.
+//!
+//! | Config    | RE            | Battery (server level) |
+//! |-----------|---------------|------------------------|
+//! | RE-Batt   | 30 % servers  | 10 Ah                  |
+//! | REOnly    | 30 % servers  | 0                      |
+//! | RE-SBatt  | 30 % servers  | 3.2 Ah                 |
+//! | SRE-SBatt | 20 % servers  | 3.2 Ah                 |
+//!
+//! On the 10-server prototype, "30 % servers" means 3 green-provisioned
+//! servers with one 275 W-DC panel each (peak AC 3 × 211.75 = 635.25 W) and
+//! "SRE" (small renewable) means 2 servers / 2 panels (423.5 W).
+
+use gs_power::battery::BatterySpec;
+use gs_power::solar::{PvArray, SolarTrace, WeatherModel};
+use gs_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A Table I green-provisioning option.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GreenConfig {
+    /// Display name matching the paper.
+    pub name: String,
+    /// Number of green-provisioned servers (out of the 10-server cluster).
+    pub green_servers: usize,
+    /// Solar panels feeding the green bus (one per green server).
+    pub panels: u32,
+    /// Per-server battery capacity in Ah (0 = no battery).
+    pub battery_ah: f64,
+}
+
+impl GreenConfig {
+    /// RE-Batt: 30 % servers green, 10 Ah server batteries.
+    pub fn re_batt() -> Self {
+        GreenConfig {
+            name: "RE-Batt".into(),
+            green_servers: 3,
+            panels: 3,
+            battery_ah: 10.0,
+        }
+    }
+
+    /// REOnly: 30 % servers green, no batteries.
+    pub fn re_only() -> Self {
+        GreenConfig {
+            name: "REOnly".into(),
+            green_servers: 3,
+            panels: 3,
+            battery_ah: 0.0,
+        }
+    }
+
+    /// RE-SBatt: 30 % servers green, small 3.2 Ah batteries.
+    pub fn re_sbatt() -> Self {
+        GreenConfig {
+            name: "RE-SBatt".into(),
+            green_servers: 3,
+            panels: 3,
+            battery_ah: 3.2,
+        }
+    }
+
+    /// SRE-SBatt: 20 % servers green, small 3.2 Ah batteries.
+    pub fn sre_sbatt() -> Self {
+        GreenConfig {
+            name: "SRE-SBatt".into(),
+            green_servers: 2,
+            panels: 2,
+            battery_ah: 3.2,
+        }
+    }
+
+    /// All four Table I options, in the paper's order.
+    pub fn table1() -> [GreenConfig; 4] {
+        [
+            Self::re_batt(),
+            Self::re_only(),
+            Self::re_sbatt(),
+            Self::sre_sbatt(),
+        ]
+    }
+
+    /// The PV array of this configuration.
+    pub fn pv_array(&self) -> PvArray {
+        PvArray::paper_spec(self.panels)
+    }
+
+    /// The per-server battery spec, `None` for REOnly.
+    pub fn battery_spec(&self) -> Option<BatterySpec> {
+        if self.battery_ah > 0.0 {
+            Some(BatterySpec::paper_vrla(self.battery_ah))
+        } else {
+            None
+        }
+    }
+}
+
+/// The renewable-energy availability levels the evaluation sweeps
+/// (paper Fig. 5: minimum / medium / maximum windows of the solar trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AvailabilityLevel {
+    /// Renewable effectively absent; "the sprinting goal can only be
+    /// achieved by the batteries."
+    Minimum,
+    /// Time-varying supply around half of peak.
+    Medium,
+    /// Clear-sky peak supply that alone covers full sprinting.
+    Maximum,
+}
+
+impl AvailabilityLevel {
+    /// All levels, in the paper's column order.
+    pub const ALL: [AvailabilityLevel; 3] = [
+        AvailabilityLevel::Minimum,
+        AvailabilityLevel::Medium,
+        AvailabilityLevel::Maximum,
+    ];
+
+    /// Short label used in figure rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            AvailabilityLevel::Minimum => "Min",
+            AvailabilityLevel::Medium => "Med",
+            AvailabilityLevel::Maximum => "Max",
+        }
+    }
+
+    /// A normalized irradiance trace realizing this level for a controlled
+    /// burst experiment, reproducible by seed.
+    ///
+    /// * `Minimum` — zero output (night / storm outage);
+    /// * `Medium`  — a weather-modulated trace whose *mean* sits near half
+    ///   of peak, with genuine minute-scale intermittency;
+    /// * `Maximum` — clear-sky full output for the burst window (the burst
+    ///   harness anchors bursts near solar noon).
+    pub fn trace(self, seed: u64) -> SolarTrace {
+        match self {
+            AvailabilityLevel::Minimum => SolarTrace::zero(2),
+            AvailabilityLevel::Medium => {
+                // A heavily clouded day: the partly-cloudy flicker scaled
+                // so the midday mean lands near 40 % of peak — enough to
+                // sustain reduced sprinting but (unlike Maximum) not the
+                // full 465 W rack sprint, even with battery assistance.
+                let mut rng = SimRng::seed_from_u64(seed);
+                let model = WeatherModel {
+                    regime_probs: [0.05, 0.9, 0.05],
+                    ..WeatherModel::default()
+                };
+                let raw = SolarTrace::generate(2, &model, &mut rng);
+                SolarTrace::from_samples(raw.samples().iter().map(|s| s * 0.62).collect())
+            }
+            AvailabilityLevel::Maximum => SolarTrace::clear_days(2, &WeatherModel::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for AvailabilityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_sim::SimTime;
+
+    #[test]
+    fn table1_matches_paper() {
+        let [re_batt, re_only, re_sbatt, sre_sbatt] = GreenConfig::table1();
+        assert_eq!(re_batt.name, "RE-Batt");
+        assert_eq!((re_batt.green_servers, re_batt.battery_ah), (3, 10.0));
+        assert_eq!((re_only.green_servers, re_only.battery_ah), (3, 0.0));
+        assert_eq!((re_sbatt.green_servers, re_sbatt.battery_ah), (3, 3.2));
+        assert_eq!((sre_sbatt.green_servers, sre_sbatt.battery_ah), (2, 3.2));
+    }
+
+    #[test]
+    fn pv_peaks_match_paper() {
+        assert!((GreenConfig::re_batt().pv_array().peak_ac_watts() - 635.25).abs() < 1e-9);
+        assert!((GreenConfig::sre_sbatt().pv_array().peak_ac_watts() - 423.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn battery_specs() {
+        assert!(GreenConfig::re_only().battery_spec().is_none());
+        let spec = GreenConfig::re_batt().battery_spec().unwrap();
+        assert_eq!(spec.capacity_ah, 10.0);
+        let spec = GreenConfig::re_sbatt().battery_spec().unwrap();
+        assert!((spec.capacity_ah - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_traces_have_expected_means() {
+        let noon = SimTime::from_hours(11);
+        let end = SimTime::from_hours(13);
+        let min = AvailabilityLevel::Minimum.trace(1);
+        assert_eq!(min.window_mean(noon, end), 0.0);
+        let max = AvailabilityLevel::Maximum.trace(1);
+        assert!(max.window_mean(noon, end) > 0.9);
+        let med = AvailabilityLevel::Medium.trace(1);
+        let m = med.window_mean(noon, end);
+        assert!((0.3..0.8).contains(&m), "medium mean {m}");
+        // Medium sits strictly between the extremes.
+        assert!(m < max.window_mean(noon, end));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AvailabilityLevel::Minimum.to_string(), "Min");
+        assert_eq!(AvailabilityLevel::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! # greensprint — renewable-energy-driven computational sprinting
+//!
+//! The paper's primary contribution (Fig. 3): a controller that lets a
+//! green data center sprint through workload bursts on renewable power,
+//! batteries, and — as a bounded last resort — the grid.
+//!
+//! * [`config`] — the green-provisioning options of Table I and the
+//!   renewable-availability levels of the evaluation.
+//! * [`profiler`] — the a-priori `LoadPower(L, S)` / performance tables the
+//!   paper collects "using an exhaustive method on real servers".
+//! * [`monitor`] — the Monitor: power and performance observation streams.
+//! * [`predictor`] — the Predictor: EWMA forecasts of renewable supply and
+//!   workload intensity (paper Eq. 1, α = 0.3).
+//! * [`qlearning`] — the tabular reinforcement learner behind *Hybrid*
+//!   (paper Algorithm 1).
+//! * [`pmk`] — the Power Management Knob strategies: Normal, Greedy,
+//!   Parallel, Pacing, Hybrid.
+//! * [`engine`] — the scheduling-epoch engine tying PSS, PMK, batteries,
+//!   solar supply, and the workload measurement plane together.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use greensprint::config::{AvailabilityLevel, GreenConfig};
+//! use greensprint::engine::{Engine, EngineConfig};
+//! use greensprint::pmk::Strategy;
+//! use gs_sim::SimDuration;
+//! use gs_workload::apps::Application;
+//!
+//! let cfg = EngineConfig {
+//!     app: Application::SpecJbb,
+//!     green: GreenConfig::re_batt(),
+//!     strategy: Strategy::Hybrid,
+//!     availability: AvailabilityLevel::Medium,
+//!     burst_duration: SimDuration::from_mins(10),
+//!     burst_intensity_cores: 12,
+//!     seed: 42,
+//!     ..EngineConfig::default()
+//! };
+//! let outcome = Engine::new(cfg).run();
+//! assert!(outcome.speedup_vs_normal > 1.0);
+//! ```
+
+pub mod campaign;
+pub mod cluster_view;
+pub mod config;
+pub mod datacenter;
+pub mod engine;
+pub mod monitor;
+pub mod pmk;
+pub mod predictor;
+pub mod profiler;
+pub mod qlearning;
+pub mod report;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use cluster_view::{run_cluster, ClusterOutcome, GridSprintPolicy};
+pub use config::{AvailabilityLevel, GreenConfig};
+pub use datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome, RackSpec};
+pub use engine::{BurstOutcome, Engine, EngineConfig, MeasurementMode, PredictorKind, ThermalModel};
+pub use monitor::Monitor;
+pub use pmk::Strategy;
+pub use predictor::{ClearSkyIndexedPredictor, Predictor};
+pub use profiler::ProfileTable;
+pub use qlearning::QLearner;

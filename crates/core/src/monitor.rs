@@ -1,0 +1,132 @@
+//! The Monitor (paper Fig. 3): collects the power and performance signals
+//! the Predictor, PSS, and PMK consume, and retains them as time series
+//! for reporting (paper Fig. 5 is drawn straight from these streams).
+
+use gs_sim::{SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// One epoch's observations for the green rack.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Observation {
+    /// Renewable production available to the rack (W).
+    pub re_supply_w: f64,
+    /// Aggregate power demand of the green servers (W).
+    pub demand_w: f64,
+    /// Aggregate battery discharge (W).
+    pub battery_w: f64,
+    /// Mean battery state of charge across the rack (fraction).
+    pub battery_soc: f64,
+    /// Aggregate goodput of the green servers (req/s).
+    pub goodput_rps: f64,
+    /// Offered load per green server (req/s).
+    pub offered_rps: f64,
+}
+
+/// Time-series retention of every observation stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Monitor {
+    re_supply: TimeSeries,
+    demand: TimeSeries,
+    battery_power: TimeSeries,
+    battery_soc: TimeSeries,
+    goodput: TimeSeries,
+    offered: TimeSeries,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Monitor {
+            re_supply: TimeSeries::new("re_supply_w"),
+            demand: TimeSeries::new("demand_w"),
+            battery_power: TimeSeries::new("battery_w"),
+            battery_soc: TimeSeries::new("battery_soc"),
+            goodput: TimeSeries::new("goodput_rps"),
+            offered: TimeSeries::new("offered_rps"),
+        }
+    }
+
+    /// Record one epoch.
+    pub fn record(&mut self, t: SimTime, obs: Observation) {
+        self.re_supply.push(t, obs.re_supply_w);
+        self.demand.push(t, obs.demand_w);
+        self.battery_power.push(t, obs.battery_w);
+        self.battery_soc.push(t, obs.battery_soc);
+        self.goodput.push(t, obs.goodput_rps);
+        self.offered.push(t, obs.offered_rps);
+    }
+
+    /// Renewable-production stream.
+    pub fn re_supply(&self) -> &TimeSeries {
+        &self.re_supply
+    }
+
+    /// Green-rack demand stream (paper Fig. 5's "Power Demand").
+    pub fn demand(&self) -> &TimeSeries {
+        &self.demand
+    }
+
+    /// Battery discharge stream.
+    pub fn battery_power(&self) -> &TimeSeries {
+        &self.battery_power
+    }
+
+    /// Battery state-of-charge stream.
+    pub fn battery_soc(&self) -> &TimeSeries {
+        &self.battery_soc
+    }
+
+    /// Goodput stream.
+    pub fn goodput(&self) -> &TimeSeries {
+        &self.goodput
+    }
+
+    /// Offered-load stream.
+    pub fn offered(&self) -> &TimeSeries {
+        &self.offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_all_streams() {
+        let mut m = Monitor::new();
+        m.record(
+            SimTime::from_secs(60),
+            Observation {
+                re_supply_w: 500.0,
+                demand_w: 450.0,
+                battery_w: 0.0,
+                battery_soc: 1.0,
+                goodput_rps: 120.0,
+                offered_rps: 150.0,
+            },
+        );
+        m.record(
+            SimTime::from_secs(120),
+            Observation {
+                re_supply_w: 100.0,
+                demand_w: 450.0,
+                battery_w: 350.0,
+                battery_soc: 0.9,
+                goodput_rps: 110.0,
+                offered_rps: 150.0,
+            },
+        );
+        assert_eq!(m.re_supply().len(), 2);
+        assert_eq!(m.demand().sample_at(SimTime::from_secs(90)), Some(450.0));
+        assert_eq!(m.battery_power().sample_at(SimTime::from_secs(120)), Some(350.0));
+        assert_eq!(m.battery_soc().points().last().unwrap().1, 0.9);
+        assert!(m.goodput().window_mean(SimTime::ZERO, SimTime::from_secs(121)).unwrap() > 100.0);
+        assert_eq!(m.offered().len(), 2);
+    }
+}

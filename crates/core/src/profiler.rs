@@ -1,0 +1,230 @@
+//! Offline profiling tables.
+//!
+//! Paper §III-B: "We measure and collect the power demand
+//! `LoadPower_j(L_{j,t}, S_{j,t})` of an individual workload for each
+//! server setting `S_j` and workload intensity level `L_j` with a priori
+//! knowledge using an exhaustive method on real servers." The PMK
+//! strategies and the Hybrid learner's bootstrap all read these tables.
+//!
+//! Our "real servers" are the calibrated models of `gs-cluster` +
+//! `gs-workload`; the exhaustive sweep enumerates all 63 sprint settings
+//! once and caches SLO capacity, raw capacity, and full-load power.
+
+use gs_cluster::ServerSetting;
+use gs_workload::apps::{AppProfile, Application};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// One profiled setting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SettingProfile {
+    /// The sprint setting.
+    pub setting: ServerSetting,
+    /// SLO-constrained capacity (req/s) — the performance entry.
+    pub slo_capacity: f64,
+    /// Saturation capacity (req/s) — used to convert load to utilization.
+    pub raw_capacity: f64,
+    /// Full-load power (W) — `LoadPower(L_max, S)`.
+    pub full_load_power_w: f64,
+    /// Idle power (W).
+    pub idle_power_w: f64,
+}
+
+impl SettingProfile {
+    /// Power (W) at an offered load of `rps`, interpolating linearly in
+    /// utilization between idle and full load — the paper's
+    /// `LoadPower(L, S)` with `L` quantized by the measured intensity.
+    pub fn load_power_w(&self, rps: f64) -> f64 {
+        let util = (rps / self.raw_capacity).clamp(0.0, 1.0);
+        self.idle_power_w + util * (self.full_load_power_w - self.idle_power_w)
+    }
+}
+
+/// The exhaustive per-application profile table, indexed by
+/// [`ServerSetting::action_index`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileTable {
+    entries: Vec<SettingProfile>,
+}
+
+impl ProfileTable {
+    /// Run the exhaustive sweep for an application.
+    pub fn build(app: &AppProfile) -> Self {
+        let model = app.power_model();
+        let entries = ServerSetting::all()
+            .into_iter()
+            .map(|setting| SettingProfile {
+                setting,
+                slo_capacity: app.slo_capacity(setting),
+                raw_capacity: app.raw_capacity(setting),
+                full_load_power_w: model.full_load_power_w(setting),
+                idle_power_w: model.min_power_w(),
+            })
+            .collect();
+        ProfileTable { entries }
+    }
+
+    /// The shared, lazily-built table for a paper application. The sweep
+    /// is deterministic, so all engines can share one copy per process.
+    pub fn cached(app: Application) -> &'static ProfileTable {
+        static TABLES: [OnceLock<ProfileTable>; 3] =
+            [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+        let idx = match app {
+            Application::SpecJbb => 0,
+            Application::WebSearch => 1,
+            Application::Memcached => 2,
+        };
+        TABLES[idx].get_or_init(|| ProfileTable::build(&app.profile()))
+    }
+
+    /// Profile of one setting.
+    pub fn get(&self, setting: ServerSetting) -> &SettingProfile {
+        &self.entries[setting.action_index()]
+    }
+
+    /// All profiled settings.
+    pub fn entries(&self) -> &[SettingProfile] {
+        &self.entries
+    }
+
+    /// Expected goodput (req/s) at a setting under offered load `rps`:
+    /// `min(load, SLO capacity)` — the per-epoch term of the paper's
+    /// objective (Eq. 3).
+    pub fn expected_perf(&self, setting: ServerSetting, offered_rps: f64) -> f64 {
+        offered_rps.min(self.get(setting).slo_capacity)
+    }
+
+    /// Planning power (W) at a setting for offered load `rps`
+    /// (`LoadPower(L_pre, S)` in Eq. 2).
+    pub fn planned_power_w(&self, setting: ServerSetting, offered_rps: f64) -> f64 {
+        let e = self.get(setting);
+        let served = offered_rps.min(e.raw_capacity);
+        e.load_power_w(served)
+    }
+
+    /// The cheapest setting (by planned power) among `candidates` that
+    /// still delivers at least `target_perf` under `offered_rps`; `None`
+    /// if no candidate reaches the target.
+    pub fn cheapest_reaching(
+        &self,
+        candidates: &[ServerSetting],
+        offered_rps: f64,
+        target_perf: f64,
+    ) -> Option<ServerSetting> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&s| self.expected_perf(s, offered_rps) >= target_perf)
+            .min_by(|&a, &b| {
+                self.planned_power_w(a, offered_rps)
+                    .total_cmp(&self.planned_power_w(b, offered_rps))
+            })
+    }
+
+    /// Among `candidates` whose planned power fits `budget_w`, the one with
+    /// the highest expected performance; ties break toward lower power
+    /// (energy efficiency). Returns `None` if nothing fits the budget.
+    pub fn best_within_budget(
+        &self,
+        candidates: &[ServerSetting],
+        offered_rps: f64,
+        budget_w: f64,
+    ) -> Option<ServerSetting> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&s| self.planned_power_w(s, offered_rps) <= budget_w)
+            .max_by(|&a, &b| {
+                let (pa, pb) = (
+                    self.expected_perf(a, offered_rps),
+                    self.expected_perf(b, offered_rps),
+                );
+                pa.total_cmp(&pb).then_with(|| {
+                    // Prefer *lower* power on perf ties.
+                    self.planned_power_w(b, offered_rps)
+                        .total_cmp(&self.planned_power_w(a, offered_rps))
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_workload::apps::Application;
+
+    fn table() -> ProfileTable {
+        ProfileTable::build(&Application::SpecJbb.profile())
+    }
+
+    #[test]
+    fn covers_all_63_settings() {
+        let t = table();
+        assert_eq!(t.entries().len(), 63);
+        for s in ServerSetting::all() {
+            assert_eq!(t.get(s).setting, s);
+        }
+    }
+
+    #[test]
+    fn load_power_interpolates() {
+        let t = table();
+        let e = t.get(ServerSetting::max_sprint());
+        assert_eq!(e.load_power_w(0.0), e.idle_power_w);
+        assert!((e.load_power_w(f64::INFINITY) - e.full_load_power_w).abs() < 1e-9);
+        let half = e.load_power_w(e.raw_capacity / 2.0);
+        assert!((half - (e.idle_power_w + e.full_load_power_w) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_perf_caps_at_slo_capacity() {
+        let t = table();
+        let s = ServerSetting::normal();
+        let cap = t.get(s).slo_capacity;
+        assert_eq!(t.expected_perf(s, cap / 2.0), cap / 2.0);
+        assert_eq!(t.expected_perf(s, cap * 10.0), cap);
+    }
+
+    #[test]
+    fn best_within_budget_prefers_perf_then_low_power() {
+        let t = table();
+        let all = ServerSetting::all();
+        let heavy_load = 1e9;
+        // Huge budget: should pick the max-performance setting (max sprint).
+        let best = t.best_within_budget(&all, heavy_load, 1e9).unwrap();
+        assert_eq!(best, ServerSetting::max_sprint());
+        // Budget below idle: nothing fits.
+        assert_eq!(t.best_within_budget(&all, heavy_load, 10.0), None);
+        // Budget of ~100 W: Normal-class settings only.
+        let best = t.best_within_budget(&all, heavy_load, 100.0).unwrap();
+        assert!(t.planned_power_w(best, heavy_load) <= 100.0);
+        // With a tiny offered load every setting performs equally; the
+        // tie-break must pick something idle-cheap.
+        let light = t.best_within_budget(&all, 1.0, 1e9).unwrap();
+        assert!(
+            t.planned_power_w(light, 1.0) <= t.planned_power_w(ServerSetting::max_sprint(), 1.0)
+        );
+    }
+
+    #[test]
+    fn cheapest_reaching_finds_energy_efficient_setting() {
+        let t = table();
+        let all = ServerSetting::all();
+        let normal_cap = t.get(ServerSetting::normal()).slo_capacity;
+        // Reaching Normal-level perf should not require max sprint power.
+        let s = t.cheapest_reaching(&all, 1e9, normal_cap).unwrap();
+        assert!(t.planned_power_w(s, 1e9) < t.get(ServerSetting::max_sprint()).full_load_power_w);
+        // An impossible target yields None.
+        assert_eq!(t.cheapest_reaching(&all, 1e9, 1e12), None);
+    }
+
+    #[test]
+    fn profiles_are_consistent_with_app_model() {
+        let app = Application::Memcached.profile();
+        let t = ProfileTable::build(&app);
+        for s in [ServerSetting::normal(), ServerSetting::max_sprint()] {
+            assert!((t.get(s).slo_capacity - app.slo_capacity(s)).abs() < 1e-9);
+            assert!((t.get(s).full_load_power_w - app.load_power_w(s)).abs() < 1e-9);
+        }
+    }
+}

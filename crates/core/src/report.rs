@@ -1,0 +1,135 @@
+//! Human-readable rendering of run outcomes — one place for the textual
+//! presentation the CLI, the examples, and the experiment harness share.
+
+use crate::campaign::CampaignOutcome;
+use crate::engine::BurstOutcome;
+use std::fmt::Write as _;
+
+/// Render a burst outcome as an aligned multi-line summary.
+pub fn burst_summary(out: &BurstOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "speedup vs Normal : {:.2}x", out.speedup_vs_normal);
+    let _ = writeln!(
+        s,
+        "goodput           : {:.1} req/s/server (Normal {:.1})",
+        out.mean_goodput_rps, out.normal_baseline_rps
+    );
+    let _ = writeln!(s, "SLO attainment    : {:.1}%", out.slo_attainment * 100.0);
+    let _ = writeln!(
+        s,
+        "energy            : {:.1} Wh renewable + {:.1} Wh battery ({:.1} Wh curtailed)",
+        out.re_used_wh, out.battery_used_wh, out.curtailed_wh
+    );
+    let _ = writeln!(
+        s,
+        "battery           : {:.3} cycles, {:.1} Wh grid recharge",
+        out.battery_cycles, out.grid_recharge_wh
+    );
+    let _ = writeln!(
+        s,
+        "thermals          : peak {:.1} degC, {} throttled epochs",
+        out.peak_temp_c, out.thermal_throttle_epochs
+    );
+    let _ = writeln!(s, "knob churn        : {} transitions", out.setting_transitions);
+    s
+}
+
+/// Render the epoch-by-epoch trace as an aligned table.
+pub fn epoch_table(out: &BurstOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<9} {:<12} {:<15} {:>8} {:>8} {:>6} {:>9}",
+        "time", "setting", "supply case", "RE (W)", "batt(W)", "SoC", "goodput"
+    );
+    for e in &out.epochs {
+        let _ = writeln!(
+            s,
+            "{:<9} {:<12} {:<15} {:>8.0} {:>8.0} {:>5.0}% {:>9.1}",
+            e.t.to_string(),
+            e.setting.to_string(),
+            e.case.to_string(),
+            e.re_supply_w,
+            e.battery_w,
+            e.battery_soc * 100.0,
+            e.goodput_rps,
+        );
+    }
+    s
+}
+
+/// Render a campaign outcome.
+pub fn campaign_summary(out: &CampaignOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "days simulated    : {}", out.days);
+    let _ = writeln!(
+        s,
+        "sprint hours      : {:.1} ({:.1} server-hours)",
+        out.sprint_hours, out.sprint_server_hours
+    );
+    let _ = writeln!(s, "per year          : {:.0} h", out.sprint_hours_per_year);
+    let _ = writeln!(s, "goodput vs Normal : {:.2}x", out.goodput_vs_normal);
+    let _ = writeln!(
+        s,
+        "renewable         : {:.0} Wh used, {:.0} Wh curtailed",
+        out.run.re_used_wh, out.run.curtailed_wh
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::config::{AvailabilityLevel, GreenConfig};
+    use crate::engine::{Engine, EngineConfig, MeasurementMode};
+    use crate::pmk::Strategy;
+    use gs_sim::SimDuration;
+
+    fn outcome() -> BurstOutcome {
+        Engine::new(EngineConfig {
+            green: GreenConfig::re_batt(),
+            strategy: Strategy::Hybrid,
+            availability: AvailabilityLevel::Maximum,
+            burst_duration: SimDuration::from_mins(5),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn burst_summary_contains_the_load_bearing_lines() {
+        let s = burst_summary(&outcome());
+        for needle in ["speedup vs Normal", "goodput", "SLO attainment", "thermals"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+        assert!(s.contains("4."), "expected a ~4.6x speedup rendered:\n{s}");
+    }
+
+    #[test]
+    fn epoch_table_has_one_row_per_epoch() {
+        let out = outcome();
+        let table = epoch_table(&out);
+        // Header + one line per epoch.
+        assert_eq!(table.lines().count(), 1 + out.epochs.len());
+        assert!(table.contains("12c@2.0GHz"));
+        assert!(table.contains("green-only"));
+    }
+
+    #[test]
+    fn campaign_summary_renders() {
+        let out = run_campaign(&CampaignConfig {
+            engine: EngineConfig {
+                measurement: MeasurementMode::Analytic,
+                ..EngineConfig::default()
+            },
+            days: 1,
+            spikes_per_day: 2,
+            peak_intensity_cores: 12,
+        });
+        let s = campaign_summary(&out);
+        assert!(s.contains("sprint hours"));
+        assert!(s.contains("per year"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared experiment plumbing: run matrices of burst configurations in
+//! parallel and format figure-style tables.
+
+use crossbeam::thread;
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::engine::{BurstOutcome, Engine, EngineConfig, MeasurementMode};
+use greensprint::pmk::Strategy;
+use gs_sim::SimDuration;
+use gs_workload::apps::Application;
+
+/// The burst durations of the evaluation (minutes).
+pub const DURATIONS_MIN: [u64; 4] = [10, 15, 30, 60];
+
+/// Global run options from the CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Measurement plane: DES (default) or the fast analytic model.
+    pub measurement: MeasurementMode,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            measurement: MeasurementMode::Des,
+            seed: 7,
+        }
+    }
+}
+
+/// A single cell of a figure: the full engine configuration.
+pub fn cfg(
+    app: Application,
+    green: GreenConfig,
+    strategy: Strategy,
+    availability: AvailabilityLevel,
+    duration_min: u64,
+    intensity: u8,
+    opts: &RunOpts,
+) -> EngineConfig {
+    EngineConfig {
+        app,
+        green,
+        strategy,
+        availability,
+        burst_duration: SimDuration::from_mins(duration_min),
+        burst_intensity_cores: intensity,
+        measurement: opts.measurement,
+        seed: opts.seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// Run a batch of configurations across threads, preserving order.
+pub fn run_batch(configs: Vec<EngineConfig>) -> Vec<BurstOutcome> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    let mut results: Vec<Option<BurstOutcome>> = (0..configs.len()).map(|_| None).collect();
+    let jobs: Vec<(usize, EngineConfig)> = configs.into_iter().enumerate().collect();
+    let chunk = jobs.len().div_ceil(n_workers);
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for part in jobs.chunks(chunk) {
+            let part = part.to_vec();
+            handles.push(s.spawn(move |_| {
+                part.into_iter()
+                    .map(|(i, c)| (i, Engine::new(c).run()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, out) in h.join().expect("experiment worker panicked") {
+                results[i] = Some(out);
+            }
+        }
+    })
+    .expect("experiment scope panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Render a series as a one-line Unicode sparkline (▁▂▃▄▅▆▇█), scaled to
+/// its own maximum; used under the Fig. 1/5 tables so the shapes read at
+/// a glance in a terminal.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    if values.is_empty() || !max.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Print a speedup table: rows = availability levels, columns = series
+/// (strategies or configurations), one block per burst duration — the
+/// layout of paper Figs. 6–9.
+pub fn print_speedup_blocks(
+    title: &str,
+    series: &[String],
+    blocks: &[(String, Vec<Vec<f64>>)], // (block label, [row][col] speedups)
+    row_labels: &[&str],
+) {
+    println!("\n=== {title} ===");
+    for (label, rows) in blocks {
+        println!("\n--- {label} ---");
+        print!("{:<6}", "");
+        for s in series {
+            print!("{s:>10}");
+        }
+        println!();
+        for (r, row) in rows.iter().enumerate() {
+            print!("{:<6}", row_labels[r]);
+            for v in row {
+                print!("{v:>10.2}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `experiments dump <path>` — machine-readable export of the evaluation:
+//! every figure's speedup grid plus the TCO curve, as one JSON document,
+//! for downstream plotting.
+
+use crate::common::{cfg, run_batch, RunOpts, DURATIONS_MIN};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::pmk::Strategy;
+use gs_tco::TcoParams;
+use gs_workload::apps::Application;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    availability: &'static str,
+    duration_min: u64,
+    series: String,
+    speedup: f64,
+    slo_attainment: f64,
+    battery_wh: f64,
+    renewable_wh: f64,
+}
+
+#[derive(Serialize)]
+struct Dump {
+    seed: u64,
+    measurement: String,
+    fig6_specjbb_re_batt: Vec<Cell>,
+    fig7_configs_hybrid: Vec<Cell>,
+    fig8_websearch_re_sbatt: Vec<Cell>,
+    fig9_memcached_re_sbatt: Vec<Cell>,
+    fig10a_intensity: Vec<Cell>,
+    fig11_tco: Vec<(f64, f64)>,
+}
+
+fn strategy_grid(app: Application, green: fn() -> GreenConfig, opts: &RunOpts) -> Vec<Cell> {
+    let mut configs = Vec::new();
+    let mut meta = Vec::new();
+    for mins in DURATIONS_MIN {
+        for avail in AvailabilityLevel::ALL {
+            for strat in Strategy::SPRINTING {
+                configs.push(cfg(app, green(), strat, avail, mins, 12, opts));
+                meta.push((avail.label(), mins, strat.to_string()));
+            }
+        }
+    }
+    run_batch(configs)
+        .into_iter()
+        .zip(meta)
+        .map(|(o, (availability, duration_min, series))| Cell {
+            availability,
+            duration_min,
+            series,
+            speedup: o.speedup_vs_normal,
+            slo_attainment: o.slo_attainment,
+            battery_wh: o.battery_used_wh,
+            renewable_wh: o.re_used_wh,
+        })
+        .collect()
+}
+
+pub fn run(path: &str, opts: &RunOpts) {
+    let fig7 = {
+        let mut configs = Vec::new();
+        let mut meta = Vec::new();
+        for mins in DURATIONS_MIN {
+            for avail in AvailabilityLevel::ALL {
+                for green in GreenConfig::table1() {
+                    let name = green.name.clone();
+                    configs.push(cfg(
+                        Application::SpecJbb,
+                        green,
+                        Strategy::Hybrid,
+                        avail,
+                        mins,
+                        12,
+                        opts,
+                    ));
+                    meta.push((avail.label(), mins, name.to_string()));
+                }
+            }
+        }
+        run_batch(configs)
+            .into_iter()
+            .zip(meta)
+            .map(|(o, (availability, duration_min, series))| Cell {
+                availability,
+                duration_min,
+                series,
+                speedup: o.speedup_vs_normal,
+                slo_attainment: o.slo_attainment,
+                battery_wh: o.battery_used_wh,
+                renewable_wh: o.re_used_wh,
+            })
+            .collect()
+    };
+    let fig10a = {
+        let mut configs = Vec::new();
+        let mut meta = Vec::new();
+        for mins in DURATIONS_MIN {
+            for k in [12u8, 10, 9, 7] {
+                configs.push(cfg(
+                    Application::SpecJbb,
+                    GreenConfig::re_sbatt(),
+                    Strategy::Hybrid,
+                    AvailabilityLevel::Medium,
+                    mins,
+                    k,
+                    opts,
+                ));
+                meta.push(("Med", mins, format!("Int={k}")));
+            }
+        }
+        run_batch(configs)
+            .into_iter()
+            .zip(meta)
+            .map(|(o, (availability, duration_min, series))| Cell {
+                availability,
+                duration_min,
+                series,
+                speedup: o.speedup_vs_normal,
+                slo_attainment: o.slo_attainment,
+                battery_wh: o.battery_used_wh,
+                renewable_wh: o.re_used_wh,
+            })
+            .collect()
+    };
+    let tco = TcoParams::paper();
+    let dump = Dump {
+        seed: opts.seed,
+        measurement: format!("{:?}", opts.measurement),
+        fig6_specjbb_re_batt: strategy_grid(Application::SpecJbb, GreenConfig::re_batt, opts),
+        fig7_configs_hybrid: fig7,
+        fig8_websearch_re_sbatt: strategy_grid(Application::WebSearch, GreenConfig::re_sbatt, opts),
+        fig9_memcached_re_sbatt: strategy_grid(Application::Memcached, GreenConfig::re_sbatt, opts),
+        fig10a_intensity: fig10a,
+        fig11_tco: (0..=60).map(|h| (h as f64, tco.poi(h as f64))).collect(),
+    };
+    let json = serde_json::to_string_pretty(&dump).expect("dump serializes");
+    std::fs::write(path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {} bytes of evaluation data to {path}", json.len());
+}

@@ -1,0 +1,65 @@
+//! Figure 10: the impact of workload burst intensity (SPECjbb).
+//!
+//! * (a) — Hybrid, RE-SBatt, medium availability: speedup for burst
+//!   intensities Int ∈ {12, 10, 9, 7} across the four durations.
+//! * (b) — all four strategies at Int = 9, minimum availability, 10 min.
+
+use crate::common::{cfg, run_batch, RunOpts, DURATIONS_MIN};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::pmk::Strategy;
+use gs_workload::apps::Application;
+
+const INTENSITIES: [u8; 4] = [12, 10, 9, 7];
+
+pub fn fig10a(opts: &RunOpts) {
+    let mut configs = Vec::new();
+    for mins in DURATIONS_MIN {
+        for k in INTENSITIES {
+            configs.push(cfg(
+                Application::SpecJbb,
+                GreenConfig::re_sbatt(),
+                Strategy::Hybrid,
+                AvailabilityLevel::Medium,
+                mins,
+                k,
+                opts,
+            ));
+        }
+    }
+    let outs = run_batch(configs);
+    println!("\n=== Figure 10a: burst-intensity impact (SPECjbb, Hybrid, RE-SBatt, Med) ===");
+    print!("{:<18}", "duration");
+    for k in INTENSITIES {
+        print!("{:>10}", format!("Int={k}"));
+    }
+    println!();
+    for (i, mins) in DURATIONS_MIN.iter().enumerate() {
+        print!("{:<18}", format!("{mins} Mins"));
+        for j in 0..INTENSITIES.len() {
+            print!("{:>10.2}", outs[i * INTENSITIES.len() + j].speedup_vs_normal);
+        }
+        println!();
+    }
+}
+
+pub fn fig10b(opts: &RunOpts) {
+    let configs: Vec<_> = Strategy::SPRINTING
+        .into_iter()
+        .map(|strat| {
+            cfg(
+                Application::SpecJbb,
+                GreenConfig::re_sbatt(),
+                strat,
+                AvailabilityLevel::Minimum,
+                10,
+                9,
+                opts,
+            )
+        })
+        .collect();
+    let outs = run_batch(configs);
+    println!("\n=== Figure 10b: strategies at Int=9, minimum availability, 10-minute burst ===");
+    for (strat, out) in Strategy::SPRINTING.iter().zip(&outs) {
+        println!("{:<10} {:>8.2}", strat.to_string(), out.speedup_vs_normal);
+    }
+}

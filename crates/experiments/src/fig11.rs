@@ -1,0 +1,18 @@
+//! Figure 11: profit-over-investment of the additional green provisioning
+//! (PV + battery + PCM) as a function of yearly sprint hours.
+
+use gs_tco::TcoParams;
+
+pub fn run() {
+    let tco = TcoParams::paper();
+    println!("\n=== Figure 11: POI with additional renewable, battery and cooling investment ===");
+    println!("{:>26} {:>26}", "yearly sprint hours", "benefit ($/KW/year)");
+    for hours in [12.0, 24.0, 36.0] {
+        println!("{:>26.0} {:>26.1}", hours, tco.poi(hours));
+    }
+    println!(
+        "# cross-over (profitable with sprinting) at {:.1} hours/year; yearly green capex {:.1} $/KW",
+        tco.crossover_hours(),
+        tco.yearly_capex_per_kw()
+    );
+}

@@ -1,0 +1,78 @@
+//! Figures 6 and 7: SPECjbb sprint performance.
+//!
+//! * Fig. 6 — RE-Batt, the four strategies × {Min, Med, Max} availability
+//!   × {10, 15, 30, 60 min} burst durations, normalized to Normal.
+//! * Fig. 7 — the Hybrid strategy across the four Table I power
+//!   configurations, same grid.
+
+use crate::common::{cfg, print_speedup_blocks, run_batch, RunOpts, DURATIONS_MIN};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::pmk::Strategy;
+use gs_workload::apps::Application;
+
+pub fn fig6(opts: &RunOpts) {
+    let series: Vec<String> = Strategy::SPRINTING.iter().map(|s| s.to_string()).collect();
+    let mut blocks = Vec::new();
+    for mins in DURATIONS_MIN {
+        let mut configs = Vec::new();
+        for avail in AvailabilityLevel::ALL {
+            for strat in Strategy::SPRINTING {
+                configs.push(cfg(
+                    Application::SpecJbb,
+                    GreenConfig::re_batt(),
+                    strat,
+                    avail,
+                    mins,
+                    12,
+                    opts,
+                ));
+            }
+        }
+        let outs = run_batch(configs);
+        let rows: Vec<Vec<f64>> = outs
+            .chunks(Strategy::SPRINTING.len())
+            .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())
+            .collect();
+        blocks.push((format!("{mins} Mins"), rows));
+    }
+    print_speedup_blocks(
+        "Figure 6: SPECjbb speedup over Normal (RE-Batt)",
+        &series,
+        &blocks,
+        &["Min", "Med", "Max"],
+    );
+}
+
+pub fn fig7(opts: &RunOpts) {
+    let configs4 = GreenConfig::table1();
+    let series: Vec<String> = configs4.iter().map(|c| c.name.to_string()).collect();
+    let mut blocks = Vec::new();
+    for mins in DURATIONS_MIN {
+        let mut configs = Vec::new();
+        for avail in AvailabilityLevel::ALL {
+            for green in configs4.clone() {
+                configs.push(cfg(
+                    Application::SpecJbb,
+                    green,
+                    Strategy::Hybrid,
+                    avail,
+                    mins,
+                    12,
+                    opts,
+                ));
+            }
+        }
+        let outs = run_batch(configs);
+        let rows: Vec<Vec<f64>> = outs
+            .chunks(configs4.len())
+            .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())
+            .collect();
+        blocks.push((format!("{mins} Mins"), rows));
+    }
+    print_speedup_blocks(
+        "Figure 7: SPECjbb speedup under different power configurations (Hybrid)",
+        &series,
+        &blocks,
+        &["Min", "Med", "Max"],
+    );
+}

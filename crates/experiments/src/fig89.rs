@@ -1,0 +1,43 @@
+//! Figures 8 and 9: Web-Search and Memcached under the RE-SBatt
+//! configuration, four strategies × availability × burst duration.
+
+use crate::common::{cfg, print_speedup_blocks, run_batch, RunOpts, DURATIONS_MIN};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::pmk::Strategy;
+use gs_workload::apps::Application;
+
+fn strategy_grid(app: Application, title: &str, opts: &RunOpts) {
+    let series: Vec<String> = Strategy::SPRINTING.iter().map(|s| s.to_string()).collect();
+    let mut blocks = Vec::new();
+    for mins in DURATIONS_MIN {
+        let mut configs = Vec::new();
+        for avail in AvailabilityLevel::ALL {
+            for strat in Strategy::SPRINTING {
+                configs.push(cfg(app, GreenConfig::re_sbatt(), strat, avail, mins, 12, opts));
+            }
+        }
+        let outs = run_batch(configs);
+        let rows: Vec<Vec<f64>> = outs
+            .chunks(Strategy::SPRINTING.len())
+            .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())
+            .collect();
+        blocks.push((format!("{mins} Mins"), rows));
+    }
+    print_speedup_blocks(title, &series, &blocks, &["Min", "Med", "Max"]);
+}
+
+pub fn fig8(opts: &RunOpts) {
+    strategy_grid(
+        Application::WebSearch,
+        "Figure 8: Web-Search speedup over Normal (RE-SBatt)",
+        opts,
+    );
+}
+
+pub fn fig9(opts: &RunOpts) {
+    strategy_grid(
+        Application::Memcached,
+        "Figure 9: Memcached speedup over Normal (RE-SBatt)",
+        opts,
+    );
+}

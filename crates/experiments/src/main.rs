@@ -1,0 +1,95 @@
+//! `experiments` — regenerates every table and figure of the GreenSprint
+//! evaluation (IPDPS 2018).
+//!
+//! ```text
+//! experiments <target> [--analytic] [--seed N]
+//!
+//! targets: table1 table2 fig1 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig11
+//!          campaign cluster observations profile dump [file] all
+//!
+//! --analytic   use the closed-form queueing model instead of the
+//!              request-level DES (deterministic and much faster)
+//! --seed N     master seed (default 7)
+//! ```
+
+mod common;
+mod dump;
+mod extras;
+mod fig1;
+mod fig10;
+mod fig11;
+mod fig5;
+mod fig67;
+mod fig89;
+mod tables;
+
+use common::RunOpts;
+use greensprint::engine::MeasurementMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut opts = RunOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--analytic" => opts.measurement = MeasurementMode::Analytic,
+            "--des" => opts.measurement = MeasurementMode::Des,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other if target.as_deref() == Some("dump") => {
+                // second positional arg: output path
+                target = Some(format!("dump:{other}"));
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let target = target.unwrap_or_else(|| usage("missing target"));
+    run_target(&target, &opts);
+}
+
+fn run_target(target: &str, opts: &RunOpts) {
+    match target {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "fig1" => fig1::run(opts.seed),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig67::fig6(opts),
+        "fig7" => fig67::fig7(opts),
+        "fig8" => fig89::fig8(opts),
+        "fig9" => fig89::fig9(opts),
+        "fig10a" => fig10::fig10a(opts),
+        "fig10b" => fig10::fig10b(opts),
+        "fig11" => fig11::run(),
+        "campaign" => extras::campaign(opts),
+        "observations" => extras::observations(opts),
+        "profile" => extras::profile(opts),
+        t if t.starts_with("dump") => {
+            let path = t.strip_prefix("dump:").unwrap_or("evaluation.json");
+            dump::run(path, opts);
+        }
+        "cluster" => extras::cluster(opts),
+        "all" => {
+            for t in [
+                "table1", "table2", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a",
+                "fig10b", "fig11", "campaign", "cluster", "observations", "profile",
+            ] {
+                run_target(t, opts);
+            }
+        }
+        other => usage(&format!("unknown target: {other}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments <table1|table2|fig1|fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|fig11|campaign|cluster|observations|profile|dump [file]|all> [--analytic] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,57 @@
+//! Tables I and II of the paper, regenerated from the implementation's
+//! own constants (so drift between code and documentation is impossible).
+
+use greensprint::config::GreenConfig;
+use gs_cluster::ServerSetting;
+use gs_workload::apps::Application;
+
+/// Table I: options for green provision.
+pub fn table1() {
+    println!("\n=== Table I: Options for green provision ===");
+    println!(
+        "{:<12} {:>12} {:>22} {:>14}",
+        "Config", "RE", "Batt. (server level)", "Peak RE (W)"
+    );
+    for c in GreenConfig::table1() {
+        let pct = c.green_servers * 10; // of the 10-server prototype
+        let batt = if c.battery_ah > 0.0 {
+            format!("{:.1}Ah", c.battery_ah)
+        } else {
+            "0".to_string()
+        };
+        println!(
+            "{:<12} {:>11}% {:>22} {:>14.2}",
+            c.name,
+            pct,
+            batt,
+            c.pv_array().peak_ac_watts()
+        );
+    }
+}
+
+/// Table II: workload description, plus the calibrated model's capacity
+/// and power anchors for each application.
+pub fn table2() {
+    println!("\n=== Table II: Workload description ===");
+    println!(
+        "{:<12} {:>8} {:>34} {:>12} {:>12}",
+        "Workload", "Memory", "Performance metric", "Peak W", "Max speedup"
+    );
+    for app in Application::ALL {
+        let p = app.profile();
+        let metric = format!(
+            "{} ({:.0}%-ile {:.0}ms constrained)",
+            p.metric,
+            p.slo_percentile * 100.0,
+            p.slo_deadline_s * 1e3
+        );
+        println!(
+            "{:<12} {:>6}GB {:>34} {:>12.0} {:>11.2}x",
+            p.name,
+            p.memory_gb,
+            metric,
+            p.load_power_w(ServerSetting::max_sprint()),
+            p.max_speedup()
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The utility-failure backup path of the paper's power hierarchy
+//! (Fig. 2): an automatic transfer switch (ATS) selecting between the
+//! utility substation and a diesel generator (DG).
+//!
+//! GreenSprint's premise makes this path interesting: during a utility
+//! outage the grid-side servers ride the ATS → diesel chain (with the
+//! usual start-up gap covered by UPS energy), while the *green* servers
+//! keep sprinting on renewable + battery, unaffected. The resilience tests
+//! exercise exactly that story.
+
+use gs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A standby diesel generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DieselGenerator {
+    /// Rated electrical output (W).
+    pub rated_w: f64,
+    /// Cranking + stabilization time before the ATS can transfer.
+    pub start_time: SimDuration,
+    /// Fuel burn at rated load (litres/hour). Part-load burn scales with
+    /// the classic 0.25 + 0.75·load fraction curve.
+    pub fuel_lph_at_rated: f64,
+    /// Tank capacity (litres).
+    pub tank_l: f64,
+    /// Fuel remaining (litres).
+    fuel_l: f64,
+    /// Whether the engine is running (started and not out of fuel).
+    running: bool,
+    /// Time spent cranking so far.
+    cranked: SimDuration,
+}
+
+impl DieselGenerator {
+    /// A generator with a full tank.
+    pub fn new(rated_w: f64, start_time: SimDuration, fuel_lph_at_rated: f64, tank_l: f64) -> Self {
+        DieselGenerator {
+            rated_w,
+            start_time,
+            fuel_lph_at_rated,
+            tank_l,
+            fuel_l: tank_l,
+            running: false,
+            cranked: SimDuration::ZERO,
+        }
+    }
+
+    /// A datacenter-scale unit sized for the prototype's 1 kW grid budget
+    /// with margin: 2 kW rated, 15 s start, 200 L tank.
+    pub fn paper_scale() -> Self {
+        DieselGenerator::new(2_000.0, SimDuration::from_secs(15), 1.0, 200.0)
+    }
+
+    /// Fuel remaining (litres).
+    pub fn fuel_l(&self) -> f64 {
+        self.fuel_l
+    }
+
+    /// True once started and fueled.
+    pub fn is_running(&self) -> bool {
+        self.running && self.fuel_l > 0.0
+    }
+
+    /// Advance the generator by `dt` while `demand_w` is requested of it
+    /// (zero when on standby). Returns the power actually delivered (W,
+    /// averaged over the interval).
+    pub fn advance(&mut self, demand_w: f64, dt: SimDuration) -> f64 {
+        if demand_w <= 0.0 {
+            // Standby: engine stays warm if running, no fuel model for idle
+            // (operators shut standby units down).
+            return 0.0;
+        }
+        // Crank first.
+        let mut remaining = dt;
+        if !self.running {
+            let crank_left = self.start_time - self.cranked;
+            if remaining < crank_left {
+                self.cranked += remaining;
+                return 0.0;
+            }
+            self.cranked = self.start_time;
+            self.running = true;
+            remaining = remaining - crank_left;
+        }
+        if self.fuel_l <= 0.0 {
+            self.running = false;
+            return 0.0;
+        }
+        let supplied_w = demand_w.min(self.rated_w);
+        let load_frac = supplied_w / self.rated_w;
+        let burn_lph = self.fuel_lph_at_rated * (0.25 + 0.75 * load_frac);
+        let hours = remaining.as_hours_f64();
+        let burn = burn_lph * hours;
+        let (delivered_hours, burned) = if burn <= self.fuel_l {
+            (hours, burn)
+        } else {
+            // Runs dry partway through the interval.
+            let frac = self.fuel_l / burn;
+            (hours * frac, self.fuel_l)
+        };
+        self.fuel_l -= burned;
+        if self.fuel_l <= 0.0 {
+            self.running = false;
+        }
+        // Average over the *requested* interval, including the crank gap.
+        supplied_w * delivered_hours / dt.as_hours_f64()
+    }
+}
+
+/// Which feed the ATS has selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtsSource {
+    /// The utility substation.
+    Utility,
+    /// The diesel generator.
+    Diesel,
+}
+
+/// An automatic transfer switch over (utility, diesel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutomaticTransferSwitch {
+    /// The backup unit.
+    pub generator: DieselGenerator,
+    selected: AtsSource,
+    /// Cumulative energy served by the diesel path (Wh).
+    diesel_wh: f64,
+    /// Cumulative unserved energy during transfers/outages (Wh) — what a
+    /// UPS layer would have to cover.
+    gap_wh: f64,
+}
+
+impl AutomaticTransferSwitch {
+    /// An ATS on utility power.
+    pub fn new(generator: DieselGenerator) -> Self {
+        AutomaticTransferSwitch {
+            generator,
+            selected: AtsSource::Utility,
+            diesel_wh: 0.0,
+            gap_wh: 0.0,
+        }
+    }
+
+    /// The currently selected feed.
+    pub fn selected(&self) -> AtsSource {
+        self.selected
+    }
+
+    /// Energy the diesel path has served (Wh).
+    pub fn diesel_wh(&self) -> f64 {
+        self.diesel_wh
+    }
+
+    /// Energy demand that went unserved during transfer gaps (Wh).
+    pub fn gap_wh(&self) -> f64 {
+        self.gap_wh
+    }
+
+    /// Advance one interval: `utility_up` reflects the substation state,
+    /// `demand_w` is the load behind the ATS. Returns the power actually
+    /// delivered (W, interval average).
+    pub fn advance(&mut self, utility_up: bool, demand_w: f64, dt: SimDuration) -> f64 {
+        if utility_up {
+            self.selected = AtsSource::Utility;
+            return demand_w.max(0.0);
+        }
+        self.selected = AtsSource::Diesel;
+        let delivered = self.generator.advance(demand_w.max(0.0), dt);
+        self.diesel_wh += delivered * dt.as_hours_f64();
+        self.gap_wh += (demand_w.max(0.0) - delivered) * dt.as_hours_f64();
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dg() -> DieselGenerator {
+        DieselGenerator::paper_scale()
+    }
+
+    #[test]
+    fn generator_cranks_before_delivering() {
+        let mut g = dg();
+        assert!(!g.is_running());
+        // First 10 s: still cranking, nothing delivered.
+        assert_eq!(g.advance(1_000.0, SimDuration::from_secs(10)), 0.0);
+        assert!(!g.is_running());
+        // Next 10 s: finishes the 15 s crank, delivers for the last 5 s.
+        let avg = g.advance(1_000.0, SimDuration::from_secs(10));
+        assert!(g.is_running());
+        assert!((avg - 500.0).abs() < 1.0, "avg {avg}");
+        // Fully running afterwards.
+        let avg = g.advance(1_000.0, SimDuration::from_secs(60));
+        assert!((avg - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_caps_at_rating() {
+        let mut g = dg();
+        g.advance(1.0, SimDuration::from_secs(15)); // crank it
+        let avg = g.advance(5_000.0, SimDuration::from_secs(60));
+        assert!((avg - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuel_burn_scales_with_load_and_runs_dry() {
+        let mut g = DieselGenerator::new(2_000.0, SimDuration::ZERO, 1.0, 1.0);
+        // At rated load: 1 L/h, so the 1 L tank dies after an hour.
+        let avg = g.advance(2_000.0, SimDuration::from_hours(2));
+        assert!((avg - 1_000.0).abs() < 1.0, "half the interval served: {avg}");
+        assert!(!g.is_running());
+        assert!(g.fuel_l() <= 1e-12);
+        // Dead generator delivers nothing.
+        assert_eq!(g.advance(2_000.0, SimDuration::from_mins(5)), 0.0);
+    }
+
+    #[test]
+    fn part_load_burns_less_fuel() {
+        let mut full = DieselGenerator::new(2_000.0, SimDuration::ZERO, 1.0, 10.0);
+        let mut part = DieselGenerator::new(2_000.0, SimDuration::ZERO, 1.0, 10.0);
+        full.advance(2_000.0, SimDuration::from_hours(1));
+        part.advance(500.0, SimDuration::from_hours(1));
+        assert!(part.fuel_l() > full.fuel_l());
+        // Part-load curve: 0.25 + 0.75×0.25 = 0.4375 L burned.
+        assert!((10.0 - part.fuel_l() - 0.4375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ats_rides_through_an_outage() {
+        let mut ats = AutomaticTransferSwitch::new(dg());
+        // Normal operation on utility.
+        assert_eq!(ats.advance(true, 900.0, SimDuration::from_mins(1)), 900.0);
+        assert_eq!(ats.selected(), AtsSource::Utility);
+        // Outage: ATS transfers; the crank gap shows up as unserved energy.
+        let first = ats.advance(false, 900.0, SimDuration::from_mins(1));
+        assert_eq!(ats.selected(), AtsSource::Diesel);
+        assert!(first < 900.0 && first > 0.0, "crank gap average {first}");
+        assert!(ats.gap_wh() > 0.0);
+        // Steady diesel afterwards.
+        let steady = ats.advance(false, 900.0, SimDuration::from_mins(10));
+        assert!((steady - 900.0).abs() < 1e-9);
+        assert!(ats.diesel_wh() > 100.0);
+        // Utility restored: transfer back is seamless.
+        assert_eq!(ats.advance(true, 900.0, SimDuration::from_mins(1)), 900.0);
+        assert_eq!(ats.selected(), AtsSource::Utility);
+    }
+
+    #[test]
+    fn green_servers_ride_out_a_utility_outage() {
+        // The Fig. 2 story end-to-end: during a one-hour utility outage the
+        // grid side leans on the DG, while a green server sprints on its
+        // battery unaffected.
+        use crate::battery::{Battery, BatterySpec};
+        let mut ats = AutomaticTransferSwitch::new(dg());
+        let mut battery = Battery::new_full(BatterySpec::paper_batt());
+        let mut green_served_wh = 0.0;
+        for _minute in 0..10 {
+            // Grid side: 700 W of Normal-mode servers behind the ATS.
+            ats.advance(false, 700.0, SimDuration::from_mins(1));
+            // Green side: full 155 W sprint from the battery.
+            let out = battery.discharge(155.0, SimDuration::from_mins(1));
+            green_served_wh += out.delivered_wh;
+        }
+        // The green sprint never saw the outage.
+        assert!((green_served_wh - 155.0 * 10.0 / 60.0).abs() < 0.1);
+        // The diesel carried the grid side after the crank gap.
+        assert!(ats.diesel_wh() > 700.0 * 9.0 / 60.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! A bank of per-server batteries managed as one rack-level resource.
+//!
+//! The paper adopts Google-style *server-level* batteries (§II), but the
+//! PSS reasons about the rack's aggregate battery supply. The bank splits
+//! discharge and charge evenly across units that can still accept it,
+//! re-normalizing as individual units hit their DoD floor or fill up.
+
+use crate::battery::{Battery, BatterySpec, DischargeOutcome};
+use gs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A group of identical server-level batteries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatteryBank {
+    units: Vec<Battery>,
+}
+
+impl BatteryBank {
+    /// `n` fully charged units of the given spec.
+    pub fn new(n: usize, spec: BatterySpec) -> Self {
+        BatteryBank {
+            units: (0..n).map(|_| Battery::new_full(spec.clone())).collect(),
+        }
+    }
+
+    /// An empty bank (the paper's REOnly configuration).
+    pub fn none() -> Self {
+        BatteryBank { units: Vec::new() }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True if the bank has no batteries.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The individual units.
+    pub fn units(&self) -> &[Battery] {
+        &self.units
+    }
+
+    /// Mean state of charge across units (1.0 for an empty bank, which can
+    /// never discharge anyway).
+    pub fn soc_fraction(&self) -> f64 {
+        if self.units.is_empty() {
+            return 1.0;
+        }
+        self.units.iter().map(Battery::soc_fraction).sum::<f64>() / self.units.len() as f64
+    }
+
+    /// True when no unit can discharge further.
+    pub fn at_dod_floor(&self) -> bool {
+        self.units.iter().all(Battery::at_dod_floor)
+    }
+
+    /// True when every unit is full.
+    pub fn is_full(&self) -> bool {
+        self.units.iter().all(Battery::is_full)
+    }
+
+    /// Aggregate power (W) the bank can sustain for `duration`, assuming an
+    /// even split across units that still have usable charge.
+    pub fn sustainable_power(&self, duration: SimDuration) -> f64 {
+        self.units
+            .iter()
+            .map(|b| b.sustainable_power(duration))
+            .sum()
+    }
+
+    /// Aggregate instantaneous discharge limit (W).
+    pub fn max_discharge_power(&self) -> f64 {
+        self.units
+            .iter()
+            .filter(|b| !b.at_dod_floor())
+            .map(|b| b.spec().max_discharge_power_w())
+            .sum()
+    }
+
+    /// Aggregate charge acceptance (W).
+    pub fn max_charge_power(&self) -> f64 {
+        self.units
+            .iter()
+            .filter(|b| !b.is_full())
+            .map(|b| b.spec().max_charge_power_w())
+            .sum()
+    }
+
+    /// Discharge `power_w` split across the bank for `dt`. Returns the
+    /// total energy delivered and the shortest sustained time across the
+    /// engaged units (the moment aggregate output first fell short).
+    pub fn discharge(&mut self, power_w: f64, dt: SimDuration) -> DischargeOutcome {
+        let live: Vec<usize> = (0..self.units.len())
+            .filter(|&i| !self.units[i].at_dod_floor())
+            .collect();
+        if power_w <= 0.0 || live.is_empty() {
+            return DischargeOutcome {
+                delivered_wh: 0.0,
+                sustained: SimDuration::ZERO,
+            };
+        }
+        let share = power_w / live.len() as f64;
+        let mut delivered = 0.0;
+        let mut sustained = dt;
+        for i in live {
+            let out = self.units[i].discharge(share, dt);
+            delivered += out.delivered_wh;
+            sustained = sustained.min(out.sustained);
+        }
+        DischargeOutcome {
+            delivered_wh: delivered,
+            sustained,
+        }
+    }
+
+    /// Charge with up to `power_w` available for `dt`, split across the
+    /// units that can accept it; returns the power actually drawn.
+    pub fn charge(&mut self, power_w: f64, dt: SimDuration) -> f64 {
+        let open: Vec<usize> = (0..self.units.len())
+            .filter(|&i| !self.units[i].is_full())
+            .collect();
+        if power_w <= 0.0 || open.is_empty() {
+            return 0.0;
+        }
+        let share = power_w / open.len() as f64;
+        open.into_iter()
+            .map(|i| self.units[i].charge(share, dt))
+            .sum()
+    }
+
+    /// Mean equivalent cycles consumed across units (0 for an empty bank).
+    pub fn equivalent_cycles(&self) -> f64 {
+        if self.units.is_empty() {
+            return 0.0;
+        }
+        self.units.iter().map(Battery::equivalent_cycles).sum::<f64>() / self.units.len() as f64
+    }
+
+    /// Restore every unit to full charge (test/scenario setup).
+    pub fn reset_full(&mut self) {
+        for b in &mut self.units {
+            b.reset_full();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BatteryBank {
+        BatteryBank::new(3, BatterySpec::paper_batt())
+    }
+
+    #[test]
+    fn aggregates_scale_with_units() {
+        let b = bank();
+        let single = Battery::new_full(BatterySpec::paper_batt());
+        let d = SimDuration::from_mins(10);
+        assert!((b.sustainable_power(d) - 3.0 * single.sustainable_power(d)).abs() < 1e-9);
+        assert_eq!(b.len(), 3);
+        assert!((b.soc_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bank_is_inert() {
+        let mut b = BatteryBank::none();
+        assert!(b.is_empty());
+        assert_eq!(b.sustainable_power(SimDuration::from_mins(10)), 0.0);
+        assert_eq!(b.discharge(100.0, SimDuration::from_mins(1)).delivered_wh, 0.0);
+        assert_eq!(b.charge(100.0, SimDuration::from_mins(1)), 0.0);
+        assert!(b.at_dod_floor());
+        assert!(b.is_full());
+        assert_eq!(b.equivalent_cycles(), 0.0);
+    }
+
+    #[test]
+    fn discharge_splits_evenly() {
+        let mut b = bank();
+        let out = b.discharge(300.0, SimDuration::from_mins(3));
+        assert!((out.delivered_wh - 300.0 * 3.0 / 60.0).abs() < 1e-9);
+        let socs: Vec<f64> = b.units().iter().map(Battery::soc_fraction).collect();
+        assert!((socs[0] - socs[1]).abs() < 1e-12);
+        assert!((socs[1] - socs[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_cluster_sprint_on_batteries_lasts_past_ten_minutes() {
+        // 3 green servers at 155 W each on 3 × 10 Ah server batteries.
+        let mut b = bank();
+        let out = b.discharge(465.0, SimDuration::from_mins(60));
+        let mins = out.sustained.as_secs_f64() / 60.0;
+        assert!((10.0..14.0).contains(&mins), "sustained {mins} min");
+        assert!(b.at_dod_floor());
+    }
+
+    #[test]
+    fn charge_refills_and_reports_draw() {
+        let mut b = bank();
+        b.discharge(465.0, SimDuration::from_mins(5));
+        let before = b.soc_fraction();
+        let drawn = b.charge(90.0, SimDuration::from_mins(10));
+        assert!(drawn > 0.0 && drawn <= 90.0);
+        assert!(b.soc_fraction() > before);
+        // Charging a full bank draws nothing.
+        b.reset_full();
+        assert_eq!(b.charge(90.0, SimDuration::from_mins(10)), 0.0);
+    }
+
+    #[test]
+    fn cycle_accounting_averages() {
+        let mut b = bank();
+        b.discharge(465.0, SimDuration::from_mins(20));
+        assert!(b.equivalent_cycles() > 0.5);
+    }
+}

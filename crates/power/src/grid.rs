@@ -1,0 +1,105 @@
+//! The capped utility feed.
+//!
+//! The paper's premise (§I) is that the grid infrastructure is already at
+//! peak capacity: the grid can power the whole cluster at *Normal* mode
+//! (100 W × N servers in the prototype) but cannot absorb sprinting bursts.
+//! Overloading the circuit breaker is "the last resort" (§III-A case 3),
+//! bounded by an upper limit.
+
+use serde::{Deserialize, Serialize};
+
+/// A grid feed with a provisioned budget and a bounded overload allowance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridSupply {
+    /// Provisioned (contracted) capacity in watts.
+    budget_w: f64,
+    /// Maximum tolerated overload as a fraction of budget (e.g. 0.1 allows
+    /// brief draws up to 110 % of budget before the breaker risk dominates).
+    overload_fraction: f64,
+    /// Cumulative energy drawn (Wh), for accounting.
+    drawn_wh: f64,
+    /// Cumulative energy above budget (Wh), a proxy for breaker stress.
+    overload_wh: f64,
+}
+
+impl GridSupply {
+    /// A grid feed with the given budget and a 10 % emergency overload bound.
+    pub fn new(budget_w: f64) -> Self {
+        GridSupply {
+            budget_w,
+            overload_fraction: 0.10,
+            drawn_wh: 0.0,
+            overload_wh: 0.0,
+        }
+    }
+
+    /// Override the overload bound.
+    pub fn with_overload_fraction(mut self, f: f64) -> Self {
+        assert!(f >= 0.0);
+        self.overload_fraction = f;
+        self
+    }
+
+    /// Provisioned capacity (W).
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Hard ceiling including the overload allowance (W).
+    pub fn ceiling_w(&self) -> f64 {
+        self.budget_w * (1.0 + self.overload_fraction)
+    }
+
+    /// Request `power_w` for `hours`; returns the power actually granted
+    /// (clamped to the ceiling) and accounts for the energy drawn.
+    pub fn draw(&mut self, power_w: f64, hours: f64) -> f64 {
+        let granted = power_w.clamp(0.0, self.ceiling_w());
+        self.drawn_wh += granted * hours;
+        self.overload_wh += (granted - self.budget_w).max(0.0) * hours;
+        granted
+    }
+
+    /// Total energy drawn so far (Wh).
+    pub fn drawn_wh(&self) -> f64 {
+        self.drawn_wh
+    }
+
+    /// Total energy drawn above budget so far (Wh).
+    pub fn overload_wh(&self) -> f64 {
+        self.overload_wh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_within_budget_pass_through() {
+        let mut g = GridSupply::new(1000.0);
+        assert_eq!(g.draw(800.0, 1.0), 800.0);
+        assert_eq!(g.drawn_wh(), 800.0);
+        assert_eq!(g.overload_wh(), 0.0);
+    }
+
+    #[test]
+    fn draws_are_clamped_to_ceiling() {
+        let mut g = GridSupply::new(1000.0);
+        let granted = g.draw(2000.0, 0.5);
+        assert!((granted - 1100.0).abs() < 1e-9);
+        assert!((g.overload_wh() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_requests_clamp_to_zero() {
+        let mut g = GridSupply::new(1000.0);
+        assert_eq!(g.draw(-5.0, 1.0), 0.0);
+        assert_eq!(g.drawn_wh(), 0.0);
+    }
+
+    #[test]
+    fn custom_overload_fraction() {
+        let g = GridSupply::new(1000.0).with_overload_fraction(0.0);
+        assert_eq!(g.ceiling_w(), 1000.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-source energy accounting (the prototype's "external power meter").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The power sources GreenSprint distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Source {
+    /// Utility grid.
+    Grid,
+    /// On-site renewable (PV).
+    Renewable,
+    /// Battery discharge.
+    Battery,
+}
+
+impl Source {
+    /// All sources, in display order.
+    pub const ALL: [Source; 3] = [Source::Grid, Source::Renewable, Source::Battery];
+}
+
+impl std::fmt::Display for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Source::Grid => "grid",
+            Source::Renewable => "renewable",
+            Source::Battery => "battery",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An energy meter accumulating watt-hours per source, plus curtailment
+/// (renewable energy that was available but unused — the paper's sprinting
+/// raises renewable *utilization*, which we can therefore report).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PowerMeter {
+    wh: BTreeMap<Source, f64>,
+    curtailed_renewable_wh: f64,
+}
+
+impl PowerMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `power_w` drawn from `source` for `hours`.
+    pub fn record(&mut self, source: Source, power_w: f64, hours: f64) {
+        if power_w > 0.0 && hours > 0.0 {
+            *self.wh.entry(source).or_insert(0.0) += power_w * hours;
+        }
+    }
+
+    /// Record renewable power that was produced but not used or stored.
+    pub fn record_curtailment(&mut self, power_w: f64, hours: f64) {
+        if power_w > 0.0 && hours > 0.0 {
+            self.curtailed_renewable_wh += power_w * hours;
+        }
+    }
+
+    /// Energy drawn from a source so far (Wh).
+    pub fn energy_wh(&self, source: Source) -> f64 {
+        self.wh.get(&source).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all sources (Wh).
+    pub fn total_wh(&self) -> f64 {
+        self.wh.values().sum()
+    }
+
+    /// Renewable energy wasted so far (Wh).
+    pub fn curtailed_wh(&self) -> f64 {
+        self.curtailed_renewable_wh
+    }
+
+    /// Fraction of available renewable energy actually used
+    /// (used / (used + curtailed)); `None` if no renewable was available.
+    pub fn renewable_utilization(&self) -> Option<f64> {
+        let used = self.energy_wh(Source::Renewable);
+        let avail = used + self.curtailed_renewable_wh;
+        if avail <= 0.0 {
+            None
+        } else {
+            Some(used / avail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_source() {
+        let mut m = PowerMeter::new();
+        m.record(Source::Grid, 100.0, 2.0);
+        m.record(Source::Grid, 50.0, 1.0);
+        m.record(Source::Renewable, 200.0, 0.5);
+        assert_eq!(m.energy_wh(Source::Grid), 250.0);
+        assert_eq!(m.energy_wh(Source::Renewable), 100.0);
+        assert_eq!(m.energy_wh(Source::Battery), 0.0);
+        assert_eq!(m.total_wh(), 350.0);
+    }
+
+    #[test]
+    fn ignores_nonpositive_records() {
+        let mut m = PowerMeter::new();
+        m.record(Source::Grid, -5.0, 1.0);
+        m.record(Source::Grid, 5.0, 0.0);
+        assert_eq!(m.total_wh(), 0.0);
+    }
+
+    #[test]
+    fn renewable_utilization() {
+        let mut m = PowerMeter::new();
+        assert_eq!(m.renewable_utilization(), None);
+        m.record(Source::Renewable, 100.0, 1.0);
+        m.record_curtailment(100.0, 1.0);
+        assert_eq!(m.renewable_utilization(), Some(0.5));
+        assert_eq!(m.curtailed_wh(), 100.0);
+    }
+
+    #[test]
+    fn source_display() {
+        assert_eq!(Source::Grid.to_string(), "grid");
+        assert_eq!(Source::ALL.len(), 3);
+    }
+}

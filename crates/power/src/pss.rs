@@ -1,0 +1,300 @@
+//! The Power Source Selector (PSS).
+//!
+//! Paper §III-A: each sprint is divided into scheduling epochs; in each
+//! epoch the PSS classifies the supply situation into one of three cases
+//! and allocates sources accordingly:
+//!
+//! * **Case 1** — renewable supply alone covers the demand; the surplus
+//!   charges the battery (anything beyond the battery's acceptance is
+//!   curtailed).
+//! * **Case 2** — renewable is present but insufficient; the battery
+//!   discharges to make up the shortage.
+//! * **Case 3** — renewable is unavailable; the battery sustains the sprint
+//!   alone, and once the burst completes the battery is recharged from the
+//!   grid. If battery energy runs out, bounded grid overload is the last
+//!   resort — otherwise the PMK must shed sprint intensity.
+//!
+//! The selector is a pure planning function over the epoch's predicted
+//! quantities; the engine applies the plan to the stateful battery/grid.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's supply cases an epoch falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupplyCase {
+    /// Case 1: renewable covers everything.
+    GreenOnly,
+    /// Case 2: renewable plus battery discharge.
+    GreenPlusBattery,
+    /// Case 3: battery only (renewable unavailable).
+    BatteryOnly,
+    /// Case 3 exhausted: bounded grid overload as the last resort.
+    GridFallback,
+}
+
+impl std::fmt::Display for SupplyCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SupplyCase::GreenOnly => "green-only",
+            SupplyCase::GreenPlusBattery => "green+battery",
+            SupplyCase::BatteryOnly => "battery-only",
+            SupplyCase::GridFallback => "grid-fallback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The per-epoch allocation produced by the PSS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupplyPlan {
+    /// Classification of the epoch.
+    pub case: SupplyCase,
+    /// Renewable watts serving the load.
+    pub re_used_w: f64,
+    /// Battery discharge watts serving the load.
+    pub battery_w: f64,
+    /// Grid watts serving the load beyond its Normal-mode share
+    /// (emergency overload only).
+    pub grid_overload_w: f64,
+    /// Surplus renewable watts routed to charging the battery.
+    pub re_to_charge_w: f64,
+    /// Surplus renewable watts with nowhere to go (battery full/absent).
+    pub curtailed_w: f64,
+    /// Demand watts no source could cover — the power mismatch `M_t` the
+    /// PMK must close by lowering the sprint intensity (paper Eq. 2).
+    pub unmet_w: f64,
+}
+
+impl SupplyPlan {
+    /// Total watts delivered to the load by this plan.
+    pub fn delivered_w(&self) -> f64 {
+        self.re_used_w + self.battery_w + self.grid_overload_w
+    }
+}
+
+/// Threshold below which renewable supply counts as "unavailable" (W);
+/// inverters cut out at very low input, and the paper's Case 3 is defined
+/// by renewable being effectively absent.
+pub const RE_CUTOUT_W: f64 = 1.0;
+
+/// The PSS planning logic.
+///
+/// # Example
+///
+/// ```
+/// use gs_power::pss::{PowerSourceSelector, SupplyCase};
+///
+/// let pss = PowerSourceSelector::new();
+/// // 465 W rack sprint, 300 W of sun, battery able to cover 200 W:
+/// let plan = pss.plan(465.0, 300.0, 200.0, 0.0, 0.0);
+/// assert_eq!(plan.case, SupplyCase::GreenPlusBattery);
+/// assert_eq!(plan.battery_w, 165.0);
+/// assert_eq!(plan.unmet_w, 0.0);
+/// ```
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PowerSourceSelector {
+    /// Permit bounded grid overload when everything else is exhausted.
+    pub allow_grid_fallback: bool,
+}
+
+impl PowerSourceSelector {
+    /// A PSS that never overloads the grid (the PMK sheds load instead).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A PSS that uses bounded grid overload as the last resort.
+    pub fn with_grid_fallback() -> Self {
+        PowerSourceSelector {
+            allow_grid_fallback: true,
+        }
+    }
+
+    /// Allocate sources for one epoch.
+    ///
+    /// * `demand_w` — sprint power demand above what the normal grid share
+    ///   covers (for green-bus servers: their whole draw).
+    /// * `re_supply_w` — renewable power available this epoch.
+    /// * `battery_power_w` — maximum battery discharge power the battery
+    ///   manager is willing to sustain this epoch (0 if at the DoD floor).
+    /// * `battery_accepts_w` — maximum charging power the battery can
+    ///   accept this epoch (0 if full).
+    /// * `grid_headroom_w` — emergency overload watts available.
+    pub fn plan(
+        &self,
+        demand_w: f64,
+        re_supply_w: f64,
+        battery_power_w: f64,
+        battery_accepts_w: f64,
+        grid_headroom_w: f64,
+    ) -> SupplyPlan {
+        let demand = demand_w.max(0.0);
+        let re = re_supply_w.max(0.0);
+        let batt = battery_power_w.max(0.0);
+
+        if re >= demand && re > RE_CUTOUT_W {
+            // Case 1: green covers everything; surplus charges the battery.
+            let surplus = re - demand;
+            let to_charge = surplus.min(battery_accepts_w.max(0.0));
+            return SupplyPlan {
+                case: SupplyCase::GreenOnly,
+                re_used_w: demand,
+                battery_w: 0.0,
+                grid_overload_w: 0.0,
+                re_to_charge_w: to_charge,
+                curtailed_w: surplus - to_charge,
+                unmet_w: 0.0,
+            };
+        }
+
+        if re > RE_CUTOUT_W {
+            // Case 2: green + battery.
+            let shortage = demand - re;
+            let from_batt = shortage.min(batt);
+            let mut unmet = shortage - from_batt;
+            let grid = self.fallback(&mut unmet, grid_headroom_w);
+            return SupplyPlan {
+                case: SupplyCase::GreenPlusBattery,
+                re_used_w: re,
+                battery_w: from_batt,
+                grid_overload_w: grid,
+                re_to_charge_w: 0.0,
+                curtailed_w: 0.0,
+                unmet_w: unmet,
+            };
+        }
+
+        // Case 3: battery only (renewable unavailable).
+        let from_batt = demand.min(batt);
+        let mut unmet = demand - from_batt;
+        let grid = self.fallback(&mut unmet, grid_headroom_w);
+        let case = if grid > 0.0 {
+            SupplyCase::GridFallback
+        } else {
+            SupplyCase::BatteryOnly
+        };
+        SupplyPlan {
+            case,
+            re_used_w: 0.0,
+            battery_w: from_batt,
+            grid_overload_w: grid,
+            re_to_charge_w: 0.0,
+            curtailed_w: re, // below cutout; wasted
+            unmet_w: unmet,
+        }
+    }
+
+    fn fallback(&self, unmet: &mut f64, grid_headroom_w: f64) -> f64 {
+        if !self.allow_grid_fallback || *unmet <= 0.0 {
+            return 0.0;
+        }
+        let grid = unmet.min(grid_headroom_w.max(0.0));
+        *unmet -= grid;
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn case1_green_covers_and_charges() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(400.0, 600.0, 120.0, 90.0, 0.0);
+        assert_eq!(p.case, SupplyCase::GreenOnly);
+        assert!((p.re_used_w - 400.0).abs() < EPS);
+        assert_eq!(p.battery_w, 0.0);
+        assert!((p.re_to_charge_w - 90.0).abs() < EPS);
+        assert!((p.curtailed_w - 110.0).abs() < EPS);
+        assert_eq!(p.unmet_w, 0.0);
+        assert!((p.delivered_w() - 400.0).abs() < EPS);
+    }
+
+    #[test]
+    fn case1_exact_cover_no_surplus() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(400.0, 400.0, 120.0, 90.0, 0.0);
+        assert_eq!(p.case, SupplyCase::GreenOnly);
+        assert_eq!(p.re_to_charge_w, 0.0);
+        assert_eq!(p.curtailed_w, 0.0);
+    }
+
+    #[test]
+    fn case2_battery_supplements() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(465.0, 300.0, 200.0, 50.0, 0.0);
+        assert_eq!(p.case, SupplyCase::GreenPlusBattery);
+        assert!((p.re_used_w - 300.0).abs() < EPS);
+        assert!((p.battery_w - 165.0).abs() < EPS);
+        assert_eq!(p.unmet_w, 0.0);
+        assert_eq!(p.re_to_charge_w, 0.0);
+    }
+
+    #[test]
+    fn case2_insufficient_battery_reports_mismatch() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(465.0, 300.0, 100.0, 0.0, 0.0);
+        assert_eq!(p.case, SupplyCase::GreenPlusBattery);
+        assert!((p.battery_w - 100.0).abs() < EPS);
+        assert!((p.unmet_w - 65.0).abs() < EPS);
+    }
+
+    #[test]
+    fn case3_battery_only() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(155.0, 0.0, 400.0, 0.0, 0.0);
+        assert_eq!(p.case, SupplyCase::BatteryOnly);
+        assert!((p.battery_w - 155.0).abs() < EPS);
+        assert_eq!(p.re_used_w, 0.0);
+        assert_eq!(p.unmet_w, 0.0);
+    }
+
+    #[test]
+    fn case3_exhausted_without_fallback_is_unmet() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(155.0, 0.0, 0.0, 0.0, 500.0);
+        assert_eq!(p.case, SupplyCase::BatteryOnly);
+        assert!((p.unmet_w - 155.0).abs() < EPS);
+        assert_eq!(p.grid_overload_w, 0.0);
+    }
+
+    #[test]
+    fn grid_fallback_is_bounded() {
+        let pss = PowerSourceSelector::with_grid_fallback();
+        let p = pss.plan(155.0, 0.0, 50.0, 0.0, 60.0);
+        assert_eq!(p.case, SupplyCase::GridFallback);
+        assert!((p.battery_w - 50.0).abs() < EPS);
+        assert!((p.grid_overload_w - 60.0).abs() < EPS);
+        assert!((p.unmet_w - 45.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sub_cutout_renewable_counts_as_unavailable() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(100.0, 0.5, 200.0, 0.0, 0.0);
+        assert_eq!(p.case, SupplyCase::BatteryOnly);
+        assert_eq!(p.re_used_w, 0.0);
+    }
+
+    #[test]
+    fn zero_demand_charges_battery_from_green() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(0.0, 300.0, 100.0, 80.0, 0.0);
+        assert_eq!(p.case, SupplyCase::GreenOnly);
+        assert!((p.re_to_charge_w - 80.0).abs() < EPS);
+        assert!((p.curtailed_w - 220.0).abs() < EPS);
+        assert_eq!(p.delivered_w(), 0.0);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let pss = PowerSourceSelector::new();
+        let p = pss.plan(-10.0, -5.0, -3.0, -2.0, -1.0);
+        assert_eq!(p.unmet_w, 0.0);
+        assert_eq!(p.delivered_w(), 0.0);
+    }
+}

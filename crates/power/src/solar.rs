@@ -1,0 +1,400 @@
+//! The simulated solar generator.
+//!
+//! The paper replays one-week NREL irradiance traces at one-minute
+//! resolution (paper §IV) through a "simulated solar power generator" and
+//! scales them to the provisioned panel capacity. NREL data is not
+//! redistributable here, so this module *generates* statistically similar
+//! traces: a clear-sky diurnal envelope (solar-elevation day arc) modulated
+//! by a three-state Markov weather process (clear / partly cloudy /
+//! overcast) with minute-scale cloud flicker. The result has the properties
+//! the evaluation depends on — a deterministic day/night structure plus
+//! intermittent, time-varying attenuation — and is reproducible from a seed.
+//!
+//! Traces are stored as normalized irradiance in `[0, 1]` (fraction of the
+//! panel's rated peak); [`PvArray`] converts to AC watts.
+
+use gs_sim::{SimDuration, SimRng, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Seconds per trace sample (one minute, matching the NREL trace cadence).
+pub const SAMPLE_PERIOD_SECS: u64 = 60;
+
+/// Weather regime of the Markov sky model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sky {
+    /// Full clear-sky irradiance with small haze variation.
+    Clear,
+    /// Broken clouds: strong minute-scale flicker.
+    PartlyCloudy,
+    /// Thick overcast: heavily attenuated, slowly varying.
+    Overcast,
+}
+
+/// Parameters of the synthetic weather process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeatherModel {
+    /// Mean dwell time in each state, in minutes, before re-rolling.
+    pub mean_dwell_mins: f64,
+    /// Long-run probabilities of (clear, partly cloudy, overcast).
+    pub regime_probs: [f64; 3],
+    /// Hour of sunrise / sunset in local time.
+    pub sunrise_hour: f64,
+    pub sunset_hour: f64,
+}
+
+impl Default for WeatherModel {
+    fn default() -> Self {
+        WeatherModel {
+            mean_dwell_mins: 45.0,
+            regime_probs: [0.5, 0.3, 0.2],
+            sunrise_hour: 6.0,
+            sunset_hour: 18.0,
+        }
+    }
+}
+
+impl WeatherModel {
+    /// Clear-sky normalized irradiance at a given hour of day: a day arc
+    /// `sin^1.2` between sunrise and sunset, zero at night.
+    pub fn clear_sky(&self, hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        if h <= self.sunrise_hour || h >= self.sunset_hour {
+            return 0.0;
+        }
+        let frac = (h - self.sunrise_hour) / (self.sunset_hour - self.sunrise_hour);
+        (std::f64::consts::PI * frac).sin().powf(1.2)
+    }
+
+    fn roll_regime(&self, rng: &mut SimRng) -> Sky {
+        let u = rng.uniform();
+        let [c, p, _] = self.regime_probs;
+        if u < c {
+            Sky::Clear
+        } else if u < c + p {
+            Sky::PartlyCloudy
+        } else {
+            Sky::Overcast
+        }
+    }
+}
+
+/// A minute-resolution normalized irradiance trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolarTrace {
+    /// One sample per minute, each in `[0, 1]`.
+    samples: Vec<f64>,
+}
+
+impl SolarTrace {
+    /// Generate a `days`-long trace with the given weather model and seed.
+    pub fn generate(days: u32, model: &WeatherModel, rng: &mut SimRng) -> Self {
+        let n = days as usize * 24 * 60;
+        let mut samples = Vec::with_capacity(n);
+        let mut regime = model.roll_regime(rng);
+        let mut dwell_left = rng.exp(model.mean_dwell_mins).max(1.0);
+        // Slowly varying overcast attenuation random-walks in [0.05, 0.3].
+        let mut overcast_level = rng.uniform_range(0.08, 0.25);
+        for minute in 0..n {
+            let hour = minute as f64 / 60.0 % 24.0;
+            let clear = model.clear_sky(hour);
+            dwell_left -= 1.0;
+            if dwell_left <= 0.0 {
+                regime = model.roll_regime(rng);
+                dwell_left = rng.exp(model.mean_dwell_mins).max(1.0);
+                if regime == Sky::Overcast {
+                    overcast_level = rng.uniform_range(0.05, 0.3);
+                }
+            }
+            let attenuation = match regime {
+                Sky::Clear => rng.uniform_range(0.92, 1.0),
+                Sky::PartlyCloudy => {
+                    // Bimodal flicker: mostly bright with cloud shadows.
+                    if rng.chance(0.35) {
+                        rng.uniform_range(0.15, 0.45)
+                    } else {
+                        rng.uniform_range(0.7, 0.95)
+                    }
+                }
+                Sky::Overcast => {
+                    overcast_level = (overcast_level + rng.normal(0.0, 0.01)).clamp(0.03, 0.35);
+                    overcast_level
+                }
+            };
+            samples.push((clear * attenuation).clamp(0.0, 1.0));
+        }
+        SolarTrace { samples }
+    }
+
+    /// Build a trace directly from normalized samples (e.g. loaded from a
+    /// CSV of real irradiance data). Values are clamped to `[0, 1]`.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        SolarTrace {
+            samples: samples.into_iter().map(|s| s.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// A perfectly clear synthetic day (no weather), useful for maximum-
+    /// availability experiments and tests.
+    pub fn clear_days(days: u32, model: &WeatherModel) -> Self {
+        let n = days as usize * 24 * 60;
+        let samples = (0..n)
+            .map(|minute| model.clear_sky(minute as f64 / 60.0 % 24.0))
+            .collect();
+        SolarTrace { samples }
+    }
+
+    /// A trace that is identically zero (nighttime / total outage),
+    /// modelling the paper's *minimum availability* case.
+    pub fn zero(days: u32) -> Self {
+        SolarTrace {
+            samples: vec![0.0; days as usize * 24 * 60],
+        }
+    }
+
+    /// A constant-irradiance trace (used to pin *medium availability* to an
+    /// exact fraction of peak in controlled experiments).
+    pub fn constant(days: u32, level: f64) -> Self {
+        SolarTrace {
+            samples: vec![level.clamp(0.0, 1.0); days as usize * 24 * 60],
+        }
+    }
+
+    /// Number of minute samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trace duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.samples.len() as u64 * SAMPLE_PERIOD_SECS)
+    }
+
+    /// Normalized irradiance at simulated time `t`. The trace repeats
+    /// cyclically if sampled past its end (a week of weather tiles cleanly).
+    pub fn at(&self, t: SimTime) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = (t.as_secs() / SAMPLE_PERIOD_SECS) as usize % self.samples.len();
+        self.samples[idx]
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean normalized irradiance over a window (cyclic sampling).
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let step = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
+        let mut t = from;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        while t < to {
+            sum += self.at(t);
+            n += 1;
+            t += step;
+        }
+        sum / n as f64
+    }
+
+    /// Find the start of the `window`-long window with the highest mean
+    /// irradiance within the first `search_span`; used to locate the
+    /// paper's *maximum availability* periods in a generated trace.
+    pub fn best_window(&self, window: SimDuration, search_span: SimDuration) -> SimTime {
+        self.extreme_window(window, search_span, true)
+    }
+
+    /// As [`Self::best_window`] but the lowest-mean window (*minimum
+    /// availability*).
+    pub fn worst_window(&self, window: SimDuration, search_span: SimDuration) -> SimTime {
+        self.extreme_window(window, search_span, false)
+    }
+
+    fn extreme_window(&self, window: SimDuration, span: SimDuration, max: bool) -> SimTime {
+        let step = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
+        let mut best_t = SimTime::ZERO;
+        let mut best_v = if max { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut t = SimTime::ZERO;
+        while t + window <= SimTime::ZERO + span {
+            let v = self.window_mean(t, t + window);
+            if (max && v > best_v) || (!max && v < best_v) {
+                best_v = v;
+                best_t = t;
+            }
+            t += step;
+        }
+        best_t
+    }
+
+    /// Export as a [`TimeSeries`] (for figure printing).
+    pub fn to_series(&self, name: &str) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for (i, &v) in self.samples.iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64 * SAMPLE_PERIOD_SECS), v);
+        }
+        s
+    }
+}
+
+/// A photovoltaic array: `panels` identical DC panels feeding one inverter.
+///
+/// Paper calibration (§IV): each provisioned server gets a 275 W-DC panel
+/// (GrapeSolar-class) whose AC output is `275 × 0.77 = 211.75 W` at peak.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PvArray {
+    /// Number of panels.
+    pub panels: u32,
+    /// Rated DC watts per panel.
+    pub panel_dc_watts: f64,
+    /// DC→AC conversion efficiency.
+    pub inverter_efficiency: f64,
+}
+
+/// The paper's per-panel rating.
+pub const PAPER_PANEL_DC_WATTS: f64 = 275.0;
+/// The paper's inverter efficiency (α in `PeakRE × α`).
+pub const PAPER_INVERTER_EFFICIENCY: f64 = 0.77;
+
+impl PvArray {
+    /// An array of `panels` paper-spec panels (275 W DC, 0.77 efficiency).
+    pub fn paper_spec(panels: u32) -> Self {
+        PvArray {
+            panels,
+            panel_dc_watts: PAPER_PANEL_DC_WATTS,
+            inverter_efficiency: PAPER_INVERTER_EFFICIENCY,
+        }
+    }
+
+    /// Peak AC output (all panels at normalized irradiance 1.0).
+    pub fn peak_ac_watts(&self) -> f64 {
+        self.panels as f64 * self.panel_dc_watts * self.inverter_efficiency
+    }
+
+    /// AC output at a given normalized irradiance.
+    pub fn ac_output(&self, normalized_irradiance: f64) -> f64 {
+        self.peak_ac_watts() * normalized_irradiance.clamp(0.0, 1.0)
+    }
+
+    /// AC output at simulated time `t` under `trace`.
+    pub fn output_at(&self, trace: &SolarTrace, t: SimTime) -> f64 {
+        self.ac_output(trace.at(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_panel_peak_matches() {
+        let one = PvArray::paper_spec(1);
+        assert!((one.peak_ac_watts() - 211.75).abs() < 1e-9);
+        let three = PvArray::paper_spec(3);
+        assert!((three.peak_ac_watts() - 635.25).abs() < 1e-9);
+        let two = PvArray::paper_spec(2);
+        assert!((two.peak_ac_watts() - 423.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_sky_is_zero_at_night_and_peaks_at_noon() {
+        let m = WeatherModel::default();
+        assert_eq!(m.clear_sky(0.0), 0.0);
+        assert_eq!(m.clear_sky(5.9), 0.0);
+        assert_eq!(m.clear_sky(19.0), 0.0);
+        let noon = m.clear_sky(12.0);
+        assert!((noon - 1.0).abs() < 1e-9, "noon={noon}");
+        assert!(m.clear_sky(9.0) < noon);
+        assert!(m.clear_sky(9.0) > 0.0);
+    }
+
+    #[test]
+    fn generated_trace_has_expected_shape() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let trace = SolarTrace::generate(7, &WeatherModel::default(), &mut rng);
+        assert_eq!(trace.len(), 7 * 24 * 60);
+        assert!(trace.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Nighttime is dark.
+        assert_eq!(trace.at(SimTime::from_hours(2)), 0.0);
+        // There is meaningful daytime generation somewhere in the week.
+        let peak = trace.samples().iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 0.5, "peak={peak}");
+        // Weather attenuates below clear sky on average.
+        let clear = SolarTrace::clear_days(7, &WeatherModel::default());
+        let sum: f64 = trace.samples().iter().sum();
+        let clear_sum: f64 = clear.samples().iter().sum();
+        assert!(sum < clear_sum);
+    }
+
+    #[test]
+    fn trace_is_reproducible_by_seed() {
+        let m = WeatherModel::default();
+        let a = SolarTrace::generate(2, &m, &mut SimRng::seed_from_u64(5));
+        let b = SolarTrace::generate(2, &m, &mut SimRng::seed_from_u64(5));
+        assert_eq!(a.samples(), b.samples());
+        let c = SolarTrace::generate(2, &m, &mut SimRng::seed_from_u64(6));
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn trace_wraps_cyclically() {
+        let trace = SolarTrace::clear_days(1, &WeatherModel::default());
+        let t0 = SimTime::from_hours(12);
+        let t1 = SimTime::from_hours(36);
+        assert_eq!(trace.at(t0), trace.at(t1));
+    }
+
+    #[test]
+    fn constant_and_zero_traces() {
+        let z = SolarTrace::zero(1);
+        assert!(z.samples().iter().all(|&s| s == 0.0));
+        let c = SolarTrace::constant(1, 0.5);
+        assert!(c.samples().iter().all(|&s| s == 0.5));
+        // Clamping.
+        let c = SolarTrace::constant(1, 1.5);
+        assert!(c.samples().iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn best_and_worst_windows() {
+        let trace = SolarTrace::clear_days(1, &WeatherModel::default());
+        let w = SimDuration::from_mins(60);
+        let span = SimDuration::from_hours(24);
+        let best = trace.best_window(w, span);
+        // Best hour straddles solar noon.
+        let h = best.as_hours_f64();
+        assert!((11.0..=12.1).contains(&h), "best hour starts at {h}");
+        let worst = trace.worst_window(w, span);
+        assert_eq!(trace.window_mean(worst, worst + w), 0.0);
+    }
+
+    #[test]
+    fn pv_output_scales_with_irradiance() {
+        let arr = PvArray::paper_spec(3);
+        assert_eq!(arr.ac_output(0.0), 0.0);
+        assert!((arr.ac_output(0.5) - 317.625).abs() < 1e-9);
+        assert!((arr.ac_output(2.0) - arr.peak_ac_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_samples_clamps() {
+        let t = SolarTrace::from_samples(vec![-0.5, 0.5, 1.5]);
+        assert_eq!(t.samples(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn window_mean_cyclic() {
+        let trace = SolarTrace::constant(1, 0.4);
+        let m = trace.window_mean(SimTime::from_hours(23), SimTime::from_hours(25));
+        assert!((m - 0.4).abs() < 1e-9);
+        assert_eq!(trace.window_mean(SimTime::from_hours(5), SimTime::from_hours(5)), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! CSV import/export for irradiance traces.
+//!
+//! The paper replays NREL Measurement-and-Instrumentation-Data-Center
+//! traces ("including irradiation every minute"). This module reads and
+//! writes a compatible minute-resolution CSV so users with access to real
+//! NREL exports (or any logger output) can replay them through the same
+//! engine that consumes the synthetic generator:
+//!
+//! ```csv
+//! # comment lines and a header are both tolerated
+//! minute,ghi_w_m2
+//! 0,0.0
+//! 1,0.0
+//! …
+//! ```
+//!
+//! Values are global horizontal irradiance in W/m²; [`read_csv`]
+//! normalizes by the standard 1000 W/m² reference so the result plugs
+//! into [`crate::solar::PvArray`] directly.
+
+use crate::solar::SolarTrace;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Standard test-condition irradiance used for normalization (W/m²).
+pub const STC_IRRADIANCE_W_M2: f64 = 1000.0;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A data row could not be parsed.
+    Parse { line: usize, content: String },
+    /// The file contained no samples.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Parse { line, content } => {
+                write!(f, "unparseable trace row at line {line}: {content:?}")
+            }
+            TraceIoError::Empty => f.write_str("trace file contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Parse a minute-resolution irradiance CSV into a normalized trace.
+///
+/// Accepts one or two comma-separated columns per row (`value` or
+/// `index,value`), skips blank lines, `#` comments, and a non-numeric
+/// header row.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<SolarTrace, TraceIoError> {
+    parse_csv(&fs::read_to_string(path)?)
+}
+
+/// Parse CSV text (see [`read_csv`]).
+pub fn parse_csv(text: &str) -> Result<SolarTrace, TraceIoError> {
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let value_field = line.rsplit(',').next().unwrap_or(line).trim();
+        match value_field.parse::<f64>() {
+            Ok(v) => samples.push((v / STC_IRRADIANCE_W_M2).clamp(0.0, 1.0)),
+            Err(_) if samples.is_empty() => continue, // header row
+            Err(_) => {
+                return Err(TraceIoError::Parse {
+                    line: idx + 1,
+                    content: raw.to_string(),
+                })
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    Ok(SolarTrace::from_samples(samples))
+}
+
+/// Write a trace back out as `minute,ghi_w_m2` CSV.
+pub fn write_csv(trace: &SolarTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let mut out = Vec::with_capacity(trace.len() * 16);
+    writeln!(out, "minute,ghi_w_m2")?;
+    for (i, s) in trace.samples().iter().enumerate() {
+        writeln!(out, "{i},{:.1}", s * STC_IRRADIANCE_W_M2)?;
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solar::WeatherModel;
+    use gs_sim::SimRng;
+
+    #[test]
+    fn parses_two_column_csv_with_header() {
+        let t = parse_csv("minute,ghi_w_m2\n0,0\n1,500\n2,1000\n3,1200\n").unwrap();
+        assert_eq!(t.samples(), &[0.0, 0.5, 1.0, 1.0]); // clamped at STC
+    }
+
+    #[test]
+    fn parses_single_column_with_comments() {
+        let t = parse_csv("# site 39.74N\n\n250\n750\n").unwrap();
+        assert_eq!(t.samples(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        let err = parse_csv("ghi\n100\nnot-a-number\n").unwrap_err();
+        match err {
+            TraceIoError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(parse_csv("# only comments\n"), Err(TraceIoError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let original = crate::solar::SolarTrace::generate(1, &WeatherModel::default(), &mut rng);
+        let path = std::env::temp_dir().join(format!("gs-trace-{}.csv", std::process::id()));
+        write_csv(&original, &path).unwrap();
+        let restored = read_csv(&path).unwrap();
+        assert_eq!(restored.len(), original.len());
+        for (a, b) in original.samples().iter().zip(restored.samples()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_csv("/nonexistent/gs-trace.csv"),
+            Err(TraceIoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Exponentially weighted moving average, as used by the GreenSprint
+//! Predictor (paper Eq. 1):
+//!
+//! `RESupp(t) = alpha * RESupp(t-1) + (1 - alpha) * Obs(t)`
+//!
+//! The paper finds `alpha = 0.3` most consistent — weighting the model
+//! towards the current observation — and we keep that as the default.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's recommended smoothing factor.
+pub const PAPER_ALPHA: f64 = 0.3;
+
+/// An EWMA filter following the paper's convention: `alpha` is the weight
+/// on the *previous estimate* (so small `alpha` reacts quickly).
+///
+/// # Example
+///
+/// ```
+/// use gs_sim::Ewma;
+/// let mut predictor = Ewma::paper_default(); // alpha = 0.3
+/// predictor.observe(100.0);
+/// // 0.3 x previous + 0.7 x new observation:
+/// assert_eq!(predictor.observe(50.0), 65.0);
+/// ```
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create a filter with the given `alpha` in `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Create a filter with the paper's `alpha = 0.3`.
+    pub fn paper_default() -> Self {
+        Ewma::new(PAPER_ALPHA)
+    }
+
+    /// Feed one observation and return the updated estimate. The first
+    /// observation initializes the filter directly.
+    pub fn observe(&mut self, obs: f64) -> f64 {
+        let next = match self.value {
+            None => obs,
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * obs,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current estimate, i.e. the prediction for the next epoch; `None`
+    /// before any observation.
+    pub fn prediction(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current estimate or a fallback if no observation has been made.
+    pub fn prediction_or(&self, fallback: f64) -> f64 {
+        self.value.unwrap_or(fallback)
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.prediction(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+        assert_eq!(e.prediction(), Some(10.0));
+    }
+
+    #[test]
+    fn follows_paper_recurrence() {
+        let mut e = Ewma::new(0.3);
+        e.observe(100.0);
+        // 0.3 * 100 + 0.7 * 50 = 65
+        assert!((e.observe(50.0) - 65.0).abs() < 1e-12);
+        // 0.3 * 65 + 0.7 * 0 = 19.5
+        assert!((e.observe(0.0) - 19.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_tracks_observation_exactly() {
+        let mut e = Ewma::new(0.0);
+        e.observe(5.0);
+        assert_eq!(e.observe(42.0), 42.0);
+    }
+
+    #[test]
+    fn alpha_one_never_updates() {
+        let mut e = Ewma::new(1.0);
+        e.observe(5.0);
+        assert_eq!(e.observe(42.0), 5.0);
+        assert_eq!(e.observe(-3.0), 5.0);
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut e = Ewma::paper_default();
+        for _ in 0..50 {
+            e.observe(7.0);
+        }
+        assert!((e.prediction().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_and_fallback() {
+        let mut e = Ewma::new(0.5);
+        e.observe(3.0);
+        e.reset();
+        assert_eq!(e.prediction(), None);
+        assert_eq!(e.prediction_or(1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,226 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator
+//! (Jain & Chlamtac, CACM 1985).
+//!
+//! Tracks one quantile in O(1) memory without storing samples — the
+//! complement to [`crate::stats::ReservoirPercentiles`] for very long
+//! campaigns where even a capped reservoir is more state than needed.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-quantile P² estimator.
+///
+/// # Example
+///
+/// ```
+/// use gs_sim::P2Quantile;
+/// let mut p99 = P2Quantile::new(0.99);
+/// for i in 1..=1000 {
+///     p99.record(i as f64);
+/// }
+/// let est = p99.estimate().unwrap();
+/// assert!((est - 990.0).abs() < 20.0);
+/// ```
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// Target quantile in (0, 1).
+    q: f64,
+    /// Marker heights (estimates of the 5 tracked quantile positions).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Track the `q`-quantile (`0 < q < 1`).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let step = d.signum();
+                let parabolic = self.parabolic(i, step);
+                self.heights[i] = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, step)
+                };
+                self.positions[i] += step;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        q0 + d / (np - nm)
+            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate; `None` before any observation. Exact for
+    /// fewer than five samples (sorted lookup), P²-estimated afterwards.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut head: Vec<f64> = self.heights[..n as usize].to_vec();
+                head.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize);
+                Some(head[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn exact_below_five_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.record(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.record(2.0);
+        p.record(6.0);
+        // Median of {2, 6, 10} by nearest rank.
+        assert_eq!(p.estimate(), Some(6.0));
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            p.record(rng.uniform());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+        assert_eq!(p.count(), 100_000);
+    }
+
+    #[test]
+    fn tail_quantile_of_exponential_converges() {
+        let mut p = P2Quantile::new(0.99);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..200_000 {
+            p.record(rng.exp(1.0));
+        }
+        // True p99 of Exp(1) is ln(100) ≈ 4.605.
+        let est = p.estimate().unwrap();
+        assert!((est - 4.605).abs() < 0.25, "p99 {est}");
+    }
+
+    #[test]
+    fn agrees_with_reservoir_on_lognormal_latencies() {
+        let mut p2 = P2Quantile::new(0.95);
+        let mut reservoir = crate::stats::ReservoirPercentiles::with_cap(200_000);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..120_000 {
+            let x = rng.lognormal_mean_cv(0.1, 0.4);
+            p2.record(x);
+            reservoir.record(x);
+        }
+        let a = p2.estimate().unwrap();
+        let b = reservoir.quantile(0.95).unwrap();
+        assert!((a - b).abs() / b < 0.03, "p2 {a} vs exact {b}");
+    }
+
+    #[test]
+    fn monotone_under_shifted_data() {
+        // Estimates track a location shift.
+        let run = |offset: f64| {
+            let mut p = P2Quantile::new(0.9);
+            let mut rng = SimRng::seed_from_u64(4);
+            for _ in 0..50_000 {
+                p.record(offset + rng.uniform());
+            }
+            p.estimate().unwrap()
+        };
+        assert!(run(10.0) > run(0.0) + 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Time-series buffers for recorded simulation signals (power draw,
+//! renewable production, goodput per epoch, …) with simple resampling and
+//! aggregation, used by the experiment harness to print figure series.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(time, value)` points with non-decreasing time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+    name: String,
+}
+
+impl TimeSeries {
+    /// Create an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            points: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The series name (used as a column header by the harness).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a point. Time must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be appended in time order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All points, in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Value at time `t` by step interpolation (last point at or before
+    /// `t`); `None` before the first point or when empty.
+    pub fn sample_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Mean of the values whose timestamps fall in `[from, to)`;
+    /// `None` if the window contains no points.
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Maximum value in `[from, to)`; `None` if the window is empty.
+    pub fn window_max(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Resample to fixed `step` buckets covering `[start, end)`, taking the
+    /// mean of points in each bucket and carrying the previous bucket's
+    /// value forward through empty buckets (0 before any data).
+    pub fn resample_mean(&self, start: SimTime, end: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "resample step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        let mut carry = 0.0;
+        while t < end {
+            let next = t + step;
+            let v = self.window_mean(t, next).unwrap_or(carry);
+            carry = v;
+            out.push((t, v));
+            t = next;
+        }
+        out
+    }
+
+    /// Trapezoid-free integral treating the series as a step function held
+    /// constant until the next point, over `[from, to)`. For a power series
+    /// in watts with times in hours this yields watt-hours; we expose it in
+    /// value-seconds so callers pick the unit.
+    pub fn step_integral_value_seconds(&self, from: SimTime, to: SimTime) -> f64 {
+        if self.points.is_empty() || to <= from {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        // Value in effect at `from`.
+        let mut cur_val = self.sample_at(from).unwrap_or(0.0);
+        let mut cur_t = from;
+        for &(t, v) in &self.points {
+            if t <= from {
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            total += cur_val * (t - cur_t).as_secs_f64();
+            cur_val = v;
+            cur_t = t;
+        }
+        total += cur_val * (to - cur_t).as_secs_f64();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(t, v) in pts {
+            s.push(SimTime::from_secs(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_sample() {
+        let s = series(&[(0, 1.0), (10, 2.0), (20, 3.0)]);
+        assert_eq!(s.sample_at(SimTime::from_secs(0)), Some(1.0));
+        assert_eq!(s.sample_at(SimTime::from_secs(5)), Some(1.0));
+        assert_eq!(s.sample_at(SimTime::from_secs(10)), Some(2.0));
+        assert_eq!(s.sample_at(SimTime::from_secs(99)), Some(3.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sample_before_first_point_is_none() {
+        let s = series(&[(10, 2.0)]);
+        assert_eq!(s.sample_at(SimTime::from_secs(5)), None);
+        assert_eq!(TimeSeries::new("e").sample_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order() {
+        let mut s = series(&[(10, 1.0)]);
+        s.push(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn window_mean_and_max() {
+        let s = series(&[(0, 1.0), (10, 3.0), (20, 5.0), (30, 7.0)]);
+        assert_eq!(s.window_mean(SimTime::ZERO, SimTime::from_secs(21)), Some(3.0));
+        assert_eq!(s.window_max(SimTime::from_secs(5), SimTime::from_secs(25)), Some(5.0));
+        assert_eq!(s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)), None);
+    }
+
+    #[test]
+    fn resample_carries_forward() {
+        let s = series(&[(0, 2.0), (25, 4.0)]);
+        let r = s.resample_mean(SimTime::ZERO, SimTime::from_secs(40), SimDuration::from_secs(10));
+        let vals: Vec<f64> = r.iter().map(|&(_, v)| v).collect();
+        // Buckets: [0,10)=2, [10,20)=carry 2, [20,30)=4, [30,40)=carry 4.
+        assert_eq!(vals, vec![2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn step_integral() {
+        // 100 W for 10 s then 200 W for 10 s = 3000 W·s.
+        let s = series(&[(0, 100.0), (10, 200.0)]);
+        let ws = s.step_integral_value_seconds(SimTime::ZERO, SimTime::from_secs(20));
+        assert!((ws - 3000.0).abs() < 1e-9);
+        // Partial window starting mid-way through the first step.
+        let ws = s.step_integral_value_seconds(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((ws - (100.0 * 5.0 + 200.0 * 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_integral_empty_or_degenerate() {
+        let s = TimeSeries::new("e");
+        assert_eq!(s.step_integral_value_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        let s = series(&[(0, 5.0)]);
+        assert_eq!(s.step_integral_value_seconds(SimTime::from_secs(10), SimTime::from_secs(10)), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! # gs-tco — total cost of ownership for green sprinting
+//!
+//! Reproduces the paper's TCO consideration (§IV-F, Fig. 11): is the
+//! *additional* green provisioning (PV panels, batteries, PCM thermal
+//! package) paid back by the revenue that sprinting generates?
+//!
+//! Paper constants:
+//! * sprint revenue: $0.28 per KW per minute of sprinting;
+//! * PV capex: $4.74 per watt, amortized over a 25-year panel lifetime;
+//! * battery cost: $50 per KW per year;
+//! * PCM (wax) cost: < 0.1 % of server cost — negligible.
+//!
+//! The profit-over-investment (POI) per KW of sprint capacity as a
+//! function of yearly sprint hours crosses zero near 14 h/year, so even a
+//! handful of Black-Friday-scale events justifies the investment.
+
+pub mod wear;
+
+use serde::{Deserialize, Serialize};
+
+/// Model parameters, defaulting to the paper's constants.
+///
+/// # Example
+///
+/// ```
+/// use gs_tco::TcoParams;
+/// let tco = TcoParams::paper();
+/// // Fig. 11's crossover: green provisioning pays for itself past
+/// // ~14 sprint-hours a year.
+/// assert!((tco.crossover_hours() - 14.3).abs() < 0.1);
+/// assert!(tco.poi(36.0) > 0.0);
+/// ```
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcoParams {
+    /// Revenue per KW of sprint capacity per minute of sprinting ($).
+    pub revenue_per_kw_min: f64,
+    /// PV capital cost per watt ($).
+    pub pv_capex_per_w: f64,
+    /// PV amortization period (years).
+    pub pv_lifetime_years: f64,
+    /// Battery provisioning cost per KW per year ($).
+    pub battery_cost_per_kw_year: f64,
+    /// PCM thermal-package cost per KW per year ($; negligible).
+    pub pcm_cost_per_kw_year: f64,
+}
+
+impl Default for TcoParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl TcoParams {
+    /// The paper's constants.
+    pub fn paper() -> Self {
+        TcoParams {
+            revenue_per_kw_min: 0.28,
+            pv_capex_per_w: 4.74,
+            pv_lifetime_years: 25.0,
+            battery_cost_per_kw_year: 50.0,
+            pcm_cost_per_kw_year: 0.0,
+        }
+    }
+
+    /// Yearly amortized green capex per KW of sprint capacity ($/KW/yr).
+    pub fn yearly_capex_per_kw(&self) -> f64 {
+        let pv = self.pv_capex_per_w * 1_000.0 / self.pv_lifetime_years;
+        pv + self.battery_cost_per_kw_year + self.pcm_cost_per_kw_year
+    }
+
+    /// Sprint revenue per KW per year at the given yearly sprint hours.
+    pub fn yearly_revenue_per_kw(&self, sprint_hours_per_year: f64) -> f64 {
+        self.revenue_per_kw_min * 60.0 * sprint_hours_per_year.max(0.0)
+    }
+
+    /// Profit over investment ($/KW/yr) at the given yearly sprint hours —
+    /// the y-axis of paper Fig. 11.
+    pub fn poi(&self, sprint_hours_per_year: f64) -> f64 {
+        self.yearly_revenue_per_kw(sprint_hours_per_year) - self.yearly_capex_per_kw()
+    }
+
+    /// The break-even point in sprint hours per year (the Fig. 11
+    /// crossover, ≈ 14 h/yr with the paper's constants).
+    pub fn crossover_hours(&self) -> f64 {
+        self.yearly_capex_per_kw() / (self.revenue_per_kw_min * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_about_fourteen_hours() {
+        let p = TcoParams::paper();
+        let x = p.crossover_hours();
+        assert!((13.0..15.5).contains(&x), "crossover at {x} h/yr");
+        // POI straddles zero around the crossover.
+        assert!(p.poi(x - 1.0) < 0.0);
+        assert!(p.poi(x + 1.0) > 0.0);
+        assert!((p.poi(x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure11_points_have_expected_shape() {
+        let p = TcoParams::paper();
+        // The paper plots 12 / 24 / 36 yearly sprint hours.
+        let poi12 = p.poi(12.0);
+        let poi24 = p.poi(24.0);
+        let poi36 = p.poi(36.0);
+        assert!(poi12 < 0.0, "12 h/yr should be unprofitable: {poi12}");
+        assert!(poi24 > 0.0, "24 h/yr should be profitable: {poi24}");
+        assert!(poi36 > poi24 && poi24 > poi12);
+        // Magnitude sanity: 36 h/yr lands in the few-hundred-$ range of
+        // the figure's y-axis.
+        assert!((200.0..600.0).contains(&poi36), "poi36={poi36}");
+    }
+
+    #[test]
+    fn capex_breakdown() {
+        let p = TcoParams::paper();
+        // PV: 4740 $/KW over 25 years = 189.6 $/KW/yr, plus 50 battery.
+        assert!((p.yearly_capex_per_kw() - 239.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revenue_scales_linearly_and_clamps_negative_hours() {
+        let p = TcoParams::paper();
+        assert_eq!(p.yearly_revenue_per_kw(-5.0), 0.0);
+        assert!((p.yearly_revenue_per_kw(2.0) - 0.28 * 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheaper_panels_move_crossover_left() {
+        let mut p = TcoParams::paper();
+        p.pv_capex_per_w = 1.0; // modern module prices
+        assert!(p.crossover_hours() < TcoParams::paper().crossover_hours());
+    }
+}

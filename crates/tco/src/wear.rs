@@ -1,0 +1,103 @@
+//! Battery-wear economics — an extension beyond the paper's Fig. 11.
+//!
+//! The paper caps depth of discharge at 40 % (1300 cycles) but prices
+//! batteries at a flat $/KW/year. Frequent sprinting consumes cycle life
+//! faster than calendar aging, so heavy sprint schedules carry an extra
+//! replacement cost. This module turns the engine's per-burst
+//! `battery_cycles` into dollars, letting the examples explore when wear
+//! starts to matter.
+
+use gs_power::battery::BatterySpec;
+use serde::{Deserialize, Serialize};
+
+/// Battery-replacement economics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WearModel {
+    /// Replacement cost of one battery unit ($). VRLA units run roughly
+    /// $150–250 per KWh of rated capacity; a 10 Ah / 12 V unit is 0.12 KWh.
+    pub unit_cost_usd: f64,
+    /// Cycle life at the operating DoD cap.
+    pub cycle_life: f64,
+    /// Calendar life (years) — the unit is replaced at this age even if
+    /// cycles remain.
+    pub calendar_life_years: f64,
+}
+
+impl WearModel {
+    /// A wear model for a paper-spec VRLA unit, pricing capacity at
+    /// `usd_per_kwh` (default handling: ~$200/KWh).
+    pub fn for_spec(spec: &BatterySpec, usd_per_kwh: f64) -> Self {
+        WearModel {
+            unit_cost_usd: spec.rated_energy_wh() / 1_000.0 * usd_per_kwh,
+            cycle_life: spec.cycle_life_at_max_dod,
+            calendar_life_years: 5.0,
+        }
+    }
+
+    /// Cost of consuming `cycles` equivalent cycles ($).
+    pub fn cycle_cost_usd(&self, cycles: f64) -> f64 {
+        self.unit_cost_usd * (cycles.max(0.0) / self.cycle_life)
+    }
+
+    /// Yearly wear cost ($/unit/yr) for a sprint schedule consuming
+    /// `cycles_per_sprint` per event at `sprints_per_year` events, floored
+    /// by calendar aging.
+    pub fn yearly_cost_usd(&self, cycles_per_sprint: f64, sprints_per_year: f64) -> f64 {
+        let cycling = self.cycle_cost_usd(cycles_per_sprint * sprints_per_year.max(0.0));
+        let calendar = self.unit_cost_usd / self.calendar_life_years;
+        cycling.max(calendar)
+    }
+
+    /// Sprints per year at which cycling overtakes calendar aging.
+    pub fn cycling_dominates_after(&self, cycles_per_sprint: f64) -> f64 {
+        if cycles_per_sprint <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.cycle_life / self.calendar_life_years) / cycles_per_sprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WearModel {
+        WearModel::for_spec(&BatterySpec::paper_batt(), 200.0)
+    }
+
+    #[test]
+    fn unit_cost_from_capacity() {
+        // 10 Ah × 12 V = 0.12 KWh × $200 = $24.
+        assert!((model().unit_cost_usd - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_cost_is_linear() {
+        let m = model();
+        let one = m.cycle_cost_usd(1.0);
+        assert!((m.cycle_cost_usd(10.0) - 10.0 * one).abs() < 1e-12);
+        assert_eq!(m.cycle_cost_usd(-3.0), 0.0);
+        // Using the whole cycle life costs the whole unit.
+        assert!((m.cycle_cost_usd(m.cycle_life) - m.unit_cost_usd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calendar_aging_floors_light_use() {
+        let m = model();
+        // One sprint a year: calendar aging dominates.
+        let light = m.yearly_cost_usd(1.0, 1.0);
+        assert!((light - m.unit_cost_usd / m.calendar_life_years).abs() < 1e-9);
+        // Daily full-DoD sprinting: cycling dominates.
+        let heavy = m.yearly_cost_usd(1.0, 365.0);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn dominance_threshold() {
+        let m = model();
+        let at = m.cycling_dominates_after(1.0);
+        // 1300 cycles / 5 years = 260 full-cycle sprints per year.
+        assert!((at - 260.0).abs() < 1e-9);
+        assert_eq!(m.cycling_dominates_after(0.0), f64::INFINITY);
+    }
+}

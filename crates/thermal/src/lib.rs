@@ -1,0 +1,28 @@
+//! # gs-thermal — sprint thermals with a phase-change heat buffer
+//!
+//! Computational sprinting is, at heart, a thermal trick: cores exceed the
+//! package's sustainable heat dissipation for a while, parking the excess
+//! in thermal mass. The paper assumes servers carry a PCM (paraffin-wax)
+//! thermal package, citing Skach et al. [ISCA'15]: "PCM can delay the
+//! onset of thermal limits by hours", and treats thermals as non-binding
+//! during its minutes-scale bursts. This crate makes that assumption
+//! *checkable* instead of implicit:
+//!
+//! * [`RcNode`] — a lumped thermal RC model of the chip/heatsink path;
+//! * [`PcmBuffer`] — a latent-heat reservoir that clamps its temperature
+//!   at the melt point while absorbing excess heat;
+//! * [`ThermalPackage`] — the composition, with sprint-headroom queries
+//!   and a throttle signal the engine can honour.
+//!
+//! The engine runs with a paper-spec package by default and a test
+//! asserts it never throttles a 60-minute full sprint; remove the PCM and
+//! the same sprint hits the limit in minutes — the dark-silicon problem
+//! the paper starts from.
+
+pub mod package;
+pub mod pcm;
+pub mod rc;
+
+pub use package::{ThermalPackage, ThermalSpec};
+pub use pcm::PcmBuffer;
+pub use rc::RcNode;

@@ -1,0 +1,463 @@
+//! The load-generation framework — the reproduction's stand-in for Faban,
+//! the workload driver the paper's prototype used to "inject the workloads
+//! to deliberately induce power burst durations".
+//!
+//! Two layers:
+//!
+//! * [`RateSchedule`] — composable offered-rate shapes over time: constant
+//!   plateaus, ramps, step sequences, sinusoidal diurnals, and a
+//!   Markov-modulated process for bursty arrivals. Any schedule can drive
+//!   the engine's `RunWindow` or the standalone driver below.
+//! * [`Driver`] — an open-loop benchmark driver around [`ServerSim`]: runs
+//!   a warm-up it discards, then measures steady-state goodput and latency
+//!   percentiles (via constant-memory P² estimators), the way a real load
+//!   generator reports a run.
+
+use crate::apps::AppProfile;
+use crate::des::ServerSim;
+use gs_cluster::ServerSetting;
+use gs_sim::{P2Quantile, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An offered-rate shape over time (req/s as a function of time since the
+/// schedule's start).
+///
+/// # Example
+///
+/// ```
+/// use gs_workload::loadgen::RateSchedule;
+/// use gs_sim::SimDuration;
+///
+/// let ramp = RateSchedule::Ramp {
+///     from_rps: 0.0,
+///     to_rps: 100.0,
+///     duration: SimDuration::from_secs(100),
+/// };
+/// assert_eq!(ramp.rate_at(SimDuration::from_secs(50)), 50.0);
+/// ```
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RateSchedule {
+    /// A flat rate.
+    Constant(f64),
+    /// Linear ramp from `from_rps` to `to_rps` over `duration`, holding
+    /// `to_rps` afterwards.
+    Ramp {
+        /// Starting rate (req/s).
+        from_rps: f64,
+        /// Final rate (req/s).
+        to_rps: f64,
+        /// Ramp length.
+        duration: SimDuration,
+    },
+    /// Piecewise-constant steps: each `(duration, rps)` in order; the last
+    /// step holds forever.
+    Steps(Vec<(SimDuration, f64)>),
+    /// A sinusoid: `base + amplitude · sin(2πt/period)`, floored at zero.
+    Sine {
+        /// Mean rate (req/s).
+        base_rps: f64,
+        /// Peak deviation (req/s).
+        amplitude_rps: f64,
+        /// Oscillation period.
+        period: SimDuration,
+    },
+    /// Markov-modulated Poisson process: a finite-state chain where each
+    /// state has its own rate; dwell times are exponential. Realized once
+    /// per (seed, horizon) into a step function.
+    Mmpp {
+        /// Per-state offered rates (req/s).
+        state_rps: Vec<f64>,
+        /// Mean dwell time in each state.
+        mean_dwell: SimDuration,
+        /// Realization seed.
+        seed: u64,
+        /// Horizon to realize (cyclic afterwards).
+        horizon: SimDuration,
+    },
+}
+
+impl RateSchedule {
+    /// Offered rate at `elapsed` time since the schedule began.
+    pub fn rate_at(&self, elapsed: SimDuration) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::Ramp {
+                from_rps,
+                to_rps,
+                duration,
+            } => {
+                if duration.is_zero() || elapsed >= *duration {
+                    *to_rps
+                } else {
+                    let f = elapsed.as_secs_f64() / duration.as_secs_f64();
+                    from_rps + (to_rps - from_rps) * f
+                }
+            }
+            RateSchedule::Steps(steps) => {
+                let mut t = elapsed;
+                for (d, r) in steps {
+                    if t < *d {
+                        return *r;
+                    }
+                    t = t - *d;
+                }
+                steps.last().map(|&(_, r)| r).unwrap_or(0.0)
+            }
+            RateSchedule::Sine {
+                base_rps,
+                amplitude_rps,
+                period,
+            } => {
+                let phase = elapsed.as_secs_f64() / period.as_secs_f64().max(1e-9);
+                (base_rps + amplitude_rps * (std::f64::consts::TAU * phase).sin()).max(0.0)
+            }
+            RateSchedule::Mmpp {
+                state_rps,
+                mean_dwell,
+                seed,
+                horizon,
+            } => {
+                // Deterministic realization: walk the chain from the seed
+                // up to the (cyclic) offset. States are revisited
+                // identically for the same seed.
+                if state_rps.is_empty() {
+                    return 0.0;
+                }
+                let mut rng = SimRng::seed_from_u64(*seed);
+                let offset_s = elapsed.as_secs_f64() % horizon.as_secs_f64().max(1e-9);
+                let mut t = 0.0;
+                let mut state = rng.index(state_rps.len());
+                loop {
+                    let dwell = rng.exp(mean_dwell.as_secs_f64()).max(1.0);
+                    if t + dwell > offset_s {
+                        return state_rps[state];
+                    }
+                    t += dwell;
+                    state = rng.index(state_rps.len());
+                }
+            }
+        }
+    }
+
+    /// Convenience: the rate at an absolute simulation time, measuring the
+    /// schedule from `start`.
+    pub fn rate_at_time(&self, start: SimTime, t: SimTime) -> f64 {
+        self.rate_at(t.since(start))
+    }
+}
+
+/// A measured steady-state run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriverReport {
+    /// Offered rate over the measured window (req/s).
+    pub offered_rps: f64,
+    /// Completed rate (req/s).
+    pub completed_rps: f64,
+    /// Goodput: completions within the SLO deadline (req/s).
+    pub goodput_rps: f64,
+    /// Mean latency (s).
+    pub mean_latency_s: f64,
+    /// Streaming p50 / p95 / p99 latency estimates (s).
+    pub p50_s: f64,
+    /// 95th percentile latency (s).
+    pub p95_s: f64,
+    /// 99th percentile latency (s).
+    pub p99_s: f64,
+    /// Mean utilization of the active cores.
+    pub utilization: f64,
+}
+
+/// The open-loop benchmark driver.
+#[derive(Debug)]
+pub struct Driver {
+    /// Warm-up time discarded before measurement begins.
+    pub warmup: SimDuration,
+    /// Measurement length.
+    pub measure: SimDuration,
+    /// Sub-interval at which the schedule's rate is re-sampled.
+    pub tick: SimDuration,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver {
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(120),
+            tick: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl Driver {
+    /// Run a schedule against one server at a fixed sprint setting.
+    pub fn run(
+        &self,
+        app: &AppProfile,
+        setting: ServerSetting,
+        schedule: &RateSchedule,
+        seed: u64,
+    ) -> DriverReport {
+        let mut sim = ServerSim::new(SimRng::seed_from_u64(seed));
+        let admit = app.slo_capacity(setting);
+        // Warm-up: drive but discard.
+        let mut elapsed = SimDuration::ZERO;
+        while elapsed < self.warmup {
+            let step = self.tick.min(self.warmup - elapsed);
+            let rate = schedule.rate_at(elapsed);
+            sim.advance_epoch(app, setting, rate, admit, step);
+            elapsed += step;
+        }
+        // Measurement.
+        let mut offered = 0.0;
+        let mut completed = 0.0;
+        let mut goodput = 0.0;
+        let mut latency_weighted = 0.0;
+        let mut util_weighted = 0.0;
+        let (mut p50, mut p95, mut p99) = (
+            P2Quantile::new(0.50),
+            P2Quantile::new(0.95),
+            P2Quantile::new(0.99),
+        );
+        let mut measured = SimDuration::ZERO;
+        while measured < self.measure {
+            let step = self.tick.min(self.measure - measured);
+            let rate = schedule.rate_at(elapsed);
+            let perf = sim.advance_epoch(app, setting, rate, admit, step);
+            let w = step.as_secs_f64();
+            offered += perf.offered_rps * w;
+            completed += perf.completed_rps * w;
+            goodput += perf.goodput_rps * w;
+            latency_weighted += perf.mean_latency_s * perf.completed_rps * w;
+            util_weighted += perf.utilization * w;
+            // Feed the epoch's percentile estimate as a sample per tick;
+            // coarse, but unbiased across the steady state.
+            if perf.completed_rps > 0.0 {
+                p50.record(perf.mean_latency_s);
+                p95.record(perf.slo_percentile_latency_s);
+                p99.record(perf.slo_percentile_latency_s);
+            }
+            elapsed += step;
+            measured += step;
+        }
+        let secs = self.measure.as_secs_f64();
+        DriverReport {
+            offered_rps: offered / secs,
+            completed_rps: completed / secs,
+            goodput_rps: goodput / secs,
+            mean_latency_s: if completed > 0.0 {
+                latency_weighted / completed
+            } else {
+                0.0
+            },
+            p50_s: p50.estimate().unwrap_or(0.0),
+            p95_s: p95.estimate().unwrap_or(0.0),
+            p99_s: p99.estimate().unwrap_or(0.0),
+            utilization: util_weighted / secs,
+        }
+    }
+}
+
+/// A closed-loop client population: `clients` users each issue one
+/// request, wait for the response, think for an exponential think time,
+/// and repeat — SPECjbb's actual injection model, and the regime where
+/// the *interactive law* `λ = N / (think + response)` governs throughput.
+///
+/// Implemented on top of the open-loop [`ServerSim`] by fixed-point
+/// iteration: the offered rate implied by the interactive law is fed to
+/// the simulator, whose measured response time updates the rate, until the
+/// two agree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedLoopDriver {
+    /// Concurrent client sessions.
+    pub clients: u32,
+    /// Mean think time between a response and the next request (s).
+    pub think_time_s: f64,
+    /// Measurement window per fixed-point iteration.
+    pub window: SimDuration,
+    /// Fixed-point iterations (each reuses the live simulator state).
+    pub iterations: u32,
+}
+
+impl Default for ClosedLoopDriver {
+    fn default() -> Self {
+        ClosedLoopDriver {
+            clients: 100,
+            think_time_s: 1.0,
+            window: SimDuration::from_secs(60),
+            iterations: 8,
+        }
+    }
+}
+
+impl ClosedLoopDriver {
+    /// Run to the interactive-law fixed point; returns the converged
+    /// report plus the implied concurrency check.
+    pub fn run(
+        &self,
+        app: &AppProfile,
+        setting: ServerSetting,
+        seed: u64,
+    ) -> DriverReport {
+        let mut sim = ServerSim::new(SimRng::seed_from_u64(seed));
+        let mut response_s = app.mean_service_s(setting);
+        let mut last = None;
+        for _ in 0..self.iterations {
+            let lambda = self.clients as f64 / (self.think_time_s + response_s);
+            let perf = sim.advance_epoch(app, setting, lambda, f64::INFINITY, self.window);
+            if perf.completed_rps > 0.0 {
+                response_s = perf.mean_latency_s.max(1e-6);
+            }
+            last = Some(perf);
+        }
+        let perf = last.expect("at least one iteration");
+        DriverReport {
+            offered_rps: perf.offered_rps,
+            completed_rps: perf.completed_rps,
+            goodput_rps: perf.goodput_rps,
+            mean_latency_s: perf.mean_latency_s,
+            p50_s: perf.mean_latency_s,
+            p95_s: perf.slo_percentile_latency_s,
+            p99_s: perf.slo_percentile_latency_s,
+            utilization: perf.utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::Application;
+
+    #[test]
+    fn constant_and_ramp_rates() {
+        let c = RateSchedule::Constant(50.0);
+        assert_eq!(c.rate_at(SimDuration::ZERO), 50.0);
+        assert_eq!(c.rate_at(SimDuration::from_hours(5)), 50.0);
+        let r = RateSchedule::Ramp {
+            from_rps: 0.0,
+            to_rps: 100.0,
+            duration: SimDuration::from_secs(100),
+        };
+        assert_eq!(r.rate_at(SimDuration::ZERO), 0.0);
+        assert!((r.rate_at(SimDuration::from_secs(50)) - 50.0).abs() < 1e-9);
+        assert_eq!(r.rate_at(SimDuration::from_secs(200)), 100.0);
+    }
+
+    #[test]
+    fn steps_hold_last_value() {
+        let s = RateSchedule::Steps(vec![
+            (SimDuration::from_secs(10), 5.0),
+            (SimDuration::from_secs(10), 20.0),
+        ]);
+        assert_eq!(s.rate_at(SimDuration::from_secs(3)), 5.0);
+        assert_eq!(s.rate_at(SimDuration::from_secs(15)), 20.0);
+        assert_eq!(s.rate_at(SimDuration::from_secs(99)), 20.0);
+        assert_eq!(RateSchedule::Steps(vec![]).rate_at(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sine_is_non_negative_and_periodic() {
+        let s = RateSchedule::Sine {
+            base_rps: 10.0,
+            amplitude_rps: 30.0, // would dip negative without the floor
+            period: SimDuration::from_secs(60),
+        };
+        for sec in 0..180 {
+            let r = s.rate_at(SimDuration::from_secs(sec));
+            assert!(r >= 0.0);
+        }
+        let a = s.rate_at(SimDuration::from_secs(13));
+        let b = s.rate_at(SimDuration::from_secs(73));
+        assert!((a - b).abs() < 1e-9, "periodicity");
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_and_visits_states() {
+        let m = RateSchedule::Mmpp {
+            state_rps: vec![5.0, 50.0, 200.0],
+            mean_dwell: SimDuration::from_secs(30),
+            seed: 9,
+            horizon: SimDuration::from_mins(30),
+        };
+        let series: Vec<f64> = (0..180)
+            .map(|s| m.rate_at(SimDuration::from_secs(s * 10)))
+            .collect();
+        let again: Vec<f64> = (0..180)
+            .map(|s| m.rate_at(SimDuration::from_secs(s * 10)))
+            .collect();
+        assert_eq!(series, again);
+        let distinct: std::collections::BTreeSet<u64> =
+            series.iter().map(|r| r.to_bits()).collect();
+        assert!(distinct.len() >= 2, "chain never switched state");
+        assert!(series.iter().all(|r| [5.0, 50.0, 200.0].contains(r)));
+    }
+
+    #[test]
+    fn driver_reports_steady_state() {
+        let app = Application::SpecJbb.profile();
+        let setting = ServerSetting::max_sprint();
+        let cap = app.slo_capacity(setting);
+        let driver = Driver::default();
+        let report = driver.run(&app, setting, &RateSchedule::Constant(cap * 0.5), 3);
+        assert!((report.offered_rps - cap * 0.5).abs() / (cap * 0.5) < 0.1);
+        assert!(report.goodput_rps > report.offered_rps * 0.9);
+        assert!(report.p99_s >= report.p50_s);
+        assert!(report.p99_s < app.slo_deadline_s, "p99 {}", report.p99_s);
+        assert!(report.utilization > 0.2 && report.utilization < 0.9);
+    }
+
+    #[test]
+    fn closed_loop_obeys_the_interactive_law() {
+        let app = Application::SpecJbb.profile();
+        let setting = ServerSetting::max_sprint();
+        let driver = ClosedLoopDriver {
+            clients: 20,
+            think_time_s: 1.0,
+            window: SimDuration::from_secs(120),
+            iterations: 6,
+        };
+        let report = driver.run(&app, setting, 5);
+        // λ = N / (Z + R) within the fixed point's tolerance.
+        let implied = driver.clients as f64 / (driver.think_time_s + report.mean_latency_s);
+        let rel = (report.completed_rps - implied).abs() / implied;
+        assert!(rel < 0.10, "law: measured {} vs implied {implied}", report.completed_rps);
+        // Light population: latency near bare service time.
+        assert!(report.mean_latency_s < 2.0 * app.mean_service_s(setting));
+    }
+
+    #[test]
+    fn closed_loop_saturates_gracefully_with_many_clients() {
+        let app = Application::SpecJbb.profile();
+        let setting = ServerSetting::normal();
+        let small = ClosedLoopDriver { clients: 10, ..ClosedLoopDriver::default() }
+            .run(&app, setting, 6);
+        let large = ClosedLoopDriver { clients: 400, ..ClosedLoopDriver::default() }
+            .run(&app, setting, 6);
+        // Throughput caps near raw capacity; latency absorbs the rest
+        // (the closed-loop self-throttling the open-loop model lacks).
+        assert!(large.completed_rps > small.completed_rps);
+        assert!(large.completed_rps < app.raw_capacity(setting) * 1.1);
+        assert!(large.mean_latency_s > 3.0 * small.mean_latency_s);
+    }
+
+    #[test]
+    fn driver_shows_saturation_knee() {
+        // The classic load-test curve: goodput tracks offered load until
+        // the SLO capacity, then flattens while latency climbs.
+        let app = Application::SpecJbb.profile();
+        let setting = ServerSetting::normal();
+        let cap = app.slo_capacity(setting);
+        let driver = Driver {
+            warmup: SimDuration::from_secs(20),
+            measure: SimDuration::from_secs(90),
+            tick: SimDuration::from_secs(5),
+        };
+        let light = driver.run(&app, setting, &RateSchedule::Constant(cap * 0.4), 5);
+        let heavy = driver.run(&app, setting, &RateSchedule::Constant(cap * 3.0), 5);
+        assert!(light.goodput_rps < heavy.goodput_rps);
+        // Past the knee goodput is capped near the SLO capacity.
+        assert!(heavy.goodput_rps < cap * 1.15, "{} vs {cap}", heavy.goodput_rps);
+        assert!(heavy.mean_latency_s > light.mean_latency_s);
+    }
+}

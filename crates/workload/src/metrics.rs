@@ -1,0 +1,100 @@
+//! Per-epoch performance records produced by the measurement plane.
+
+use serde::{Deserialize, Serialize};
+
+/// What one server did during one scheduling epoch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochPerf {
+    /// Offered arrival rate (req/s) before admission control.
+    pub offered_rps: f64,
+    /// Admitted arrival rate (req/s).
+    pub admitted_rps: f64,
+    /// Requests completed per second.
+    pub completed_rps: f64,
+    /// Requests completed *within the SLO deadline* per second — the
+    /// goodput the paper's performance metric counts.
+    pub goodput_rps: f64,
+    /// Requests shed by admission control per second.
+    pub shed_rps: f64,
+    /// Mean response latency of completed requests (seconds).
+    pub mean_latency_s: f64,
+    /// Latency at the application's SLO percentile (seconds).
+    pub slo_percentile_latency_s: f64,
+    /// Mean utilization of the active cores in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl EpochPerf {
+    /// Fraction of completed requests that met the deadline
+    /// (1.0 when nothing completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed_rps <= 0.0 {
+            1.0
+        } else {
+            (self.goodput_rps / self.completed_rps).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Element-wise average of many epoch records (e.g. across the green
+    /// servers or across a whole burst).
+    pub fn average(records: &[EpochPerf]) -> EpochPerf {
+        if records.is_empty() {
+            return EpochPerf::default();
+        }
+        let n = records.len() as f64;
+        let mut out = EpochPerf::default();
+        for r in records {
+            out.offered_rps += r.offered_rps;
+            out.admitted_rps += r.admitted_rps;
+            out.completed_rps += r.completed_rps;
+            out.goodput_rps += r.goodput_rps;
+            out.shed_rps += r.shed_rps;
+            out.mean_latency_s += r.mean_latency_s;
+            out.slo_percentile_latency_s += r.slo_percentile_latency_s;
+            out.utilization += r.utilization;
+        }
+        out.offered_rps /= n;
+        out.admitted_rps /= n;
+        out.completed_rps /= n;
+        out.goodput_rps /= n;
+        out.shed_rps /= n;
+        out.mean_latency_s /= n;
+        out.slo_percentile_latency_s /= n;
+        out.utilization /= n;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_attainment() {
+        let p = EpochPerf {
+            completed_rps: 100.0,
+            goodput_rps: 95.0,
+            ..Default::default()
+        };
+        assert!((p.slo_attainment() - 0.95).abs() < 1e-12);
+        assert_eq!(EpochPerf::default().slo_attainment(), 1.0);
+    }
+
+    #[test]
+    fn average_of_records() {
+        let a = EpochPerf {
+            goodput_rps: 10.0,
+            utilization: 0.4,
+            ..Default::default()
+        };
+        let b = EpochPerf {
+            goodput_rps: 30.0,
+            utilization: 0.8,
+            ..Default::default()
+        };
+        let avg = EpochPerf::average(&[a, b]);
+        assert!((avg.goodput_rps - 20.0).abs() < 1e-12);
+        assert!((avg.utilization - 0.6).abs() < 1e-12);
+        assert_eq!(EpochPerf::average(&[]).goodput_rps, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Prints the calibration surface used to fit the per-app parameters.
+//! Run with: cargo test -p gs-workload --test calibration_report -- --ignored --nocapture
+use gs_cluster::ServerSetting;
+use gs_workload::apps::Application;
+
+#[test]
+#[ignore]
+fn report() {
+    for app in Application::ALL {
+        let p = app.profile();
+        let n = p.slo_capacity(ServerSetting::normal());
+        let m = p.slo_capacity(ServerSetting::max_sprint());
+        let raw_n = p.raw_capacity(ServerSetting::normal());
+        let raw_m = p.raw_capacity(ServerSetting::max_sprint());
+        println!(
+            "{:<11} slo_norm={:8.2} slo_max={:8.2} speedup={:5.2} raw_ratio={:4.2} util_n={:4.2} util_m={:4.2}",
+            p.name, n, m, m / n, raw_m / raw_n, n / raw_n, m / raw_m
+        );
+    }
+}
+
+/// Bisect base_service_ms (scaling the profile's value) to hit the paper's
+/// target speedup for each app; prints the solved value.
+#[test]
+#[ignore]
+fn solve_base_service() {
+    use gs_workload::apps::AppProfile;
+    fn speedup(p: &AppProfile) -> f64 {
+        p.slo_capacity(ServerSetting::max_sprint()) / p.slo_capacity(ServerSetting::normal())
+    }
+    for (app, target) in [
+        (Application::SpecJbb, 4.8),
+        (Application::WebSearch, 4.1),
+        (Application::Memcached, 4.7),
+    ] {
+        let base = app.profile();
+        let (mut lo, mut hi) = (0.2, 4.0); // scale factors on base_service_ms
+        for _ in 0..50 {
+            let mid = 0.5 * (lo + hi);
+            let mut p = base.clone();
+            p.base_service_ms = base.base_service_ms * mid;
+            let s = speedup(&p);
+            if s < target { lo = mid; } else { hi = mid; }
+        }
+        let mut p = base.clone();
+        p.base_service_ms = base.base_service_ms * lo;
+        println!("{:<11} base_service_ms = {:8.3} (scale {:.3}) -> speedup {:.3}",
+                 p.name, p.base_service_ms, lo, speedup(&p));
+    }
+}
+
+/// 2-D sweep over (freq_exponent, base_service scale) per app; prints
+/// combos landing near the target speedup with low sensitivity.
+#[test]
+#[ignore]
+fn sweep_phi_base() {
+    use gs_workload::apps::AppProfile;
+    fn speedup(p: &AppProfile) -> f64 {
+        let n = p.slo_capacity(ServerSetting::normal());
+        if n <= 0.0 { return f64::NAN; }
+        p.slo_capacity(ServerSetting::max_sprint()) / n
+    }
+    for (app, target) in [
+        (Application::SpecJbb, 4.8),
+        (Application::WebSearch, 4.1),
+        (Application::Memcached, 4.7),
+    ] {
+        let base = app.profile();
+        println!("=== {} target {target} (cv={}, sigma={})", base.name, base.service_cv, base.core_contention);
+        for phi_i in 0..6 {
+            let phi = match app {
+                Application::Memcached => 0.5 + 0.08 * phi_i as f64,
+                _ => 0.8 + 0.05 * phi_i as f64,
+            };
+            // bisect base scale, guarding NaN (treat NaN as "too high")
+            let (mut lo, mut hi) = (0.2, 5.0);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let mut p = base.clone();
+                p.freq_exponent = phi;
+                p.base_service_ms = base.base_service_ms * mid;
+                let s = speedup(&p);
+                if s.is_nan() || s >= target { hi = mid; } else { lo = mid; }
+            }
+            let mut p = base.clone();
+            p.freq_exponent = phi;
+            p.base_service_ms = base.base_service_ms * hi;
+            let s_hit = speedup(&p);
+            // sensitivity: +2% base
+            let mut p2 = p.clone();
+            p2.base_service_ms = p.base_service_ms * 1.02;
+            let s2 = speedup(&p2);
+            println!("  phi={:.2} base={:8.3}ms speedup={:6.3} (+2% base -> {:6.3})",
+                     phi, p.base_service_ms, s_hit, s2);
+        }
+    }
+}
+
+/// Memcached-specific sweep: (cv, sigma, phi) grid, solving base each time.
+#[test]
+#[ignore]
+fn sweep_memcached() {
+    use gs_workload::apps::AppProfile;
+    fn speedup(p: &AppProfile) -> f64 {
+        let n = p.slo_capacity(ServerSetting::normal());
+        if n <= 0.0 { return f64::NAN; }
+        p.slo_capacity(ServerSetting::max_sprint()) / n
+    }
+    let base = Application::Memcached.profile();
+    for cv in [0.20, 0.25, 0.30] {
+        for sigma in [0.05, 0.10, 0.15] {
+            for phi in [0.55, 0.65, 0.75] {
+                let (mut lo, mut hi) = (0.2, 8.0);
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    let mut p = base.clone();
+                    p.service_cv = cv; p.core_contention = sigma; p.freq_exponent = phi;
+                    p.base_service_ms = base.base_service_ms * mid;
+                    let s = speedup(&p);
+                    if s.is_nan() || s >= 4.7 { hi = mid; } else { lo = mid; }
+                }
+                let mk = |scale: f64| {
+                    let mut p = base.clone();
+                    p.service_cv = cv; p.core_contention = sigma; p.freq_exponent = phi;
+                    p.base_service_ms = base.base_service_ms * scale;
+                    p
+                };
+                let p = mk(hi);
+                let s = speedup(&p);
+                let s2 = speedup(&mk(hi * 1.02));
+                let s3 = speedup(&mk(hi * 0.98));
+                println!("cv={cv:.2} sig={sigma:.2} phi={phi:.2} base={:7.3}ms s={s:7.3} (+2%={s2:7.3} -2%={s3:7.3})", p.base_service_ms);
+            }
+        }
+    }
+}
+
+/// Final fit: for candidate cv values solve base to hit the target, then
+/// check the worst-case setting (12c@1.2GHz) keeps positive capacity.
+#[test]
+#[ignore]
+fn final_fit() {
+    use gs_workload::apps::AppProfile;
+    fn speedup(p: &AppProfile) -> f64 {
+        let n = p.slo_capacity(ServerSetting::normal());
+        if n <= 0.0 { return f64::NAN; }
+        p.slo_capacity(ServerSetting::max_sprint()) / n
+    }
+    for (app, target, cvs) in [
+        (Application::SpecJbb, 4.8, [0.28, 0.30, 0.32]),
+        (Application::WebSearch, 4.1, [0.40, 0.45, 0.50]),
+        (Application::Memcached, 4.7, [0.18, 0.20, 0.22]),
+    ] {
+        for cv in cvs {
+            let base = app.profile();
+            let (mut lo, mut hi) = (0.2, 8.0);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let mut p = base.clone();
+                p.service_cv = cv;
+                p.base_service_ms = base.base_service_ms * mid;
+                let s = speedup(&p);
+                if s.is_nan() || s >= target { hi = mid; } else { lo = mid; }
+            }
+            let mut p = base.clone();
+            p.service_cv = cv;
+            p.base_service_ms = base.base_service_ms * hi;
+            let worst = p.slo_capacity(ServerSetting::new(12, 0));
+            let norm = p.slo_capacity(ServerSetting::normal());
+            println!("{:<11} cv={cv:.2} base={:7.3} s={:6.3} (+2%={:6.3}) worst12c1.2={:8.3} normal={:8.3}",
+                p.name, p.base_service_ms, speedup(&p),
+                { let mut q = p.clone(); q.base_service_ms *= 1.02; speedup(&q) }, worst, norm);
+        }
+    }
+}

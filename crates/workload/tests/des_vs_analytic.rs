@@ -1,0 +1,108 @@
+//! Cross-validation of the two measurement planes: the request-level DES
+//! must agree with the closed-form queueing model it shares parameters
+//! with — throughput at saturation, SLO attainment at the solved
+//! capacity, and latency percentiles under moderate load.
+
+use gs_cluster::ServerSetting;
+use gs_sim::{SimDuration, SimRng};
+use gs_workload::apps::Application;
+use gs_workload::des::ServerSim;
+use proptest::prelude::{prop_assert, proptest, ProptestConfig};
+
+fn settings_under_test() -> [ServerSetting; 4] {
+    [
+        ServerSetting::normal(),
+        ServerSetting::new(8, 4),
+        ServerSetting::new(12, 2),
+        ServerSetting::max_sprint(),
+    ]
+}
+
+#[test]
+fn des_throughput_matches_raw_capacity_at_overload() {
+    let app = Application::SpecJbb.profile();
+    for setting in settings_under_test() {
+        let raw = app.raw_capacity(setting);
+        let mut sim = ServerSim::new(SimRng::seed_from_u64(setting.action_index() as u64));
+        let perf = sim.advance_epoch(
+            &app,
+            setting,
+            raw * 2.0,
+            f64::INFINITY,
+            SimDuration::from_secs(400),
+        );
+        let rel = (perf.completed_rps - raw).abs() / raw;
+        assert!(rel < 0.06, "{setting}: DES {} vs raw {raw}", perf.completed_rps);
+    }
+}
+
+#[test]
+fn des_attainment_near_percentile_at_solved_capacity() {
+    // Running exactly at the analytic SLO capacity, the measured fraction
+    // of requests meeting the deadline should sit near the percentile
+    // target — the two planes agree on where the SLO boundary lies.
+    for app in [Application::SpecJbb, Application::WebSearch] {
+        let p = app.profile();
+        for setting in [ServerSetting::normal(), ServerSetting::max_sprint()] {
+            let cap = p.slo_capacity(setting);
+            let mut sim = ServerSim::new(SimRng::seed_from_u64(7));
+            let perf = sim.advance_epoch(&p, setting, cap, f64::INFINITY, SimDuration::from_secs(600));
+            let attained = perf.slo_attainment();
+            assert!(
+                attained >= p.slo_percentile - 0.04 && attained <= 1.0,
+                "{:?} {setting}: attainment {attained} vs target {}",
+                app,
+                p.slo_percentile
+            );
+        }
+    }
+}
+
+#[test]
+fn des_percentile_latency_matches_analytic_at_moderate_load() {
+    let app = Application::SpecJbb.profile();
+    let setting = ServerSetting::max_sprint();
+    let station = app.station(setting);
+    let lambda = 0.7 * app.slo_capacity(setting);
+    let analytic_p99 = station
+        .sojourn_percentile(lambda, app.slo_percentile)
+        .expect("stable load");
+    let mut sim = ServerSim::new(SimRng::seed_from_u64(3));
+    let perf = sim.advance_epoch(&app, setting, lambda, f64::INFINITY, SimDuration::from_secs(900));
+    let measured = perf.slo_percentile_latency_s;
+    let rel = (measured - analytic_p99).abs() / analytic_p99;
+    assert!(
+        rel < 0.30,
+        "p99: DES {measured:.4}s vs analytic {analytic_p99:.4}s"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// At sub-SLO load the DES completes essentially everything it
+    /// admits, for any app/setting/load combination.
+    #[test]
+    fn des_completes_admitted_work_below_capacity(
+        app_idx in 0_usize..3,
+        cores in 6_u8..=12,
+        freq in 0_u8..9,
+        load_frac in 0.1_f64..0.8,
+        seed in 0_u64..64,
+    ) {
+        let app = Application::ALL[app_idx].profile();
+        let setting = ServerSetting::new(cores, freq);
+        let cap = app.slo_capacity(setting);
+        // Skip the one infeasible corner (SPECjbb at 12c@1.2GHz).
+        if cap <= 0.0 {
+            return Ok(());
+        }
+        let lambda = cap * load_frac;
+        let mut sim = ServerSim::new(SimRng::seed_from_u64(seed));
+        let perf = sim.advance_epoch(&app, setting, lambda, cap, SimDuration::from_secs(60));
+        // Completion keeps pace with admission (allow small carryover).
+        prop_assert!(perf.completed_rps >= perf.admitted_rps * 0.9 - 1.0);
+        // Attainment comfortably above the percentile at this headroom.
+        prop_assert!(perf.slo_attainment() >= app.slo_percentile - 0.05);
+    }
+}

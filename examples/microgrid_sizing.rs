@@ -1,0 +1,74 @@
+//! Microgrid sizing: how much battery and solar should a green rack buy?
+//!
+//! ```text
+//! cargo run --release --example microgrid_sizing
+//! ```
+//!
+//! Sweeps per-server battery capacity and panel count for a Web-Search
+//! rack facing 30-minute bursts at medium availability, reporting the
+//! sprint speedup each provisioning point achieves and what it costs —
+//! the capacity-planning question a datacenter operator actually asks.
+
+use greensprint_repro::prelude::*;
+
+fn main() {
+    let batteries_ah = [0.0, 3.2, 6.0, 10.0, 16.0];
+    let panel_counts = [1, 2, 3, 4];
+
+    println!("Microgrid sizing for a Web-Search rack (30-minute bursts, medium availability)\n");
+    println!("speedup vs Normal:");
+    print!("{:<14}", "battery \\ PV");
+    for p in panel_counts {
+        print!("{:>12}", format!("{p} panels"));
+    }
+    println!();
+
+    let mut best: Option<(f64, u32, f64, f64)> = None; // (ah, panels, speedup, $/yr)
+    let tco = TcoParams::paper();
+    for ah in batteries_ah {
+        print!("{:<14}", format!("{ah:.1} Ah"));
+        for panels in panel_counts {
+            let green = GreenConfig {
+                name: "custom".into(),
+                green_servers: 3,
+                panels,
+                battery_ah: ah,
+            };
+            let cfg = EngineConfig {
+                app: Application::WebSearch,
+                green,
+                strategy: Strategy::Hybrid,
+                availability: AvailabilityLevel::Medium,
+                burst_duration: SimDuration::from_mins(30),
+                burst_intensity_cores: 12,
+                measurement: MeasurementMode::Analytic,
+                seed: 11,
+                ..EngineConfig::default()
+            };
+            let out = Engine::new(cfg).run();
+            print!("{:>11.2}x", out.speedup_vs_normal);
+
+            // Yearly cost of this provisioning: PV capex amortized plus
+            // battery $/KW/yr, per KW of sprint capacity it enables.
+            let pv_kw = panels as f64 * 275.0 / 1_000.0;
+            let batt_kw = 3.0 * ah * 12.0 * 6.0 / 1_000.0; // 6C discharge capability
+            let yearly = pv_kw * tco.pv_capex_per_w * 1_000.0 / tco.pv_lifetime_years
+                + batt_kw.min(pv_kw.max(0.001)) * tco.battery_cost_per_kw_year;
+            let score = out.speedup_vs_normal / yearly.max(1.0);
+            if best.is_none_or(|(_, _, s, y)| score > s / y.max(1.0)) {
+                best = Some((ah, panels, out.speedup_vs_normal, yearly));
+            }
+        }
+        println!();
+    }
+
+    if let Some((ah, panels, speedup, yearly)) = best {
+        println!(
+            "\nbest speedup-per-dollar: {ah:.1} Ah + {panels} panels -> {speedup:.2}x at ~${yearly:.0}/year"
+        );
+    }
+    println!("\nreading the table:");
+    println!("  - the first panel column shows renewable-starved racks: batteries carry the sprint;");
+    println!("  - battery capacity stops mattering once panels cover the full sprint draw;");
+    println!("  - the paper's RE-Batt point (10 Ah, 3 panels) sits near the knee.");
+}

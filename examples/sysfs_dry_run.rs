@@ -1,0 +1,75 @@
+//! Deployment dry run: drive a real control plane from simulated decisions.
+//!
+//! ```text
+//! cargo run --release --example sysfs_dry_run
+//! ```
+//!
+//! The controller's epoch decisions are applied to a cpufreq/hotplug sysfs
+//! tree (a fake one under /tmp here; point it at `/sys/devices/system/cpu`
+//! on a test box and the same code drives hardware), and the equivalent
+//! `taskset`/`cpufreq-set` shell commands are printed — the exact knobs
+//! the paper's prototype used.
+
+use greensprint_repro::cluster::affinity::{cpu_list, CpuMask};
+use greensprint_repro::cluster::control::{ServerControl, SysfsControl};
+use greensprint_repro::prelude::*;
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("greensprint-dryrun-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut control = SysfsControl::create_fake_tree(&root).expect("create fake sysfs tree");
+    println!("sysfs root: {} (create_fake_tree)", root.display());
+
+    let cfg = EngineConfig {
+        app: Application::SpecJbb,
+        green: GreenConfig::re_sbatt(),
+        strategy: Strategy::Hybrid,
+        availability: AvailabilityLevel::Medium,
+        burst_duration: SimDuration::from_mins(10),
+        measurement: MeasurementMode::Analytic,
+        seed: 31,
+        ..EngineConfig::default()
+    };
+    let outcome = Engine::new(cfg).run();
+
+    println!("\nepoch-by-epoch control actions (server 0):\n");
+    let mut prev = ServerSetting::normal();
+    control.apply(prev).expect("apply initial setting");
+    for e in &outcome.epochs {
+        if e.setting == prev {
+            continue;
+        }
+        control.apply(e.setting).expect("apply setting");
+        let read_back = control.read().expect("read back");
+        assert_eq!(read_back, e.setting, "sysfs round-trip");
+
+        let mask = CpuMask::for_setting(e.setting);
+        let evacuate = CpuMask::for_setting(prev).evacuating_to(mask);
+        println!("[{}] {} -> {}", e.t, prev, e.setting);
+        println!("    # cpufreq: set userspace speed on the online cores");
+        println!(
+            "    for c in {}; do echo {} > /sys/devices/system/cpu/cpu$c/cpufreq/scaling_setspeed; done",
+            cpu_list(mask),
+            e.setting.freq_khz()
+        );
+        if evacuate.count() > 0 {
+            println!("    # offline the cores leaving service (threads migrate off first)");
+            println!("    taskset -pc {} $WORKLOAD_PID", cpu_list(mask));
+            println!(
+                "    for c in {}; do echo 0 > /sys/devices/system/cpu/cpu$c/online; done",
+                cpu_list(evacuate)
+            );
+        } else {
+            println!("    # online the additional cores, then widen the affinity mask");
+            println!("    taskset -pc {} $WORKLOAD_PID", cpu_list(mask));
+        }
+        prev = e.setting;
+    }
+
+    println!(
+        "\nburst finished: {:.2}x speedup, {} setting transitions applied through sysfs",
+        outcome.speedup_vs_normal,
+        outcome.setting_transitions,
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

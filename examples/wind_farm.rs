@@ -1,0 +1,57 @@
+//! Wind-powered sprinting: swap the solar farm for turbines.
+//!
+//! ```text
+//! cargo run --release --example wind_farm
+//! ```
+//!
+//! The paper's power architecture admits "photovoltaic (PV) and wind" on
+//! the green bus. Wind inverts solar's rhythm — it blows at night and
+//! through overcast days — so the same controller sprints at hours a PV
+//! array cannot. This example runs identical bursts at four times of day
+//! under both sources and compares.
+
+use greensprint_repro::power::wind::WindModel;
+use greensprint_repro::prelude::*;
+
+fn run_at(hour: f64, trace: Option<SolarTrace>) -> BurstOutcome {
+    let cfg = EngineConfig {
+        app: Application::WebSearch,
+        green: GreenConfig::re_sbatt(),
+        strategy: Strategy::Hybrid,
+        availability: AvailabilityLevel::Medium, // used when no override
+        burst_duration: SimDuration::from_mins(20),
+        burst_start_hour: hour,
+        trace_override: trace,
+        measurement: MeasurementMode::Analytic,
+        seed: 14,
+        ..EngineConfig::default()
+    };
+    Engine::new(cfg).run()
+}
+
+fn main() {
+    let wind = WindModel {
+        weibull_scale_ms: 9.0,
+        ..WindModel::default()
+    };
+    let wind_trace = wind.generate(2, &mut SimRng::seed_from_u64(14));
+    let mean_cf: f64 =
+        wind_trace.samples().iter().sum::<f64>() / wind_trace.len() as f64;
+
+    println!("Wind vs solar sprinting (Web-Search, RE-SBatt, 20-minute bursts)");
+    println!("wind site: Weibull scale 9 m/s -> capacity factor {:.0}%\n", mean_cf * 100.0);
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "hour", "solar speedup", "wind speedup"
+    );
+    for hour in [2.0, 8.0, 12.0, 20.0] {
+        let solar = run_at(hour, None);
+        let windy = run_at(hour, Some(wind_trace.clone()));
+        println!(
+            "{:>6.0} {:>15.2}x {:>15.2}x",
+            hour, solar.speedup_vs_normal, windy.speedup_vs_normal
+        );
+    }
+    println!("\nsolar owns noon; wind owns the night — a green bus fed by both");
+    println!("covers the whole diurnal burst pattern of the paper's Fig. 1.");
+}

@@ -1,0 +1,296 @@
+//! `greensprint` — the operator CLI.
+//!
+//! ```text
+//! greensprint simulate [--app jbb|websearch|memcached] [--config re-batt|re-only|re-sbatt|sre-sbatt]
+//!                      [--strategy greedy|parallel|pacing|hybrid|normal] [--availability min|med|max]
+//!                      [--minutes N] [--intensity K] [--seed N] [--analytic]
+//!                      [--hysteresis F] [--trace FILE.csv]
+//!                      [--warm-policy FILE] [--save-policy FILE] [--scenario FILE.json]
+//! greensprint campaign [--days N] [--spikes N] [--app ...] [--strategy ...] [--seed N]
+//! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
+//! greensprint tco [--hours H]
+//! ```
+
+use greensprint_repro::core::campaign::{run_campaign, CampaignConfig};
+use greensprint_repro::power::trace_io;
+use greensprint_repro::power::wind::WindModel;
+use greensprint_repro::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    let (flags, positional) = parse_flags(&args);
+    match cmd.as_str() {
+        "simulate" => simulate(&flags),
+        "campaign" => campaign(&flags),
+        "trace" => trace(&positional, &flags),
+        "tco" => tco(&flags),
+        "help" | "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown subcommand: {other}")),
+    }
+}
+
+/// Split `--key value` pairs (and bare `--switch`es) from positional args.
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let next_is_value = args
+                .get(i + 1)
+                .is_some_and(|v| !v.starts_with("--"));
+            if next_is_value {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::from("true"));
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --{key} cannot parse {v:?}");
+            exit(2);
+        }),
+    }
+}
+
+fn app_of(flags: &HashMap<String, String>) -> Application {
+    match flags.get("app").map(String::as_str).unwrap_or("jbb") {
+        "jbb" | "specjbb" => Application::SpecJbb,
+        "websearch" | "ws" | "web-search" => Application::WebSearch,
+        "memcached" | "mc" => Application::Memcached,
+        other => usage(&format!("unknown --app {other}")),
+    }
+}
+
+fn green_of(flags: &HashMap<String, String>) -> GreenConfig {
+    match flags.get("config").map(String::as_str).unwrap_or("re-batt") {
+        "re-batt" => GreenConfig::re_batt(),
+        "re-only" => GreenConfig::re_only(),
+        "re-sbatt" => GreenConfig::re_sbatt(),
+        "sre-sbatt" => GreenConfig::sre_sbatt(),
+        other => usage(&format!("unknown --config {other}")),
+    }
+}
+
+fn strategy_of(flags: &HashMap<String, String>) -> Strategy {
+    match flags.get("strategy").map(String::as_str).unwrap_or("hybrid") {
+        "normal" => Strategy::Normal,
+        "greedy" => Strategy::Greedy,
+        "parallel" => Strategy::Parallel,
+        "pacing" => Strategy::Pacing,
+        "hybrid" => Strategy::Hybrid,
+        other => usage(&format!("unknown --strategy {other}")),
+    }
+}
+
+fn availability_of(flags: &HashMap<String, String>) -> AvailabilityLevel {
+    match flags.get("availability").map(String::as_str).unwrap_or("med") {
+        "min" | "minimum" => AvailabilityLevel::Minimum,
+        "med" | "medium" => AvailabilityLevel::Medium,
+        "max" | "maximum" => AvailabilityLevel::Maximum,
+        other => usage(&format!("unknown --availability {other}")),
+    }
+}
+
+fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
+    // A scenario file provides the base configuration; every other flag
+    // then overrides it. Missing fields take the library defaults
+    // (EngineConfig deserializes with per-field defaults).
+    if let Some(path) = flags.get("scenario") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read scenario {path}: {e}");
+            exit(1);
+        });
+        let mut cfg: EngineConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: invalid scenario {path}: {e}");
+            exit(1);
+        });
+        // Flag overrides on top of the file.
+        if flags.contains_key("app") {
+            cfg.app = app_of(flags);
+        }
+        if flags.contains_key("config") {
+            cfg.green = green_of(flags);
+        }
+        if flags.contains_key("strategy") {
+            cfg.strategy = strategy_of(flags);
+        }
+        if flags.contains_key("availability") {
+            cfg.availability = availability_of(flags);
+        }
+        if flags.contains_key("minutes") {
+            cfg.burst_duration = SimDuration::from_mins(get(flags, "minutes", 10_u64));
+        }
+        if flags.contains_key("seed") {
+            cfg.seed = get(flags, "seed", 7_u64);
+        }
+        if flags.contains_key("analytic") {
+            cfg.measurement = MeasurementMode::Analytic;
+        }
+        return cfg;
+    }
+    let trace_override = flags.get("trace").map(|path| {
+        trace_io::read_csv(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read trace {path}: {e}");
+            exit(1);
+        })
+    });
+    let warm_policy_json = flags.get("warm-policy").map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read policy {path}: {e}");
+            exit(1);
+        })
+    });
+    EngineConfig {
+        app: app_of(flags),
+        green: green_of(flags),
+        strategy: strategy_of(flags),
+        availability: availability_of(flags),
+        burst_duration: SimDuration::from_mins(get(flags, "minutes", 10_u64)),
+        burst_intensity_cores: get(flags, "intensity", 12_u8),
+        measurement: if flags.contains_key("analytic") {
+            MeasurementMode::Analytic
+        } else {
+            MeasurementMode::Des
+        },
+        switch_hysteresis: get(flags, "hysteresis", 0.0_f64),
+        trace_override,
+        warm_policy_json,
+        seed: get(flags, "seed", 7_u64),
+        ..EngineConfig::default()
+    }
+}
+
+fn simulate(flags: &HashMap<String, String>) {
+    let cfg = engine_cfg(flags);
+    println!(
+        "simulating: {} on {} ({} servers, {:.1} Ah), {} strategy, {} availability, {} burst",
+        cfg.app,
+        cfg.green.name,
+        cfg.green.green_servers,
+        cfg.green.battery_ah,
+        cfg.strategy,
+        cfg.availability,
+        cfg.burst_duration,
+    );
+    let save_policy = flags.get("save-policy").cloned();
+    let (out, _, policy) = Engine::new(cfg).run_full();
+    println!("\nresult:");
+    println!("  speedup vs Normal : {:.2}x", out.speedup_vs_normal);
+    println!(
+        "  goodput           : {:.1} req/s/server (Normal {:.1})",
+        out.mean_goodput_rps, out.normal_baseline_rps
+    );
+    println!("  SLO attainment    : {:.1}%", out.slo_attainment * 100.0);
+    println!(
+        "  energy            : {:.1} Wh renewable + {:.1} Wh battery ({:.1} Wh curtailed)",
+        out.re_used_wh, out.battery_used_wh, out.curtailed_wh
+    );
+    println!(
+        "  battery           : {:.3} equivalent cycles; {:.1} Wh grid recharge afterwards",
+        out.battery_cycles, out.grid_recharge_wh
+    );
+    println!(
+        "  thermals          : peak {:.1} degC, {} throttled epochs",
+        out.peak_temp_c, out.thermal_throttle_epochs
+    );
+    println!("  knob churn        : {} setting transitions", out.setting_transitions);
+    if let (Some(path), Some(json)) = (save_policy, policy) {
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("  policy            : saved to {path}");
+    }
+}
+
+fn campaign(flags: &HashMap<String, String>) {
+    let cfg = CampaignConfig {
+        engine: engine_cfg(flags),
+        days: get(flags, "days", 3_u32),
+        spikes_per_day: get(flags, "spikes", 4_u32),
+        peak_intensity_cores: get(flags, "intensity", 12_u8),
+    };
+    let out = run_campaign(&cfg);
+    let tco = TcoParams::paper();
+    println!("campaign over {} day(s):", out.days);
+    println!("  sprint hours        : {:.1} ({:.1} server-hours)", out.sprint_hours, out.sprint_server_hours);
+    println!("  extrapolated        : {:.0} h/year (break-even {:.1})", out.sprint_hours_per_year, tco.crossover_hours());
+    println!("  goodput vs Normal   : {:.2}x", out.goodput_vs_normal);
+    println!("  POI                 : {:+.0} $/KW/year", tco.poi(out.sprint_hours_per_year));
+}
+
+fn trace(positional: &[String], flags: &HashMap<String, String>) {
+    let kind = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage("trace needs a kind: solar | wind");
+    });
+    let days = get(flags, "days", 1_u32);
+    let seed = get(flags, "seed", 7_u64);
+    let out_path = flags
+        .get("out")
+        .unwrap_or_else(|| usage("trace needs --out FILE.csv"));
+    let mut rng = SimRng::seed_from_u64(seed);
+    let trace = match kind {
+        "solar" => SolarTrace::generate(days, &WeatherModel::default(), &mut rng),
+        "wind" => WindModel::default().generate(days, &mut rng),
+        other => usage(&format!("unknown trace kind: {other}")),
+    };
+    trace_io::write_csv(&trace, out_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        exit(1);
+    });
+    let mean: f64 = trace.samples().iter().sum::<f64>() / trace.len() as f64;
+    println!(
+        "wrote {} minute-samples of {kind} to {out_path} (capacity factor {:.0}%)",
+        trace.len(),
+        mean * 100.0
+    );
+}
+
+fn tco(flags: &HashMap<String, String>) {
+    let tco = TcoParams::paper();
+    let hours = get(flags, "hours", 24.0_f64);
+    println!("green-provision TCO (paper constants):");
+    println!("  yearly capex   : {:.1} $/KW", tco.yearly_capex_per_kw());
+    println!("  revenue        : {:.1} $/KW at {hours} sprint-hours/year", tco.yearly_revenue_per_kw(hours));
+    println!("  POI            : {:+.1} $/KW/year", tco.poi(hours));
+    println!("  break-even     : {:.1} sprint-hours/year", tco.crossover_hours());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "greensprint — renewable-energy-driven computational sprinting
+
+usage:
+  greensprint simulate [--app jbb|websearch|memcached] [--config re-batt|re-only|re-sbatt|sre-sbatt]
+                       [--strategy normal|greedy|parallel|pacing|hybrid] [--availability min|med|max]
+                       [--minutes N] [--intensity K] [--seed N] [--analytic] [--hysteresis F]
+                       [--trace FILE.csv] [--warm-policy FILE] [--save-policy FILE]
+                       [--scenario FILE.json]
+  greensprint campaign [--days N] [--spikes N] [--app A] [--strategy S] [--seed N] [--analytic]
+  greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
+  greensprint tco [--hours H]"
+    );
+    exit(2);
+}

@@ -1,0 +1,192 @@
+//! Quality-side ablations of the design choices DESIGN.md calls out (the
+//! performance-cost side lives in `crates/bench/benches/ablations.rs`).
+
+use greensprint_repro::core::predictor::Predictor;
+use greensprint_repro::prelude::*;
+
+#[test]
+fn paper_alpha_tracks_flickering_supply_better_than_heavy_smoothing() {
+    // The paper picked α = 0.3 because it "weights the model more heavily
+    // towards current observed data". On the structured part of the signal
+    // (the clear-sky ramp) a sluggish α = 0.9 lags the sun; the reactive
+    // α = 0.3 tracks it. (On pure cloud flicker both are equally at the
+    // mercy of irreducible noise — that is exactly why the paper notes
+    // solar prediction is accurate "when weather conditions are stable".)
+    let trace = AvailabilityLevel::Maximum.trace(5);
+    let pv = PvArray::paper_spec(3);
+    let error = |alpha: f64| {
+        let mut p = Predictor::with_alpha(alpha);
+        let mut err = 0.0;
+        let mut n = 0u32;
+        for minute in 0..12 * 60 {
+            let t = SimTime::from_mins(6 * 60 + minute); // daytime half
+            let actual = pv.output_at(&trace, t);
+            err += (p.re_supply_w(actual) - actual).abs();
+            n += 1;
+            p.observe_re_supply(actual);
+        }
+        err / n as f64
+    };
+    let fast = error(0.3);
+    let slow = error(0.9);
+    assert!(
+        fast < slow * 0.5,
+        "alpha=0.3 error {fast:.1} W vs alpha=0.9 error {slow:.1} W"
+    );
+}
+
+#[test]
+fn over_conservative_planning_horizon_hurts_battery_only_sprints() {
+    // Budgeting the battery over the whole hour (60-minute horizon) at
+    // minimum availability starves the sprint below the idle floor; the
+    // default 10-minute horizon lets the pacing strategies actually use
+    // the stored energy.
+    let run = |horizon_mins: u64| {
+        let cfg = EngineConfig {
+            strategy: Strategy::Pacing,
+            availability: AvailabilityLevel::Minimum,
+            burst_duration: SimDuration::from_mins(60),
+            planning_horizon: SimDuration::from_mins(horizon_mins),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg).run().speedup_vs_normal
+    };
+    let default = run(10);
+    let conservative = run(60);
+    assert!(
+        default > conservative + 0.03,
+        "10-min horizon {default} vs 60-min horizon {conservative}"
+    );
+}
+
+#[test]
+fn epoch_length_choice_is_not_load_bearing() {
+    // The paper's results should not hinge on the exact scheduling epoch;
+    // 30 s and 60 s epochs land within a few percent of each other.
+    let run = |secs: u64| {
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(20),
+            epoch: SimDuration::from_secs(secs),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg).run().speedup_vs_normal
+    };
+    let s30 = run(30);
+    let s60 = run(60);
+    let rel = (s30 - s60).abs() / s60;
+    assert!(rel < 0.10, "epoch sensitivity: 30s {s30} vs 60s {s60}");
+}
+
+#[test]
+fn des_noise_is_small_across_seeds() {
+    // The headline numbers are seed-stable: DES runs across seeds stay
+    // within a tight band at maximum availability.
+    let mut speedups = Vec::new();
+    for seed in 0..4 {
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(5),
+            measurement: MeasurementMode::Des,
+            seed,
+            ..EngineConfig::default()
+        };
+        speedups.push(Engine::new(cfg).run().speedup_vs_normal);
+    }
+    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(hi - lo < 0.25, "spread {speedups:?}");
+}
+
+#[test]
+fn clear_sky_indexed_predictor_does_no_harm_and_helps_ramps() {
+    use greensprint_repro::core::engine::PredictorKind;
+    // Swap the paper's raw EWMA for the clear-sky-indexed predictor: on
+    // the flickering medium sky the burst outcome must stay in the same
+    // band (the predictor is a refinement, not a behaviour change).
+    let run = |kind: PredictorKind| {
+        let cfg = EngineConfig {
+            green: GreenConfig::re_only(), // no battery: predictions matter most
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(30),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        };
+        let cfg = EngineConfig { predictor: kind, ..cfg };
+        Engine::new(cfg).run().speedup_vs_normal
+    };
+    let ewma = run(PredictorKind::PaperEwma);
+    let indexed = run(PredictorKind::ClearSkyIndexed);
+    assert!(
+        indexed > ewma * 0.92,
+        "indexed {indexed} vs ewma {ewma}"
+    );
+}
+
+#[test]
+fn hysteresis_trims_marginal_switches_at_bounded_cost() {
+    // Under a flickering sky most setting changes are *supply-driven*
+    // (the incumbent becomes unaffordable, or a much better rung opens
+    // up) — a hysteresis band cannot and should not suppress those. What
+    // it does remove are the marginal flips between near-equivalent
+    // settings, monotonically with the band width, at a bounded
+    // performance cost.
+    let run = |hysteresis: f64| {
+        let cfg = EngineConfig {
+            strategy: Strategy::Hybrid,
+            green: GreenConfig::re_sbatt(),
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(30),
+            switch_hysteresis: hysteresis,
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg).run()
+    };
+    let churny = run(0.0);
+    let damped = run(0.2);
+    assert!(
+        damped.setting_transitions < churny.setting_transitions,
+        "transitions {} -> {}",
+        churny.setting_transitions,
+        damped.setting_transitions
+    );
+    assert!(
+        damped.speedup_vs_normal > churny.speedup_vs_normal * 0.95,
+        "speedup {} -> {}",
+        churny.speedup_vs_normal,
+        damped.speedup_vs_normal
+    );
+    // The default configuration reproduces the paper (no hysteresis).
+    assert_eq!(EngineConfig::default().switch_hysteresis, 0.0);
+}
+
+#[test]
+fn battery_capacity_sweep_is_monotone_at_minimum_availability() {
+    // More stored energy can only help when the sun is down — an
+    // engine-level monotonicity the sizing example relies on.
+    let run = |ah: f64| {
+        let green = GreenConfig {
+            name: "sweep".into(),
+            green_servers: 3,
+            panels: 3,
+            battery_ah: ah,
+        };
+        let cfg = EngineConfig {
+            green,
+            availability: AvailabilityLevel::Minimum,
+            burst_duration: SimDuration::from_mins(30),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg).run().speedup_vs_normal
+    };
+    let mut prev = 0.0;
+    for ah in [0.0, 3.2, 6.0, 10.0, 16.0] {
+        let s = run(ah);
+        assert!(s >= prev - 0.02, "{ah} Ah gave {s} after {prev}");
+        prev = s;
+    }
+    assert!(prev > 3.0, "16 Ah should carry most of a 30-min sprint: {prev}");
+}

@@ -1,0 +1,156 @@
+//! Smoke tests for the operator CLI (the `greensprint` binary).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn simulate_prints_a_result() {
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--app",
+        "jbb",
+        "--minutes",
+        "5",
+        "--availability",
+        "max",
+        "--analytic",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("speedup vs Normal"), "{stdout}");
+    // Max availability: a real sprint happened.
+    let speedup_line = stdout
+        .lines()
+        .find(|l| l.contains("speedup"))
+        .expect("speedup line");
+    assert!(speedup_line.contains("4."), "expected ~4.6x: {speedup_line}");
+}
+
+#[test]
+fn trace_roundtrips_through_simulate() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("gs-cli-trace-{}.csv", std::process::id()));
+    let (stdout, _, ok) = run(&[
+        "trace",
+        "solar",
+        "--days",
+        "1",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("1440 minute-samples"));
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--minutes",
+        "5",
+        "--analytic",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("renewable"));
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn policy_saves_and_warm_starts() {
+    let dir = std::env::temp_dir();
+    let policy = dir.join(format!("gs-cli-policy-{}.json", std::process::id()));
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--strategy",
+        "hybrid",
+        "--minutes",
+        "5",
+        "--analytic",
+        "--save-policy",
+        policy.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(policy.exists(), "policy file written");
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--strategy",
+        "hybrid",
+        "--minutes",
+        "5",
+        "--analytic",
+        "--warm-policy",
+        policy.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("speedup"));
+    std::fs::remove_file(policy).ok();
+}
+
+#[test]
+fn tco_and_campaign_run() {
+    let (stdout, _, ok) = run(&["tco", "--hours", "30"]);
+    assert!(ok);
+    assert!(stdout.contains("break-even"));
+    let (stdout, _, ok) = run(&["campaign", "--days", "1", "--analytic"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sprint hours"));
+}
+
+#[test]
+fn scenario_file_drives_a_simulation() {
+    let dir = std::env::temp_dir();
+    let scenario = dir.join(format!("gs-cli-scenario-{}.json", std::process::id()));
+    std::fs::write(
+        &scenario,
+        r#"{
+            "app": "Memcached",
+            "green": {"name": "lab", "green_servers": 2, "panels": 3, "battery_ah": 5.0},
+            "strategy": "Pacing",
+            "availability": "Maximum",
+            "burst_duration": 300000000,
+            "measurement": "Analytic"
+        }"#,
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&["simulate", "--scenario", scenario.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Memcached"), "{stdout}");
+    assert!(stdout.contains("lab"), "{stdout}");
+    // Flag overrides beat the file.
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--app",
+        "jbb",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("SPECjbb"), "{stdout}");
+    // Garbage files fail cleanly.
+    std::fs::write(&scenario, "{nope").unwrap();
+    let (_, stderr, ok) = run(&["simulate", "--scenario", scenario.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid scenario"), "{stderr}");
+    std::fs::remove_file(scenario).ok();
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (_, stderr, ok) = run(&["simulate", "--app", "quake"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --app"), "{stderr}");
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    let (_, stderr, ok) = run(&["trace", "solar", "--days", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out"), "{stderr}");
+}

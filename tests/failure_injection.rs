@@ -1,0 +1,141 @@
+//! Failure injection: the unhappy paths a power-aware controller exists
+//! for. Each scenario wires real substrate components into a fault and
+//! checks the system degrades the way the paper's design intends —
+//! shedding sprint intensity, never shedding correctness.
+
+use greensprint_repro::core::cluster_view::{run_cluster, GridSprintPolicy};
+use greensprint_repro::power::backup::{AutomaticTransferSwitch, DieselGenerator};
+use greensprint_repro::power::pdu::CircuitBreaker;
+use greensprint_repro::prelude::*;
+
+#[test]
+fn renewable_collapse_mid_burst_degrades_to_normal_not_zero() {
+    // The sky goes black half-way through a burst (storm front): the
+    // controller must ride batteries down and land on Normal mode — never
+    // below it, never tripping anything.
+    let mut samples = vec![1.0_f64; 11 * 60 + 15]; // full sun until 11:15
+    samples.extend(vec![0.0; 24 * 60]); // then nothing
+    let trace = SolarTrace::from_samples(samples);
+    let cfg = EngineConfig {
+        green: GreenConfig::re_sbatt(),
+        trace_override: Some(trace),
+        burst_duration: SimDuration::from_mins(30),
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let out = Engine::new(cfg).run();
+    // Sprinted while the sun was up, degraded after.
+    let early = &out.epochs[..10];
+    let late = &out.epochs[20..];
+    assert!(early.iter().all(|e| e.setting.is_sprinting()));
+    assert!(late.iter().all(|e| e.setting == ServerSetting::normal()));
+    // Average still beats Normal; floor holds.
+    assert!(out.speedup_vs_normal > 1.3);
+    assert!(out.epochs.iter().all(|e| e.goodput_rps > 0.0));
+    assert_eq!(out.grid_overload_wh, 0.0);
+}
+
+#[test]
+fn dead_battery_and_dark_sky_is_exactly_normal() {
+    let cfg = EngineConfig {
+        green: GreenConfig::re_only(),
+        availability: AvailabilityLevel::Minimum,
+        burst_duration: SimDuration::from_mins(20),
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let out = Engine::new(cfg).run();
+    assert!((out.speedup_vs_normal - 1.0).abs() < 0.02);
+    assert_eq!(out.battery_used_wh, 0.0);
+    assert_eq!(out.re_used_wh, 0.0);
+}
+
+#[test]
+fn breaker_protects_the_grid_from_reckless_sprinting() {
+    let cfg = EngineConfig {
+        availability: AvailabilityLevel::Maximum,
+        burst_duration: SimDuration::from_mins(10),
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let reckless = run_cluster(&cfg, GridSprintPolicy::Reckless);
+    assert!(reckless.breaker_tripped);
+    // The disciplined policy with the same burst never trips.
+    let disciplined = run_cluster(&cfg, GridSprintPolicy::SubOptimal);
+    assert!(!disciplined.breaker_tripped);
+    assert!(disciplined.cluster_speedup_vs_normal > reckless.cluster_speedup_vs_normal);
+}
+
+#[test]
+fn utility_outage_during_a_sprint_is_survivable() {
+    // Fig. 2 end-to-end: the grid side rides ATS → diesel through a
+    // 30-minute utility outage while the green rack sprints on its own
+    // bus, oblivious.
+    let cfg = EngineConfig {
+        availability: AvailabilityLevel::Maximum,
+        burst_duration: SimDuration::from_mins(30),
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let green = Engine::new(cfg).run();
+    assert!(green.speedup_vs_normal > 4.0, "green bus unaffected");
+
+    let mut ats = AutomaticTransferSwitch::new(DieselGenerator::paper_scale());
+    let grid_normal_w = 7.0 * 100.0; // the utility-dependent servers
+    let mut delivered_wh = 0.0;
+    for minute in 0..30 {
+        let utility_up = !(5..25).contains(&minute); // 20-minute outage
+        delivered_wh +=
+            ats.advance(utility_up, grid_normal_w, SimDuration::from_mins(1)) / 60.0;
+    }
+    let demanded_wh = grid_normal_w * 0.5;
+    // Only the diesel crank gap went unserved (a UPS hold-up would cover it).
+    assert!(delivered_wh > demanded_wh * 0.98, "{delivered_wh} of {demanded_wh}");
+    assert!(ats.gap_wh() < 5.0, "gap {}", ats.gap_wh());
+    assert!(ats.diesel_wh() > 200.0);
+}
+
+#[test]
+fn diesel_running_dry_leaves_a_quantified_gap() {
+    let mut ats = AutomaticTransferSwitch::new(DieselGenerator::new(
+        2_000.0,
+        SimDuration::ZERO,
+        1.0,
+        0.25, // quarter-litre of fuel: ~15 min at 1 kW-ish loads
+    ));
+    let mut served = 0.0;
+    for _ in 0..60 {
+        served += ats.advance(false, 1_000.0, SimDuration::from_mins(1)) / 60.0;
+    }
+    assert!(served > 0.0);
+    assert!(ats.gap_wh() > 400.0, "gap {}", ats.gap_wh());
+    // Accounting closes: served + gap = demand.
+    assert!((served + ats.gap_wh() - 1_000.0).abs() < 1.0);
+}
+
+#[test]
+fn thermal_runaway_without_pcm_is_contained_by_throttling() {
+    let cfg = EngineConfig {
+        availability: AvailabilityLevel::Maximum,
+        burst_duration: SimDuration::from_mins(30),
+        thermal: ThermalModel::NoPcm,
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let out = Engine::new(cfg).run();
+    // The guard fired, the chip never exceeded the limit band, and the
+    // duty-cycled sprint still beat Normal.
+    assert!(out.thermal_throttle_epochs > 0);
+    assert!(out.peak_temp_c < 86.0, "peak {}", out.peak_temp_c);
+    assert!(out.speedup_vs_normal > 1.2);
+}
+
+#[test]
+fn breaker_recovers_after_reset() {
+    let mut cb = CircuitBreaker::new(1_000.0);
+    cb.advance(5_000.0, SimDuration::from_secs(30));
+    assert!(cb.is_tripped());
+    cb.reset();
+    // Back in service at rated load.
+    assert!(!cb.advance(1_000.0, SimDuration::from_mins(10)));
+}

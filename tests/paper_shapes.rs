@@ -1,0 +1,221 @@
+//! Integration tests asserting the *shapes* of the paper's evaluation:
+//! who wins, by roughly what factor, and where the crossovers fall.
+//! These are the executable form of EXPERIMENTS.md.
+//!
+//! All runs use the deterministic analytic measurement plane so the
+//! assertions are stable; `cross_crate.rs` covers DES agreement.
+
+use greensprint_repro::prelude::*;
+
+fn speedup(
+    app: Application,
+    green: GreenConfig,
+    strategy: Strategy,
+    availability: AvailabilityLevel,
+    mins: u64,
+    intensity: u8,
+) -> f64 {
+    let cfg = EngineConfig {
+        app,
+        green,
+        strategy,
+        availability,
+        burst_duration: SimDuration::from_mins(mins),
+        burst_intensity_cores: intensity,
+        measurement: MeasurementMode::Analytic,
+        seed: 7,
+        ..EngineConfig::default()
+    };
+    Engine::new(cfg).run().speedup_vs_normal
+}
+
+#[test]
+fn abstract_headline_speedups() {
+    // "can improve performance by up to 4.8x for SPECjbb, 4.1x for
+    // Web-Search, and 4.7x for Memcached with renewable power supply."
+    let jbb = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
+        AvailabilityLevel::Maximum, 10, 12);
+    assert!((jbb - 4.8).abs() < 0.3, "SPECjbb {jbb}");
+    let ws = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Maximum, 10, 12);
+    assert!((ws - 4.1).abs() < 0.3, "Web-Search {ws}");
+    let mc = speedup(Application::Memcached, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Maximum, 10, 12);
+    assert!((mc - 4.7).abs() < 0.3, "Memcached {mc}");
+}
+
+#[test]
+fn fig6_battery_carries_short_minimum_bursts() {
+    // "For short bursts (10-minute duration), even when the renewable
+    // energy is unavailable, battery alone is able to completely handle
+    // the sprinting operation with maximal performance."
+    for strat in [Strategy::Greedy, Strategy::Hybrid] {
+        let s = speedup(Application::SpecJbb, GreenConfig::re_batt(), strat,
+            AvailabilityLevel::Minimum, 10, 12);
+        assert!(s > 4.3, "{strat} at Min/10min: {s}");
+    }
+}
+
+#[test]
+fn fig6_long_minimum_bursts_degrade() {
+    // "the performance improvement drops to 1.8x for Parallel" (60 min,
+    // minimum availability) — and batteries are "not appropriate for
+    // longer durations".
+    let par = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Parallel,
+        AvailabilityLevel::Minimum, 60, 12);
+    assert!((1.3..2.3).contains(&par), "Parallel Min/60: {par}");
+    // Greedy ties Hybrid as the best battery-only strategy.
+    let greedy = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Greedy,
+        AvailabilityLevel::Minimum, 60, 12);
+    let hybrid = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
+        AvailabilityLevel::Minimum, 60, 12);
+    assert!((greedy - hybrid).abs() < 0.15, "Greedy {greedy} vs Hybrid {hybrid}");
+    assert!(hybrid >= par - 1e-9, "Hybrid {hybrid} vs Parallel {par}");
+}
+
+#[test]
+fn fig6_medium_sixty_minutes_lands_near_paper() {
+    // "For 60-minute durations, Sprinting can still provide up to 3.4x
+    // performance gains over Normal" at medium availability.
+    let best = [Strategy::Greedy, Strategy::Parallel, Strategy::Pacing, Strategy::Hybrid]
+        .into_iter()
+        .map(|s| speedup(Application::SpecJbb, GreenConfig::re_batt(), s,
+            AvailabilityLevel::Medium, 60, 12))
+        .fold(0.0_f64, f64::max);
+    assert!((2.9..3.9).contains(&best), "best Med/60: {best}");
+}
+
+#[test]
+fn fig6_maximum_availability_is_flat_and_full() {
+    for mins in [10, 30, 60] {
+        for strat in Strategy::SPRINTING {
+            let s = speedup(Application::SpecJbb, GreenConfig::re_batt(), strat,
+                AvailabilityLevel::Maximum, mins, 12);
+            assert!(s > 4.3, "{strat} at Max/{mins}min: {s}");
+        }
+    }
+}
+
+#[test]
+fn fig7_re_only_cannot_sprint_in_the_dark() {
+    // "the performance results with minimum renewable energy availability
+    // are the same as the Normal mode because there is no power supply
+    // for sprinting."
+    let s = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
+        AvailabilityLevel::Minimum, 30, 12);
+    assert!((s - 1.0).abs() < 0.05, "REOnly at Min: {s}");
+}
+
+#[test]
+fn fig7_config_ordering_under_battery_pressure() {
+    // RE-Batt (10 Ah) beats RE-SBatt (3.2 Ah) beats nothing, and SRE
+    // (2 panels) trails RE (3 panels) at medium availability.
+    let re_batt = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
+        AvailabilityLevel::Minimum, 30, 12);
+    let re_sbatt = speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Minimum, 30, 12);
+    assert!(re_batt > re_sbatt + 0.3, "RE-Batt {re_batt} vs RE-SBatt {re_sbatt}");
+    let re_med = speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Medium, 60, 12);
+    let sre_med = speedup(Application::SpecJbb, GreenConfig::sre_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Medium, 60, 12);
+    assert!(re_med >= sre_med - 0.05, "RE {re_med} vs SRE {sre_med}");
+}
+
+#[test]
+fn fig7_re_only_medium_matches_paper_range() {
+    // "With only renewable energy supply, GreenSprint significantly
+    // improves performance, from 2.2x (medium availability) to 4.8x
+    // (maximum availability) for the 60-minute long power burst."
+    let med = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
+        AvailabilityLevel::Medium, 60, 12);
+    assert!((1.6..2.9).contains(&med), "REOnly Med/60: {med}");
+    let max = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
+        AvailabilityLevel::Maximum, 60, 12);
+    assert!(max > 4.3, "REOnly Max/60: {max}");
+}
+
+#[test]
+fn fig8_greedy_loses_partial_green_supply() {
+    // §IV-A/§IV-C: "Greedy underperforms Pacing because it loses the
+    // opportunity to utilize the lower green power supply periods" — with
+    // small batteries the all-or-nothing strategy falls behind.
+    let greedy = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Greedy,
+        AvailabilityLevel::Medium, 60, 12);
+    let pacing = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Pacing,
+        AvailabilityLevel::Medium, 60, 12);
+    let hybrid = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Medium, 60, 12);
+    assert!(pacing > greedy + 0.2, "Pacing {pacing} vs Greedy {greedy}");
+    assert!(hybrid >= pacing - 0.1, "Hybrid {hybrid} vs Pacing {pacing}");
+}
+
+#[test]
+fn fig9_memcached_long_battery_bursts_barely_help() {
+    // "For longer durations, battery-based sprinting can barely achieve
+    // performance improvement over the Normal mode." (small battery)
+    let s = speedup(Application::Memcached, GreenConfig::re_sbatt(), Strategy::Hybrid,
+        AvailabilityLevel::Minimum, 60, 12);
+    assert!((1.0..1.5).contains(&s), "Memcached Min/60: {s}");
+}
+
+#[test]
+fn fig10a_speedup_falls_with_intensity_and_duration() {
+    // "the performance is much lower (from 3.6x to 2.6x) when the burst
+    // intensity decreases (from Int=12 to Int=7)".
+    let run = |mins, k| {
+        speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
+            AvailabilityLevel::Medium, mins, k)
+    };
+    let int12 = run(10, 12);
+    let int9 = run(10, 9);
+    let int7 = run(10, 7);
+    assert!(int12 > int9 && int9 > int7, "{int12} / {int9} / {int7}");
+    assert!((int12 - int7) > 0.6, "gradient too flat: {int12} vs {int7}");
+    // Duration decay at fixed intensity.
+    assert!(run(60, 7) < run(10, 7));
+}
+
+#[test]
+fn fig10b_greedy_is_worst_at_low_intensity() {
+    // "Greedy performs the worst because, when the burst intensity becomes
+    // lower, maximal sprinting on 12 cores is less efficient."
+    let at = |s| {
+        speedup(Application::SpecJbb, GreenConfig::re_sbatt(), s,
+            AvailabilityLevel::Minimum, 10, 9)
+    };
+    let greedy = at(Strategy::Greedy);
+    for other in [Strategy::Parallel, Strategy::Pacing, Strategy::Hybrid] {
+        assert!(at(other) >= greedy - 0.02, "{other} vs Greedy {greedy}");
+    }
+    assert!(at(Strategy::Hybrid) > greedy + 0.04, "Hybrid must beat Greedy");
+}
+
+#[test]
+fn fig11_tco_crossover() {
+    let tco = TcoParams::paper();
+    assert!((tco.crossover_hours() - 14.0).abs() < 1.5);
+    assert!(tco.poi(12.0) < 0.0);
+    assert!(tco.poi(36.0) > 300.0);
+}
+
+#[test]
+fn observation6_sprinting_raises_renewable_utilization() {
+    // Paper observation (6): "Sprinting in turn can increase the renewable
+    // power utilization due to higher power demand."
+    let run = |strategy| {
+        let cfg = EngineConfig {
+            app: Application::SpecJbb,
+            green: GreenConfig::re_only(),
+            strategy,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(30),
+            measurement: MeasurementMode::Analytic,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let out = Engine::new(cfg).run();
+        out.re_used_wh / (out.re_used_wh + out.curtailed_wh).max(1e-9)
+    };
+    assert!(run(Strategy::Hybrid) > run(Strategy::Normal) + 0.2);
+}

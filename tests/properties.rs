@@ -1,0 +1,170 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use greensprint_repro::prelude::*;
+use greensprint_repro::workload::queueing::{erlang_c, lognormal_quantile, Station};
+use proptest::prelude::{prop, prop_assert, proptest, ProptestConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DoD floor is inviolable under any discharge schedule.
+    #[test]
+    fn battery_never_crosses_dod_floor(
+        powers in prop::collection::vec(0.0_f64..800.0, 1..40),
+        capacity in 2.0_f64..30.0,
+    ) {
+        let mut b = Battery::new_full(BatterySpec::paper_vrla(capacity));
+        for p in powers {
+            b.discharge(p, SimDuration::from_mins(3));
+            prop_assert!(b.soc_fraction() >= 1.0 - b.spec().max_dod - 1e-9);
+            prop_assert!(b.soc_fraction() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Charging and discharging conserve bounded state under interleaving.
+    #[test]
+    fn battery_interleaved_cycles_stay_bounded(
+        ops in prop::collection::vec((0.0_f64..400.0, prop::bool::ANY), 1..60),
+    ) {
+        let mut b = Battery::new_full(BatterySpec::paper_batt());
+        let mut discharged_total = 0.0;
+        for (power, charge) in ops {
+            if charge {
+                let drawn = b.charge(power, SimDuration::from_mins(2));
+                prop_assert!(drawn <= power + 1e-9);
+            } else {
+                let out = b.discharge(power, SimDuration::from_mins(2));
+                discharged_total += out.delivered_wh;
+            }
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&b.soc_fraction()));
+        }
+        // Equivalent-cycle accounting is consistent with throughput.
+        prop_assert!(b.equivalent_cycles() >= 0.0);
+        if discharged_total == 0.0 {
+            prop_assert!(b.equivalent_cycles() < 1e-12);
+        }
+    }
+
+    /// Peukert: sustainable power is antitone in duration, and the
+    /// duration/power inversion is self-consistent.
+    #[test]
+    fn battery_sustainable_power_is_antitone(
+        mins_a in 1_u64..600, mins_b in 1_u64..600,
+    ) {
+        let b = Battery::new_full(BatterySpec::paper_batt());
+        let (short, long) = if mins_a <= mins_b { (mins_a, mins_b) } else { (mins_b, mins_a) };
+        let p_short = b.sustainable_power(SimDuration::from_mins(short));
+        let p_long = b.sustainable_power(SimDuration::from_mins(long));
+        prop_assert!(p_short >= p_long - 1e-9, "{p_short} vs {p_long}");
+    }
+
+    /// The PSS plan always balances: delivered + unmet == demand, and no
+    /// source exceeds what was offered.
+    #[test]
+    fn pss_plan_balances(
+        demand in 0.0_f64..2000.0,
+        re in 0.0_f64..2000.0,
+        batt in 0.0_f64..1000.0,
+        accept in 0.0_f64..500.0,
+    ) {
+        use greensprint_repro::power::pss::PowerSourceSelector;
+        let plan = PowerSourceSelector::new().plan(demand, re, batt, accept, 0.0);
+        prop_assert!((plan.delivered_w() + plan.unmet_w - demand).abs() < 1e-6);
+        prop_assert!(plan.re_used_w <= re + 1e-9);
+        prop_assert!(plan.battery_w <= batt + 1e-9);
+        prop_assert!(plan.re_to_charge_w <= accept + 1e-9);
+        prop_assert!(plan.re_used_w + plan.re_to_charge_w + plan.curtailed_w <= re + 1e-6);
+        prop_assert!(plan.unmet_w >= -1e-12);
+    }
+
+    /// SLO capacity is monotone in both sprint knobs for every app.
+    #[test]
+    fn slo_capacity_is_monotone_in_the_knobs(
+        cores in 6_u8..12, freq in 0_u8..8,
+    ) {
+        for app in [Application::SpecJbb, Application::WebSearch, Application::Memcached] {
+            let p = app.profile();
+            let here = p.slo_capacity(ServerSetting::new(cores, freq));
+            let more_freq = p.slo_capacity(ServerSetting::new(cores, freq + 1));
+            prop_assert!(more_freq >= here - 1e-6, "{app:?} freq step at {cores}c/{freq}");
+        }
+    }
+
+    /// Erlang-C is a probability and increases with offered load.
+    #[test]
+    fn erlang_c_is_probability_and_monotone(
+        c in 1_u32..32, rho_a in 0.01_f64..0.99, rho_b in 0.01_f64..0.99,
+    ) {
+        let (lo, hi) = if rho_a <= rho_b { (rho_a, rho_b) } else { (rho_b, rho_a) };
+        let p_lo = erlang_c(c, lo * c as f64);
+        let p_hi = erlang_c(c, hi * c as f64);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_hi >= p_lo - 1e-12);
+    }
+
+    /// Log-normal quantiles are monotone in p and bracket the median.
+    #[test]
+    fn lognormal_quantiles_are_monotone(
+        mean in 0.001_f64..10.0, cv in 0.05_f64..2.0,
+        p1 in 0.01_f64..0.99, p2 in 0.01_f64..0.99,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let q_lo = lognormal_quantile(mean, cv, lo);
+        let q_hi = lognormal_quantile(mean, cv, hi);
+        prop_assert!(q_lo > 0.0);
+        prop_assert!(q_hi >= q_lo);
+    }
+
+    /// The sojourn tail is a probability, monotone in load.
+    #[test]
+    fn sojourn_tail_behaves(
+        cores in 1_u32..16, service_ms in 1.0_f64..300.0, frac in 0.05_f64..0.95,
+    ) {
+        let st = Station { cores, mean_service_s: service_ms / 1e3, service_cv: 0.3 };
+        let lam = frac * st.raw_capacity();
+        let t = st.sojourn_tail(lam, service_ms / 1e3 * 3.0);
+        prop_assert!((0.0..=1.0).contains(&t));
+        let t_heavier = st.sojourn_tail((frac * 0.5 + 0.5) * st.raw_capacity(), service_ms / 1e3 * 3.0);
+        prop_assert!(t_heavier >= t - 1e-9);
+    }
+
+    /// Speedups over Normal are never below ~1: sprinting can idle back to
+    /// Normal mode but never does worse (analytic plane, any seed).
+    #[test]
+    fn engine_never_underperforms_normal(seed in 0_u64..32) {
+        let cfg = EngineConfig {
+            app: Application::SpecJbb,
+            green: GreenConfig::re_sbatt(),
+            strategy: Strategy::Hybrid,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(5),
+            measurement: MeasurementMode::Analytic,
+            seed,
+            ..EngineConfig::default()
+        };
+        let out = Engine::new(cfg).run();
+        prop_assert!(out.speedup_vs_normal >= 0.99, "seed {seed}: {}", out.speedup_vs_normal);
+    }
+
+    /// Energy accounting closes for arbitrary seeds: renewable production
+    /// equals use + storage + curtailment (within tolerance).
+    #[test]
+    fn engine_energy_accounting_closes(seed in 0_u64..24) {
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(8),
+            measurement: MeasurementMode::Analytic,
+            seed,
+            ..EngineConfig::default()
+        };
+        let out = Engine::new(cfg).run();
+        let epoch_hours = 1.0 / 60.0;
+        let produced: f64 = out.epochs.iter().map(|e| e.re_supply_w * epoch_hours).sum();
+        let accounted = out.re_used_wh + out.re_charged_wh + out.curtailed_wh;
+        prop_assert!(
+            (produced - accounted).abs() <= produced * 0.02 + 1.0,
+            "produced {produced} vs {accounted}"
+        );
+    }
+}
