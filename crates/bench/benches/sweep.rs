@@ -1,0 +1,59 @@
+//! Sweep-executor throughput: the same 24-point analytic grid pushed
+//! through `run_sweep` serially and at full parallelism, so scheduling
+//! overhead and scaling regressions are caught. Throughput is reported in
+//! sweep points per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use greensprint::config::{AvailabilityLevel, GreenConfig};
+use greensprint::engine::{EngineConfig, MeasurementMode};
+use greensprint::pmk::Strategy;
+use greensprint::sweep::{default_jobs, run_sweep, SweepPoint};
+use gs_sim::SimDuration;
+use gs_workload::apps::Application;
+use std::hint::black_box;
+
+fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for app in [Application::SpecJbb, Application::Memcached] {
+        for strategy in [
+            Strategy::Greedy,
+            Strategy::Parallel,
+            Strategy::Pacing,
+            Strategy::Hybrid,
+        ] {
+            for availability in AvailabilityLevel::ALL {
+                let cfg = EngineConfig {
+                    app,
+                    green: GreenConfig::re_batt(),
+                    strategy,
+                    availability,
+                    burst_duration: SimDuration::from_mins(10),
+                    measurement: MeasurementMode::Analytic,
+                    ..EngineConfig::default()
+                };
+                points.push(SweepPoint::burst(
+                    format!("{app:?}/{strategy}/{availability:?}"),
+                    cfg,
+                ));
+            }
+        }
+    }
+    points
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let n = grid().len() as u64;
+    let mut g = c.benchmark_group("sweep");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+    g.bench_function("grid24_serial", |b| {
+        b.iter(|| black_box(run_sweep(grid(), 7, 1)))
+    });
+    g.bench_function("grid24_parallel", |b| {
+        b.iter(|| black_box(run_sweep(grid(), 7, default_jobs())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

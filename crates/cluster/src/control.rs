@@ -147,8 +147,14 @@ impl SysfsControl {
                 cpufreq.join("scaling_available_frequencies"),
                 freqs.join(" "),
             )?;
-            fs::write(cpufreq.join("scaling_setspeed"), FREQ_LEVELS_KHZ[0].to_string())?;
-            fs::write(cpufreq.join("scaling_cur_freq"), FREQ_LEVELS_KHZ[0].to_string())?;
+            fs::write(
+                cpufreq.join("scaling_setspeed"),
+                FREQ_LEVELS_KHZ[0].to_string(),
+            )?;
+            fs::write(
+                cpufreq.join("scaling_cur_freq"),
+                FREQ_LEVELS_KHZ[0].to_string(),
+            )?;
         }
         Ok(SysfsControl::new(root))
     }
@@ -239,10 +245,7 @@ mod tests {
     }
 
     fn temp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gs-sysfs-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gs-sysfs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn nine_freq_states() {
         assert_eq!(NUM_FREQ_LEVELS, 9);
-        let ghz: Vec<f64> = (0..9).map(|i| ServerSetting::new(6, i).freq_ghz()).collect();
+        let ghz: Vec<f64> = (0..9)
+            .map(|i| ServerSetting::new(6, i).freq_ghz())
+            .collect();
         assert!((ghz[0] - 1.2).abs() < 1e-9);
         assert!((ghz[8] - 2.0).abs() < 1e-9);
         // Monotone, 0.1 GHz steps.

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn all_three_apps_hit_their_peaks() {
-        for (peak, name) in [(155.0, "specjbb"), (156.0, "websearch"), (146.0, "memcached")] {
+        for (peak, name) in [
+            (155.0, "specjbb"),
+            (156.0, "websearch"),
+            (146.0, "memcached"),
+        ] {
             let m = PowerModel::from_max_sprint_power(peak);
             assert!((m.max_power_w() - peak).abs() < 1e-9, "{name}");
         }
@@ -115,10 +119,7 @@ mod tests {
     fn utilization_is_clamped() {
         let m = PowerModel::from_max_sprint_power(155.0);
         assert_eq!(m.power_w(ServerSetting::normal(), -1.0), m.idle_w);
-        assert_eq!(
-            m.power_w(ServerSetting::max_sprint(), 2.0),
-            m.max_power_w()
-        );
+        assert_eq!(m.power_w(ServerSetting::max_sprint(), 2.0), m.max_power_w());
     }
 
     #[test]

@@ -93,7 +93,11 @@ mod tests {
     use super::*;
 
     fn server() -> Server {
-        Server::new(0, Provisioning::Green, PowerModel::from_max_sprint_power(155.0))
+        Server::new(
+            0,
+            Provisioning::Green,
+            PowerModel::from_max_sprint_power(155.0),
+        )
     }
 
     #[test]
@@ -124,7 +128,11 @@ mod tests {
 
     #[test]
     fn grid_only_provisioning() {
-        let s = Server::new(3, Provisioning::GridOnly, PowerModel::from_max_sprint_power(146.0));
+        let s = Server::new(
+            3,
+            Provisioning::GridOnly,
+            PowerModel::from_max_sprint_power(146.0),
+        );
         assert!(!s.is_green());
         assert_eq!(s.provisioning(), Provisioning::GridOnly);
     }

@@ -9,7 +9,7 @@
 //! extrapolates them to a year so [`gs_tco`]-style models can be fed with
 //! *measured* sprint activity instead of an assumption.
 
-use crate::engine::{run_window, BurstOutcome, EngineConfig, RunWindow};
+use crate::engine::{run_window, BurstOutcome, EngineConfig, EngineError, RunWindow};
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
 use gs_cluster::{ServerSetting, NUM_FREQ_LEVELS};
@@ -65,10 +65,27 @@ pub struct CampaignOutcome {
     pub run: BurstOutcome,
 }
 
+impl CampaignConfig {
+    /// Validate this configuration without running it.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.days < 1 {
+            return Err(EngineError::ZeroDays);
+        }
+        self.engine.validate_base()
+    }
+}
+
 /// Run a campaign: the configured strategy plus a Normal baseline over
-/// identical load and weather.
+/// identical load and weather. Panics on an invalid configuration; see
+/// [`try_run_campaign`] for the reporting variant.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
-    assert!(cfg.days >= 1, "campaign needs at least one day");
+    try_run_campaign(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`run_campaign`], surfacing configuration errors instead of
+/// panicking — for callers handling untrusted input (the CLI).
+pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, EngineError> {
+    cfg.validate()?;
     let profiles = ProfileTable::cached(cfg.engine.app);
     let app = cfg.engine.app.profile();
 
@@ -107,14 +124,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     } else {
         1.0
     };
-    CampaignOutcome {
+    Ok(CampaignOutcome {
         days: cfg.days,
         sprint_server_hours,
         sprint_hours,
         sprint_hours_per_year: sprint_hours * 365.0 / cfg.days as f64,
         goodput_vs_normal,
         run,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +161,11 @@ mod tests {
         let out = campaign(Strategy::Hybrid);
         assert!(out.sprint_hours > 0.5, "sprint hours {}", out.sprint_hours);
         assert!(out.sprint_hours < 24.0);
-        assert!(out.goodput_vs_normal > 1.3, "gain {}", out.goodput_vs_normal);
+        assert!(
+            out.goodput_vs_normal > 1.3,
+            "gain {}",
+            out.goodput_vs_normal
+        );
         assert!(out.sprint_server_hours >= out.sprint_hours);
         // Extrapolation is consistent.
         assert!((out.sprint_hours_per_year - out.sprint_hours * 365.0).abs() < 1e-6);
@@ -194,5 +215,21 @@ mod tests {
             ..CampaignConfig::default()
         };
         run_campaign(&cfg);
+    }
+
+    #[test]
+    fn try_run_campaign_reports_instead_of_panicking() {
+        let cfg = CampaignConfig {
+            days: 0,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(try_run_campaign(&cfg).unwrap_err(), EngineError::ZeroDays);
+
+        let mut cfg = CampaignConfig::default();
+        cfg.engine.warm_policy_json = Some("not json".to_string());
+        assert!(matches!(
+            try_run_campaign(&cfg).unwrap_err(),
+            EngineError::InvalidWarmPolicy(_)
+        ));
     }
 }

@@ -81,9 +81,7 @@ pub fn run_cluster(cfg: &EngineConfig, policy: GridSprintPolicy) -> ClusterOutco
 
     // Steady-state per-server epoch under the burst (deterministic).
     let perf = measure_analytic(&app, profiles, grid_setting, offered);
-    let per_server_power = app
-        .power_model()
-        .power_w(grid_setting, perf.utilization);
+    let per_server_power = app.power_model().power_w(grid_setting, perf.utilization);
     let grid_power_w = per_server_power * n_grid as f64;
 
     // Drive the breaker across the burst at that draw.
@@ -96,10 +94,8 @@ pub fn run_cluster(cfg: &EngineConfig, policy: GridSprintPolicy) -> ClusterOutco
         perf.goodput_rps * n_grid as f64
     };
     let normal_perf = measure_analytic(&app, profiles, ServerSetting::normal(), offered);
-    let cluster_normal =
-        normal_perf.goodput_rps * PAPER_CLUSTER_SIZE as f64;
-    let cluster_goodput =
-        green.mean_goodput_rps * cfg.green.green_servers as f64 + grid_goodput;
+    let cluster_normal = normal_perf.goodput_rps * PAPER_CLUSTER_SIZE as f64;
+    let cluster_goodput = green.mean_goodput_rps * cfg.green.green_servers as f64 + grid_goodput;
 
     ClusterOutcome {
         green,
@@ -138,8 +134,16 @@ mod tests {
         let out = run_cluster(&cfg(), GridSprintPolicy::SubOptimal);
         assert_eq!(out.grid_servers, 7);
         // Paper: 1000 W supports 7 servers at e.g. 12 cores @ 1.5 GHz.
-        assert!(out.grid_setting.is_sprinting(), "chose {}", out.grid_setting);
-        assert!(out.grid_power_w <= PAPER_GRID_BUDGET_W + 1e-6, "{}", out.grid_power_w);
+        assert!(
+            out.grid_setting.is_sprinting(),
+            "chose {}",
+            out.grid_setting
+        );
+        assert!(
+            out.grid_power_w <= PAPER_GRID_BUDGET_W + 1e-6,
+            "{}",
+            out.grid_power_w
+        );
         assert!(!out.breaker_tripped);
         // The grid side contributes real speedup but less than the green
         // side's full sprint.
@@ -151,7 +155,11 @@ mod tests {
     #[test]
     fn cluster_speedup_sits_between_grid_and_green() {
         let out = run_cluster(&cfg(), GridSprintPolicy::SubOptimal);
-        assert!(out.cluster_speedup_vs_normal > 2.0, "{}", out.cluster_speedup_vs_normal);
+        assert!(
+            out.cluster_speedup_vs_normal > 2.0,
+            "{}",
+            out.cluster_speedup_vs_normal
+        );
         assert!(
             out.cluster_speedup_vs_normal < out.green.speedup_vs_normal,
             "cluster {} vs green {}",

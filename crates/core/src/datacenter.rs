@@ -182,10 +182,7 @@ mod tests {
             },
         };
         let out = run_datacenter(&cfg);
-        assert_ne!(
-            out.racks[0].mean_goodput_rps,
-            out.racks[1].mean_goodput_rps
-        );
+        assert_ne!(out.racks[0].mean_goodput_rps, out.racks[1].mean_goodput_rps);
     }
 
     #[test]

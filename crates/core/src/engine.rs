@@ -31,6 +31,32 @@ use gs_workload::des::ServerSim;
 use gs_workload::metrics::EpochPerf;
 use serde::{Deserialize, Serialize};
 
+/// Why a configuration cannot run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The scheduling epoch is zero.
+    ZeroEpoch,
+    /// The burst is shorter than one epoch.
+    SubEpochBurst,
+    /// `warm_policy_json` is not a valid exported policy.
+    InvalidWarmPolicy(String),
+    /// A campaign was asked to run zero days.
+    ZeroDays,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ZeroEpoch => f.write_str("epoch must be positive"),
+            EngineError::SubEpochBurst => f.write_str("burst must span at least one epoch"),
+            EngineError::InvalidWarmPolicy(e) => write!(f, "invalid warm_policy_json: {e}"),
+            EngineError::ZeroDays => f.write_str("campaign needs at least one day"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Which thermal package the green servers carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ThermalModel {
@@ -113,6 +139,31 @@ pub struct EngineConfig {
     pub warm_policy_json: Option<String>,
     /// Master seed; all stochastic components derive from it.
     pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Checks shared by every epoch loop this config can drive (bursts
+    /// and campaigns): a positive epoch and a parseable warm policy.
+    pub(crate) fn validate_base(&self) -> Result<(), EngineError> {
+        if self.epoch.is_zero() {
+            return Err(EngineError::ZeroEpoch);
+        }
+        if let Some(json) = &self.warm_policy_json {
+            if let Err(e) = crate::qlearning::QLearner::from_json(json) {
+                return Err(EngineError::InvalidWarmPolicy(e.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate this configuration for a single-burst run.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        self.validate_base()?;
+        if self.burst_duration.div_duration(self.epoch).unwrap_or(0) < 1 {
+            return Err(EngineError::SubEpochBurst);
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -203,19 +254,23 @@ pub struct BurstOutcome {
 }
 
 /// The burst engine.
+#[derive(Debug)]
 pub struct Engine {
     cfg: EngineConfig,
 }
 
 impl Engine {
-    /// Create an engine for a configuration.
+    /// Create an engine for a configuration, panicking on an invalid one.
     pub fn new(cfg: EngineConfig) -> Self {
-        assert!(!cfg.epoch.is_zero(), "epoch must be positive");
-        assert!(
-            cfg.burst_duration.div_duration(cfg.epoch).unwrap_or(0) >= 1,
-            "burst must span at least one epoch"
-        );
-        Engine { cfg }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create an engine for a configuration, reporting what is wrong with
+    /// an invalid one instead of panicking — the entry point for callers
+    /// handling untrusted input (the CLI, scenario files).
+    pub fn try_new(cfg: EngineConfig) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        Ok(Engine { cfg })
     }
 
     /// The configuration under test.
@@ -369,16 +424,18 @@ fn run_window_with_policy(
     // not start from a cold heatsink.
     let mut thermals: Vec<gs_thermal::ThermalPackage> = match cfg.thermal {
         ThermalModel::Disabled => Vec::new(),
-        ThermalModel::PaperPcm => (0..n).map(|_| gs_thermal::ThermalPackage::paper_spec()).collect(),
-        ThermalModel::NoPcm => (0..n).map(|_| gs_thermal::ThermalPackage::without_pcm()).collect(),
+        ThermalModel::PaperPcm => (0..n)
+            .map(|_| gs_thermal::ThermalPackage::paper_spec())
+            .collect(),
+        ThermalModel::NoPcm => (0..n)
+            .map(|_| gs_thermal::ThermalPackage::without_pcm())
+            .collect(),
     };
     for pkg in &mut thermals {
         pkg.advance(100.0, SimDuration::from_hours(2));
     }
     let mut thermal_throttle_epochs = 0usize;
-    let mut peak_temp_c = thermals
-        .first()
-        .map_or(0.0, |p| p.temp_c());
+    let mut peak_temp_c = thermals.first().map_or(0.0, |p| p.temp_c());
 
     let n_epochs = window
         .duration
@@ -450,8 +507,8 @@ fn run_window_with_policy(
         let re_mean_w = re_sum_w / (k + 1) as f64;
         let full_sprint_w = profiles.planned_power_w(ServerSetting::max_sprint(), load_pred);
         let deficit_share = (full_sprint_w - re_mean_w / n as f64).max(0.0);
-        let uniform_sustainable = deficit_share <= 1e-9
-            || (0..n).all(|i| sustained_remaining_w[i] >= deficit_share);
+        let uniform_sustainable =
+            deficit_share <= 1e-9 || (0..n).all(|i| sustained_remaining_w[i] >= deficit_share);
         let waterfall = planning && !uniform_sustainable;
         // When the whole remaining burst is energetically covered, sprint
         // freely (instantaneous battery budget); otherwise hedge with the
@@ -462,9 +519,9 @@ fn run_window_with_policy(
             &sustained_horizon_w
         };
         let decide = |re_plan_w: f64,
-                          pmk: &mut Pmk,
-                          rng: &mut SimRng,
-                          capture_state: &mut Option<QState>| {
+                      pmk: &mut Pmk,
+                      rng: &mut SimRng,
+                      capture_state: &mut Option<QState>| {
             let mut settings = Vec::with_capacity(n);
             let mut re_unclaimed = re_plan_w;
             for i in 0..n {
@@ -488,8 +545,7 @@ fn run_window_with_policy(
                 let s = pmk.choose(profiles, &ctx, rng);
                 let s = pmk.apply_hysteresis(profiles, &ctx, prev_settings[i], s);
                 if waterfall && s.is_sprinting() {
-                    re_unclaimed =
-                        (re_unclaimed - profiles.planned_power_w(s, load_pred)).max(0.0);
+                    re_unclaimed = (re_unclaimed - profiles.planned_power_w(s, load_pred)).max(0.0);
                 }
                 settings.push(s);
             }
@@ -513,8 +569,13 @@ fn run_window_with_policy(
         let batt_accept: f64 = batteries
             .iter()
             .map(|b| {
-                b.as_ref()
-                    .map_or(0.0, |b| if b.is_full() { 0.0 } else { b.spec().max_charge_power_w() })
+                b.as_ref().map_or(0.0, |b| {
+                    if b.is_full() {
+                        0.0
+                    } else {
+                        b.spec().max_charge_power_w()
+                    }
+                })
             })
             .sum();
         let batt_avail = |settings: &[ServerSetting]| -> f64 {
@@ -612,8 +673,7 @@ fn run_window_with_policy(
                     // server drops back to Normal mode on the grid for the
                     // remainder, and the epoch's performance is settled as
                     // the time-weighted blend of the two regimes.
-                    let w = (out.sustained.as_secs_f64() / cfg.epoch.as_secs_f64())
-                        .clamp(0.0, 1.0);
+                    let w = (out.sustained.as_secs_f64() / cfg.epoch.as_secs_f64()).clamp(0.0, 1.0);
                     let normal_perf = analytic_cache
                         .entry((ServerSetting::normal(), offered.to_bits()))
                         .or_insert_with(|| {
@@ -757,10 +817,7 @@ fn run_window_with_policy(
                 slo_percentile: app.slo_percentile,
             };
             let r = reward(&inputs);
-            let next_state = learner.state(
-                re_actual_w / n as f64 + instant_w[i],
-                offered,
-            );
+            let next_state = learner.state(re_actual_w / n as f64 + instant_w[i], offered);
             if let (Some((s_prev, a_prev)), true) = (pending_q, true) {
                 learner.update(s_prev, a_prev, r, next_state);
             }
@@ -965,8 +1022,15 @@ mod tests {
             ..quick_cfg()
         };
         let out = Engine::new(cfg).run();
-        assert!((out.speedup_vs_normal - 1.0).abs() < 0.05, "speedup {}", out.speedup_vs_normal);
-        assert!(out.epochs.iter().all(|e| e.setting == ServerSetting::normal()));
+        assert!(
+            (out.speedup_vs_normal - 1.0).abs() < 0.05,
+            "speedup {}",
+            out.speedup_vs_normal
+        );
+        assert!(out
+            .epochs
+            .iter()
+            .all(|e| e.setting == ServerSetting::normal()));
         assert_eq!(out.battery_used_wh, 0.0);
     }
 
@@ -979,7 +1043,11 @@ mod tests {
         };
         let out = Engine::new(cfg).run();
         // 10 Ah batteries carry a full 10-minute sprint (paper Fig. 6a).
-        assert!(out.speedup_vs_normal > 4.0, "speedup {}", out.speedup_vs_normal);
+        assert!(
+            out.speedup_vs_normal > 4.0,
+            "speedup {}",
+            out.speedup_vs_normal
+        );
         assert!(out.battery_used_wh > 0.0);
         assert!(out.epochs.iter().all(|e| e.case == SupplyCase::BatteryOnly));
         assert!(out.battery_cycles > 0.0);
@@ -996,8 +1064,16 @@ mod tests {
         let out = Engine::new(cfg).run();
         // Battery carries ~11 of 60 minutes at full sprint: the average
         // sits well below the 10-minute case but above Normal.
-        assert!(out.speedup_vs_normal > 1.2, "speedup {}", out.speedup_vs_normal);
-        assert!(out.speedup_vs_normal < 3.0, "speedup {}", out.speedup_vs_normal);
+        assert!(
+            out.speedup_vs_normal > 1.2,
+            "speedup {}",
+            out.speedup_vs_normal
+        );
+        assert!(
+            out.speedup_vs_normal < 3.0,
+            "speedup {}",
+            out.speedup_vs_normal
+        );
         // Late epochs are back to Normal mode.
         assert_eq!(out.epochs.last().unwrap().setting, ServerSetting::normal());
     }
@@ -1011,7 +1087,12 @@ mod tests {
         })
         .run();
         let rel = (a.speedup_vs_normal - d.speedup_vs_normal).abs() / a.speedup_vs_normal;
-        assert!(rel < 0.12, "analytic {} vs DES {}", a.speedup_vs_normal, d.speedup_vs_normal);
+        assert!(
+            rel < 0.12,
+            "analytic {} vs DES {}",
+            a.speedup_vs_normal,
+            d.speedup_vs_normal
+        );
     }
 
     #[test]
@@ -1038,7 +1119,11 @@ mod tests {
             ..quick_cfg()
         };
         let out = Engine::new(cfg).run();
-        assert!(out.speedup_vs_normal > 1.5, "speedup {}", out.speedup_vs_normal);
+        assert!(
+            out.speedup_vs_normal > 1.5,
+            "speedup {}",
+            out.speedup_vs_normal
+        );
     }
 
     #[test]
@@ -1068,7 +1153,11 @@ mod tests {
         let out = Engine::new(cfg).run();
         assert_eq!(out.thermal_throttle_epochs, 0);
         assert!(out.peak_temp_c < 85.0, "peak {}", out.peak_temp_c);
-        assert!(out.peak_temp_c > 70.0, "thermals look unsimulated: {}", out.peak_temp_c);
+        assert!(
+            out.peak_temp_c > 70.0,
+            "thermals look unsimulated: {}",
+            out.peak_temp_c
+        );
     }
 
     #[test]
@@ -1144,6 +1233,38 @@ mod tests {
             ..quick_cfg()
         };
         let _ = Engine::new(cfg).run();
+    }
+
+    #[test]
+    fn try_new_reports_config_errors_instead_of_panicking() {
+        let bad_policy = EngineConfig {
+            warm_policy_json: Some("{broken".to_string()),
+            ..quick_cfg()
+        };
+        assert!(matches!(
+            Engine::try_new(bad_policy).unwrap_err(),
+            EngineError::InvalidWarmPolicy(_)
+        ));
+
+        let zero_epoch = EngineConfig {
+            epoch: SimDuration::ZERO,
+            ..quick_cfg()
+        };
+        assert_eq!(
+            Engine::try_new(zero_epoch).unwrap_err(),
+            EngineError::ZeroEpoch
+        );
+
+        let sub_epoch = EngineConfig {
+            burst_duration: SimDuration::from_secs(1),
+            ..quick_cfg()
+        };
+        assert_eq!(
+            Engine::try_new(sub_epoch).unwrap_err(),
+            EngineError::SubEpochBurst
+        );
+
+        assert!(Engine::try_new(quick_cfg()).is_ok());
     }
 
     #[test]

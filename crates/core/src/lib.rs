@@ -52,14 +52,36 @@ pub mod predictor;
 pub mod profiler;
 pub mod qlearning;
 pub mod report;
+pub mod sweep;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use campaign::{run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome};
 pub use cluster_view::{run_cluster, ClusterOutcome, GridSprintPolicy};
 pub use config::{AvailabilityLevel, GreenConfig};
 pub use datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome, RackSpec};
-pub use engine::{BurstOutcome, Engine, EngineConfig, MeasurementMode, PredictorKind, ThermalModel};
+pub use engine::{
+    BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, PredictorKind, ThermalModel,
+};
 pub use monitor::Monitor;
 pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
 pub use qlearning::QLearner;
+pub use sweep::{
+    default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
+    SweepResult, SweepTask,
+};
+
+/// Everything a sweep-driving binary or notebook needs, in one import.
+pub mod prelude {
+    pub use crate::campaign::{run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome};
+    pub use crate::config::{AvailabilityLevel, GreenConfig};
+    pub use crate::engine::{
+        BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
+    };
+    pub use crate::pmk::Strategy;
+    pub use crate::profiler::ProfileTable;
+    pub use crate::sweep::{
+        default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
+        SweepResult, SweepTask,
+    };
+}

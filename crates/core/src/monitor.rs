@@ -124,9 +124,17 @@ mod tests {
         );
         assert_eq!(m.re_supply().len(), 2);
         assert_eq!(m.demand().sample_at(SimTime::from_secs(90)), Some(450.0));
-        assert_eq!(m.battery_power().sample_at(SimTime::from_secs(120)), Some(350.0));
+        assert_eq!(
+            m.battery_power().sample_at(SimTime::from_secs(120)),
+            Some(350.0)
+        );
         assert_eq!(m.battery_soc().points().last().unwrap().1, 0.9);
-        assert!(m.goodput().window_mean(SimTime::ZERO, SimTime::from_secs(121)).unwrap() > 100.0);
+        assert!(
+            m.goodput()
+                .window_mean(SimTime::ZERO, SimTime::from_secs(121))
+                .unwrap()
+                > 100.0
+        );
         assert_eq!(m.offered().len(), 2);
     }
 }

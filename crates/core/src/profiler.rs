@@ -15,6 +15,22 @@ use gs_workload::apps::{AppProfile, Application};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
+/// The process-wide table cache, one slot per paper application. The
+/// tables depend only on the application's calibrated model — the
+/// measurement mode (DES vs analytic) never enters a profile, so keying
+/// by application alone is exact, not an approximation.
+static CACHED_TABLES: [OnceLock<ProfileTable>; 3] =
+    [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+
+/// Cache slot for an application.
+pub(crate) fn app_cache_index(app: Application) -> usize {
+    match app {
+        Application::SpecJbb => 0,
+        Application::WebSearch => 1,
+        Application::Memcached => 2,
+    }
+}
+
 /// One profiled setting.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SettingProfile {
@@ -67,14 +83,25 @@ impl ProfileTable {
     /// The shared, lazily-built table for a paper application. The sweep
     /// is deterministic, so all engines can share one copy per process.
     pub fn cached(app: Application) -> &'static ProfileTable {
-        static TABLES: [OnceLock<ProfileTable>; 3] =
-            [OnceLock::new(), OnceLock::new(), OnceLock::new()];
-        let idx = match app {
-            Application::SpecJbb => 0,
-            Application::WebSearch => 1,
-            Application::Memcached => 2,
-        };
-        TABLES[idx].get_or_init(|| ProfileTable::build(&app.profile()))
+        CACHED_TABLES[app_cache_index(app)].get_or_init(|| ProfileTable::build(&app.profile()))
+    }
+
+    /// If `table` is one of the process-wide cached tables, the
+    /// application it belongs to. Lets downstream caches (e.g. the
+    /// Hybrid learner's bootstrap) key themselves by application without
+    /// forcing any table to build.
+    pub fn cached_app(table: &ProfileTable) -> Option<Application> {
+        [
+            Application::SpecJbb,
+            Application::WebSearch,
+            Application::Memcached,
+        ]
+        .into_iter()
+        .find(|&app| {
+            CACHED_TABLES[app_cache_index(app)]
+                .get()
+                .is_some_and(|t| std::ptr::eq(t, table))
+        })
     }
 
     /// Profile of one setting.

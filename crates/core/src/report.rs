@@ -30,7 +30,11 @@ pub fn burst_summary(out: &BurstOutcome) -> String {
         "thermals          : peak {:.1} degC, {} throttled epochs",
         out.peak_temp_c, out.thermal_throttle_epochs
     );
-    let _ = writeln!(s, "knob churn        : {} transitions", out.setting_transitions);
+    let _ = writeln!(
+        s,
+        "knob churn        : {} transitions",
+        out.setting_transitions
+    );
     s
 }
 

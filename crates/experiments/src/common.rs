@@ -1,10 +1,11 @@
-//! Shared experiment plumbing: run matrices of burst configurations in
-//! parallel and format figure-style tables.
+//! Shared experiment plumbing: run matrices of burst configurations
+//! through the deterministic sweep executor and format figure-style
+//! tables.
 
-use crossbeam::thread;
 use greensprint::config::{AvailabilityLevel, GreenConfig};
-use greensprint::engine::{BurstOutcome, Engine, EngineConfig, MeasurementMode};
+use greensprint::engine::{BurstOutcome, EngineConfig, MeasurementMode};
 use greensprint::pmk::Strategy;
+use greensprint::sweep::{default_jobs, run_sweep, SweepOutcome, SweepPoint};
 use gs_sim::SimDuration;
 use gs_workload::apps::Application;
 
@@ -18,6 +19,9 @@ pub struct RunOpts {
     pub measurement: MeasurementMode,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for figure grids (never changes the numbers, only
+    /// the wall-clock).
+    pub jobs: usize,
 }
 
 impl Default for RunOpts {
@@ -25,6 +29,7 @@ impl Default for RunOpts {
         RunOpts {
             measurement: MeasurementMode::Des,
             seed: 7,
+            jobs: default_jobs(),
         }
     }
 }
@@ -52,33 +57,22 @@ pub fn cfg(
     }
 }
 
-/// Run a batch of configurations across threads, preserving order.
-pub fn run_batch(configs: Vec<EngineConfig>) -> Vec<BurstOutcome> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(configs.len().max(1));
-    let mut results: Vec<Option<BurstOutcome>> = (0..configs.len()).map(|_| None).collect();
-    let jobs: Vec<(usize, EngineConfig)> = configs.into_iter().enumerate().collect();
-    let chunk = jobs.len().div_ceil(n_workers);
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for part in jobs.chunks(chunk) {
-            let part = part.to_vec();
-            handles.push(s.spawn(move |_| {
-                part.into_iter()
-                    .map(|(i, c)| (i, Engine::new(c).run()))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            for (i, out) in h.join().expect("experiment worker panicked") {
-                results[i] = Some(out);
-            }
-        }
-    })
-    .expect("experiment scope panicked");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+/// Run a batch of burst configurations through the sweep executor,
+/// preserving order. Every cell is re-seeded from `(opts.seed, index)`,
+/// so results are identical whatever `opts.jobs` is.
+pub fn run_batch(configs: Vec<EngineConfig>, opts: &RunOpts) -> Vec<BurstOutcome> {
+    let points = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| SweepPoint::burst(format!("cell{i}"), c))
+        .collect();
+    run_sweep(points, opts.seed, opts.jobs)
+        .into_iter()
+        .map(|r| match r.outcome {
+            SweepOutcome::Burst(b) => b,
+            SweepOutcome::Campaign(_) => unreachable!("run_batch submits only bursts"),
+        })
+        .collect()
 }
 
 /// Render a series as a one-line Unicode sparkline (▁▂▃▄▅▆▇█), scaled to

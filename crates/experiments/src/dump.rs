@@ -43,7 +43,7 @@ fn strategy_grid(app: Application, green: fn() -> GreenConfig, opts: &RunOpts) -
             }
         }
     }
-    run_batch(configs)
+    run_batch(configs, opts)
         .into_iter()
         .zip(meta)
         .map(|(o, (availability, duration_min, series))| Cell {
@@ -79,7 +79,7 @@ pub fn run(path: &str, opts: &RunOpts) {
                 }
             }
         }
-        run_batch(configs)
+        run_batch(configs, opts)
             .into_iter()
             .zip(meta)
             .map(|(o, (availability, duration_min, series))| Cell {
@@ -110,7 +110,7 @@ pub fn run(path: &str, opts: &RunOpts) {
                 meta.push(("Med", mins, format!("Int={k}")));
             }
         }
-        run_batch(configs)
+        run_batch(configs, opts)
             .into_iter()
             .zip(meta)
             .map(|(o, (availability, duration_min, series))| Cell {

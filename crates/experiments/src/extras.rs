@@ -31,10 +31,19 @@ pub fn campaign(opts: &RunOpts) {
     let out = run_campaign(&cfg);
     let tco = TcoParams::paper();
     println!("days simulated          : {}", out.days);
-    println!("sprint hours            : {:.1} (server-hours {:.1})", out.sprint_hours, out.sprint_server_hours);
-    println!("extrapolated            : {:.0} sprint hours/year", out.sprint_hours_per_year);
+    println!(
+        "sprint hours            : {:.1} (server-hours {:.1})",
+        out.sprint_hours, out.sprint_server_hours
+    );
+    println!(
+        "extrapolated            : {:.0} sprint hours/year",
+        out.sprint_hours_per_year
+    );
     println!("goodput vs Normal       : {:.2}x", out.goodput_vs_normal);
-    println!("renewable used          : {:.0} Wh ({:.0} Wh curtailed)", out.run.re_used_wh, out.run.curtailed_wh);
+    println!(
+        "renewable used          : {:.0} Wh ({:.0} Wh curtailed)",
+        out.run.re_used_wh, out.run.curtailed_wh
+    );
     println!("battery cycles          : {:.2}", out.run.battery_cycles);
     println!(
         "TCO: {:.0} h/yr vs {:.1} h/yr break-even -> POI {:+.0} $/KW/year",
@@ -94,7 +103,10 @@ pub fn profile(opts: &RunOpts) {
             measured_w
         );
     }
-    println!("# worst LoadPower gap between the planes: {:.1}%", worst_gap * 100.0);
+    println!(
+        "# worst LoadPower gap between the planes: {:.1}%",
+        worst_gap * 100.0
+    );
 }
 
 /// The paper's §IV-E "Summary of Observations", each re-derived from
@@ -118,38 +130,98 @@ pub fn observations(opts: &RunOpts) {
     println!("\n=== Paper §IV-E observations, measured ===");
 
     // (1) Sprinting significantly improves performance.
-    let max = run(GreenConfig::re_batt(), Strategy::Hybrid, AvailabilityLevel::Maximum, 10);
+    let max = run(
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Maximum,
+        10,
+    );
     println!("(1) sprinting improves performance by activating more cores:");
-    println!("    max-availability sprint = {:.2}x over Normal", max.speedup_vs_normal);
+    println!(
+        "    max-availability sprint = {:.2}x over Normal",
+        max.speedup_vs_normal
+    );
 
     // (2) Renewable energy alone can support sprinting despite intermittency.
-    let re_only = run(GreenConfig::re_only(), Strategy::Hybrid, AvailabilityLevel::Medium, 30);
+    let re_only = run(
+        GreenConfig::re_only(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        30,
+    );
     println!("(2) renewable energy alone supports sprinting despite intermittency:");
-    println!("    REOnly at medium availability = {:.2}x (no battery, no grid sprint)", re_only.speedup_vs_normal);
+    println!(
+        "    REOnly at medium availability = {:.2}x (no battery, no grid sprint)",
+        re_only.speedup_vs_normal
+    );
 
     // (3) Batteries alone help short bursts, not long ones.
-    let b10 = run(GreenConfig::re_batt(), Strategy::Hybrid, AvailabilityLevel::Minimum, 10);
-    let b60 = run(GreenConfig::re_batt(), Strategy::Hybrid, AvailabilityLevel::Minimum, 60);
+    let b10 = run(
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        10,
+    );
+    let b60 = run(
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        60,
+    );
     println!("(3) batteries alone carry short sprints only:");
-    println!("    10 min = {:.2}x vs 60 min = {:.2}x at zero renewable", b10.speedup_vs_normal, b60.speedup_vs_normal);
+    println!(
+        "    10 min = {:.2}x vs 60 min = {:.2}x at zero renewable",
+        b10.speedup_vs_normal, b60.speedup_vs_normal
+    );
 
     // (4) Renewable supplements the battery.
-    let med60 = run(GreenConfig::re_batt(), Strategy::Hybrid, AvailabilityLevel::Medium, 60);
+    let med60 = run(
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        60,
+    );
     println!("(4) renewable supply reduces the battery-only penalty:");
-    println!("    60 min at medium availability = {:.2}x (vs {:.2}x battery-only)", med60.speedup_vs_normal, b60.speedup_vs_normal);
+    println!(
+        "    60 min at medium availability = {:.2}x (vs {:.2}x battery-only)",
+        med60.speedup_vs_normal, b60.speedup_vs_normal
+    );
 
     // (5) Frequency scaling is the more energy-efficient knob on battery.
-    let pac = run(GreenConfig::re_sbatt(), Strategy::Pacing, AvailabilityLevel::Medium, 60);
-    let par = run(GreenConfig::re_sbatt(), Strategy::Parallel, AvailabilityLevel::Medium, 60);
+    let pac = run(
+        GreenConfig::re_sbatt(),
+        Strategy::Pacing,
+        AvailabilityLevel::Medium,
+        60,
+    );
+    let par = run(
+        GreenConfig::re_sbatt(),
+        Strategy::Parallel,
+        AvailabilityLevel::Medium,
+        60,
+    );
     println!("(5) frequency scaling vs core scaling under constrained supply:");
-    println!("    Pacing {:.2}x vs Parallel {:.2}x (SPECjbb, RE-SBatt, Med/60)", pac.speedup_vs_normal, par.speedup_vs_normal);
+    println!(
+        "    Pacing {:.2}x vs Parallel {:.2}x (SPECjbb, RE-SBatt, Med/60)",
+        pac.speedup_vs_normal, par.speedup_vs_normal
+    );
 
     // (6) Sprinting raises renewable utilization.
     let util = |o: &greensprint::engine::BurstOutcome| {
         o.re_used_wh / (o.re_used_wh + o.curtailed_wh).max(1e-9)
     };
-    let sprinting = run(GreenConfig::re_only(), Strategy::Hybrid, AvailabilityLevel::Medium, 30);
-    let normal = run(GreenConfig::re_only(), Strategy::Normal, AvailabilityLevel::Medium, 30);
+    let sprinting = run(
+        GreenConfig::re_only(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        30,
+    );
+    let normal = run(
+        GreenConfig::re_only(),
+        Strategy::Normal,
+        AvailabilityLevel::Medium,
+        30,
+    );
     println!("(6) sprinting raises renewable utilization:");
     println!(
         "    {:.0}% of available green energy used while sprinting vs {:.0}% at Normal",

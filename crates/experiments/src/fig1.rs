@@ -3,9 +3,9 @@
 //! sprinting, and a solar production curve, all normalized to grid power.
 
 use crate::common::sparkline;
+use gs_power::solar::{SolarTrace, WeatherModel};
 use gs_sim::{SimRng, SimTime};
 use gs_workload::arrivals::DiurnalTrace;
-use gs_power::solar::{SolarTrace, WeatherModel};
 
 /// Normalized sprinting power when the whole cluster sprints: the paper's
 /// saturated cluster draws 1550 W against a 1000 W grid budget.
@@ -15,7 +15,9 @@ pub fn run(seed: u64) {
     let mut rng = SimRng::seed_from_u64(seed);
     let workload = DiurnalTrace::generate(1, 4, &mut rng);
     let solar = SolarTrace::generate(1, &WeatherModel::default(), &mut rng);
-    println!("\n=== Figure 1: workload pattern and scaled power demand (normalized to grid power) ===");
+    println!(
+        "\n=== Figure 1: workload pattern and scaled power demand (normalized to grid power) ==="
+    );
     println!(
         "{:>5} {:>18} {:>12} {:>16} {:>17}",
         "hour", "workload_intensity", "grid_power", "sprinting_power", "renewable_power"
@@ -42,11 +44,7 @@ pub fn run(seed: u64) {
     };
     println!("# workload  {}", sparkline(&hourly(&|t| workload.at(t))));
     println!("# renewable {}", sparkline(&hourly(&|t| solar.at(t))));
-    let peak = workload
-        .samples()
-        .iter()
-        .cloned()
-        .fold(0.0_f64, f64::max);
+    let peak = workload.samples().iter().cloned().fold(0.0_f64, f64::max);
     println!(
         "# peak workload intensity {:.2}; sprinting demand exceeds the grid budget whenever intensity > 0 (red ovals of the paper)",
         peak

@@ -26,7 +26,7 @@ pub fn fig10a(opts: &RunOpts) {
             ));
         }
     }
-    let outs = run_batch(configs);
+    let outs = run_batch(configs, opts);
     println!("\n=== Figure 10a: burst-intensity impact (SPECjbb, Hybrid, RE-SBatt, Med) ===");
     print!("{:<18}", "duration");
     for k in INTENSITIES {
@@ -36,7 +36,10 @@ pub fn fig10a(opts: &RunOpts) {
     for (i, mins) in DURATIONS_MIN.iter().enumerate() {
         print!("{:<18}", format!("{mins} Mins"));
         for j in 0..INTENSITIES.len() {
-            print!("{:>10.2}", outs[i * INTENSITIES.len() + j].speedup_vs_normal);
+            print!(
+                "{:>10.2}",
+                outs[i * INTENSITIES.len() + j].speedup_vs_normal
+            );
         }
         println!();
     }
@@ -57,7 +60,7 @@ pub fn fig10b(opts: &RunOpts) {
             )
         })
         .collect();
-    let outs = run_batch(configs);
+    let outs = run_batch(configs, opts);
     println!("\n=== Figure 10b: strategies at Int=9, minimum availability, 10-minute burst ===");
     for (strat, out) in Strategy::SPRINTING.iter().zip(&outs) {
         println!("{:<10} {:>8.2}", strat.to_string(), out.speedup_vs_normal);

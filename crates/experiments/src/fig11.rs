@@ -6,7 +6,10 @@ use gs_tco::TcoParams;
 pub fn run() {
     let tco = TcoParams::paper();
     println!("\n=== Figure 11: POI with additional renewable, battery and cooling investment ===");
-    println!("{:>26} {:>26}", "yearly sprint hours", "benefit ($/KW/year)");
+    println!(
+        "{:>26} {:>26}",
+        "yearly sprint hours", "benefit ($/KW/year)"
+    );
     for hours in [12.0, 24.0, 36.0] {
         println!("{:>26.0} {:>26.1}", hours, tco.poi(hours));
     }

@@ -28,7 +28,10 @@ pub fn run(opts: &RunOpts) {
     let (_, monitor) = Engine::new(cfg).run_with_monitor();
 
     println!("\n=== Figure 5: renewable power vs green-server power demand over a day (SPECjbb, RE-Batt) ===");
-    println!("{:>5} {:>18} {:>18}", "hour", "renewable_power_W", "power_demand_W");
+    println!(
+        "{:>5} {:>18} {:>18}",
+        "hour", "renewable_power_W", "power_demand_W"
+    );
     for h2 in 0..48 {
         let t = SimTime::from_mins(h2 * 30);
         let re = monitor.re_supply().sample_at(t).unwrap_or(0.0);
@@ -41,8 +44,14 @@ pub fn run(opts: &RunOpts) {
             .map(|hh| ts.sample_at(SimTime::from_mins(hh * 30)).unwrap_or(0.0))
             .collect()
     };
-    println!("# renewable {}", crate::common::sparkline(&series(monitor.re_supply())));
-    println!("# demand    {}", crate::common::sparkline(&series(monitor.demand())));
+    println!(
+        "# renewable {}",
+        crate::common::sparkline(&series(monitor.re_supply()))
+    );
+    println!(
+        "# demand    {}",
+        crate::common::sparkline(&series(monitor.demand()))
+    );
 
     // Locate the windows the evaluation samples from this profile.
     let w = SimDuration::from_mins(60);

@@ -28,7 +28,7 @@ pub fn fig6(opts: &RunOpts) {
                 ));
             }
         }
-        let outs = run_batch(configs);
+        let outs = run_batch(configs, opts);
         let rows: Vec<Vec<f64>> = outs
             .chunks(Strategy::SPRINTING.len())
             .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())
@@ -62,7 +62,7 @@ pub fn fig7(opts: &RunOpts) {
                 ));
             }
         }
-        let outs = run_batch(configs);
+        let outs = run_batch(configs, opts);
         let rows: Vec<Vec<f64>> = outs
             .chunks(configs4.len())
             .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())

@@ -13,10 +13,18 @@ fn strategy_grid(app: Application, title: &str, opts: &RunOpts) {
         let mut configs = Vec::new();
         for avail in AvailabilityLevel::ALL {
             for strat in Strategy::SPRINTING {
-                configs.push(cfg(app, GreenConfig::re_sbatt(), strat, avail, mins, 12, opts));
+                configs.push(cfg(
+                    app,
+                    GreenConfig::re_sbatt(),
+                    strat,
+                    avail,
+                    mins,
+                    12,
+                    opts,
+                ));
             }
         }
-        let outs = run_batch(configs);
+        let outs = run_batch(configs, opts);
         let rows: Vec<Vec<f64>> = outs
             .chunks(Strategy::SPRINTING.len())
             .map(|row| row.iter().map(|o| o.speedup_vs_normal).collect())

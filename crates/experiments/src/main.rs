@@ -2,7 +2,7 @@
 //! evaluation (IPDPS 2018).
 //!
 //! ```text
-//! experiments <target> [--analytic] [--seed N]
+//! experiments <target> [--analytic] [--seed N] [--jobs N]
 //!
 //! targets: table1 table2 fig1 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig11
 //!          campaign cluster observations profile dump [file] all
@@ -10,6 +10,8 @@
 //! --analytic   use the closed-form queueing model instead of the
 //!              request-level DES (deterministic and much faster)
 //! --seed N     master seed (default 7)
+//! --jobs N     worker threads for figure grids (default: all cores;
+//!              results are identical for any N)
 //! ```
 
 mod common;
@@ -37,7 +39,18 @@ fn main() {
             "--des" => opts.measurement = MeasurementMode::Des,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                opts.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs needs an integer"));
+                if opts.jobs == 0 {
+                    usage("--jobs must be at least 1");
+                }
             }
             other if target.is_none() && !other.starts_with('-') => {
                 target = Some(other.to_string());
@@ -76,8 +89,21 @@ fn run_target(target: &str, opts: &RunOpts) {
         "cluster" => extras::cluster(opts),
         "all" => {
             for t in [
-                "table1", "table2", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a",
-                "fig10b", "fig11", "campaign", "cluster", "observations", "profile",
+                "table1",
+                "table2",
+                "fig1",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10a",
+                "fig10b",
+                "fig11",
+                "campaign",
+                "cluster",
+                "observations",
+                "profile",
             ] {
                 run_target(t, opts);
             }
@@ -89,7 +115,7 @@ fn run_target(target: &str, opts: &RunOpts) {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|fig11|campaign|cluster|observations|profile|dump [file]|all> [--analytic] [--seed N]"
+        "usage: experiments <table1|table2|fig1|fig5|fig6|fig7|fig8|fig9|fig10a|fig10b|fig11|campaign|cluster|observations|profile|dump [file]|all> [--analytic] [--seed N] [--jobs N]"
     );
     std::process::exit(2);
 }

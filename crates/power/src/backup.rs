@@ -208,7 +208,10 @@ mod tests {
         let mut g = DieselGenerator::new(2_000.0, SimDuration::ZERO, 1.0, 1.0);
         // At rated load: 1 L/h, so the 1 L tank dies after an hour.
         let avg = g.advance(2_000.0, SimDuration::from_hours(2));
-        assert!((avg - 1_000.0).abs() < 1.0, "half the interval served: {avg}");
+        assert!(
+            (avg - 1_000.0).abs() < 1.0,
+            "half the interval served: {avg}"
+        );
         assert!(!g.is_running());
         assert!(g.fuel_l() <= 1e-12);
         // Dead generator delivers nothing.

@@ -136,7 +136,11 @@ impl BatteryBank {
         if self.units.is_empty() {
             return 0.0;
         }
-        self.units.iter().map(Battery::equivalent_cycles).sum::<f64>() / self.units.len() as f64
+        self.units
+            .iter()
+            .map(Battery::equivalent_cycles)
+            .sum::<f64>()
+            / self.units.len() as f64
     }
 
     /// Restore every unit to full charge (test/scenario setup).
@@ -170,7 +174,10 @@ mod tests {
         let mut b = BatteryBank::none();
         assert!(b.is_empty());
         assert_eq!(b.sustainable_power(SimDuration::from_mins(10)), 0.0);
-        assert_eq!(b.discharge(100.0, SimDuration::from_mins(1)).delivered_wh, 0.0);
+        assert_eq!(
+            b.discharge(100.0, SimDuration::from_mins(1)).delivered_wh,
+            0.0
+        );
         assert_eq!(b.charge(100.0, SimDuration::from_mins(1)), 0.0);
         assert!(b.at_dod_floor());
         assert!(b.is_full());

@@ -369,7 +369,10 @@ mod tests {
         let s = BatterySpec::paper_batt();
         let d1 = s.peukert_drain_ah_per_hour(1.0);
         let d2 = s.peukert_drain_ah_per_hour(2.0);
-        assert!(d2 > 2.0 * d1, "doubling current must more than double drain");
+        assert!(
+            d2 > 2.0 * d1,
+            "doubling current must more than double drain"
+        );
         // At the rated current the drain equals the current (no derating).
         let dr = s.peukert_drain_ah_per_hour(s.rated_current_a());
         assert!((dr - s.rated_current_a()).abs() < 1e-12);
@@ -468,9 +471,16 @@ mod tests {
     fn cycle_accounting() {
         let mut b = batt_10ah();
         // One full allowed swing = 1 equivalent cycle.
-        b.discharge(b.sustainable_power(SimDuration::from_hours(4)), SimDuration::from_hours(10));
+        b.discharge(
+            b.sustainable_power(SimDuration::from_hours(4)),
+            SimDuration::from_hours(10),
+        );
         assert!(b.at_dod_floor());
-        assert!((b.equivalent_cycles() - 1.0).abs() < 0.05, "cycles={}", b.equivalent_cycles());
+        assert!(
+            (b.equivalent_cycles() - 1.0).abs() < 0.05,
+            "cycles={}",
+            b.equivalent_cycles()
+        );
         assert!(b.lifetime_fraction_used() > 0.0);
         assert!(b.lifetime_fraction_used() < 0.01);
     }
@@ -489,7 +499,10 @@ mod tests {
     #[test]
     fn zero_requests_are_noops() {
         let mut b = batt_10ah();
-        assert_eq!(b.discharge(0.0, SimDuration::from_mins(1)).delivered_wh, 0.0);
+        assert_eq!(
+            b.discharge(0.0, SimDuration::from_mins(1)).delivered_wh,
+            0.0
+        );
         assert_eq!(b.discharge(100.0, SimDuration::ZERO).delivered_wh, 0.0);
         assert_eq!(b.charge(0.0, SimDuration::from_mins(1)), 0.0);
         assert!(b.is_full());

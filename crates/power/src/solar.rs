@@ -222,7 +222,11 @@ impl SolarTrace {
     fn extreme_window(&self, window: SimDuration, span: SimDuration, max: bool) -> SimTime {
         let step = SimDuration::from_secs(SAMPLE_PERIOD_SECS);
         let mut best_t = SimTime::ZERO;
-        let mut best_v = if max { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut best_v = if max {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
         let mut t = SimTime::ZERO;
         while t + window <= SimTime::ZERO + span {
             let v = self.window_mean(t, t + window);
@@ -395,6 +399,9 @@ mod tests {
         let trace = SolarTrace::constant(1, 0.4);
         let m = trace.window_mean(SimTime::from_hours(23), SimTime::from_hours(25));
         assert!((m - 0.4).abs() < 1e-9);
-        assert_eq!(trace.window_mean(SimTime::from_hours(5), SimTime::from_hours(5)), 0.0);
+        assert_eq!(
+            trace.window_mean(SimTime::from_hours(5), SimTime::from_hours(5)),
+            0.0
+        );
     }
 }

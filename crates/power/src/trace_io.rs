@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_input() {
-        assert!(matches!(parse_csv("# only comments\n"), Err(TraceIoError::Empty)));
+        assert!(matches!(
+            parse_csv("# only comments\n"),
+            Err(TraceIoError::Empty)
+        ));
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
         let xs = trace.samples();
         let mu = mean;
         let var: f64 = xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>();
-        let cov: f64 = xs.windows(2).map(|w| (w[0] - mu) * (w[1] - mu)).sum::<f64>();
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mu) * (w[1] - mu))
+            .sum::<f64>();
         let r1 = cov / var;
         assert!(r1 > 0.8, "lag-1 autocorrelation {r1}");
     }

@@ -10,16 +10,16 @@
 //! breaks ties by insertion order, and all randomness flows through
 //! [`rng::SimRng`] instances created from explicit seeds.
 
-pub mod ewma;
 pub mod events;
+pub mod ewma;
 pub mod p2;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use ewma::Ewma;
 pub use events::EventQueue;
+pub use ewma::Ewma;
 pub use p2::P2Quantile;
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -107,13 +107,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let step = d.signum();
                 let parabolic = self.parabolic(i, step);
-                self.heights[i] = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    self.linear(i, step)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, step)
+                    };
                 self.positions[i] += step;
             }
         }
@@ -121,7 +120,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n0, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n0, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         q0 + d / (np - nm)
             * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
     }

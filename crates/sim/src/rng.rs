@@ -1,17 +1,25 @@
 //! Seeded random number generation and the distributions the simulator needs.
 //!
-//! The approved dependency set includes `rand` but not `rand_distr`, so the
-//! non-uniform distributions (exponential, normal, log-normal, Poisson,
-//! Pareto) are implemented here with standard, well-understood methods
-//! (inverse transform, Marsaglia polar, Knuth/inversion-by-chop).
+//! The generator is a self-contained xoshiro256++ (seeded through
+//! SplitMix64, the construction its authors recommend), so the kernel has
+//! no external RNG dependency and the stream is reproducible across
+//! platforms for a given seed. The non-uniform distributions (exponential,
+//! normal, log-normal, Poisson, Pareto) are implemented with standard,
+//! well-understood methods (inverse transform, Marsaglia polar,
+//! Knuth/inversion-by-chop).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Expand a 64-bit seed into successive SplitMix64 outputs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-/// The simulator's random source: a `StdRng` (ChaCha-based, reproducible
-/// across platforms for a given seed) with convenience samplers.
+/// The simulator's random source: xoshiro256++ with convenience samplers.
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     /// Cached second value from the Marsaglia polar method.
     cached_gaussian: Option<f64>,
 }
@@ -25,22 +33,45 @@ impl std::fmt::Debug for SimRng {
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             cached_gaussian: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child generator (e.g. one per server) from
     /// this generator's stream. Children created in the same order are
     /// identical across runs.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.next_u64())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard double in [0, 1) with full mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -52,7 +83,9 @@ impl SimRng {
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Lemire-style widening multiply: unbiased enough for simulation
+        // (bias < 2^-64 relative) and branch-free.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -138,7 +171,10 @@ impl SimRng {
 
     /// Bounded Pareto sample (heavy-tailed burst magnitudes). `alpha > 0`.
     pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
-        assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "invalid Pareto parameters");
+        assert!(
+            alpha > 0.0 && lo > 0.0 && hi > lo,
+            "invalid Pareto parameters"
+        );
         let u = self.uniform();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
@@ -230,7 +266,10 @@ mod tests {
         for &mean in &[0.5, 5.0, 80.0] {
             let n = 100_000;
             let avg = (0..n).map(|_| r.poisson(mean)).sum::<u64>() as f64 / n as f64;
-            assert!((avg - mean).abs() < 0.05 * mean.max(1.0), "mean={mean} avg={avg}");
+            assert!(
+                (avg - mean).abs() < 0.05 * mean.max(1.0),
+                "mean={mean} avg={avg}"
+            );
         }
         assert_eq!(r.poisson(0.0), 0);
     }

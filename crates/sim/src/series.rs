@@ -87,7 +87,12 @@ impl TimeSeries {
     /// Resample to fixed `step` buckets covering `[start, end)`, taking the
     /// mean of points in each bucket and carrying the previous bucket's
     /// value forward through empty buckets (0 before any data).
-    pub fn resample_mean(&self, start: SimTime, end: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn resample_mean(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        step: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "resample step must be positive");
         let mut out = Vec::new();
         let mut t = start;
@@ -169,15 +174,28 @@ mod tests {
     #[test]
     fn window_mean_and_max() {
         let s = series(&[(0, 1.0), (10, 3.0), (20, 5.0), (30, 7.0)]);
-        assert_eq!(s.window_mean(SimTime::ZERO, SimTime::from_secs(21)), Some(3.0));
-        assert_eq!(s.window_max(SimTime::from_secs(5), SimTime::from_secs(25)), Some(5.0));
-        assert_eq!(s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)), None);
+        assert_eq!(
+            s.window_mean(SimTime::ZERO, SimTime::from_secs(21)),
+            Some(3.0)
+        );
+        assert_eq!(
+            s.window_max(SimTime::from_secs(5), SimTime::from_secs(25)),
+            Some(5.0)
+        );
+        assert_eq!(
+            s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)),
+            None
+        );
     }
 
     #[test]
     fn resample_carries_forward() {
         let s = series(&[(0, 2.0), (25, 4.0)]);
-        let r = s.resample_mean(SimTime::ZERO, SimTime::from_secs(40), SimDuration::from_secs(10));
+        let r = s.resample_mean(
+            SimTime::ZERO,
+            SimTime::from_secs(40),
+            SimDuration::from_secs(10),
+        );
         let vals: Vec<f64> = r.iter().map(|&(_, v)| v).collect();
         // Buckets: [0,10)=2, [10,20)=carry 2, [20,30)=4, [30,40)=carry 4.
         assert_eq!(vals, vec![2.0, 2.0, 4.0, 4.0]);
@@ -197,8 +215,14 @@ mod tests {
     #[test]
     fn step_integral_empty_or_degenerate() {
         let s = TimeSeries::new("e");
-        assert_eq!(s.step_integral_value_seconds(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            s.step_integral_value_seconds(SimTime::ZERO, SimTime::from_secs(10)),
+            0.0
+        );
         let s = series(&[(0, 5.0)]);
-        assert_eq!(s.step_integral_value_seconds(SimTime::from_secs(10), SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            s.step_integral_value_seconds(SimTime::from_secs(10), SimTime::from_secs(10)),
+            0.0
+        );
     }
 }

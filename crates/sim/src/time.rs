@@ -11,11 +11,15 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in simulated time, measured in microseconds since the start of
 /// the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -259,8 +263,14 @@ mod tests {
         assert_eq!(t.as_secs(), 15);
         assert_eq!((t - SimTime::from_secs(5)).as_secs(), 10);
         // Saturating subtraction never panics or wraps.
-        assert_eq!(SimTime::from_secs(1) - SimDuration::from_secs(100), SimTime::ZERO);
-        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(9)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimDuration::from_secs(100),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(1).since(SimTime::from_secs(9)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property tests for the simulation kernel.
 
-use gs_sim::{Ewma, EventQueue, OnlineStats, ReservoirPercentiles, SimDuration, SimRng, SimTime};
+use gs_sim::{EventQueue, Ewma, OnlineStats, ReservoirPercentiles, SimDuration, SimRng, SimTime};
 use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
 
 proptest! {

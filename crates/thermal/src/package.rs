@@ -64,7 +64,11 @@ pub struct ThermalPackage {
 impl ThermalPackage {
     /// Compose a package.
     pub fn new(spec: ThermalSpec, pcm: PcmBuffer) -> Self {
-        let node = RcNode::new(spec.resistance_k_per_w, spec.capacitance_j_per_k, spec.ambient_c);
+        let node = RcNode::new(
+            spec.resistance_k_per_w,
+            spec.capacitance_j_per_k,
+            spec.ambient_c,
+        );
         ThermalPackage { spec, node, pcm }
     }
 
@@ -121,7 +125,8 @@ impl ThermalPackage {
                 if excess_w > 0.0 {
                     let absorbed = self.pcm.absorb(excess_w * step);
                     let leftover_j = excess_w * step - absorbed;
-                    self.node.set_temp_c(melt + leftover_j / self.spec.capacitance_j_per_k);
+                    self.node
+                        .set_temp_c(melt + leftover_j / self.spec.capacitance_j_per_k);
                 } else {
                     // Power dropped below the melt-point dissipation:
                     // refreeze with the spare capacity, temperature holds.

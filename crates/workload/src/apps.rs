@@ -138,7 +138,8 @@ impl AppProfile {
     pub fn mean_service_s(&self, setting: ServerSetting) -> f64 {
         let freq_slowdown = (1.0 / setting.freq_fraction()).powf(self.freq_exponent);
         let contention = 1.0
-            + self.core_contention * setting.freq_fraction()
+            + self.core_contention
+                * setting.freq_fraction()
                 * (setting.cores - gs_cluster::NORMAL_CORES) as f64
                 / gs_cluster::NORMAL_CORES as f64;
         self.base_service_ms / 1e3 * freq_slowdown * contention

@@ -32,12 +32,7 @@ pub struct BurstPattern {
 impl BurstPattern {
     /// Build the paper's `Int=k` burst for an application: the offered
     /// rate equals the SLO capacity of `k` cores at 2.0 GHz.
-    pub fn intensity(
-        app: &AppProfile,
-        k_cores: u8,
-        start: SimTime,
-        end: SimTime,
-    ) -> BurstPattern {
+    pub fn intensity(app: &AppProfile, k_cores: u8, start: SimTime, end: SimTime) -> BurstPattern {
         assert!(end > start, "burst must have positive duration");
         let setting = ServerSetting::new(k_cores, (NUM_FREQ_LEVELS - 1) as u8);
         let burst_rps = app.slo_capacity(setting);
@@ -148,12 +143,7 @@ mod tests {
     #[test]
     fn intensity_burst_rate_matches_k_core_capacity() {
         let app = Application::SpecJbb.profile();
-        let b = BurstPattern::intensity(
-            &app,
-            9,
-            SimTime::from_mins(5),
-            SimTime::from_mins(15),
-        );
+        let b = BurstPattern::intensity(&app, 9, SimTime::from_mins(5), SimTime::from_mins(15));
         let expect = app.slo_capacity(ServerSetting::new(9, 8));
         assert!((b.burst_rps - expect).abs() < 1e-9);
         // Int=12 is the full sprint capacity; Int=7 lower.

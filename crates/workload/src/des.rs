@@ -152,9 +152,7 @@ impl ServerSim {
             } else {
                 0.0
             },
-            slo_percentile_latency_s: latencies
-                .quantile(app.slo_percentile)
-                .unwrap_or(0.0),
+            slo_percentile_latency_s: latencies.quantile(app.slo_percentile).unwrap_or(0.0),
             utilization: (busy_core_secs / (cores as f64 * secs)).clamp(0.0, 1.0),
         }
     }
@@ -194,9 +192,19 @@ mod tests {
         let setting = ServerSetting::max_sprint();
         let mut s = sim(1);
         let cap = app.slo_capacity(setting);
-        let perf = s.advance_epoch(&app, setting, cap * 0.3, f64::INFINITY, SimDuration::from_secs(120));
+        let perf = s.advance_epoch(
+            &app,
+            setting,
+            cap * 0.3,
+            f64::INFINITY,
+            SimDuration::from_secs(120),
+        );
         assert!(perf.completed_rps > 0.25 * cap);
-        assert!(perf.slo_attainment() > 0.99, "attainment {}", perf.slo_attainment());
+        assert!(
+            perf.slo_attainment() > 0.99,
+            "attainment {}",
+            perf.slo_attainment()
+        );
         assert!(perf.shed_rps == 0.0);
         assert!(perf.utilization < 0.6);
     }
@@ -212,7 +220,11 @@ mod tests {
         let shed_frac = perf.shed_rps / perf.offered_rps;
         assert!((shed_frac - 2.0 / 3.0).abs() < 0.05, "shed {shed_frac}");
         // Admitted traffic still largely meets the SLO.
-        assert!(perf.slo_attainment() > 0.95, "attainment {}", perf.slo_attainment());
+        assert!(
+            perf.slo_attainment() > 0.95,
+            "attainment {}",
+            perf.slo_attainment()
+        );
     }
 
     #[test]
@@ -223,7 +235,13 @@ mod tests {
         for setting in [ServerSetting::normal(), ServerSetting::max_sprint()] {
             let cap = app.slo_capacity(setting);
             let mut s = sim(3);
-            let perf = s.advance_epoch(&app, setting, cap, f64::INFINITY, SimDuration::from_secs(600));
+            let perf = s.advance_epoch(
+                &app,
+                setting,
+                cap,
+                f64::INFINITY,
+                SimDuration::from_secs(600),
+            );
             let met = perf.slo_attainment();
             assert!(
                 met > app.slo_percentile - 0.035,
@@ -240,7 +258,13 @@ mod tests {
         let raw = app.raw_capacity(setting);
         let mut s = sim(4);
         // Overload without admission: completions approach raw capacity.
-        let perf = s.advance_epoch(&app, setting, raw * 2.0, f64::INFINITY, SimDuration::from_secs(300));
+        let perf = s.advance_epoch(
+            &app,
+            setting,
+            raw * 2.0,
+            f64::INFINITY,
+            SimDuration::from_secs(300),
+        );
         assert!(
             (perf.completed_rps - raw).abs() / raw < 0.05,
             "completed {} vs raw {raw}",
@@ -258,7 +282,13 @@ mod tests {
         let setting = ServerSetting::normal();
         let mut s = sim(5);
         // Saturate briefly without admission control…
-        s.advance_epoch(&app, setting, 1000.0, f64::INFINITY, SimDuration::from_secs(5));
+        s.advance_epoch(
+            &app,
+            setting,
+            1000.0,
+            f64::INFINITY,
+            SimDuration::from_secs(5),
+        );
         let backlog = s.backlog();
         assert!(backlog > 10, "backlog {backlog}");
         // …then the backlog drains in a zero-load epoch.
@@ -272,11 +302,23 @@ mod tests {
     fn core_count_reduction_is_non_preemptive() {
         let app = Application::SpecJbb.profile();
         let mut s = sim(6);
-        s.advance_epoch(&app, ServerSetting::max_sprint(), 500.0, f64::INFINITY, SimDuration::from_secs(2));
+        s.advance_epoch(
+            &app,
+            ServerSetting::max_sprint(),
+            500.0,
+            f64::INFINITY,
+            SimDuration::from_secs(2),
+        );
         assert!(s.backlog() > 0);
         // Shrinking to 6 cores must not lose the in-flight requests.
         let before = s.backlog();
-        let perf = s.advance_epoch(&app, ServerSetting::normal(), 0.0, 0.0, SimDuration::from_millis(10));
+        let perf = s.advance_epoch(
+            &app,
+            ServerSetting::normal(),
+            0.0,
+            0.0,
+            SimDuration::from_millis(10),
+        );
         // Nothing shed, work conserved modulo completions.
         assert_eq!(perf.shed_rps, 0.0);
         assert!(s.backlog() <= before);
@@ -299,7 +341,13 @@ mod tests {
     fn drain_clears_state() {
         let app = Application::SpecJbb.profile();
         let mut s = sim(9);
-        s.advance_epoch(&app, ServerSetting::normal(), 1000.0, f64::INFINITY, SimDuration::from_secs(2));
+        s.advance_epoch(
+            &app,
+            ServerSetting::normal(),
+            1000.0,
+            f64::INFINITY,
+            SimDuration::from_secs(2),
+        );
         s.drain();
         assert_eq!(s.backlog(), 0);
     }
@@ -347,7 +395,13 @@ mod tests {
     fn zero_offered_rate_is_quiet() {
         let app = Application::SpecJbb.profile();
         let mut s = sim(10);
-        let perf = s.advance_epoch(&app, ServerSetting::normal(), 0.0, 100.0, SimDuration::from_secs(10));
+        let perf = s.advance_epoch(
+            &app,
+            ServerSetting::normal(),
+            0.0,
+            100.0,
+            SimDuration::from_secs(10),
+        );
         assert_eq!(perf.offered_rps, 0.0);
         assert_eq!(perf.completed_rps, 0.0);
         assert_eq!(perf.utilization, 0.0);

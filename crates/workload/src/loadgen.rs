@@ -293,12 +293,7 @@ impl Default for ClosedLoopDriver {
 impl ClosedLoopDriver {
     /// Run to the interactive-law fixed point; returns the converged
     /// report plus the implied concurrency check.
-    pub fn run(
-        &self,
-        app: &AppProfile,
-        setting: ServerSetting,
-        seed: u64,
-    ) -> DriverReport {
+    pub fn run(&self, app: &AppProfile, setting: ServerSetting, seed: u64) -> DriverReport {
         let mut sim = ServerSim::new(SimRng::seed_from_u64(seed));
         let mut response_s = app.mean_service_s(setting);
         let mut last = None;
@@ -421,7 +416,11 @@ mod tests {
         // λ = N / (Z + R) within the fixed point's tolerance.
         let implied = driver.clients as f64 / (driver.think_time_s + report.mean_latency_s);
         let rel = (report.completed_rps - implied).abs() / implied;
-        assert!(rel < 0.10, "law: measured {} vs implied {implied}", report.completed_rps);
+        assert!(
+            rel < 0.10,
+            "law: measured {} vs implied {implied}",
+            report.completed_rps
+        );
         // Light population: latency near bare service time.
         assert!(report.mean_latency_s < 2.0 * app.mean_service_s(setting));
     }
@@ -430,10 +429,16 @@ mod tests {
     fn closed_loop_saturates_gracefully_with_many_clients() {
         let app = Application::SpecJbb.profile();
         let setting = ServerSetting::normal();
-        let small = ClosedLoopDriver { clients: 10, ..ClosedLoopDriver::default() }
-            .run(&app, setting, 6);
-        let large = ClosedLoopDriver { clients: 400, ..ClosedLoopDriver::default() }
-            .run(&app, setting, 6);
+        let small = ClosedLoopDriver {
+            clients: 10,
+            ..ClosedLoopDriver::default()
+        }
+        .run(&app, setting, 6);
+        let large = ClosedLoopDriver {
+            clients: 400,
+            ..ClosedLoopDriver::default()
+        }
+        .run(&app, setting, 6);
         // Throughput caps near raw capacity; latency absorbs the rest
         // (the closed-loop self-throttling the open-loop model lacks).
         assert!(large.completed_rps > small.completed_rps);
@@ -457,7 +462,11 @@ mod tests {
         let heavy = driver.run(&app, setting, &RateSchedule::Constant(cap * 3.0), 5);
         assert!(light.goodput_rps < heavy.goodput_rps);
         // Past the knee goodput is capped near the SLO capacity.
-        assert!(heavy.goodput_rps < cap * 1.15, "{} vs {cap}", heavy.goodput_rps);
+        assert!(
+            heavy.goodput_rps < cap * 1.15,
+            "{} vs {cap}",
+            heavy.goodput_rps
+        );
         assert!(heavy.mean_latency_s > light.mean_latency_s);
     }
 }

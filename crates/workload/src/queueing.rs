@@ -233,7 +233,10 @@ impl Station {
     /// As [`Self::slo_capacity`] with a caller-supplied service-quantile
     /// grid (e.g. from an empirical distribution).
     pub fn slo_capacity_with_grid(&self, grid: &[f64], deadline_s: f64, q: f64) -> f64 {
-        assert!((0.0..1.0).contains(&(1.0 - q)), "percentile must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&(1.0 - q)),
+            "percentile must be in (0,1)"
+        );
         let viol_budget = 1.0 - q;
         if self.sojourn_tail_with(grid, 0.0, deadline_s) > viol_budget {
             return 0.0;
@@ -379,8 +382,7 @@ mod tests {
         let normal = station(6, 200.0); // slow cores
         let sprint = station(12, 110.0); // 12 faster cores
         let raw_ratio = sprint.raw_capacity() / normal.raw_capacity();
-        let slo_ratio =
-            sprint.slo_capacity(0.5, 0.99) / normal.slo_capacity(0.5, 0.99).max(1e-9);
+        let slo_ratio = sprint.slo_capacity(0.5, 0.99) / normal.slo_capacity(0.5, 0.99).max(1e-9);
         assert!(slo_ratio > raw_ratio, "slo {slo_ratio} vs raw {raw_ratio}");
     }
 }

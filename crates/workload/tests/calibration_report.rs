@@ -40,12 +40,21 @@ fn solve_base_service() {
             let mut p = base.clone();
             p.base_service_ms = base.base_service_ms * mid;
             let s = speedup(&p);
-            if s < target { lo = mid; } else { hi = mid; }
+            if s < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
         }
         let mut p = base.clone();
         p.base_service_ms = base.base_service_ms * lo;
-        println!("{:<11} base_service_ms = {:8.3} (scale {:.3}) -> speedup {:.3}",
-                 p.name, p.base_service_ms, lo, speedup(&p));
+        println!(
+            "{:<11} base_service_ms = {:8.3} (scale {:.3}) -> speedup {:.3}",
+            p.name,
+            p.base_service_ms,
+            lo,
+            speedup(&p)
+        );
     }
 }
 
@@ -57,7 +66,9 @@ fn sweep_phi_base() {
     use gs_workload::apps::AppProfile;
     fn speedup(p: &AppProfile) -> f64 {
         let n = p.slo_capacity(ServerSetting::normal());
-        if n <= 0.0 { return f64::NAN; }
+        if n <= 0.0 {
+            return f64::NAN;
+        }
         p.slo_capacity(ServerSetting::max_sprint()) / n
     }
     for (app, target) in [
@@ -66,7 +77,10 @@ fn sweep_phi_base() {
         (Application::Memcached, 4.7),
     ] {
         let base = app.profile();
-        println!("=== {} target {target} (cv={}, sigma={})", base.name, base.service_cv, base.core_contention);
+        println!(
+            "=== {} target {target} (cv={}, sigma={})",
+            base.name, base.service_cv, base.core_contention
+        );
         for phi_i in 0..6 {
             let phi = match app {
                 Application::Memcached => 0.5 + 0.08 * phi_i as f64,
@@ -80,7 +94,11 @@ fn sweep_phi_base() {
                 p.freq_exponent = phi;
                 p.base_service_ms = base.base_service_ms * mid;
                 let s = speedup(&p);
-                if s.is_nan() || s >= target { hi = mid; } else { lo = mid; }
+                if s.is_nan() || s >= target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
             }
             let mut p = base.clone();
             p.freq_exponent = phi;
@@ -90,8 +108,10 @@ fn sweep_phi_base() {
             let mut p2 = p.clone();
             p2.base_service_ms = p.base_service_ms * 1.02;
             let s2 = speedup(&p2);
-            println!("  phi={:.2} base={:8.3}ms speedup={:6.3} (+2% base -> {:6.3})",
-                     phi, p.base_service_ms, s_hit, s2);
+            println!(
+                "  phi={:.2} base={:8.3}ms speedup={:6.3} (+2% base -> {:6.3})",
+                phi, p.base_service_ms, s_hit, s2
+            );
         }
     }
 }
@@ -103,7 +123,9 @@ fn sweep_memcached() {
     use gs_workload::apps::AppProfile;
     fn speedup(p: &AppProfile) -> f64 {
         let n = p.slo_capacity(ServerSetting::normal());
-        if n <= 0.0 { return f64::NAN; }
+        if n <= 0.0 {
+            return f64::NAN;
+        }
         p.slo_capacity(ServerSetting::max_sprint()) / n
     }
     let base = Application::Memcached.profile();
@@ -114,14 +136,22 @@ fn sweep_memcached() {
                 for _ in 0..60 {
                     let mid = 0.5 * (lo + hi);
                     let mut p = base.clone();
-                    p.service_cv = cv; p.core_contention = sigma; p.freq_exponent = phi;
+                    p.service_cv = cv;
+                    p.core_contention = sigma;
+                    p.freq_exponent = phi;
                     p.base_service_ms = base.base_service_ms * mid;
                     let s = speedup(&p);
-                    if s.is_nan() || s >= 4.7 { hi = mid; } else { lo = mid; }
+                    if s.is_nan() || s >= 4.7 {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
                 }
                 let mk = |scale: f64| {
                     let mut p = base.clone();
-                    p.service_cv = cv; p.core_contention = sigma; p.freq_exponent = phi;
+                    p.service_cv = cv;
+                    p.core_contention = sigma;
+                    p.freq_exponent = phi;
                     p.base_service_ms = base.base_service_ms * scale;
                     p
                 };
@@ -143,7 +173,9 @@ fn final_fit() {
     use gs_workload::apps::AppProfile;
     fn speedup(p: &AppProfile) -> f64 {
         let n = p.slo_capacity(ServerSetting::normal());
-        if n <= 0.0 { return f64::NAN; }
+        if n <= 0.0 {
+            return f64::NAN;
+        }
         p.slo_capacity(ServerSetting::max_sprint()) / n
     }
     for (app, target, cvs) in [
@@ -160,7 +192,11 @@ fn final_fit() {
                 p.service_cv = cv;
                 p.base_service_ms = base.base_service_ms * mid;
                 let s = speedup(&p);
-                if s.is_nan() || s >= target { hi = mid; } else { lo = mid; }
+                if s.is_nan() || s >= target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
             }
             let mut p = base.clone();
             p.service_cv = cv;

@@ -32,7 +32,11 @@ fn des_throughput_matches_raw_capacity_at_overload() {
             SimDuration::from_secs(400),
         );
         let rel = (perf.completed_rps - raw).abs() / raw;
-        assert!(rel < 0.06, "{setting}: DES {} vs raw {raw}", perf.completed_rps);
+        assert!(
+            rel < 0.06,
+            "{setting}: DES {} vs raw {raw}",
+            perf.completed_rps
+        );
     }
 }
 
@@ -46,7 +50,8 @@ fn des_attainment_near_percentile_at_solved_capacity() {
         for setting in [ServerSetting::normal(), ServerSetting::max_sprint()] {
             let cap = p.slo_capacity(setting);
             let mut sim = ServerSim::new(SimRng::seed_from_u64(7));
-            let perf = sim.advance_epoch(&p, setting, cap, f64::INFINITY, SimDuration::from_secs(600));
+            let perf =
+                sim.advance_epoch(&p, setting, cap, f64::INFINITY, SimDuration::from_secs(600));
             let attained = perf.slo_attainment();
             assert!(
                 attained >= p.slo_percentile - 0.04 && attained <= 1.0,
@@ -68,7 +73,13 @@ fn des_percentile_latency_matches_analytic_at_moderate_load() {
         .sojourn_percentile(lambda, app.slo_percentile)
         .expect("stable load");
     let mut sim = ServerSim::new(SimRng::seed_from_u64(3));
-    let perf = sim.advance_epoch(&app, setting, lambda, f64::INFINITY, SimDuration::from_secs(900));
+    let perf = sim.advance_epoch(
+        &app,
+        setting,
+        lambda,
+        f64::INFINITY,
+        SimDuration::from_secs(900),
+    );
     let measured = perf.slo_percentile_latency_s;
     let rel = (measured - analytic_p99).abs() / analytic_p99;
     assert!(

@@ -21,7 +21,12 @@ fn main() {
     );
 
     let mut outcomes = Vec::new();
-    for strategy in [Strategy::Greedy, Strategy::Parallel, Strategy::Pacing, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::Greedy,
+        Strategy::Parallel,
+        Strategy::Pacing,
+        Strategy::Hybrid,
+    ] {
         let cfg = EngineConfig {
             app: Application::Memcached,
             green: GreenConfig::re_sbatt(),
@@ -61,7 +66,10 @@ fn main() {
     let poi = tco.poi(hours);
     println!("\nTCO check: {events_per_year} one-hour events/year = {hours} sprint hours");
     println!("  profit over investment : {poi:.0} $/KW/year");
-    println!("  break-even             : {:.1} sprint hours/year", tco.crossover_hours());
+    println!(
+        "  break-even             : {:.1} sprint hours/year",
+        tco.crossover_hours()
+    );
     if poi < 0.0 {
         println!("  -> a dozen events alone don't pay it back; the paper's answer is to sprint");
         println!("     for every burst (news spikes, daily peaks), not just Black Friday.");

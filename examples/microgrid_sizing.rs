@@ -68,7 +68,9 @@ fn main() {
         );
     }
     println!("\nreading the table:");
-    println!("  - the first panel column shows renewable-starved racks: batteries carry the sprint;");
+    println!(
+        "  - the first panel column shows renewable-starved racks: batteries carry the sprint;"
+    );
     println!("  - battery capacity stops mattering once panels cover the full sprint draw;");
     println!("  - the paper's RE-Batt point (10 Ah, 3 panels) sits near the knee.");
 }

@@ -25,27 +25,43 @@ fn main() {
 
     println!("GreenSprint quickstart");
     println!("  app        : {}", cfg.app);
-    println!("  config     : {} ({} green servers, {:.1} Ah batteries)",
-        cfg.green.name, cfg.green.green_servers, cfg.green.battery_ah);
+    println!(
+        "  config     : {} ({} green servers, {:.1} Ah batteries)",
+        cfg.green.name, cfg.green.green_servers, cfg.green.battery_ah
+    );
     println!("  strategy   : {}", cfg.strategy);
-    println!("  burst      : {} at Int={} cores, {} availability\n",
-        cfg.burst_duration, cfg.burst_intensity_cores, cfg.availability);
+    println!(
+        "  burst      : {} at Int={} cores, {} availability\n",
+        cfg.burst_duration, cfg.burst_intensity_cores, cfg.availability
+    );
 
     let outcome = Engine::new(cfg).run();
 
     println!("burst outcome:");
     println!("  speedup vs Normal   : {:.2}x", outcome.speedup_vs_normal);
-    println!("  goodput             : {:.1} req/s/server (Normal: {:.1})",
-        outcome.mean_goodput_rps, outcome.normal_baseline_rps);
-    println!("  SLO attainment      : {:.1}%", outcome.slo_attainment * 100.0);
-    println!("  renewable used      : {:.1} Wh (+{:.1} Wh stored, {:.1} Wh curtailed)",
-        outcome.re_used_wh, outcome.re_charged_wh, outcome.curtailed_wh);
-    println!("  battery discharged  : {:.1} Wh ({:.3} equivalent cycles)",
-        outcome.battery_used_wh, outcome.battery_cycles);
+    println!(
+        "  goodput             : {:.1} req/s/server (Normal: {:.1})",
+        outcome.mean_goodput_rps, outcome.normal_baseline_rps
+    );
+    println!(
+        "  SLO attainment      : {:.1}%",
+        outcome.slo_attainment * 100.0
+    );
+    println!(
+        "  renewable used      : {:.1} Wh (+{:.1} Wh stored, {:.1} Wh curtailed)",
+        outcome.re_used_wh, outcome.re_charged_wh, outcome.curtailed_wh
+    );
+    println!(
+        "  battery discharged  : {:.1} Wh ({:.3} equivalent cycles)",
+        outcome.battery_used_wh, outcome.battery_cycles
+    );
     println!("  grid recharge after : {:.1} Wh", outcome.grid_recharge_wh);
 
     println!("\nepoch trace (one row per minute):");
-    println!("  {:<6} {:<12} {:<15} {:>8} {:>8} {:>6}", "time", "setting", "supply case", "RE (W)", "batt(W)", "SoC");
+    println!(
+        "  {:<6} {:<12} {:<15} {:>8} {:>8} {:>6}",
+        "time", "setting", "supply case", "RE (W)", "batt(W)", "SoC"
+    );
     for e in &outcome.epochs {
         println!(
             "  {:<6} {:<12} {:<15} {:>8.0} {:>8.0} {:>5.0}%",

@@ -68,8 +68,7 @@ fn main() {
 
     println!(
         "\nburst finished: {:.2}x speedup, {} setting transitions applied through sysfs",
-        outcome.speedup_vs_normal,
-        outcome.setting_transitions,
+        outcome.speedup_vs_normal, outcome.setting_transitions,
     );
     std::fs::remove_dir_all(&root).ok();
 }

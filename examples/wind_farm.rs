@@ -35,11 +35,13 @@ fn main() {
         ..WindModel::default()
     };
     let wind_trace = wind.generate(2, &mut SimRng::seed_from_u64(14));
-    let mean_cf: f64 =
-        wind_trace.samples().iter().sum::<f64>() / wind_trace.len() as f64;
+    let mean_cf: f64 = wind_trace.samples().iter().sum::<f64>() / wind_trace.len() as f64;
 
     println!("Wind vs solar sprinting (Web-Search, RE-SBatt, 20-minute bursts)");
-    println!("wind site: Weibull scale 9 m/s -> capacity factor {:.0}%\n", mean_cf * 100.0);
+    println!(
+        "wind site: Weibull scale 9 m/s -> capacity factor {:.0}%\n",
+        mean_cf * 100.0
+    );
     println!(
         "{:>6} {:>16} {:>16}",
         "hour", "solar speedup", "wind speedup"

@@ -7,11 +7,12 @@
 //!                      [--hysteresis F] [--trace FILE.csv]
 //!                      [--warm-policy FILE] [--save-policy FILE] [--scenario FILE.json]
 //! greensprint campaign [--days N] [--spikes N] [--app ...] [--strategy ...] [--seed N]
+//! greensprint sweep [--apps A,B] [--strategies S,..] [--availabilities L,..] [--minutes M,..]
+//!                   [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
 //! greensprint tco [--hours H]
 //! ```
 
-use greensprint_repro::core::campaign::{run_campaign, CampaignConfig};
 use greensprint_repro::power::trace_io;
 use greensprint_repro::power::wind::WindModel;
 use greensprint_repro::prelude::*;
@@ -28,6 +29,7 @@ fn main() {
     match cmd.as_str() {
         "simulate" => simulate(&flags),
         "campaign" => campaign(&flags),
+        "sweep" => sweep(&flags),
         "trace" => trace(&positional, &flags),
         "tco" => tco(&flags),
         "help" | "--help" | "-h" => usage(""),
@@ -43,9 +45,7 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
-            let next_is_value = args
-                .get(i + 1)
-                .is_some_and(|v| !v.starts_with("--"));
+            let next_is_value = args.get(i + 1).is_some_and(|v| !v.starts_with("--"));
             if next_is_value {
                 flags.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
@@ -71,8 +71,8 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
     }
 }
 
-fn app_of(flags: &HashMap<String, String>) -> Application {
-    match flags.get("app").map(String::as_str).unwrap_or("jbb") {
+fn parse_app(s: &str) -> Application {
+    match s {
         "jbb" | "specjbb" => Application::SpecJbb,
         "websearch" | "ws" | "web-search" => Application::WebSearch,
         "memcached" | "mc" => Application::Memcached,
@@ -80,8 +80,12 @@ fn app_of(flags: &HashMap<String, String>) -> Application {
     }
 }
 
-fn green_of(flags: &HashMap<String, String>) -> GreenConfig {
-    match flags.get("config").map(String::as_str).unwrap_or("re-batt") {
+fn app_of(flags: &HashMap<String, String>) -> Application {
+    parse_app(flags.get("app").map(String::as_str).unwrap_or("jbb"))
+}
+
+fn parse_green(s: &str) -> GreenConfig {
+    match s {
         "re-batt" => GreenConfig::re_batt(),
         "re-only" => GreenConfig::re_only(),
         "re-sbatt" => GreenConfig::re_sbatt(),
@@ -90,8 +94,12 @@ fn green_of(flags: &HashMap<String, String>) -> GreenConfig {
     }
 }
 
-fn strategy_of(flags: &HashMap<String, String>) -> Strategy {
-    match flags.get("strategy").map(String::as_str).unwrap_or("hybrid") {
+fn green_of(flags: &HashMap<String, String>) -> GreenConfig {
+    parse_green(flags.get("config").map(String::as_str).unwrap_or("re-batt"))
+}
+
+fn parse_strategy(s: &str) -> Strategy {
+    match s {
         "normal" => Strategy::Normal,
         "greedy" => Strategy::Greedy,
         "parallel" => Strategy::Parallel,
@@ -101,13 +109,43 @@ fn strategy_of(flags: &HashMap<String, String>) -> Strategy {
     }
 }
 
-fn availability_of(flags: &HashMap<String, String>) -> AvailabilityLevel {
-    match flags.get("availability").map(String::as_str).unwrap_or("med") {
+fn strategy_of(flags: &HashMap<String, String>) -> Strategy {
+    parse_strategy(
+        flags
+            .get("strategy")
+            .map(String::as_str)
+            .unwrap_or("hybrid"),
+    )
+}
+
+fn parse_availability(s: &str) -> AvailabilityLevel {
+    match s {
         "min" | "minimum" => AvailabilityLevel::Minimum,
         "med" | "medium" => AvailabilityLevel::Medium,
         "max" | "maximum" => AvailabilityLevel::Maximum,
         other => usage(&format!("unknown --availability {other}")),
     }
+}
+
+fn availability_of(flags: &HashMap<String, String>) -> AvailabilityLevel {
+    parse_availability(
+        flags
+            .get("availability")
+            .map(String::as_str)
+            .unwrap_or("med"),
+    )
+}
+
+/// A comma-separated grid axis: `--apps jbb,memcached`.
+fn axis<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> Vec<&'a str> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .unwrap_or(default)
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
@@ -192,7 +230,8 @@ fn simulate(flags: &HashMap<String, String>) {
         cfg.burst_duration,
     );
     let save_policy = flags.get("save-policy").cloned();
-    let (out, _, policy) = Engine::new(cfg).run_full();
+    let engine = Engine::try_new(cfg).unwrap_or_else(|e| usage(&e.to_string()));
+    let (out, _, policy) = engine.run_full();
     println!("\nresult:");
     println!("  speedup vs Normal : {:.2}x", out.speedup_vs_normal);
     println!(
@@ -212,7 +251,10 @@ fn simulate(flags: &HashMap<String, String>) {
         "  thermals          : peak {:.1} degC, {} throttled epochs",
         out.peak_temp_c, out.thermal_throttle_epochs
     );
-    println!("  knob churn        : {} setting transitions", out.setting_transitions);
+    println!(
+        "  knob churn        : {} setting transitions",
+        out.setting_transitions
+    );
     if let (Some(path), Some(json)) = (save_policy, policy) {
         std::fs::write(&path, json).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
@@ -229,13 +271,108 @@ fn campaign(flags: &HashMap<String, String>) {
         spikes_per_day: get(flags, "spikes", 4_u32),
         peak_intensity_cores: get(flags, "intensity", 12_u8),
     };
-    let out = run_campaign(&cfg);
+    let out = try_run_campaign(&cfg).unwrap_or_else(|e| usage(&e.to_string()));
     let tco = TcoParams::paper();
     println!("campaign over {} day(s):", out.days);
-    println!("  sprint hours        : {:.1} ({:.1} server-hours)", out.sprint_hours, out.sprint_server_hours);
-    println!("  extrapolated        : {:.0} h/year (break-even {:.1})", out.sprint_hours_per_year, tco.crossover_hours());
+    println!(
+        "  sprint hours        : {:.1} ({:.1} server-hours)",
+        out.sprint_hours, out.sprint_server_hours
+    );
+    println!(
+        "  extrapolated        : {:.0} h/year (break-even {:.1})",
+        out.sprint_hours_per_year,
+        tco.crossover_hours()
+    );
     println!("  goodput vs Normal   : {:.2}x", out.goodput_vs_normal);
-    println!("  POI                 : {:+.0} $/KW/year", tco.poi(out.sprint_hours_per_year));
+    println!(
+        "  POI                 : {:+.0} $/KW/year",
+        tco.poi(out.sprint_hours_per_year)
+    );
+}
+
+/// `greensprint sweep` — run a grid of bursts (or campaigns, with
+/// `--days`) through the deterministic parallel executor, one JSON line
+/// per completed point, in completion order. Results are bit-identical
+/// for any `--jobs` value.
+fn sweep(flags: &HashMap<String, String>) {
+    let jobs: usize = get(flags, "jobs", default_jobs());
+    if jobs == 0 {
+        usage("--jobs must be at least 1");
+    }
+    let seed: u64 = get(flags, "seed", 7);
+    let intensity: u8 = get(flags, "intensity", 12);
+    let measurement = if flags.contains_key("analytic") {
+        MeasurementMode::Analytic
+    } else {
+        MeasurementMode::Des
+    };
+    let days: u32 = get(flags, "days", 0);
+
+    let apps = axis(flags, "apps", "jbb");
+    let strategies = axis(flags, "strategies", "greedy,parallel,pacing,hybrid");
+    let availabilities = axis(flags, "availabilities", "min,med,max");
+    let minutes = axis(flags, "minutes", "10,15,30,60");
+    let greens = axis(flags, "configs", "re-batt");
+
+    let mut points = Vec::new();
+    for app in &apps {
+        for green in &greens {
+            for strat in &strategies {
+                for avail in &availabilities {
+                    let base = EngineConfig {
+                        app: parse_app(app),
+                        green: parse_green(green),
+                        strategy: parse_strategy(strat),
+                        availability: parse_availability(avail),
+                        burst_intensity_cores: intensity,
+                        measurement,
+                        ..EngineConfig::default()
+                    };
+                    if days > 0 {
+                        let label = format!("{app}/{green}/{strat}/{avail}/{days}day");
+                        points.push(SweepPoint::campaign(
+                            label,
+                            CampaignConfig {
+                                engine: base,
+                                days,
+                                spikes_per_day: get(flags, "spikes", 4),
+                                peak_intensity_cores: intensity,
+                            },
+                        ));
+                    } else {
+                        for mins in &minutes {
+                            let m: u64 = mins.parse().unwrap_or_else(|_| {
+                                usage(&format!("--minutes cannot parse {mins:?}"))
+                            });
+                            let label = format!("{app}/{green}/{strat}/{avail}/{m}min");
+                            let cfg = EngineConfig {
+                                burst_duration: SimDuration::from_mins(m),
+                                ..base.clone()
+                            };
+                            points.push(SweepPoint::burst(label, cfg));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Reject bad configurations up front with a usage message instead of
+    // letting a worker thread panic mid-sweep.
+    for p in &points {
+        let check = match &p.task {
+            SweepTask::Burst(cfg) => cfg.validate(),
+            SweepTask::Campaign(cfg) => cfg.validate(),
+        };
+        if let Err(e) = check {
+            usage(&format!("invalid sweep point {}: {e}", p.label));
+        }
+    }
+    run_sweep_streaming(points, seed, jobs, |r| {
+        println!(
+            "{}",
+            serde_json::to_string(r).expect("sweep results serialize")
+        );
+    });
 }
 
 fn trace(positional: &[String], flags: &HashMap<String, String>) {
@@ -270,9 +407,15 @@ fn tco(flags: &HashMap<String, String>) {
     let hours = get(flags, "hours", 24.0_f64);
     println!("green-provision TCO (paper constants):");
     println!("  yearly capex   : {:.1} $/KW", tco.yearly_capex_per_kw());
-    println!("  revenue        : {:.1} $/KW at {hours} sprint-hours/year", tco.yearly_revenue_per_kw(hours));
+    println!(
+        "  revenue        : {:.1} $/KW at {hours} sprint-hours/year",
+        tco.yearly_revenue_per_kw(hours)
+    );
     println!("  POI            : {:+.1} $/KW/year", tco.poi(hours));
-    println!("  break-even     : {:.1} sprint-hours/year", tco.crossover_hours());
+    println!(
+        "  break-even     : {:.1} sprint-hours/year",
+        tco.crossover_hours()
+    );
 }
 
 fn usage(err: &str) -> ! {
@@ -289,6 +432,10 @@ usage:
                        [--trace FILE.csv] [--warm-policy FILE] [--save-policy FILE]
                        [--scenario FILE.json]
   greensprint campaign [--days N] [--spikes N] [--app A] [--strategy S] [--seed N] [--analytic]
+  greensprint sweep    [--apps A,B] [--strategies S,..] [--availabilities L,..] [--minutes M,..]
+                       [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
+                       grid sweep on the deterministic parallel executor; one JSON line
+                       per point (completion order), identical results for any --jobs
   greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
   greensprint tco [--hours H]"
     );

@@ -37,19 +37,28 @@
 //! assert!(outcome.speedup_vs_normal > 4.0);
 //! ```
 
+pub use greensprint as core;
 pub use gs_cluster as cluster;
 pub use gs_power as power;
 pub use gs_sim as sim;
 pub use gs_tco as tco;
 pub use gs_workload as workload;
-pub use greensprint as core;
 
 /// The commonly-used types in one import.
 pub mod prelude {
+    pub use greensprint::campaign::{
+        run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome,
+    };
     pub use greensprint::config::{AvailabilityLevel, GreenConfig};
-    pub use greensprint::engine::{BurstOutcome, Engine, EngineConfig, MeasurementMode, ThermalModel};
+    pub use greensprint::engine::{
+        BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
+    };
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
+    pub use greensprint::sweep::{
+        default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
+        SweepResult, SweepTask,
+    };
     pub use gs_cluster::ServerSetting;
     pub use gs_power::battery::{Battery, BatterySpec};
     pub use gs_power::solar::{PvArray, SolarTrace, WeatherModel};

@@ -113,15 +113,15 @@ fn clear_sky_indexed_predictor_does_no_harm_and_helps_ramps() {
             measurement: MeasurementMode::Analytic,
             ..EngineConfig::default()
         };
-        let cfg = EngineConfig { predictor: kind, ..cfg };
+        let cfg = EngineConfig {
+            predictor: kind,
+            ..cfg
+        };
         Engine::new(cfg).run().speedup_vs_normal
     };
     let ewma = run(PredictorKind::PaperEwma);
     let indexed = run(PredictorKind::ClearSkyIndexed);
-    assert!(
-        indexed > ewma * 0.92,
-        "indexed {indexed} vs ewma {ewma}"
-    );
+    assert!(indexed > ewma * 0.92, "indexed {indexed} vs ewma {ewma}");
 }
 
 #[test]
@@ -188,5 +188,8 @@ fn battery_capacity_sweep_is_monotone_at_minimum_availability() {
         assert!(s >= prev - 0.02, "{ah} Ah gave {s} after {prev}");
         prev = s;
     }
-    assert!(prev > 3.0, "16 Ah should carry most of a 30-min sprint: {prev}");
+    assert!(
+        prev > 3.0,
+        "16 Ah should carry most of a 30-min sprint: {prev}"
+    );
 }

@@ -33,7 +33,10 @@ fn simulate_prints_a_result() {
         .lines()
         .find(|l| l.contains("speedup"))
         .expect("speedup line");
-    assert!(speedup_line.contains("4."), "expected ~4.6x: {speedup_line}");
+    assert!(
+        speedup_line.contains("4."),
+        "expected ~4.6x: {speedup_line}"
+    );
 }
 
 #[test]
@@ -140,6 +143,79 @@ fn scenario_file_drives_a_simulation() {
     assert!(!ok);
     assert!(stderr.contains("invalid scenario"), "{stderr}");
     std::fs::remove_file(scenario).ok();
+}
+
+#[test]
+fn sweep_emits_one_json_line_per_point() {
+    // 2 strategies × 2 availabilities × 1 duration = 4 points.
+    let (stdout, stderr, ok) = run(&[
+        "sweep",
+        "--strategies",
+        "greedy,hybrid",
+        "--availabilities",
+        "min,med",
+        "--minutes",
+        "5",
+        "--analytic",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"label\""), "{line}");
+        assert!(line.contains("\"seed\""), "{line}");
+        assert!(line.contains("speedup_vs_normal"), "{line}");
+    }
+}
+
+#[test]
+fn sweep_rejects_zero_jobs_and_unknown_flag_values() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(["sweep", "--jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (_, stderr, ok) = run(&["sweep", "--strategies", "turbo"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --strategy"), "{stderr}");
+}
+
+#[test]
+fn malformed_warm_policy_is_a_usage_error_not_a_panic() {
+    let dir = std::env::temp_dir();
+    let policy = dir.join(format!("gs-cli-badpolicy-{}.json", std::process::id()));
+    std::fs::write(&policy, "{this is not a policy").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args([
+            "simulate",
+            "--strategy",
+            "hybrid",
+            "--minutes",
+            "5",
+            "--analytic",
+            "--warm-policy",
+            policy.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "should exit via usage, not panic"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid warm_policy_json"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(policy).ok();
 }
 
 #[test]

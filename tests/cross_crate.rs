@@ -128,7 +128,11 @@ fn csv_trace_replays_through_the_engine() {
     for minute in 0..24 * 60 {
         // A synthetic clear noon ramp: full sun 10:00–14:00.
         let h = minute as f64 / 60.0;
-        let ghi = if (10.0..14.0).contains(&h) { 1000.0 } else { 0.0 };
+        let ghi = if (10.0..14.0).contains(&h) {
+            1000.0
+        } else {
+            0.0
+        };
         csv.push_str(&format!("{minute},{ghi}\n"));
     }
     let trace = trace_io::parse_csv(&csv).expect("valid CSV");
@@ -143,7 +147,11 @@ fn csv_trace_replays_through_the_engine() {
     let out = Engine::new(cfg).run();
     // Full sun at 11:00: the replayed trace powers a full sprint even
     // though the configured availability level says "Minimum".
-    assert!(out.speedup_vs_normal > 4.0, "speedup {}", out.speedup_vs_normal);
+    assert!(
+        out.speedup_vs_normal > 4.0,
+        "speedup {}",
+        out.speedup_vs_normal
+    );
     assert!(out.re_used_wh > 0.0);
 }
 
@@ -169,7 +177,10 @@ fn wind_generation_powers_nighttime_sprints() {
     };
     let wind = Engine::new(night_cfg(Some(trace))).run();
     let solar = Engine::new(night_cfg(None)).run();
-    assert!((solar.speedup_vs_normal - 1.0).abs() < 0.05, "dark solar night");
+    assert!(
+        (solar.speedup_vs_normal - 1.0).abs() < 0.05,
+        "dark solar night"
+    );
     assert!(
         wind.speedup_vs_normal > 1.5,
         "wind at night only reached {}",
@@ -182,10 +193,22 @@ fn backlog_carries_across_epochs_in_the_measurement_plane() {
     let app = Application::SpecJbb.profile();
     let mut sim = ServerSim::new(SimRng::seed_from_u64(1));
     // Saturate at Normal, then sprint: the backlog drains faster.
-    sim.advance_epoch(&app, ServerSetting::normal(), 500.0, f64::INFINITY, SimDuration::from_secs(10));
+    sim.advance_epoch(
+        &app,
+        ServerSetting::normal(),
+        500.0,
+        f64::INFINITY,
+        SimDuration::from_secs(10),
+    );
     let backlog = sim.backlog();
     assert!(backlog > 0);
-    sim.advance_epoch(&app, ServerSetting::max_sprint(), 0.0, 0.0, SimDuration::from_secs(20));
+    sim.advance_epoch(
+        &app,
+        ServerSetting::max_sprint(),
+        0.0,
+        0.0,
+        SimDuration::from_secs(20),
+    );
     assert!(sim.backlog() < backlog);
 }
 

@@ -85,12 +85,14 @@ fn utility_outage_during_a_sprint_is_survivable() {
     let mut delivered_wh = 0.0;
     for minute in 0..30 {
         let utility_up = !(5..25).contains(&minute); // 20-minute outage
-        delivered_wh +=
-            ats.advance(utility_up, grid_normal_w, SimDuration::from_mins(1)) / 60.0;
+        delivered_wh += ats.advance(utility_up, grid_normal_w, SimDuration::from_mins(1)) / 60.0;
     }
     let demanded_wh = grid_normal_w * 0.5;
     // Only the diesel crank gap went unserved (a UPS hold-up would cover it).
-    assert!(delivered_wh > demanded_wh * 0.98, "{delivered_wh} of {demanded_wh}");
+    assert!(
+        delivered_wh > demanded_wh * 0.98,
+        "{delivered_wh} of {demanded_wh}"
+    );
     assert!(ats.gap_wh() < 5.0, "gap {}", ats.gap_wh());
     assert!(ats.diesel_wh() > 200.0);
 }

@@ -33,14 +33,32 @@ fn speedup(
 fn abstract_headline_speedups() {
     // "can improve performance by up to 4.8x for SPECjbb, 4.1x for
     // Web-Search, and 4.7x for Memcached with renewable power supply."
-    let jbb = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
-        AvailabilityLevel::Maximum, 10, 12);
+    let jbb = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Maximum,
+        10,
+        12,
+    );
     assert!((jbb - 4.8).abs() < 0.3, "SPECjbb {jbb}");
-    let ws = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Maximum, 10, 12);
+    let ws = speedup(
+        Application::WebSearch,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Maximum,
+        10,
+        12,
+    );
     assert!((ws - 4.1).abs() < 0.3, "Web-Search {ws}");
-    let mc = speedup(Application::Memcached, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Maximum, 10, 12);
+    let mc = speedup(
+        Application::Memcached,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Maximum,
+        10,
+        12,
+    );
     assert!((mc - 4.7).abs() < 0.3, "Memcached {mc}");
 }
 
@@ -50,8 +68,14 @@ fn fig6_battery_carries_short_minimum_bursts() {
     // energy is unavailable, battery alone is able to completely handle
     // the sprinting operation with maximal performance."
     for strat in [Strategy::Greedy, Strategy::Hybrid] {
-        let s = speedup(Application::SpecJbb, GreenConfig::re_batt(), strat,
-            AvailabilityLevel::Minimum, 10, 12);
+        let s = speedup(
+            Application::SpecJbb,
+            GreenConfig::re_batt(),
+            strat,
+            AvailabilityLevel::Minimum,
+            10,
+            12,
+        );
         assert!(s > 4.3, "{strat} at Min/10min: {s}");
     }
 }
@@ -61,15 +85,36 @@ fn fig6_long_minimum_bursts_degrade() {
     // "the performance improvement drops to 1.8x for Parallel" (60 min,
     // minimum availability) — and batteries are "not appropriate for
     // longer durations".
-    let par = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Parallel,
-        AvailabilityLevel::Minimum, 60, 12);
+    let par = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_batt(),
+        Strategy::Parallel,
+        AvailabilityLevel::Minimum,
+        60,
+        12,
+    );
     assert!((1.3..2.3).contains(&par), "Parallel Min/60: {par}");
     // Greedy ties Hybrid as the best battery-only strategy.
-    let greedy = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Greedy,
-        AvailabilityLevel::Minimum, 60, 12);
-    let hybrid = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
-        AvailabilityLevel::Minimum, 60, 12);
-    assert!((greedy - hybrid).abs() < 0.15, "Greedy {greedy} vs Hybrid {hybrid}");
+    let greedy = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_batt(),
+        Strategy::Greedy,
+        AvailabilityLevel::Minimum,
+        60,
+        12,
+    );
+    let hybrid = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        60,
+        12,
+    );
+    assert!(
+        (greedy - hybrid).abs() < 0.15,
+        "Greedy {greedy} vs Hybrid {hybrid}"
+    );
     assert!(hybrid >= par - 1e-9, "Hybrid {hybrid} vs Parallel {par}");
 }
 
@@ -77,11 +122,24 @@ fn fig6_long_minimum_bursts_degrade() {
 fn fig6_medium_sixty_minutes_lands_near_paper() {
     // "For 60-minute durations, Sprinting can still provide up to 3.4x
     // performance gains over Normal" at medium availability.
-    let best = [Strategy::Greedy, Strategy::Parallel, Strategy::Pacing, Strategy::Hybrid]
-        .into_iter()
-        .map(|s| speedup(Application::SpecJbb, GreenConfig::re_batt(), s,
-            AvailabilityLevel::Medium, 60, 12))
-        .fold(0.0_f64, f64::max);
+    let best = [
+        Strategy::Greedy,
+        Strategy::Parallel,
+        Strategy::Pacing,
+        Strategy::Hybrid,
+    ]
+    .into_iter()
+    .map(|s| {
+        speedup(
+            Application::SpecJbb,
+            GreenConfig::re_batt(),
+            s,
+            AvailabilityLevel::Medium,
+            60,
+            12,
+        )
+    })
+    .fold(0.0_f64, f64::max);
     assert!((2.9..3.9).contains(&best), "best Med/60: {best}");
 }
 
@@ -89,8 +147,14 @@ fn fig6_medium_sixty_minutes_lands_near_paper() {
 fn fig6_maximum_availability_is_flat_and_full() {
     for mins in [10, 30, 60] {
         for strat in Strategy::SPRINTING {
-            let s = speedup(Application::SpecJbb, GreenConfig::re_batt(), strat,
-                AvailabilityLevel::Maximum, mins, 12);
+            let s = speedup(
+                Application::SpecJbb,
+                GreenConfig::re_batt(),
+                strat,
+                AvailabilityLevel::Maximum,
+                mins,
+                12,
+            );
             assert!(s > 4.3, "{strat} at Max/{mins}min: {s}");
         }
     }
@@ -101,8 +165,14 @@ fn fig7_re_only_cannot_sprint_in_the_dark() {
     // "the performance results with minimum renewable energy availability
     // are the same as the Normal mode because there is no power supply
     // for sprinting."
-    let s = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
-        AvailabilityLevel::Minimum, 30, 12);
+    let s = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_only(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        30,
+        12,
+    );
     assert!((s - 1.0).abs() < 0.05, "REOnly at Min: {s}");
 }
 
@@ -110,15 +180,42 @@ fn fig7_re_only_cannot_sprint_in_the_dark() {
 fn fig7_config_ordering_under_battery_pressure() {
     // RE-Batt (10 Ah) beats RE-SBatt (3.2 Ah) beats nothing, and SRE
     // (2 panels) trails RE (3 panels) at medium availability.
-    let re_batt = speedup(Application::SpecJbb, GreenConfig::re_batt(), Strategy::Hybrid,
-        AvailabilityLevel::Minimum, 30, 12);
-    let re_sbatt = speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Minimum, 30, 12);
-    assert!(re_batt > re_sbatt + 0.3, "RE-Batt {re_batt} vs RE-SBatt {re_sbatt}");
-    let re_med = speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Medium, 60, 12);
-    let sre_med = speedup(Application::SpecJbb, GreenConfig::sre_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Medium, 60, 12);
+    let re_batt = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_batt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        30,
+        12,
+    );
+    let re_sbatt = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        30,
+        12,
+    );
+    assert!(
+        re_batt > re_sbatt + 0.3,
+        "RE-Batt {re_batt} vs RE-SBatt {re_sbatt}"
+    );
+    let re_med = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
+    let sre_med = speedup(
+        Application::SpecJbb,
+        GreenConfig::sre_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
     assert!(re_med >= sre_med - 0.05, "RE {re_med} vs SRE {sre_med}");
 }
 
@@ -127,11 +224,23 @@ fn fig7_re_only_medium_matches_paper_range() {
     // "With only renewable energy supply, GreenSprint significantly
     // improves performance, from 2.2x (medium availability) to 4.8x
     // (maximum availability) for the 60-minute long power burst."
-    let med = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
-        AvailabilityLevel::Medium, 60, 12);
+    let med = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_only(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
     assert!((1.6..2.9).contains(&med), "REOnly Med/60: {med}");
-    let max = speedup(Application::SpecJbb, GreenConfig::re_only(), Strategy::Hybrid,
-        AvailabilityLevel::Maximum, 60, 12);
+    let max = speedup(
+        Application::SpecJbb,
+        GreenConfig::re_only(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Maximum,
+        60,
+        12,
+    );
     assert!(max > 4.3, "REOnly Max/60: {max}");
 }
 
@@ -140,12 +249,30 @@ fn fig8_greedy_loses_partial_green_supply() {
     // §IV-A/§IV-C: "Greedy underperforms Pacing because it loses the
     // opportunity to utilize the lower green power supply periods" — with
     // small batteries the all-or-nothing strategy falls behind.
-    let greedy = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Greedy,
-        AvailabilityLevel::Medium, 60, 12);
-    let pacing = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Pacing,
-        AvailabilityLevel::Medium, 60, 12);
-    let hybrid = speedup(Application::WebSearch, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Medium, 60, 12);
+    let greedy = speedup(
+        Application::WebSearch,
+        GreenConfig::re_sbatt(),
+        Strategy::Greedy,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
+    let pacing = speedup(
+        Application::WebSearch,
+        GreenConfig::re_sbatt(),
+        Strategy::Pacing,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
+    let hybrid = speedup(
+        Application::WebSearch,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Medium,
+        60,
+        12,
+    );
     assert!(pacing > greedy + 0.2, "Pacing {pacing} vs Greedy {greedy}");
     assert!(hybrid >= pacing - 0.1, "Hybrid {hybrid} vs Pacing {pacing}");
 }
@@ -154,8 +281,14 @@ fn fig8_greedy_loses_partial_green_supply() {
 fn fig9_memcached_long_battery_bursts_barely_help() {
     // "For longer durations, battery-based sprinting can barely achieve
     // performance improvement over the Normal mode." (small battery)
-    let s = speedup(Application::Memcached, GreenConfig::re_sbatt(), Strategy::Hybrid,
-        AvailabilityLevel::Minimum, 60, 12);
+    let s = speedup(
+        Application::Memcached,
+        GreenConfig::re_sbatt(),
+        Strategy::Hybrid,
+        AvailabilityLevel::Minimum,
+        60,
+        12,
+    );
     assert!((1.0..1.5).contains(&s), "Memcached Min/60: {s}");
 }
 
@@ -164,8 +297,14 @@ fn fig10a_speedup_falls_with_intensity_and_duration() {
     // "the performance is much lower (from 3.6x to 2.6x) when the burst
     // intensity decreases (from Int=12 to Int=7)".
     let run = |mins, k| {
-        speedup(Application::SpecJbb, GreenConfig::re_sbatt(), Strategy::Hybrid,
-            AvailabilityLevel::Medium, mins, k)
+        speedup(
+            Application::SpecJbb,
+            GreenConfig::re_sbatt(),
+            Strategy::Hybrid,
+            AvailabilityLevel::Medium,
+            mins,
+            k,
+        )
     };
     let int12 = run(10, 12);
     let int9 = run(10, 9);
@@ -181,14 +320,23 @@ fn fig10b_greedy_is_worst_at_low_intensity() {
     // "Greedy performs the worst because, when the burst intensity becomes
     // lower, maximal sprinting on 12 cores is less efficient."
     let at = |s| {
-        speedup(Application::SpecJbb, GreenConfig::re_sbatt(), s,
-            AvailabilityLevel::Minimum, 10, 9)
+        speedup(
+            Application::SpecJbb,
+            GreenConfig::re_sbatt(),
+            s,
+            AvailabilityLevel::Minimum,
+            10,
+            9,
+        )
     };
     let greedy = at(Strategy::Greedy);
     for other in [Strategy::Parallel, Strategy::Pacing, Strategy::Hybrid] {
         assert!(at(other) >= greedy - 0.02, "{other} vs Greedy {greedy}");
     }
-    assert!(at(Strategy::Hybrid) > greedy + 0.04, "Hybrid must beat Greedy");
+    assert!(
+        at(Strategy::Hybrid) > greedy + 0.04,
+        "Hybrid must beat Greedy"
+    );
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! The sweep executor's core guarantee, end to end: the *serialized*
+//! results of a sweep — every field of every outcome, not just the
+//! headline metric — are byte-identical whatever the worker count.
+
+use greensprint_repro::prelude::*;
+
+/// A 24-point grid spanning apps × strategies × availabilities ×
+/// durations, bursts and campaigns mixed.
+fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for app in [Application::SpecJbb, Application::Memcached] {
+        for strategy in [Strategy::Greedy, Strategy::Pacing, Strategy::Hybrid] {
+            for availability in [
+                AvailabilityLevel::Minimum,
+                AvailabilityLevel::Medium,
+                AvailabilityLevel::Maximum,
+            ] {
+                let cfg = EngineConfig {
+                    app,
+                    green: GreenConfig::re_batt(),
+                    strategy,
+                    availability,
+                    burst_duration: SimDuration::from_mins(5),
+                    measurement: MeasurementMode::Analytic,
+                    ..EngineConfig::default()
+                };
+                points.push(SweepPoint::burst(
+                    format!("{app:?}/{strategy}/{availability:?}/5min"),
+                    cfg.clone(),
+                ));
+                points.push(SweepPoint::campaign(
+                    format!("{app:?}/{strategy}/{availability:?}/1day"),
+                    CampaignConfig {
+                        engine: cfg,
+                        days: 1,
+                        spikes_per_day: 2,
+                        peak_intensity_cores: 12,
+                    },
+                ));
+            }
+        }
+    }
+    assert!(points.len() >= 24, "grid has {} points", points.len());
+    points
+}
+
+fn sweep_json(jobs: usize) -> Vec<String> {
+    run_sweep(grid(), 20260806, jobs)
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("results serialize"))
+        .collect()
+}
+
+#[test]
+fn serialized_results_are_byte_identical_across_worker_counts() {
+    let serial = sweep_json(1);
+    let parallel = sweep_json(8);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a, b, "jobs=1 and jobs=8 diverged");
+    }
+}
+
+#[test]
+fn campaign_edge_cases_run_deterministically() {
+    // days=1 and spikes_per_day=0 are the degenerate campaign corners:
+    // the shortest legal horizon, and a pure plateau with no flash crowd.
+    let engine = EngineConfig {
+        measurement: MeasurementMode::Analytic,
+        ..EngineConfig::default()
+    };
+    let points = vec![
+        SweepPoint::campaign(
+            "1day",
+            CampaignConfig {
+                engine: engine.clone(),
+                days: 1,
+                spikes_per_day: 3,
+                peak_intensity_cores: 12,
+            },
+        ),
+        SweepPoint::campaign(
+            "no-spikes",
+            CampaignConfig {
+                engine,
+                days: 1,
+                spikes_per_day: 0,
+                peak_intensity_cores: 12,
+            },
+        ),
+    ];
+    let a = run_sweep(points.clone(), 7, 1);
+    let b = run_sweep(points, 7, 8);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            serde_json::to_string(x).unwrap(),
+            serde_json::to_string(y).unwrap(),
+            "{} diverged",
+            x.label
+        );
+        match &x.outcome {
+            SweepOutcome::Campaign(c) => assert_eq!(c.days, 1),
+            other => panic!("expected campaign, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn derived_seeds_are_label_independent() {
+    // Seeds come from (master, index) alone: relabeling a grid point must
+    // not change what it runs.
+    let mut renamed = grid();
+    for p in &mut renamed {
+        p.label = format!("renamed/{}", p.label);
+    }
+    let original = run_sweep(grid(), 42, 4);
+    let renamed = run_sweep(renamed, 42, 4);
+    for (a, b) in original.iter().zip(&renamed) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.outcome.vs_normal(), b.outcome.vs_normal());
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal benchmark harness exposing the `criterion` API surface the
+//! workspace uses (offline build). Each benchmark is timed by running
+//! warmup iterations to estimate per-iteration cost, then a measured batch
+//! sized to ~`sample_size` samples; the median per-iteration time (and
+//! derived throughput, when set) prints to stdout.
+//!
+//! `cargo bench` runs it like upstream criterion; `cargo test` compiles
+//! the benches and runs each benchmark once (smoke mode) so CI keeps them
+//! honest without paying the measurement cost.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Smoke mode: run the routine once, skip measurement.
+    smoke: bool,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup: estimate cost so the measured batches take ~10ms each.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(200) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let batch = ((10_000_000.0 / est_ns.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        let samples = 15usize;
+        let mut per_iter = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness still runs `main`; keep that cheap
+        // by only smoke-testing unless invoked via `cargo bench` (which
+        // passes `--bench`).
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { smoke: !bench_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(None, &id.into(), None, self.smoke, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            smoke: self.smoke,
+            _parent: self,
+        }
+    }
+
+    /// Upstream parity no-op: configuration methods the shim ignores.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {}
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.throughput, self.smoke, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        smoke,
+        median_ns: 0.0,
+    };
+    f(&mut b);
+    if smoke {
+        println!("bench {label}: ok (smoke)");
+        return;
+    }
+    let ns = b.median_ns;
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let per_sec = n as f64 / (ns / 1e9);
+            println!("bench {label}: {time}/iter ({per_sec:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let per_sec = n as f64 / (ns / 1e9);
+            println!(
+                "bench {label}: {time}/iter ({:.1} MiB/s)",
+                per_sec / (1 << 20) as f64
+            );
+        }
+        _ => println!("bench {label}: {time}/iter"),
+    }
+}
+
+/// Mirror of criterion's group declaration macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of criterion's main-entry macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,303 @@
+//! Minimal property-testing harness with the `proptest` surface the
+//! workspace uses (offline build). Cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce across
+//! runs. There is no shrinking: a failing case reports its index and
+//! message and the fixed seeding makes it reproducible under a debugger.
+
+use std::fmt;
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!` (or an early `return Err(..)`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic RNG for drawing test cases (splitmix64 core).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test's name so every test gets a stable,
+        /// distinct stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for drawing values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    (lo as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            // Sampling a closed float interval: rounding at the top end
+            // makes the inclusive bound reachable.
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    /// `prop::collection::vec` output.
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::bool::ANY` output.
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Namespace mirroring `proptest::prop::*` call sites.
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+    }
+
+    pub mod bool {
+        pub const ANY: crate::strategy::BoolStrategy = crate::strategy::BoolStrategy;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let __result = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        panic!("property `{}` failed on case {}: {}", stringify!($name), __case, __e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3_u64..10, y in -5_i64..=5, f in 0.25_f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0_u64..100, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("abc");
+        let mut b = TestRng::deterministic("abc");
+        let mut c = TestRng::deterministic("xyz");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,499 @@
+//! In-repo, JSON-only replacement for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the small slice of serde the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs (named and
+//!   tuple/newtype), and on enums with unit, tuple, and struct variants
+//!   (externally tagged, like real serde);
+//! * the container attribute `#[serde(default)]` (missing fields fall back
+//!   to the container's `Default`);
+//! * serialization through an owned [`Value`] tree that `serde_json`
+//!   renders and parses.
+//!
+//! The data model is deliberately tiny: everything serializes by building
+//! a [`Value`] and deserializes by reading one. Field order in generated
+//! objects is declaration order, so output is deterministic — a property
+//! the sweep executor's byte-identity guarantee relies on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization/serialization error: a message string, like
+/// `serde_json::Error` in spirit.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error { msg: m.to_string() }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number that remembers whether it was an exact integer, so `u64`
+/// seeds and similar round-trip losslessly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number {
+    f: f64,
+    u: Option<u64>,
+    i: Option<i64>,
+}
+
+impl Number {
+    /// From a float.
+    pub fn from_f64(f: f64) -> Self {
+        Number {
+            f,
+            u: None,
+            i: None,
+        }
+    }
+
+    /// From an unsigned integer.
+    pub fn from_u64(u: u64) -> Self {
+        Number {
+            f: u as f64,
+            u: Some(u),
+            i: i64::try_from(u).ok(),
+        }
+    }
+
+    /// From a signed integer.
+    pub fn from_i64(i: i64) -> Self {
+        Number {
+            f: i as f64,
+            i: Some(i),
+            u: u64::try_from(i).ok(),
+        }
+    }
+
+    /// Float view (always available).
+    pub fn as_f64(&self) -> f64 {
+        self.f
+    }
+
+    /// Exact unsigned view, also accepting floats with integral values.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.u.or_else(|| {
+            (self.f.fract() == 0.0 && self.f >= 0.0 && self.f <= u64::MAX as f64)
+                .then_some(self.f as u64)
+        })
+    }
+
+    /// Exact signed view, also accepting floats with integral values.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.i.or_else(|| {
+            (self.f.fract() == 0.0 && self.f >= i64::MIN as f64 && self.f <= i64::MAX as f64)
+                .then_some(self.f as i64)
+        })
+    }
+
+    /// True when the number was parsed/constructed as an exact integer.
+    pub fn is_exact_int(&self) -> bool {
+        self.u.is_some() || self.i.is_some()
+    }
+}
+
+/// An owned JSON value. Objects preserve insertion order (declaration
+/// order when produced by the derive), keeping serialization byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// `[ ... ]`
+    Array(Vec<Value>),
+    /// `{ ... }` with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object view.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number view.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object value (linear scan; objects here are
+    /// small config/report records).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Build the JSON value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent. Most types
+    /// treat that as an error; `Option<T>` yields `None` (matching serde).
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field `{field}`")))
+    }
+}
+
+/// Helper the derive expands to for absent fields — dispatches to
+/// [`Deserialize::missing_field`] with the target type inferred from the
+/// field position.
+pub fn __missing_field<T: Deserialize>(field: &str) -> Result<T, Error> {
+    T::missing_field(field)
+}
+
+/// Helper the derive expands to for object lookups.
+pub fn __get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::$via(*self as _))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| Error::msg(concat!("expected number for ", stringify!($t))))?;
+                let raw = n
+                    .as_i64()
+                    .map(|i| i as i128)
+                    .or_else(|| n.as_u64().map(|u| u as i128))
+                    .ok_or_else(|| Error::msg(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(
+    u8 => from_u64, u16 => from_u64, u32 => from_u64, u64 => from_u64, usize => from_u64,
+    i8 => from_i64, i16 => from_i64, i32 => from_i64, i64 => from_i64, isize => from_i64,
+);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_number()
+                    .map(|n| n.as_f64() as $t)
+                    .ok_or_else(|| Error::msg(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // `&'static str` fields (e.g. interned profile names) are leaked on
+        // deserialization; these structs are parsed a handful of times per
+        // process, never in a loop.
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|got| Error::msg(format!("expected array of {N}, got {}", got.len())))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::msg("expected 2-array"))?;
+        if a.len() != 2 {
+            return Err(Error::msg("expected 2-array"));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::msg("expected 3-array"))?;
+        if a.len() != 3 {
+            return Err(Error::msg("expected 3-array"));
+        }
+        Ok((
+            A::from_value(&a[0])?,
+            B::from_value(&a[1])?,
+            C::from_value(&a[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so map serialization is deterministic across runs —
+        // HashMap iteration order is randomized by the hasher state.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// Map keys must serialize to JSON strings (String itself, or a unit enum
+// variant), matching upstream serde_json's rule for object keys.
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::String(s) => s,
+                        other => panic!("map key must serialize to a string, got {other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}

@@ -1,0 +1,443 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde replacement.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` available
+//! offline) and emits impls of `serde::Serialize` / `serde::Deserialize`.
+//!
+//! Supported shapes — the full set the workspace uses:
+//! * structs with named fields, tuple structs (a single field serializes
+//!   as the bare inner value, i.e. serde's newtype convention);
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * the container attribute `#[serde(default)]`.
+//!
+//! Generics and field-level serde attributes are intentionally not
+//! supported; hitting one fails the build loudly rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct { fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n",
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        ItemKind::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})), "
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\"\
+                             .to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct { fields } => {
+            let prelude = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected object for {name}\"))?;\n"
+            );
+            let default_line = if item.container_default {
+                format!("let __dflt = <{name} as ::core::default::Default>::default();\n")
+            } else {
+                String::new()
+            };
+            let mut inits = String::new();
+            for f in fields {
+                let absent = if item.container_default {
+                    format!("__dflt.{f}")
+                } else {
+                    format!("::serde::__missing_field(\"{f}\")?")
+                };
+                inits.push_str(&format!(
+                    "{f}: match ::serde::__get(__obj, \"{f}\") {{\n\
+                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     None => {absent},\n}},\n"
+                ));
+            }
+            format!("{prelude}{default_line}Ok({name} {{\n{inits}}})")
+        }
+        ItemKind::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::TupleStruct { arity } => {
+            let mut gets = String::new();
+            for i in 0..*arity {
+                gets.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?, "));
+            }
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected array for {name}\"))?;\n\
+                 if __arr.len() != {arity} {{\n\
+                 return Err(::serde::Error::msg(\"wrong tuple arity for {name}\"));\n}}\n\
+                 Ok({name}({gets}))"
+            )
+        }
+        ItemKind::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        // Also accept the externally-tagged object form
+                        // {"Variant": null}.
+                        keyed_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(\
+                         __inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let mut gets = String::new();
+                        for i in 0..*n {
+                            gets.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{i}])?, "
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\"));\n}}\n\
+                             return Ok({name}::{vn}({gets}));\n}}\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match __inner.get(\"{f}\") {{\n\
+                                 Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                                 None => ::serde::__missing_field(\"{f}\")?,\n}},\n"
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n\
+                 if let Some(__obj) = __v.as_object() {{\n\
+                 if __obj.len() == 1 {{\n\
+                 let (__tag, __inner) = (&__obj[0].0, &__obj[0].1);\n\
+                 match __tag.as_str() {{\n{keyed_arms}\
+                 __other => return Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n}}\n\
+                 Err(::serde::Error::msg(\"expected variant string or single-key object for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unreachable_code)]\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Deserialize) generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    container_default: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Parse the derive input: outer attributes, visibility, `struct`/`enum`,
+/// name, then the body group.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_default = false;
+
+    // Outer attributes (doc comments arrive as #[doc = "..."]).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_default(g.stream()) {
+                container_default = true;
+            }
+        }
+        i += 2;
+    }
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind_kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported by the offline serde shim");
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct {
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct {
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemKind::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        container_default,
+        kind,
+    }
+}
+
+/// Does a `#[...]` attribute group read `serde(default)`?
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner.iter().any(|t| t == "default") {
+                return true;
+            }
+            panic!(
+                "serde derive: unsupported serde attribute `{}` (offline shim supports only \
+                 #[serde(default)])",
+                inner.join("")
+            );
+        }
+        _ => false,
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes on the field.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                attr_is_serde_default(g.stream());
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde derive: expected field name, found {other}"),
+        }
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: consume until a top-level `,` (angle-bracket depth
+        // aware — generic args contain commas).
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant`.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
