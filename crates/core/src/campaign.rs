@@ -79,7 +79,7 @@ impl CampaignConfig {
 /// identical load and weather. Panics on an invalid configuration; see
 /// [`try_run_campaign`] for the reporting variant.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
-    try_run_campaign(cfg).unwrap_or_else(|e| panic!("{e}"))
+    try_run_campaign(cfg).unwrap_or_else(|e| panic!("invalid campaign configuration: {e}"))
 }
 
 /// As [`run_campaign`], surfacing configuration errors instead of

@@ -14,8 +14,9 @@
 //! (no-sprint) run of the same burst.
 
 use crate::config::{AvailabilityLevel, GreenConfig};
-use crate::monitor::{Monitor, Observation};
-use crate::pmk::{Pmk, PmkContext, Strategy};
+use crate::faults::{ActiveFaults, FaultPlan};
+use crate::monitor::{Monitor, Observation, ObservationQuality};
+use crate::pmk::{ActuationWatchdog, Pmk, PmkContext, Strategy};
 use crate::predictor::Predictor;
 use crate::profiler::ProfileTable;
 use crate::qlearning::{reward, QState, RewardInputs};
@@ -42,6 +43,11 @@ pub enum EngineError {
     InvalidWarmPolicy(String),
     /// A campaign was asked to run zero days.
     ZeroDays,
+    /// `trace_override` is unusable (empty or non-finite samples — e.g. a
+    /// scenario file that deserialized garbage straight into the trace).
+    InvalidTrace(String),
+    /// `fault_plan` contains a physically meaningless event.
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -51,6 +57,8 @@ impl std::fmt::Display for EngineError {
             EngineError::SubEpochBurst => f.write_str("burst must span at least one epoch"),
             EngineError::InvalidWarmPolicy(e) => write!(f, "invalid warm_policy_json: {e}"),
             EngineError::ZeroDays => f.write_str("campaign needs at least one day"),
+            EngineError::InvalidTrace(e) => write!(f, "invalid trace_override: {e}"),
+            EngineError::InvalidFaultPlan(e) => write!(f, "invalid fault_plan: {e}"),
         }
     }
 }
@@ -137,6 +145,9 @@ pub struct EngineConfig {
     /// run (`QLearner::to_json`); `None` bootstraps from the profiling
     /// tables as in the paper. Ignored by the other strategies.
     pub warm_policy_json: Option<String>,
+    /// Deterministic fault-injection schedule replayed over the run
+    /// (telemetry, supply, and actuation faults); `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
     /// Master seed; all stochastic components derive from it.
     pub seed: u64,
 }
@@ -151,6 +162,18 @@ impl EngineConfig {
         if let Some(json) = &self.warm_policy_json {
             if let Err(e) = crate::qlearning::QLearner::from_json(json) {
                 return Err(EngineError::InvalidWarmPolicy(e.to_string()));
+            }
+        }
+        // Scenario JSON deserializes the trace's private samples directly,
+        // bypassing the clamping constructors — validate before running.
+        if let Some(trace) = &self.trace_override {
+            if let Err(e) = trace.validate() {
+                return Err(EngineError::InvalidTrace(e.to_string()));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            if let Err(e) = plan.validate() {
+                return Err(EngineError::InvalidFaultPlan(e));
             }
         }
         Ok(())
@@ -184,6 +207,7 @@ impl Default for EngineConfig {
             predictor: PredictorKind::PaperEwma,
             trace_override: None,
             warm_policy_json: None,
+            fault_plan: None,
             seed: 7,
         }
     }
@@ -214,6 +238,10 @@ pub struct EpochRecord {
     pub goodput_rps: f64,
     /// How many green servers were sprinting this epoch.
     pub sprinting_servers: u8,
+    /// True if the controller planned this epoch in safe mode (no verified
+    /// supply observation). Absent in pre-fault serialized records.
+    #[serde(default)]
+    pub safe_mode: bool,
 }
 
 /// The result of one burst experiment.
@@ -249,8 +277,28 @@ pub struct BurstOutcome {
     /// Hottest chip temperature reached during the burst (°C; ambient if
     /// thermal simulation is disabled).
     pub peak_temp_c: f64,
+    /// Epochs during which at least one injected fault was active.
+    #[serde(default)]
+    pub fault_epochs: usize,
+    /// Epochs the controller planned in safe mode (no verified supply
+    /// observation: sensor dropout, or a delayed reading not yet arrived).
+    #[serde(default)]
+    pub safe_mode_epochs: usize,
+    /// Epochs with at least one server clamped to Normal by the
+    /// commanded-vs-observed actuation watchdog.
+    #[serde(default)]
+    pub watchdog_clamped_epochs: usize,
+    /// Whether goodput stayed at or above the Normal-mode degradation
+    /// floor (within measurement tolerance) — the invariant that defines
+    /// graceful degradation under faults.
+    #[serde(default = "default_floor_held")]
+    pub floor_held: bool,
     /// Per-epoch records.
     pub epochs: Vec<EpochRecord>,
+}
+
+fn default_floor_held() -> bool {
+    true
 }
 
 /// The burst engine.
@@ -261,8 +309,10 @@ pub struct Engine {
 
 impl Engine {
     /// Create an engine for a configuration, panicking on an invalid one.
+    /// The panic message carries the full [`EngineError`] display so
+    /// callers bypassing [`Engine::try_new`] still learn what was wrong.
     pub fn new(cfg: EngineConfig) -> Self {
-        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid engine configuration: {e}"))
     }
 
     /// Create an engine for a configuration, reporting what is wrong with
@@ -311,6 +361,15 @@ impl Engine {
         } else {
             1.0
         };
+        // Graceful-degradation floor: even under faults, the sprint must
+        // not end up below a Normal run of the same burst. The tolerance
+        // absorbs analytic blend rounding (and, for DES, the different rng
+        // streams the strategy and baseline runs consume).
+        let floor_tolerance = match self.cfg.measurement {
+            MeasurementMode::Analytic => 0.99,
+            MeasurementMode::Des => 0.95,
+        };
+        outcome.floor_held = outcome.speedup_vs_normal >= floor_tolerance;
         (outcome, monitor, policy)
     }
 }
@@ -400,6 +459,21 @@ fn run_window_with_policy(
     }
     let mut prev_settings: Vec<ServerSetting> = vec![ServerSetting::normal(); n];
     let mut setting_transitions = 0usize;
+    // Fault-injection state: the plan is replayed deterministically; the
+    // watchdog and safe-mode estimator run unconditionally (they are the
+    // production control path) but are inert while telemetry is clean and
+    // every command lands.
+    let fault_plan = cfg.fault_plan.as_ref();
+    let mut fade_done: Vec<bool> =
+        fault_plan.map_or_else(Vec::new, |p| vec![false; p.events.len()]);
+    let mut watchdog = ActuationWatchdog::new(n);
+    let mut safe_supply = gs_power::pss::SafeSupplyEstimator::new();
+    // One-epoch telemetry delay line: the raw (meter-shaped) reading taken
+    // last epoch, which a TelemetryDelay fault serves instead of today's.
+    let mut last_raw_obs_w: Option<f64> = None;
+    let mut fault_epochs = 0usize;
+    let mut safe_mode_epochs = 0usize;
+    let mut watchdog_clamped_epochs = 0usize;
     let pss = PowerSourceSelector::new();
     let mut meter = PowerMeter::new();
     let mut monitor = Monitor::new();
@@ -449,18 +523,73 @@ fn run_window_with_policy(
         // the burst's end; campaigns cap it at an hour (the controller
         // cannot know a day ahead when load will subside).
         let remaining = (end - t).min(SimDuration::from_mins(60));
-        let re_actual_w = pv.ac_output(trace.window_mean(t, t + cfg.epoch));
+        let faults =
+            fault_plan.map_or_else(ActiveFaults::default, |p| p.active_during(t, t + cfg.epoch));
+        if faults.any() {
+            fault_epochs += 1;
+        }
+        // Supply faults are physical: the inverter/breaker shapes what the
+        // bus actually delivers, before any sensor sees it.
+        let re_actual_w = pv.ac_output(trace.window_mean(t, t + cfg.epoch)) * faults.supply_factor;
+        // Battery fade is permanent; each fade event applies exactly once,
+        // when it first overlaps an epoch.
+        for &(idx, factor) in &faults.fades {
+            if !fade_done[idx] {
+                fade_done[idx] = true;
+                for b in batteries.iter_mut().flatten() {
+                    b.fade_capacity(factor);
+                }
+            }
+        }
+        // Telemetry faults shape what the controller *believes*: a dropout
+        // yields no reading at all; a delay serves last epoch's raw
+        // reading; meter bias scales whatever the sensor outputs.
+        let fresh_obs_w = (!faults.sensor_dropout).then_some(re_actual_w * faults.meter_factor);
+        let obs_w = if faults.telemetry_delay {
+            last_raw_obs_w
+        } else {
+            fresh_obs_w
+        };
+        let in_safe_mode = obs_w.is_none();
+        let re_believed_w = match obs_w {
+            Some(w) => {
+                safe_supply.observe_good(w);
+                w
+            }
+            None => {
+                // Safe mode: never plan against unverified supply — assume
+                // the worst recent verified observation, decayed.
+                safe_supply.mark_stale();
+                predictor.mark_re_stale();
+                safe_mode_epochs += 1;
+                safe_supply.planning_supply_w()
+            }
+        };
         let offered = (window.offered_rps)(t);
 
         // Predictions (fall back to the live observation on the first
-        // epoch — the Monitor publishes it either way).
+        // epoch — the Monitor publishes it either way). In safe mode every
+        // prediction is capped by the safe-mode supply estimate.
         let re_pred_w = match cfg.predictor {
-            PredictorKind::PaperEwma => predictor.re_supply_w(re_actual_w),
+            PredictorKind::PaperEwma => {
+                if in_safe_mode {
+                    predictor
+                        .re_supply_conservative(re_believed_w)
+                        .min(re_believed_w)
+                } else {
+                    predictor.re_supply_w(re_believed_w)
+                }
+            }
             PredictorKind::ClearSkyIndexed => {
-                if k == 0 {
-                    re_actual_w
+                let p = if k == 0 {
+                    re_believed_w
                 } else {
                     cs_predictor.predict_w(t)
+                };
+                if in_safe_mode {
+                    p.min(re_believed_w)
+                } else {
+                    p
                 }
             }
         };
@@ -468,21 +597,32 @@ fn run_window_with_policy(
 
         // Battery budgets: what survives this epoch vs the horizon.
         let horizon = remaining.min(cfg.planning_horizon).max(cfg.epoch);
-        let instant_w: Vec<f64> = batteries
+        let mut instant_w: Vec<f64> = batteries
             .iter()
             .map(|b| b.as_ref().map_or(0.0, |b| b.sustainable_power(cfg.epoch)))
             .collect();
-        let sustained_horizon_w: Vec<f64> = batteries
+        let mut sustained_horizon_w: Vec<f64> = batteries
             .iter()
             .map(|b| b.as_ref().map_or(0.0, |b| b.sustainable_power(horizon)))
             .collect();
-        let sustained_remaining_w: Vec<f64> = batteries
+        let mut sustained_remaining_w: Vec<f64> = batteries
             .iter()
             .map(|b| {
                 b.as_ref()
                     .map_or(0.0, |b| b.sustainable_power(remaining.max(cfg.epoch)))
             })
             .collect();
+        // SoC misreport scales the *controller's view* of every battery
+        // budget; the physical packs (and settlement) are untouched.
+        if faults.soc_report_factor != 1.0 {
+            for v in instant_w
+                .iter_mut()
+                .chain(sustained_horizon_w.iter_mut())
+                .chain(sustained_remaining_w.iter_mut())
+            {
+                *v *= faults.soc_report_factor;
+            }
+        }
 
         // PMK decision per green server, approximating the paper's
         // per-server optimization (Eq. 2–3):
@@ -503,7 +643,7 @@ fn run_window_with_policy(
             strategy,
             Strategy::Parallel | Strategy::Pacing | Strategy::Hybrid
         );
-        re_sum_w += re_actual_w;
+        re_sum_w += re_believed_w;
         let re_mean_w = re_sum_w / (k + 1) as f64;
         let full_sprint_w = profiles.planned_power_w(ServerSetting::max_sprint(), load_pred);
         let deficit_share = (full_sprint_w - re_mean_w / n as f64).max(0.0);
@@ -561,11 +701,14 @@ fn run_window_with_policy(
         let mut q_state = None;
         let mut settings = decide(re_pred_w, &mut pmk, &mut rng, &mut q_state);
 
-        // Rack-level PSS check against *actual* renewable supply. The PSS
-        // "performs switch tuning based on the discrepancy between the
-        // workload power demand and the green power supply" (paper §II):
-        // when the prediction overshot, the PMK re-plans against the power
-        // that is really there before the epoch commits.
+        // Rack-level PSS check against the *observed* renewable supply
+        // (identical to the physical supply while telemetry is clean; the
+        // safe-mode estimate when it is not — the PSS never plans against
+        // unverified supply). The PSS "performs switch tuning based on the
+        // discrepancy between the workload power demand and the green
+        // power supply" (paper §II): when the prediction overshot, the PMK
+        // re-plans against the power the sensors can vouch for before the
+        // epoch commits.
         let batt_accept: f64 = batteries
             .iter()
             .map(|b| {
@@ -586,16 +729,16 @@ fn run_window_with_policy(
         };
         let mut plan = pss.plan(
             sprint_demand(&settings),
-            re_actual_w,
+            re_believed_w,
             batt_avail(&settings),
             batt_accept,
             0.0,
         );
         if plan.unmet_w > 1.0 {
-            settings = decide(re_actual_w, &mut pmk, &mut rng, &mut q_state);
+            settings = decide(re_believed_w, &mut pmk, &mut rng, &mut q_state);
             plan = pss.plan(
                 sprint_demand(&settings),
-                re_actual_w,
+                re_believed_w,
                 batt_avail(&settings),
                 batt_accept,
                 0.0,
@@ -606,6 +749,43 @@ fn run_window_with_policy(
                     *s = ServerSetting::normal();
                 }
             }
+        }
+
+        // Actuation: what the control plane *applies* can differ from what
+        // the PMK commanded. Servers the watchdog has clamped are
+        // commanded Normal (the only setting needing no actuation); lost
+        // commands and stuck servers keep their previous setting; a
+        // core-activation failure caps how many cores can come up
+        // (deactivation always works and Normal's cores are already
+        // active, so the effective cap never drops below Normal).
+        let commanded: Vec<ServerSetting> = (0..n)
+            .map(|i| {
+                if watchdog.is_clamped(i) {
+                    ServerSetting::normal()
+                } else {
+                    settings[i]
+                }
+            })
+            .collect();
+        if watchdog.clamped_count() > 0 {
+            watchdog_clamped_epochs += 1;
+        }
+        for i in 0..n {
+            let applied = if faults.command_lost(i) || faults.is_stuck(i) {
+                prev_settings[i]
+            } else if let Some(cap) = faults.core_cap {
+                let cap = cap.clamp(gs_cluster::NORMAL_CORES, gs_cluster::MAX_CORES);
+                let c = commanded[i];
+                if c.cores > cap {
+                    ServerSetting::new(cap, c.freq_idx)
+                } else {
+                    c
+                }
+            } else {
+                commanded[i]
+            };
+            watchdog.observe(i, commanded[i], applied);
+            settings[i] = applied;
         }
 
         // Thermal guard: a server at its junction limit cannot sprint,
@@ -783,29 +963,45 @@ fn run_window_with_policy(
             thermal_throttle_epochs += 1;
         }
 
-        // Observations → Monitor → Predictor.
+        // Observations → Monitor → Predictor. The Monitor (and everything
+        // downstream of it) sees what the *sensors* report — held-over
+        // last-good values during dropout, biased readings under meter
+        // faults — with quality flags saying which readings to trust. The
+        // EpochRecord below keeps the physical values for energy audits.
         let goodput: f64 = perfs.iter().map(|p| p.goodput_rps).sum();
         let soc = mean_soc(&batteries);
-        monitor.record(
+        let soc_reported = (soc * faults.soc_report_factor).min(1.0);
+        monitor.record_q(
             t,
             Observation {
-                re_supply_w: re_actual_w,
+                re_supply_w: obs_w.unwrap_or(0.0),
                 demand_w: actual_power.iter().sum(),
                 battery_w,
-                battery_soc: soc,
+                battery_soc: soc_reported,
                 goodput_rps: goodput,
                 offered_rps: offered,
             },
+            ObservationQuality {
+                re_fresh: obs_w.is_some(),
+                soc_trusted: faults.soc_report_factor == 1.0,
+            },
         );
-        predictor.observe_re_supply(re_actual_w);
-        cs_predictor.observe(t, re_actual_w);
+        // The EWMA holds its last-good state through dropouts: only
+        // verified readings are fed.
+        if let Some(w) = obs_w {
+            predictor.observe_re_supply(w);
+            cs_predictor.observe(t, w);
+        }
         predictor.observe_workload(offered);
+        // The telemetry delay line advances every epoch; a reading lost to
+        // a dropout stays lost (a delayed read of nothing is nothing).
+        last_raw_obs_w = fresh_obs_w;
 
         // Hybrid: reward and Bellman update on the representative server.
         if let Some(learner) = pmk.learner_mut() {
             let i = 0;
             let inputs = RewardInputs {
-                power_supply_w: re_actual_w / n as f64 + instant_w[i],
+                power_supply_w: re_believed_w / n as f64 + instant_w[i],
                 power_current_w: actual_power[i],
                 qos_target_s: app.slo_deadline_s,
                 qos_current_s: perfs[i].slo_percentile_latency_s,
@@ -817,7 +1013,7 @@ fn run_window_with_policy(
                 slo_percentile: app.slo_percentile,
             };
             let r = reward(&inputs);
-            let next_state = learner.state(re_actual_w / n as f64 + instant_w[i], offered);
+            let next_state = learner.state(re_believed_w / n as f64 + instant_w[i], offered);
             if let (Some((s_prev, a_prev)), true) = (pending_q, true) {
                 learner.update(s_prev, a_prev, r, next_state);
             }
@@ -845,6 +1041,7 @@ fn run_window_with_policy(
             offered_rps: offered,
             goodput_rps: goodput,
             sprinting_servers: settings.iter().filter(|s| s.is_sprinting()).count() as u8,
+            safe_mode: in_safe_mode,
         });
     }
 
@@ -889,6 +1086,10 @@ fn run_window_with_policy(
         setting_transitions,
         thermal_throttle_epochs,
         peak_temp_c,
+        fault_epochs,
+        safe_mode_epochs,
+        watchdog_clamped_epochs,
+        floor_held: default_floor_held(), // judged against Normal in run_full
         epochs,
     };
     let policy = pmk.learner_mut().map(|l| l.to_json());
@@ -1325,5 +1526,235 @@ mod tests {
             (produced - accounted).abs() < produced * 0.02 + 1.0,
             "produced {produced} vs accounted {accounted}"
         );
+    }
+
+    // ---- fault injection ----
+
+    use crate::faults::{FaultEvent, FaultKind};
+
+    /// An event active across the whole default burst window.
+    fn whole_burst(kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_hours(11),
+            duration: SimDuration::from_hours(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let clean = Engine::new(quick_cfg()).run();
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![])),
+            ..quick_cfg()
+        };
+        let with_plan = Engine::new(cfg).run();
+        assert_eq!(
+            serde_json::to_string(&clean).unwrap(),
+            serde_json::to_string(&with_plan).unwrap(),
+            "an empty plan must be bit-identical to no plan"
+        );
+        assert_eq!(with_plan.fault_epochs, 0);
+        assert!(with_plan.floor_held);
+    }
+
+    #[test]
+    fn sensor_dropout_enters_safe_mode_and_holds_the_floor() {
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(
+                FaultKind::ReSensorDropout,
+            )])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert!(out.safe_mode_epochs > 0, "dropout must trigger safe mode");
+        assert_eq!(out.fault_epochs, out.epochs.len());
+        assert!(out.epochs.iter().all(|e| e.safe_mode));
+        // With no verified observation ever, safe mode plans against 0 W:
+        // the rack rides batteries down and lands on Normal — never below.
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+    }
+
+    #[test]
+    fn breaker_trip_mid_burst_degrades_gracefully() {
+        let trip = FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_mins(2),
+            duration: SimDuration::from_mins(10),
+            kind: FaultKind::BreakerTrip,
+        };
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![trip])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert!(out.fault_epochs >= 8);
+        // The physical record shows the outage...
+        assert!(out.epochs[3].re_supply_w < 1.0, "breaker open");
+        // ...and the first post-trip epochs still beat or match Normal.
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+    }
+
+    #[test]
+    fn meter_over_report_never_overdraws_the_grid() {
+        // The meter claims 3× the real supply: the controller plans rich,
+        // settlement finds the gap, servers blend down to Normal-on-grid
+        // at their baseline share — never grid overload.
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::MeterBias {
+                factor: 3.0,
+            })])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.grid_overload_wh, 0.0);
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+    }
+
+    #[test]
+    fn stuck_server_trips_the_watchdog() {
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::StuckServer {
+                server: 0,
+            })])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        // Server 0 starts at Normal and stays stuck there; commands to
+        // sprint keep missing, so the watchdog clamps it within a few
+        // epochs and the epochs-with-clamp counter reflects that.
+        assert!(
+            out.watchdog_clamped_epochs > 0,
+            "watchdog never clamped: {out:?}"
+        );
+        assert!(out.floor_held);
+        assert_eq!(out.grid_overload_wh, 0.0);
+    }
+
+    #[test]
+    fn core_activation_cap_limits_the_sprint() {
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(
+                FaultKind::CoreActivationFail { max_cores: 8 },
+            )])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert!(out.epochs.iter().all(|e| e.setting.cores <= 8));
+        // 8 cores at full frequency still beats Normal.
+        assert!(out.speedup_vs_normal > 1.0);
+        assert!(out.floor_held);
+    }
+
+    #[test]
+    fn battery_fade_applies_once_and_shortens_the_ride() {
+        let night = EngineConfig {
+            availability: AvailabilityLevel::Minimum,
+            burst_duration: SimDuration::from_mins(10),
+            ..quick_cfg()
+        };
+        let clean = Engine::new(night.clone()).run();
+        let faded = Engine::new(EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::BatteryFade {
+                factor: 0.5,
+            })])),
+            ..night
+        })
+        .run();
+        assert!(
+            faded.battery_used_wh < clean.battery_used_wh,
+            "faded {} vs clean {}",
+            faded.battery_used_wh,
+            clean.battery_used_wh
+        );
+        assert!(faded.floor_held);
+        assert_eq!(faded.grid_overload_wh, 0.0);
+    }
+
+    #[test]
+    fn soc_misreport_is_contained() {
+        for factor in [0.5, 1.4] {
+            let cfg = EngineConfig {
+                availability: AvailabilityLevel::Minimum,
+                burst_duration: SimDuration::from_mins(10),
+                fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::SocMisreport {
+                    factor,
+                })])),
+                ..quick_cfg()
+            };
+            let out = Engine::new(cfg).run();
+            assert!(out.floor_held, "factor {factor}: {}", out.speedup_vs_normal);
+            assert_eq!(out.grid_overload_wh, 0.0, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn telemetry_delay_is_softer_than_dropout() {
+        let delay = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::TelemetryDelay)])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(delay).run();
+        // The first epoch has no prior reading (degrades to a dropout);
+        // afterwards the one-epoch-old readings keep the controller fed.
+        assert_eq!(out.safe_mode_epochs, 1);
+        assert!(out.floor_held);
+        assert!(
+            out.speedup_vs_normal > 1.0,
+            "stale-but-present telemetry still sprints"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let plan = FaultPlan::generate(99, SimTime::from_hours(11), SimDuration::from_mins(5), 3);
+        let cfg = EngineConfig {
+            fault_plan: Some(plan),
+            ..quick_cfg()
+        };
+        let a = Engine::new(cfg.clone()).run();
+        let b = Engine::new(cfg).run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(FaultKind::MeterBias {
+                factor: f64::NAN,
+            })])),
+            ..quick_cfg()
+        };
+        let err = Engine::try_new(cfg).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidFaultPlan(_)));
+        assert!(err.to_string().contains("invalid fault_plan"), "{err}");
+    }
+
+    #[test]
+    fn invalid_trace_override_is_rejected() {
+        let cfg = EngineConfig {
+            trace_override: Some(SolarTrace::from_samples(vec![])),
+            ..quick_cfg()
+        };
+        let err = Engine::try_new(cfg).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidTrace(_)));
+        assert!(err.to_string().contains("invalid trace_override"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid engine configuration")]
+    fn new_panics_with_configuration_context() {
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_secs(1),
+            ..quick_cfg()
+        };
+        let _ = Engine::new(cfg);
     }
 }

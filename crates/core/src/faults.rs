@@ -1,0 +1,449 @@
+//! Deterministic fault injection: seeded, serializable schedules of
+//! telemetry, supply, and actuation faults over simulated time.
+//!
+//! GreenSprint's controller exists for the unhappy path — intermittent
+//! supply, bounded batteries, breaker limits — yet a naive reproduction
+//! assumes perfect telemetry and perfect actuation. A [`FaultPlan`] breaks
+//! those assumptions on a schedule the engine replays deterministically:
+//! the same `(seed, plan)` pair produces bit-identical outcomes at any
+//! sweep worker count, so chaos grids compose with the parallel executor.
+//!
+//! Three fault families are modelled:
+//!
+//! * **Telemetry** — what the controller *believes* diverges from what is
+//!   physically there: RE-sensor dropout ([`FaultKind::ReSensorDropout`]),
+//!   readings that arrive one epoch late ([`FaultKind::TelemetryDelay`]),
+//!   power-meter bias ([`FaultKind::MeterBias`]), and SoC misreporting
+//!   ([`FaultKind::SocMisreport`]).
+//! * **Supply** — the green bus physically delivers less: inverter
+//!   derating/outage ([`FaultKind::InverterDerate`]), breaker nuisance
+//!   trips ([`FaultKind::BreakerTrip`]), permanent battery capacity fade
+//!   ([`FaultKind::BatteryFade`]).
+//! * **Actuation** — PMK commands fail to land: DVFS commands lost
+//!   ([`FaultKind::CommandLoss`]), a server stuck at its previous setting
+//!   ([`FaultKind::StuckServer`]), core activations above a cap failing
+//!   ([`FaultKind::CoreActivationFail`]).
+//!
+//! Graceful degradation means two invariants hold under *every* plan:
+//! goodput never falls below the Normal-mode floor, and the sprint never
+//! overdraws the grid (`grid_overload_wh == 0`). Both hold by construction
+//! — every effective setting dominates Normal in both knobs, and the PSS
+//! is never created with grid fallback — and are asserted over arbitrary
+//! seeded plans in `tests/chaos_properties.rs`.
+
+use gs_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong.
+///
+/// Multiplicative `factor`s compose when events overlap; `1.0` is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The RE-supply sensor stops reporting: the Monitor holds its
+    /// last-good value and the PSS enters safe mode (plan against the
+    /// worst recent verified observation, decayed further per stale epoch).
+    ReSensorDropout,
+    /// Supply readings arrive one epoch late (staleness without loss);
+    /// before the first reading exists this degrades to a dropout.
+    TelemetryDelay,
+    /// The power meter reads `factor ×` the true RE supply (`> 1`
+    /// over-reports, `< 1` under-reports).
+    MeterBias {
+        /// Observed / actual ratio.
+        factor: f64,
+    },
+    /// The BMS reports `factor ×` the true battery budgets to the
+    /// controller; physical discharge is unaffected.
+    SocMisreport {
+        /// Reported / actual ratio.
+        factor: f64,
+    },
+    /// The inverter physically delivers only `factor ×` its input
+    /// (`0.0` is a full outage).
+    InverterDerate {
+        /// Delivered / nominal ratio in `[0, 1]`.
+        factor: f64,
+    },
+    /// A nuisance trip on the green bus: no renewable power reaches the
+    /// rack while the event is active.
+    BreakerTrip,
+    /// Permanent battery capacity fade: every unit's rated capacity is
+    /// multiplied by `factor` once, when the event first becomes active.
+    BatteryFade {
+        /// Remaining / previous capacity ratio in `(0, 1]`.
+        factor: f64,
+    },
+    /// The DVFS command to `server` (or to every server when `None`) is
+    /// lost; the server keeps its previous epoch's setting.
+    CommandLoss {
+        /// Target green server index, `None` for all.
+        server: Option<u8>,
+    },
+    /// `server` is stuck: it holds whatever setting it last applied for
+    /// the whole event, ignoring commands.
+    StuckServer {
+        /// Target green server index.
+        server: u8,
+    },
+    /// Core activations above `max_cores` fail. Deactivation always works
+    /// and Normal mode's cores are already active, so the effective cap
+    /// never drops below [`gs_cluster::NORMAL_CORES`].
+    CoreActivationFail {
+        /// Highest core count that can be activated.
+        max_cores: u8,
+    },
+}
+
+/// One scheduled fault: `kind` is active during `[at, at + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// True if this event overlaps the half-open window `[from, to)`.
+    pub fn overlaps(&self, from: SimTime, to: SimTime) -> bool {
+        self.at < to && from < self.at + self.duration
+    }
+}
+
+/// A deterministic schedule of fault events over simulated time.
+///
+/// Serializable (JSON via [`FaultPlan::to_json`]) so chaos scenarios can
+/// be stored, replayed, and attached to an
+/// [`crate::engine::EngineConfig`]; generatable from a seed
+/// ([`FaultPlan::generate`]) so chaos grids stay reproducible.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultPlan {
+    /// The generator seed this plan came from (`0` for hand-written plans;
+    /// provenance only — replaying a plan never re-rolls it).
+    pub seed: u64,
+    /// The scheduled events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit events (hand-written scenarios and tests).
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Generate a random plan of 3–8 events inside `[start, start +
+    /// window)`, targeting a rack of `n_servers` green servers. Pure
+    /// function of the arguments: the same seed always yields the same
+    /// plan.
+    pub fn generate(seed: u64, start: SimTime, window: SimDuration, n_servers: u8) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x6661_756c_7421); // "fault!"
+        let n_events = 3 + rng.index(6); // 3..=8
+        let span_s = window.as_secs_f64();
+        let server = |rng: &mut SimRng| rng.index(n_servers.max(1) as usize) as u8;
+        let events = (0..n_events)
+            .map(|_| {
+                let at = start + SimDuration::from_secs_f64(span_s * rng.uniform());
+                let duration =
+                    SimDuration::from_secs_f64((span_s * rng.uniform_range(0.05, 0.5)).max(1.0));
+                let kind = match rng.index(10) {
+                    0 => FaultKind::ReSensorDropout,
+                    1 => FaultKind::TelemetryDelay,
+                    2 => FaultKind::MeterBias {
+                        factor: rng.uniform_range(0.5, 1.5),
+                    },
+                    3 => FaultKind::SocMisreport {
+                        factor: rng.uniform_range(0.5, 1.5),
+                    },
+                    4 => FaultKind::InverterDerate {
+                        factor: rng.uniform_range(0.0, 0.9),
+                    },
+                    5 => FaultKind::BreakerTrip,
+                    6 => FaultKind::BatteryFade {
+                        factor: rng.uniform_range(0.7, 0.98),
+                    },
+                    7 => {
+                        let all = rng.chance(0.5);
+                        FaultKind::CommandLoss {
+                            server: if all { None } else { Some(server(&mut rng)) },
+                        }
+                    }
+                    8 => FaultKind::StuckServer {
+                        server: server(&mut rng),
+                    },
+                    _ => FaultKind::CoreActivationFail {
+                        max_cores: gs_cluster::NORMAL_CORES + rng.index(7) as u8, // 6..=12
+                    },
+                };
+                FaultEvent { at, duration, kind }
+            })
+            .collect();
+        FaultPlan { seed, events }
+    }
+
+    /// Check every event is physically meaningful (factors finite and in
+    /// range). Returns a description of the first offending event.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            let check = |name: &str, f: f64, lo: f64, hi: f64| -> Result<(), String> {
+                if !f.is_finite() || f < lo || f > hi {
+                    return Err(format!("event {i}: {name} factor {f} outside [{lo}, {hi}]"));
+                }
+                Ok(())
+            };
+            match e.kind {
+                FaultKind::MeterBias { factor } => check("meter-bias", factor, 0.0, 10.0)?,
+                FaultKind::SocMisreport { factor } => check("soc-misreport", factor, 0.0, 10.0)?,
+                FaultKind::InverterDerate { factor } => check("inverter-derate", factor, 0.0, 1.0)?,
+                FaultKind::BatteryFade { factor } => check("battery-fade", factor, 0.01, 1.0)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate every event overlapping the epoch `[from, to)` into the
+    /// per-epoch view the engine consumes.
+    pub fn active_during(&self, from: SimTime, to: SimTime) -> ActiveFaults {
+        let mut active = ActiveFaults::default();
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.overlaps(from, to) {
+                continue;
+            }
+            match e.kind {
+                FaultKind::ReSensorDropout => active.sensor_dropout = true,
+                FaultKind::TelemetryDelay => active.telemetry_delay = true,
+                FaultKind::MeterBias { factor } => active.meter_factor *= factor,
+                FaultKind::SocMisreport { factor } => active.soc_report_factor *= factor,
+                FaultKind::InverterDerate { factor } => {
+                    active.supply_factor *= factor.clamp(0.0, 1.0)
+                }
+                FaultKind::BreakerTrip => active.supply_factor = 0.0,
+                FaultKind::BatteryFade { factor } => active.fades.push((i, factor)),
+                FaultKind::CommandLoss { server: None } => active.command_loss_all = true,
+                FaultKind::CommandLoss { server: Some(s) } => active.command_loss.push(s),
+                FaultKind::StuckServer { server } => active.stuck.push(server),
+                FaultKind::CoreActivationFail { max_cores } => {
+                    active.core_cap = Some(match active.core_cap {
+                        Some(cap) => cap.min(max_cores),
+                        None => max_cores,
+                    })
+                }
+            }
+        }
+        active
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault plans serialize")
+    }
+
+    /// Parse a plan from JSON and validate it.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let plan: FaultPlan = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Every fault in force during one scheduling epoch, aggregated across
+/// overlapping events. [`Default`] is "nothing wrong".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveFaults {
+    /// The RE sensor reports nothing this epoch.
+    pub sensor_dropout: bool,
+    /// Supply readings are one epoch old.
+    pub telemetry_delay: bool,
+    /// Observed RE supply = actual × this (product over active biases).
+    pub meter_factor: f64,
+    /// Reported battery budgets = actual × this.
+    pub soc_report_factor: f64,
+    /// Physical RE delivery = nominal × this (0 when a breaker tripped).
+    pub supply_factor: f64,
+    /// `(event index, factor)` of battery-fade events overlapping this
+    /// epoch; the engine applies each event exactly once.
+    pub fades: Vec<(usize, f64)>,
+    /// Every server's DVFS command is lost this epoch.
+    pub command_loss_all: bool,
+    /// Specific servers whose commands are lost.
+    pub command_loss: Vec<u8>,
+    /// Servers frozen at their previous setting.
+    pub stuck: Vec<u8>,
+    /// Core-activation cap (min over active events), if any.
+    pub core_cap: Option<u8>,
+}
+
+impl Default for ActiveFaults {
+    fn default() -> Self {
+        ActiveFaults {
+            sensor_dropout: false,
+            telemetry_delay: false,
+            meter_factor: 1.0,
+            soc_report_factor: 1.0,
+            supply_factor: 1.0,
+            fades: Vec::new(),
+            command_loss_all: false,
+            command_loss: Vec::new(),
+            stuck: Vec::new(),
+            core_cap: None,
+        }
+    }
+}
+
+impl ActiveFaults {
+    /// True if anything at all is wrong this epoch.
+    pub fn any(&self) -> bool {
+        *self != ActiveFaults::default()
+    }
+
+    /// True if server `i`'s DVFS command is lost this epoch.
+    pub fn command_lost(&self, i: usize) -> bool {
+        self.command_loss_all || self.command_loss.contains(&(i as u8))
+    }
+
+    /// True if server `i` is stuck at its previous setting this epoch.
+    pub fn is_stuck(&self, i: usize) -> bool {
+        self.stuck.contains(&(i as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn events_overlap_half_open_windows() {
+        let e = FaultEvent {
+            at: SimTime::from_mins(10),
+            duration: mins(5),
+            kind: FaultKind::BreakerTrip,
+        };
+        assert!(!e.overlaps(SimTime::from_mins(5), SimTime::from_mins(10)));
+        assert!(e.overlaps(SimTime::from_mins(9), SimTime::from_mins(11)));
+        assert!(e.overlaps(SimTime::from_mins(14), SimTime::from_mins(16)));
+        assert!(!e.overlaps(SimTime::from_mins(15), SimTime::from_mins(16)));
+    }
+
+    #[test]
+    fn generate_is_a_pure_function_of_the_seed() {
+        let a = FaultPlan::generate(42, SimTime::from_hours(11), mins(30), 3);
+        let b = FaultPlan::generate(42, SimTime::from_hours(11), mins(30), 3);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, SimTime::from_hours(11), mins(30), 3);
+        assert_ne!(a, c);
+        assert!((3..=8).contains(&a.events.len()));
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn generated_events_land_inside_the_window() {
+        let start = SimTime::from_hours(11);
+        let plan = FaultPlan::generate(7, start, mins(30), 3);
+        for e in &plan.events {
+            assert!(e.at >= start);
+            assert!(e.at < start + mins(30));
+            assert!(e.duration > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_plan() {
+        let plan = FaultPlan::generate(9, SimTime::from_hours(11), mins(15), 3);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_bad_factors() {
+        assert!(FaultPlan::from_json("{nope").is_err());
+        let bad = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            duration: mins(1),
+            kind: FaultKind::MeterBias { factor: f64::NAN },
+        }]);
+        assert!(bad.validate().is_err());
+        assert!(FaultPlan::from_json(&bad.to_json()).is_err());
+        let negative_fade = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            duration: mins(1),
+            kind: FaultKind::BatteryFade { factor: 0.0 },
+        }]);
+        assert!(negative_fade.validate().is_err());
+    }
+
+    #[test]
+    fn active_faults_aggregate_overlapping_events() {
+        let t = SimTime::from_mins(10);
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::MeterBias { factor: 0.5 },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::MeterBias { factor: 0.5 },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::InverterDerate { factor: 0.8 },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::BreakerTrip,
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::CoreActivationFail { max_cores: 10 },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(5),
+                kind: FaultKind::CoreActivationFail { max_cores: 8 },
+            },
+            FaultEvent {
+                at: t + mins(20),
+                duration: mins(5),
+                kind: FaultKind::ReSensorDropout,
+            },
+        ]);
+        let active = plan.active_during(t, t + SimDuration::from_secs(60));
+        assert!((active.meter_factor - 0.25).abs() < 1e-12);
+        assert_eq!(active.supply_factor, 0.0); // breaker wins over derate
+        assert_eq!(active.core_cap, Some(8)); // tightest cap
+        assert!(!active.sensor_dropout); // that event is later
+        assert!(active.any());
+
+        let quiet = plan.active_during(t + mins(6), t + mins(7));
+        assert!(!quiet.any());
+    }
+
+    #[test]
+    fn per_server_actuation_targeting() {
+        let f = ActiveFaults {
+            command_loss: vec![1],
+            stuck: vec![2],
+            ..ActiveFaults::default()
+        };
+        assert!(f.command_lost(1));
+        assert!(!f.command_lost(0));
+        assert!(f.is_stuck(2));
+        assert!(!f.is_stuck(1));
+        let all = ActiveFaults {
+            command_loss_all: true,
+            ..ActiveFaults::default()
+        };
+        assert!(all.command_lost(0) && all.command_lost(7));
+    }
+}

@@ -46,6 +46,7 @@ pub mod cluster_view;
 pub mod config;
 pub mod datacenter;
 pub mod engine;
+pub mod faults;
 pub mod monitor;
 pub mod pmk;
 pub mod predictor;
@@ -61,6 +62,7 @@ pub use datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome, RackSp
 pub use engine::{
     BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, PredictorKind, ThermalModel,
 };
+pub use faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
 pub use monitor::Monitor;
 pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
+    pub use crate::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
     pub use crate::pmk::Strategy;
     pub use crate::profiler::ProfileTable;
     pub use crate::sweep::{

@@ -22,6 +22,31 @@ pub struct Observation {
     pub offered_rps: f64,
 }
 
+/// Per-epoch trust annotations for an [`Observation`]. [`Default`] is
+/// fully trusted; the engine downgrades flags when fault injection breaks
+/// a sensor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ObservationQuality {
+    /// The supply reading is a fresh, verified sensor value (not a
+    /// held-over last-good).
+    pub re_fresh: bool,
+    /// The SoC reading comes from a trusted BMS (no misreport active).
+    pub soc_trusted: bool,
+}
+
+impl Default for ObservationQuality {
+    fn default() -> Self {
+        ObservationQuality {
+            re_fresh: true,
+            soc_trusted: true,
+        }
+    }
+}
+
+fn re_quality_series() -> TimeSeries {
+    TimeSeries::new("re_quality")
+}
+
 /// Time-series retention of every observation stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Monitor {
@@ -31,6 +56,19 @@ pub struct Monitor {
     battery_soc: TimeSeries,
     goodput: TimeSeries,
     offered: TimeSeries,
+    /// 1.0 where the supply reading was fresh, 0.0 where it was held over
+    /// from the last good epoch. Absent in pre-fault serialized monitors.
+    #[serde(default = "re_quality_series")]
+    re_quality: TimeSeries,
+    /// Timestamp and value of the last *fresh* supply reading.
+    #[serde(default)]
+    last_good_re: Option<(SimTime, f64)>,
+    /// Timestamp and value of the last *trusted* SoC reading.
+    #[serde(default)]
+    last_good_soc: Option<(SimTime, f64)>,
+    /// Epochs recorded without a fresh supply reading.
+    #[serde(default)]
+    stale_re_epochs: usize,
 }
 
 impl Default for Monitor {
@@ -49,12 +87,35 @@ impl Monitor {
             battery_soc: TimeSeries::new("battery_soc"),
             goodput: TimeSeries::new("goodput_rps"),
             offered: TimeSeries::new("offered_rps"),
+            re_quality: re_quality_series(),
+            last_good_re: None,
+            last_good_soc: None,
+            stale_re_epochs: 0,
         }
     }
 
-    /// Record one epoch.
+    /// Record one epoch of fully-trusted observations.
     pub fn record(&mut self, t: SimTime, obs: Observation) {
-        self.re_supply.push(t, obs.re_supply_w);
+        self.record_q(t, obs, ObservationQuality::default());
+    }
+
+    /// Record one epoch with explicit quality flags. When the supply
+    /// reading is not fresh, the stream holds the last-good value (or the
+    /// provided reading if no good value exists yet) and the quality
+    /// stream drops to 0.
+    pub fn record_q(&mut self, t: SimTime, obs: Observation, q: ObservationQuality) {
+        let re_w = if q.re_fresh {
+            self.last_good_re = Some((t, obs.re_supply_w));
+            obs.re_supply_w
+        } else {
+            self.stale_re_epochs += 1;
+            self.last_good_re.map(|(_, w)| w).unwrap_or(obs.re_supply_w)
+        };
+        if q.soc_trusted {
+            self.last_good_soc = Some((t, obs.battery_soc));
+        }
+        self.re_supply.push(t, re_w);
+        self.re_quality.push(t, if q.re_fresh { 1.0 } else { 0.0 });
         self.demand.push(t, obs.demand_w);
         self.battery_power.push(t, obs.battery_w);
         self.battery_soc.push(t, obs.battery_soc);
@@ -90,6 +151,26 @@ impl Monitor {
     /// Offered-load stream.
     pub fn offered(&self) -> &TimeSeries {
         &self.offered
+    }
+
+    /// Supply-reading quality stream (1.0 fresh, 0.0 held-over).
+    pub fn re_quality(&self) -> &TimeSeries {
+        &self.re_quality
+    }
+
+    /// Timestamp and value of the last fresh supply reading, if any.
+    pub fn last_good_re(&self) -> Option<(SimTime, f64)> {
+        self.last_good_re
+    }
+
+    /// Timestamp and value of the last trusted SoC reading, if any.
+    pub fn last_good_soc(&self) -> Option<(SimTime, f64)> {
+        self.last_good_soc
+    }
+
+    /// How many recorded epochs lacked a fresh supply reading.
+    pub fn stale_re_epochs(&self) -> usize {
+        self.stale_re_epochs
     }
 }
 
@@ -136,5 +217,62 @@ mod tests {
                 > 100.0
         );
         assert_eq!(m.offered().len(), 2);
+        // Trusted recordings keep quality at 1 and track last-good.
+        assert_eq!(m.re_quality().points().last().unwrap().1, 1.0);
+        assert_eq!(m.last_good_re(), Some((SimTime::from_secs(120), 100.0)));
+        assert_eq!(m.stale_re_epochs(), 0);
+    }
+
+    #[test]
+    fn stale_readings_hold_last_good_and_flag_quality() {
+        let mut m = Monitor::new();
+        m.record(
+            SimTime::from_secs(60),
+            Observation {
+                re_supply_w: 500.0,
+                battery_soc: 0.95,
+                ..Observation::default()
+            },
+        );
+        // Sensor dropout: the engine passes a zeroed reading, not fresh.
+        m.record_q(
+            SimTime::from_secs(120),
+            Observation {
+                re_supply_w: 0.0,
+                battery_soc: 0.90,
+                ..Observation::default()
+            },
+            ObservationQuality {
+                re_fresh: false,
+                soc_trusted: false,
+            },
+        );
+        // The supply stream held the last-good value...
+        assert_eq!(m.re_supply().points().last().unwrap().1, 500.0);
+        // ...the quality stream says why...
+        assert_eq!(m.re_quality().points().last().unwrap().1, 0.0);
+        // ...and the last-good markers did not advance.
+        assert_eq!(m.last_good_re(), Some((SimTime::from_secs(60), 500.0)));
+        assert_eq!(m.last_good_soc(), Some((SimTime::from_secs(60), 0.95)));
+        assert_eq!(m.stale_re_epochs(), 1);
+    }
+
+    #[test]
+    fn stale_before_any_good_reading_passes_the_raw_value() {
+        let mut m = Monitor::new();
+        m.record_q(
+            SimTime::from_secs(60),
+            Observation {
+                re_supply_w: 42.0,
+                ..Observation::default()
+            },
+            ObservationQuality {
+                re_fresh: false,
+                soc_trusted: true,
+            },
+        );
+        assert_eq!(m.re_supply().points().last().unwrap().1, 42.0);
+        assert_eq!(m.last_good_re(), None);
+        assert_eq!(m.stale_re_epochs(), 1);
     }
 }

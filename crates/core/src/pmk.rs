@@ -237,6 +237,65 @@ impl Pmk {
     }
 }
 
+/// Consecutive commanded-vs-observed mismatches before the watchdog clamps
+/// a server to Normal (and matches before it releases the clamp).
+pub const WATCHDOG_THRESHOLD: u32 = 3;
+
+/// Commanded-vs-observed actuation watchdog.
+///
+/// Real DVFS knobs fail: commands get lost, sysfs writes stick, core
+/// hot-plug times out. A controller that keeps planning sprints for a
+/// server that is not actually obeying burns battery against phantom
+/// performance. The watchdog compares what the PMK commanded against what
+/// the control plane reports applied; after [`WATCHDOG_THRESHOLD`]
+/// consecutive mismatches on a server it clamps that server's commands to
+/// Normal — the one setting that requires no actuation — until the same
+/// number of consecutive clean matches shows the knob is back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActuationWatchdog {
+    mismatch_streak: Vec<u32>,
+    match_streak: Vec<u32>,
+    clamped: Vec<bool>,
+}
+
+impl ActuationWatchdog {
+    /// A watchdog for `n` servers, all trusted.
+    pub fn new(n: usize) -> Self {
+        ActuationWatchdog {
+            mismatch_streak: vec![0; n],
+            match_streak: vec![0; n],
+            clamped: vec![false; n],
+        }
+    }
+
+    /// Report one epoch's commanded and observed settings for server `i`.
+    pub fn observe(&mut self, i: usize, commanded: ServerSetting, applied: ServerSetting) {
+        if commanded == applied {
+            self.mismatch_streak[i] = 0;
+            self.match_streak[i] += 1;
+            if self.clamped[i] && self.match_streak[i] >= WATCHDOG_THRESHOLD {
+                self.clamped[i] = false;
+            }
+        } else {
+            self.match_streak[i] = 0;
+            self.mismatch_streak[i] += 1;
+            if self.mismatch_streak[i] >= WATCHDOG_THRESHOLD {
+                self.clamped[i] = true;
+            }
+        }
+    }
+
+    /// True while server `i`'s commands are clamped to Normal.
+    pub fn is_clamped(&self, i: usize) -> bool {
+        self.clamped[i]
+    }
+
+    /// How many servers are currently clamped.
+    pub fn clamped_count(&self) -> usize {
+        self.clamped.iter().filter(|&&c| c).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +437,39 @@ mod tests {
         assert_eq!(Strategy::Hybrid.to_string(), "Hybrid");
         assert_eq!(Strategy::SPRINTING.len(), 4);
         assert!(!Strategy::SPRINTING.contains(&Strategy::Normal));
+    }
+
+    #[test]
+    fn watchdog_clamps_after_repeated_mismatches_and_releases_after_matches() {
+        let mut w = ActuationWatchdog::new(2);
+        let cmd = ServerSetting::max_sprint();
+        let stuck = ServerSetting::normal();
+        for _ in 0..WATCHDOG_THRESHOLD - 1 {
+            w.observe(0, cmd, stuck);
+            assert!(!w.is_clamped(0), "below threshold");
+        }
+        w.observe(0, cmd, stuck);
+        assert!(w.is_clamped(0));
+        assert_eq!(w.clamped_count(), 1);
+        // The untouched server is unaffected.
+        assert!(!w.is_clamped(1));
+        // While clamped, commanded == applied (both Normal): the clamp
+        // releases only after a full streak of clean matches.
+        for i in 0..WATCHDOG_THRESHOLD {
+            assert!(w.is_clamped(0) || i == WATCHDOG_THRESHOLD - 1);
+            w.observe(0, stuck, stuck);
+        }
+        assert!(!w.is_clamped(0));
+    }
+
+    #[test]
+    fn watchdog_single_glitch_does_not_clamp() {
+        let mut w = ActuationWatchdog::new(1);
+        let cmd = ServerSetting::max_sprint();
+        w.observe(0, cmd, ServerSetting::normal());
+        w.observe(0, cmd, cmd); // knob recovered
+        w.observe(0, cmd, ServerSetting::normal());
+        w.observe(0, cmd, cmd);
+        assert!(!w.is_clamped(0), "alternating glitches never clamp");
     }
 }

@@ -9,11 +9,20 @@ use gs_power::solar::WeatherModel;
 use gs_sim::{Ewma, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Per stale epoch, [`Predictor::re_supply_conservative`] widens its
+/// pessimism by this factor — matching the PSS safe-mode decay so both
+/// layers degrade in step.
+pub const STALENESS_DECAY: f64 = 0.8;
+
 /// EWMA predictor for renewable supply and workload intensity.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Predictor {
     re_supply: Ewma,
     workload: Ewma,
+    /// Consecutive epochs the supply signal has been stale (no verified
+    /// observation fed). Absent in pre-fault serialized predictors.
+    #[serde(default)]
+    stale_epochs: u32,
 }
 
 impl Default for Predictor {
@@ -28,6 +37,7 @@ impl Predictor {
         Predictor {
             re_supply: Ewma::paper_default(),
             workload: Ewma::paper_default(),
+            stale_epochs: 0,
         }
     }
 
@@ -36,13 +46,27 @@ impl Predictor {
         Predictor {
             re_supply: Ewma::new(alpha),
             workload: Ewma::new(alpha),
+            stale_epochs: 0,
         }
     }
 
     /// Feed the epoch's observed renewable production (W); returns the
-    /// prediction for the next epoch.
+    /// prediction for the next epoch. A verified observation ends any
+    /// staleness streak.
     pub fn observe_re_supply(&mut self, watts: f64) -> f64 {
+        self.stale_epochs = 0;
         self.re_supply.observe(watts)
+    }
+
+    /// Note an epoch with no verified supply observation: the EWMA holds
+    /// its last-good state, and conservative predictions widen.
+    pub fn mark_re_stale(&mut self) {
+        self.stale_epochs = self.stale_epochs.saturating_add(1);
+    }
+
+    /// Consecutive epochs the supply signal has been stale.
+    pub fn re_stale_epochs(&self) -> u32 {
+        self.stale_epochs
     }
 
     /// Feed the epoch's observed workload intensity (req/s); returns the
@@ -55,6 +79,13 @@ impl Predictor {
     /// any observation).
     pub fn re_supply_w(&self, fallback: f64) -> f64 {
         self.re_supply.prediction_or(fallback)
+    }
+
+    /// The staleness-widened supply prediction: the last-good EWMA value
+    /// discounted by [`STALENESS_DECAY`] per epoch without a verified
+    /// observation. Equals [`Predictor::re_supply_w`] when fresh.
+    pub fn re_supply_conservative(&self, fallback: f64) -> f64 {
+        self.re_supply_w(fallback) * STALENESS_DECAY.powi(self.stale_epochs as i32)
     }
 
     /// Predicted workload intensity for the next epoch.
@@ -200,5 +231,25 @@ mod tests {
         let mut p = Predictor::new();
         p.observe_re_supply(100.0);
         assert_eq!(p.workload_rps(0.0), 0.0);
+    }
+
+    #[test]
+    fn staleness_widens_conservatism_and_holds_last_good() {
+        let mut p = Predictor::new();
+        for _ in 0..20 {
+            p.observe_re_supply(400.0);
+        }
+        p.mark_re_stale();
+        p.mark_re_stale();
+        assert_eq!(p.re_stale_epochs(), 2);
+        // The raw EWMA holds its last-good value...
+        assert!((p.re_supply_w(0.0) - 400.0).abs() < 1e-6);
+        // ...while the conservative view decays per stale epoch.
+        let want = 400.0 * STALENESS_DECAY * STALENESS_DECAY;
+        assert!((p.re_supply_conservative(0.0) - want).abs() < 1e-6);
+        // A verified observation clears the streak.
+        p.observe_re_supply(400.0);
+        assert_eq!(p.re_stale_epochs(), 0);
+        assert!((p.re_supply_conservative(0.0) - 400.0).abs() < 1e-6);
     }
 }

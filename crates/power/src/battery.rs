@@ -310,6 +310,21 @@ impl Battery {
     pub fn reset_full(&mut self) {
         self.soc_rated_ah = self.spec.capacity_ah;
     }
+
+    /// Permanently fade the rated capacity to `factor ×` its current value
+    /// (aging / fault injection). The stored charge scales with the plates,
+    /// so the SoC *fraction* is preserved; the factor is clamped to
+    /// `[0.05, 1.0]` to keep the unit physically meaningful.
+    pub fn fade_capacity(&mut self, factor: f64) {
+        let factor = if factor.is_finite() {
+            factor.clamp(0.05, 1.0)
+        } else {
+            1.0
+        };
+        self.spec.capacity_ah *= factor;
+        self.soc_rated_ah *= factor;
+        self.total_discharged_rated_ah *= factor;
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +509,24 @@ mod tests {
         let expected = max_p * 10.0 / 3_600.0;
         assert!((out.delivered_wh - expected).abs() < 1e-6);
         assert_eq!(b.max_discharge_duration(max_p * 3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fade_preserves_soc_fraction_and_shrinks_energy() {
+        let mut b = batt_10ah();
+        b.discharge(100.0, SimDuration::from_mins(5));
+        let soc = b.soc_fraction();
+        let before_w = b.sustainable_power(SimDuration::from_mins(10));
+        b.fade_capacity(0.8);
+        assert!((b.spec().capacity_ah - 8.0).abs() < 1e-12);
+        assert!((b.soc_fraction() - soc).abs() < 1e-12, "SoC preserved");
+        assert!(b.sustainable_power(SimDuration::from_mins(10)) < before_w);
+        // Degenerate factors are clamped, never zeroing the pack.
+        b.fade_capacity(0.0);
+        assert!(b.spec().capacity_ah >= 8.0 * 0.05 - 1e-12);
+        b.fade_capacity(f64::NAN);
+        assert!(b.spec().capacity_ah.is_finite());
+        assert!(b.soc_fraction().is_finite());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub use grid::GridSupply;
 pub use inverter::Inverter;
 pub use meter::PowerMeter;
 pub use pdu::{CircuitBreaker, Pdu};
-pub use pss::{PowerSourceSelector, SupplyCase, SupplyPlan};
-pub use solar::{PvArray, SolarTrace, WeatherModel};
+pub use pss::{PowerSourceSelector, SafeSupplyEstimator, SupplyCase, SupplyPlan};
+pub use solar::{PvArray, SolarTrace, SolarTraceError, WeatherModel};
 pub use wind::{TurbineCurve, WindModel};

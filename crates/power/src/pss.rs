@@ -195,6 +195,72 @@ impl PowerSourceSelector {
     }
 }
 
+/// How many recent verified observations the safe-mode estimator keeps.
+pub const SAFE_HISTORY: usize = 5;
+
+/// Per stale epoch, the safe-mode supply estimate decays by this factor —
+/// the longer the sensor is dark, the less the last reading is worth.
+pub const SAFE_DECAY: f64 = 0.8;
+
+/// Safe-mode supply estimation: never plan against unverified supply.
+///
+/// When the RE sensor goes dark or stale, the PSS must not keep planning
+/// against the last optimistic reading — a collapsed supply behind a dead
+/// sensor would drain batteries into a cliff. Instead the selector plans
+/// against the *worst* of the last [`SAFE_HISTORY`] verified observations,
+/// decayed by [`SAFE_DECAY`] per stale epoch, riding batteries down and
+/// landing on Normal rather than overcommitting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SafeSupplyEstimator {
+    /// Most recent verified supply observations (W), oldest first.
+    recent: Vec<f64>,
+    /// Consecutive epochs without a verified observation.
+    stale_epochs: u32,
+}
+
+impl SafeSupplyEstimator {
+    /// A fresh estimator with no history (plans 0 W until fed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a verified supply observation; leaves safe mode.
+    pub fn observe_good(&mut self, watts: f64) {
+        self.recent.push(watts.max(0.0));
+        if self.recent.len() > SAFE_HISTORY {
+            self.recent.remove(0);
+        }
+        self.stale_epochs = 0;
+    }
+
+    /// Record an epoch with no verified observation; enters/extends safe
+    /// mode.
+    pub fn mark_stale(&mut self) {
+        self.stale_epochs = self.stale_epochs.saturating_add(1);
+    }
+
+    /// True while the most recent observation is unverified.
+    pub fn in_safe_mode(&self) -> bool {
+        self.stale_epochs > 0
+    }
+
+    /// Consecutive stale epochs so far.
+    pub fn stale_epochs(&self) -> u32 {
+        self.stale_epochs
+    }
+
+    /// The supply (W) safe mode permits planning against: the worst recent
+    /// verified observation, decayed per stale epoch; 0 with no history.
+    pub fn planning_supply_w(&self) -> f64 {
+        let worst = self.recent.iter().copied().fold(f64::INFINITY, f64::min);
+        if !worst.is_finite() {
+            return 0.0;
+        }
+        worst * SAFE_DECAY.powi(self.stale_epochs as i32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +362,41 @@ mod tests {
         let p = pss.plan(-10.0, -5.0, -3.0, -2.0, -1.0);
         assert_eq!(p.unmet_w, 0.0);
         assert_eq!(p.delivered_w(), 0.0);
+    }
+
+    #[test]
+    fn safe_estimator_plans_against_the_worst_recent_observation() {
+        let mut s = SafeSupplyEstimator::new();
+        assert_eq!(s.planning_supply_w(), 0.0); // no history: assume nothing
+        for w in [500.0, 300.0, 450.0] {
+            s.observe_good(w);
+        }
+        assert!(!s.in_safe_mode());
+        assert!((s.planning_supply_w() - 300.0).abs() < EPS);
+    }
+
+    #[test]
+    fn safe_estimator_decays_per_stale_epoch() {
+        let mut s = SafeSupplyEstimator::new();
+        s.observe_good(400.0);
+        s.mark_stale();
+        assert!(s.in_safe_mode());
+        assert!((s.planning_supply_w() - 400.0 * SAFE_DECAY).abs() < EPS);
+        s.mark_stale();
+        assert!((s.planning_supply_w() - 400.0 * SAFE_DECAY * SAFE_DECAY).abs() < EPS);
+        // A fresh verified reading restores full trust.
+        s.observe_good(350.0);
+        assert!(!s.in_safe_mode());
+        assert!((s.planning_supply_w() - 350.0).abs() < EPS);
+    }
+
+    #[test]
+    fn safe_estimator_history_is_bounded() {
+        let mut s = SafeSupplyEstimator::new();
+        s.observe_good(1.0); // the low point, pushed out of the window below
+        for w in 0..SAFE_HISTORY {
+            s.observe_good(100.0 + w as f64);
+        }
+        assert!((s.planning_supply_w() - 100.0).abs() < EPS);
     }
 }

@@ -78,6 +78,31 @@ impl WeatherModel {
     }
 }
 
+/// Why a set of samples cannot become a usable [`SolarTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolarTraceError {
+    /// No samples at all: every lookup would silently read 0 W forever.
+    Empty,
+    /// A sample is NaN or infinite.
+    NonFinite {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SolarTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolarTraceError::Empty => f.write_str("solar trace contains no samples"),
+            SolarTraceError::NonFinite { index } => {
+                write!(f, "solar trace sample {index} is not a finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolarTraceError {}
+
 /// A minute-resolution normalized irradiance trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolarTrace {
@@ -126,11 +151,48 @@ impl SolarTrace {
     }
 
     /// Build a trace directly from normalized samples (e.g. loaded from a
-    /// CSV of real irradiance data). Values are clamped to `[0, 1]`.
+    /// CSV of real irradiance data). Values are clamped to `[0, 1]`;
+    /// non-finite samples (which survive `clamp` and would poison every
+    /// window mean) are coerced to 0.
     pub fn from_samples(samples: Vec<f64>) -> Self {
         SolarTrace {
-            samples: samples.into_iter().map(|s| s.clamp(0.0, 1.0)).collect(),
+            samples: samples
+                .into_iter()
+                .map(|s| {
+                    if s.is_finite() {
+                        s.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
         }
+    }
+
+    /// As [`Self::from_samples`] but strict: empty input and non-finite
+    /// samples are errors rather than silently coerced. Use this on
+    /// untrusted data (scenario files, network input).
+    pub fn try_from_samples(samples: Vec<f64>) -> Result<Self, SolarTraceError> {
+        if samples.is_empty() {
+            return Err(SolarTraceError::Empty);
+        }
+        if let Some(index) = samples.iter().position(|s| !s.is_finite()) {
+            return Err(SolarTraceError::NonFinite { index });
+        }
+        Ok(Self::from_samples(samples))
+    }
+
+    /// Check an already-constructed trace (e.g. deserialized straight from
+    /// JSON, bypassing the constructors) for the same invariants
+    /// [`Self::try_from_samples`] enforces.
+    pub fn validate(&self) -> Result<(), SolarTraceError> {
+        if self.samples.is_empty() {
+            return Err(SolarTraceError::Empty);
+        }
+        if let Some(index) = self.samples.iter().position(|s| !s.is_finite()) {
+            return Err(SolarTraceError::NonFinite { index });
+        }
+        Ok(())
     }
 
     /// A perfectly clear synthetic day (no weather), useful for maximum-
@@ -297,6 +359,41 @@ impl PvArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_samples_rejects_empty_and_non_finite() {
+        assert_eq!(
+            SolarTrace::try_from_samples(vec![]).unwrap_err(),
+            SolarTraceError::Empty
+        );
+        assert_eq!(
+            SolarTrace::try_from_samples(vec![0.5, f64::NAN, 0.2]).unwrap_err(),
+            SolarTraceError::NonFinite { index: 1 }
+        );
+        assert_eq!(
+            SolarTrace::try_from_samples(vec![f64::INFINITY]).unwrap_err(),
+            SolarTraceError::NonFinite { index: 0 }
+        );
+        let ok = SolarTrace::try_from_samples(vec![0.5, 2.0, -1.0]).unwrap();
+        assert_eq!(ok.samples(), &[0.5, 1.0, 0.0]); // still clamped
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn from_samples_coerces_non_finite_to_zero() {
+        let t = SolarTrace::from_samples(vec![0.5, f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(t.samples(), &[0.5, 0.0, 0.0]);
+        // The lenient constructor output always validates.
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_deserialized_garbage() {
+        // Scenario JSON deserializes the private field directly, bypassing
+        // the constructors — validate() is the backstop.
+        let t: SolarTrace = serde_json::from_str(r#"{"samples": []}"#).unwrap();
+        assert_eq!(t.validate(), Err(SolarTraceError::Empty));
+    }
 
     #[test]
     fn paper_panel_peak_matches() {

@@ -77,9 +77,11 @@ pub fn parse_csv(text: &str) -> Result<SolarTrace, TraceIoError> {
         }
         let value_field = line.rsplit(',').next().unwrap_or(line).trim();
         match value_field.parse::<f64>() {
-            Ok(v) => samples.push((v / STC_IRRADIANCE_W_M2).clamp(0.0, 1.0)),
+            // NaN/inf parse as valid f64 but survive the clamp and poison
+            // every downstream mean — reject them like any other bad row.
+            Ok(v) if v.is_finite() => samples.push((v / STC_IRRADIANCE_W_M2).clamp(0.0, 1.0)),
             Err(_) if samples.is_empty() => continue, // header row
-            Err(_) => {
+            _ => {
                 return Err(TraceIoError::Parse {
                     line: idx + 1,
                     content: raw.to_string(),
@@ -129,6 +131,27 @@ mod tests {
             TraceIoError::Parse { line, .. } => assert_eq!(line, 3),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        // "nan" and "inf" parse as f64 but must not reach the trace.
+        for bad in ["nan", "inf", "-inf", "NaN"] {
+            let err = parse_csv(&format!("ghi\n100\n{bad}\n")).unwrap_err();
+            match err {
+                TraceIoError::Parse { line, content } => {
+                    assert_eq!(line, 3, "{bad}");
+                    assert!(content.contains(bad));
+                }
+                other => panic!("expected parse error for {bad}, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_two_column_rows() {
+        let err = parse_csv("minute,ghi\n0,100\n1,\n").unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 3, .. }), "{err}");
     }
 
     #[test]

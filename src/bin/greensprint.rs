@@ -9,6 +9,8 @@
 //! greensprint campaign [--days N] [--spikes N] [--app ...] [--strategy ...] [--seed N]
 //! greensprint sweep [--apps A,B] [--strategies S,..] [--availabilities L,..] [--minutes M,..]
 //!                   [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
+//! greensprint chaos [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N]
+//!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
 //! greensprint tco [--hours H]
 //! ```
@@ -30,6 +32,7 @@ fn main() {
         "simulate" => simulate(&flags),
         "campaign" => campaign(&flags),
         "sweep" => sweep(&flags),
+        "chaos" => chaos(&flags),
         "trace" => trace(&positional, &flags),
         "tco" => tco(&flags),
         "help" | "--help" | "-h" => usage(""),
@@ -153,14 +156,10 @@ fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
     // then overrides it. Missing fields take the library defaults
     // (EngineConfig deserializes with per-field defaults).
     if let Some(path) = flags.get("scenario") {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read scenario {path}: {e}");
-            exit(1);
-        });
-        let mut cfg: EngineConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
-            eprintln!("error: invalid scenario {path}: {e}");
-            exit(1);
-        });
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read scenario {path}: {e}")));
+        let mut cfg: EngineConfig = serde_json::from_str(&text)
+            .unwrap_or_else(|e| usage(&format!("invalid scenario {path}: {e}")));
         // Flag overrides on top of the file.
         if flags.contains_key("app") {
             cfg.app = app_of(flags);
@@ -186,16 +185,12 @@ fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
         return cfg;
     }
     let trace_override = flags.get("trace").map(|path| {
-        trace_io::read_csv(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read trace {path}: {e}");
-            exit(1);
-        })
+        trace_io::read_csv(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read trace {path}: {e}")))
     });
     let warm_policy_json = flags.get("warm-policy").map(|path| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read policy {path}: {e}");
-            exit(1);
-        })
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read policy {path}: {e}")))
     });
     EngineConfig {
         app: app_of(flags),
@@ -375,6 +370,83 @@ fn sweep(flags: &HashMap<String, String>) {
     });
 }
 
+/// `greensprint chaos` — fault-injection runs. Each run applies a
+/// [`FaultPlan`] (loaded from `--plan FILE.json`, or generated from
+/// `--fault-seed`) to a burst and fans the batch through the same
+/// deterministic executor as `sweep`: one JSON line per run, bit-identical
+/// for any `--jobs`. Exits 1 if any run loses the Normal goodput floor or
+/// overdraws the grid cap — the invariants safe mode exists to keep.
+fn chaos(flags: &HashMap<String, String>) {
+    let jobs: usize = get(flags, "jobs", default_jobs());
+    if jobs == 0 {
+        usage("--jobs must be at least 1");
+    }
+    let runs: usize = get(flags, "runs", 4);
+    if runs == 0 {
+        usage("--runs must be at least 1");
+    }
+    let fault_seed: u64 = get(flags, "fault-seed", 42);
+    let base = engine_cfg(flags);
+    let file_plan: Option<FaultPlan> = flags.get("plan").map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read fault plan {path}: {e}")));
+        FaultPlan::from_json(&text)
+            .unwrap_or_else(|e| usage(&format!("invalid fault plan {path}: {e}")))
+    });
+    let start = SimTime::from_secs_f64(base.burst_start_hour * 3_600.0);
+
+    let mut points = Vec::new();
+    for r in 0..runs {
+        // A file plan repeats across runs (the engine seed still varies
+        // per run via the executor); otherwise each run gets its own
+        // independently seeded plan.
+        let plan = file_plan.clone().unwrap_or_else(|| {
+            FaultPlan::generate(
+                derive_seed(fault_seed, r as u64),
+                start,
+                base.burst_duration,
+                base.green.green_servers.min(u8::MAX as usize) as u8,
+            )
+        });
+        let label = format!(
+            "chaos/{}/{}/{}/plan{r}",
+            base.app, base.strategy, base.availability
+        );
+        points.push(SweepPoint::burst(
+            label,
+            EngineConfig {
+                fault_plan: Some(plan),
+                ..base.clone()
+            },
+        ));
+    }
+    for p in &points {
+        if let SweepTask::Burst(cfg) = &p.task {
+            if let Err(e) = cfg.validate() {
+                usage(&format!("invalid chaos point {}: {e}", p.label));
+            }
+        }
+    }
+
+    let mut violations = 0usize;
+    run_sweep_streaming(points, get(flags, "seed", 7), jobs, |r| {
+        println!(
+            "{}",
+            serde_json::to_string(r).expect("chaos results serialize")
+        );
+        if let SweepOutcome::Burst(b) = &r.outcome {
+            if !b.floor_held || b.grid_overload_wh != 0.0 {
+                violations += 1;
+            }
+        }
+    });
+    if violations > 0 {
+        eprintln!("error: {violations} chaos run(s) violated the safety floor");
+        exit(1);
+    }
+    eprintln!("chaos: {runs} run(s), all held the Normal floor with zero grid overload");
+}
+
 fn trace(positional: &[String], flags: &HashMap<String, String>) {
     let kind = positional.first().map(String::as_str).unwrap_or_else(|| {
         usage("trace needs a kind: solar | wind");
@@ -436,6 +508,11 @@ usage:
                        [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
                        grid sweep on the deterministic parallel executor; one JSON line
                        per point (completion order), identical results for any --jobs
+  greensprint chaos    [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N] [--seed N]
+                       [--app A] [--strategy S] [--availability L] [--minutes N] [--analytic]
+                       fault-injection runs (sensor dropout, inverter derate, stuck servers,
+                       ...); one JSON line per run; exits 1 if any run loses the Normal
+                       floor or overdraws the grid
   greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
   greensprint tco [--hours H]"
     );

@@ -53,6 +53,7 @@ pub mod prelude {
     pub use greensprint::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
+    pub use greensprint::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
     pub use greensprint::sweep::{

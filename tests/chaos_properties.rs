@@ -1,0 +1,108 @@
+//! Property tests for fault injection: under *any* seeded `FaultPlan`,
+//! the controller degrades — it never collapses below the Normal floor
+//! and never overdraws the grid cap.
+
+use greensprint_repro::prelude::*;
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+fn chaos_cfg(strategy: Strategy, plan: FaultPlan) -> EngineConfig {
+    EngineConfig {
+        app: Application::SpecJbb,
+        green: GreenConfig::re_batt(),
+        strategy,
+        availability: AvailabilityLevel::Medium,
+        burst_duration: SimDuration::from_mins(5),
+        measurement: MeasurementMode::Analytic,
+        fault_plan: Some(plan),
+        ..EngineConfig::default()
+    }
+}
+
+fn generate(seed: u64) -> FaultPlan {
+    FaultPlan::generate(seed, SimTime::from_hours(11), SimDuration::from_mins(5), 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated plans are always well-formed.
+    #[test]
+    fn generated_plans_validate(seed in 0_u64..u64::MAX) {
+        let plan = generate(seed);
+        prop_assert!(plan.validate().is_ok(), "seed {seed}: {:?}", plan.validate());
+        prop_assert!(!plan.events.is_empty());
+    }
+
+    /// Plans survive a JSON round trip bit-identically.
+    #[test]
+    fn plans_round_trip_through_json(seed in 0_u64..u64::MAX) {
+        let plan = generate(seed);
+        let back = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+        prop_assert_eq!(plan, back);
+    }
+
+    /// The tentpole invariant: any seeded plan, any strategy — goodput
+    /// stays at or above the Normal floor and the grid cap is never
+    /// exceeded. Safe mode may cost sprint upside, never correctness.
+    #[test]
+    fn any_fault_plan_holds_the_floor(seed in 0_u64..10_000, strat in 0_usize..4) {
+        let strategy = [
+            Strategy::Greedy,
+            Strategy::Parallel,
+            Strategy::Pacing,
+            Strategy::Hybrid,
+        ][strat];
+        let out = Engine::new(chaos_cfg(strategy, generate(seed))).run();
+        prop_assert!(
+            out.speedup_vs_normal >= 0.99,
+            "seed {seed} {strategy:?}: speedup {}",
+            out.speedup_vs_normal
+        );
+        prop_assert!(out.floor_held, "seed {seed} {strategy:?}");
+        prop_assert!(
+            out.grid_overload_wh == 0.0,
+            "seed {seed} {strategy:?}: overload {}",
+            out.grid_overload_wh
+        );
+    }
+
+    /// Same (seed, plan) → bit-identical outcome, run to run.
+    #[test]
+    fn fault_runs_are_reproducible(seed in 0_u64..1_000) {
+        let cfg = chaos_cfg(Strategy::Hybrid, generate(seed));
+        let a = Engine::new(cfg.clone()).run();
+        let b = Engine::new(cfg).run();
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}
+
+/// A chaos batch through the sweep executor is bit-identical at any job
+/// count — fault plans ride inside `EngineConfig`, so the executor needs
+/// no special casing.
+#[test]
+fn chaos_sweep_is_job_count_invariant() {
+    let points: Vec<SweepPoint> = (0..6)
+        .map(|r| {
+            SweepPoint::burst(
+                format!("plan{r}"),
+                chaos_cfg(Strategy::Hybrid, generate(derive_seed(42, r))),
+            )
+        })
+        .collect();
+    let serial = run_sweep(points.clone(), 7, 1);
+    let parallel = run_sweep(points, 7, 8);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "jobs 1 vs jobs 8 must be byte-identical"
+    );
+    for r in &serial {
+        if let SweepOutcome::Burst(b) = &r.outcome {
+            assert!(b.floor_held, "{}", r.label);
+            assert_eq!(b.grid_overload_wh, 0.0, "{}", r.label);
+        }
+    }
+}

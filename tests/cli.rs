@@ -219,6 +219,112 @@ fn malformed_warm_policy_is_a_usage_error_not_a_panic() {
 }
 
 #[test]
+fn chaos_emits_json_lines_and_holds_the_floor() {
+    let (stdout, stderr, ok) = run(&[
+        "chaos",
+        "--minutes",
+        "5",
+        "--analytic",
+        "--runs",
+        "3",
+        "--fault-seed",
+        "42",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"label\":\"chaos/"), "{line}");
+        assert!(line.contains("fault_epochs"), "{line}");
+        assert!(line.contains("\"floor_held\":true"), "{line}");
+        assert!(line.contains("\"grid_overload_wh\":0.0"), "{line}");
+    }
+    assert!(stderr.contains("all held the Normal floor"), "{stderr}");
+}
+
+#[test]
+fn chaos_accepts_a_plan_file_and_rejects_garbage_plans() {
+    let dir = std::env::temp_dir();
+    let plan = dir.join(format!("gs-cli-plan-{}.json", std::process::id()));
+    std::fs::write(
+        &plan,
+        r#"{"seed": 1, "events": [
+            {"at": 39600000000, "duration": 600000000, "kind": "ReSensorDropout"}
+        ]}"#,
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "chaos",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--minutes",
+        "5",
+        "--analytic",
+        "--runs",
+        "2",
+        "--jobs",
+        "1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stdout.contains("safe_mode_epochs"), "{stdout}");
+
+    // A malformed plan is a usage error (exit 2), not a panic.
+    std::fs::write(&plan, "{not a plan").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(["chaos", "--plan", plan.to_str().unwrap(), "--analytic"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid fault plan"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(plan).ok();
+}
+
+#[test]
+fn missing_input_files_are_usage_errors() {
+    for args in [
+        ["simulate", "--trace", "/nonexistent/gs-trace.csv"],
+        ["simulate", "--scenario", "/nonexistent/gs-scenario.json"],
+        ["simulate", "--warm-policy", "/nonexistent/gs-policy.json"],
+        ["chaos", "--plan", "/nonexistent/gs-plan.json"],
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot read"), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn malformed_trace_csv_is_a_usage_error() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("gs-cli-badtrace-{}.csv", std::process::id()));
+    std::fs::write(&trace, "minute,irradiance\n0,0.5\n1,not-a-number\n").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(["simulate", "--trace", trace.to_str().unwrap(), "--analytic"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "should exit via usage, not panic"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read trace"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let (_, stderr, ok) = run(&["simulate", "--app", "quake"]);
     assert!(!ok);

@@ -98,6 +98,63 @@ fn utility_outage_during_a_sprint_is_survivable() {
 }
 
 #[test]
+fn utility_outage_while_re_telemetry_is_stale_still_holds_the_floor() {
+    // The compound nightmare: the utility feed drops (grid side rides
+    // ATS → diesel) at the same moment the green rack loses its RE
+    // sensor mid-burst. The controller must enter safe mode on stale
+    // telemetry, ride batteries down against the worst recent
+    // observation, and land on Normal — under both measurement planes.
+    let dropout = FaultEvent {
+        at: SimTime::from_hours(11) + SimDuration::from_mins(5),
+        duration: SimDuration::from_mins(25),
+        kind: FaultKind::ReSensorDropout,
+    };
+    for measurement in [MeasurementMode::Analytic, MeasurementMode::Des] {
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Maximum,
+            burst_duration: SimDuration::from_mins(30),
+            measurement,
+            fault_plan: Some(FaultPlan::new(vec![dropout])),
+            ..EngineConfig::default()
+        };
+        let out = Engine::new(cfg).run();
+        let floor = match measurement {
+            MeasurementMode::Analytic => 0.99,
+            MeasurementMode::Des => 0.95,
+        };
+        assert!(
+            out.speedup_vs_normal >= floor,
+            "{measurement:?}: speedup {}",
+            out.speedup_vs_normal
+        );
+        assert!(out.floor_held, "{measurement:?}");
+        assert!(
+            out.safe_mode_epochs > 0,
+            "{measurement:?}: never entered safe mode"
+        );
+        assert_eq!(out.grid_overload_wh, 0.0, "{measurement:?}");
+        // Safe mode starts when the dropout does, not before.
+        assert!(!out.epochs[0].safe_mode, "{measurement:?}");
+
+        // Meanwhile the utility-dependent servers ride the same outage
+        // through ATS → diesel, as in the paper's Fig. 2.
+        let mut ats = AutomaticTransferSwitch::new(DieselGenerator::paper_scale());
+        let grid_normal_w = 7.0 * 100.0;
+        let mut delivered_wh = 0.0;
+        for minute in 0..30 {
+            let utility_up = !(5..25).contains(&minute);
+            delivered_wh +=
+                ats.advance(utility_up, grid_normal_w, SimDuration::from_mins(1)) / 60.0;
+        }
+        assert!(
+            delivered_wh > grid_normal_w * 0.5 * 0.98,
+            "{measurement:?}: grid side lost load: {delivered_wh}"
+        );
+        assert!(ats.gap_wh() < 5.0, "{measurement:?}: gap {}", ats.gap_wh());
+    }
+}
+
+#[test]
 fn diesel_running_dry_leaves_a_quantified_gap() {
     let mut ats = AutomaticTransferSwitch::new(DieselGenerator::new(
         2_000.0,
