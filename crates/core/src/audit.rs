@@ -1,0 +1,289 @@
+//! Runtime invariant auditor: an independent check that the simulated
+//! physics stayed sane, epoch by epoch.
+//!
+//! The engine settles energy flows against batteries and meters; the
+//! auditor re-derives the conservation law from the settled per-epoch
+//! flows and flags any epoch where the books do not balance, a battery
+//! leaves its legal state-of-charge band, the grid draw exceeds the
+//! breaker cap, or a power term goes negative. It runs inside the epoch
+//! loop (enabled by [`EngineConfig::audit`](crate::engine::EngineConfig),
+//! on by default) and accumulates human-readable violation strings into
+//! [`BurstOutcome::audit_violations`](crate::engine::BurstOutcome) — a
+//! tripwire for physics regressions under PR churn, and a hard failure
+//! for `chaos` runs.
+//!
+//! The auditor is a pure checker over [`EpochFlows`] records, so tests
+//! can feed it deliberately corrupted flows and watch it fire without
+//! running an engine at all.
+
+/// One epoch's settled physical energy flows, as the engine booked them.
+///
+/// All energies are in watt-hours over the epoch; state-of-charge entries
+/// are fractions of rated capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochFlows {
+    /// Which epoch of the window this is (for violation messages).
+    pub epoch_index: usize,
+    /// Renewable energy the bus physically delivered.
+    pub supply_wh: f64,
+    /// Energy discharged from the batteries into servers.
+    pub battery_discharge_wh: f64,
+    /// Energy drawn from the grid (serving + recharge).
+    pub grid_wh: f64,
+    /// Energy delivered into servers, accumulated source-side at
+    /// settlement time.
+    pub server_wh: f64,
+    /// Energy drawn into battery charging (renewable surplus plus grid
+    /// recharge), measured on the drawn side of the charger.
+    pub charge_wh: f64,
+    /// Renewable energy curtailed.
+    pub curtailed_wh: f64,
+    /// Per-battery `(soc_fraction, max_dod)` after settlement.
+    pub socs: Vec<(f64, f64)>,
+    /// Breaker cap on mean grid draw over an epoch (W).
+    pub grid_cap_w: f64,
+    /// Epoch length in hours (converts the energy terms to mean power).
+    pub epoch_hours: f64,
+}
+
+/// Relative tolerance for the energy-conservation balance. The settlement
+/// arithmetic is exact up to floating-point rounding, so anything beyond
+/// parts-per-million is a genuine accounting bug, not noise.
+const ENERGY_REL_TOL: f64 = 1e-6;
+/// Absolute tolerance on state-of-charge bounds.
+const SOC_TOL: f64 = 1e-6;
+/// Watts of slack on the breaker cap (absorbs rounding in the Wh→W
+/// conversion).
+const GRID_CAP_TOL_W: f64 = 1e-6;
+/// Negative-energy slack: settlement never produces meaningful negatives,
+/// but `a - b` of equal floats can land a hair below zero.
+const NEG_TOL_WH: f64 = 1e-9;
+
+/// Accumulates invariant violations across a run.
+///
+/// # Example
+///
+/// ```
+/// use greensprint::audit::{EpochFlows, InvariantAuditor};
+///
+/// let mut aud = InvariantAuditor::new();
+/// aud.check_epoch(&EpochFlows {
+///     epoch_index: 0,
+///     supply_wh: 10.0,
+///     battery_discharge_wh: 2.0,
+///     grid_wh: 1.0,
+///     server_wh: 9.0,
+///     charge_wh: 3.0,
+///     curtailed_wh: 1.0,
+///     socs: vec![(0.8, 0.4)],
+///     grid_cap_w: 500.0,
+///     epoch_hours: 1.0 / 60.0,
+/// });
+/// assert!(aud.violations().is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct InvariantAuditor {
+    violations: Vec<String>,
+}
+
+impl InvariantAuditor {
+    /// A fresh auditor with no violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild an auditor mid-run from previously recorded violations
+    /// (checkpoint resume).
+    pub fn with_violations(violations: Vec<String>) -> Self {
+        Self { violations }
+    }
+
+    /// Check one epoch's settled flows against every invariant,
+    /// accumulating a message per violation.
+    // The negated comparisons are deliberate: a NaN flow must land in the
+    // violation branch, which `<`/`>` would silently pass.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn check_epoch(&mut self, f: &EpochFlows) {
+        let k = f.epoch_index;
+
+        // Non-negative energy terms. A negative flow means a meter or the
+        // settlement code ran backwards.
+        for (name, v) in [
+            ("renewable supply", f.supply_wh),
+            ("battery discharge", f.battery_discharge_wh),
+            ("grid draw", f.grid_wh),
+            ("server draw", f.server_wh),
+            ("battery charge", f.charge_wh),
+            ("curtailment", f.curtailed_wh),
+        ] {
+            if !(v >= -NEG_TOL_WH) {
+                self.violations
+                    .push(format!("epoch {k}: negative {name}: {v} Wh"));
+            }
+        }
+
+        // Energy conservation: everything the sources delivered must land
+        // in a server, a battery, or the curtailment bucket.
+        let inflow = f.supply_wh + f.battery_discharge_wh + f.grid_wh;
+        let outflow = f.server_wh + f.charge_wh + f.curtailed_wh;
+        let tol = ENERGY_REL_TOL * inflow.abs().max(outflow.abs()).max(1.0);
+        if !((inflow - outflow).abs() <= tol) {
+            self.violations.push(format!(
+                "epoch {k}: energy imbalance: inflow {inflow:.9} Wh \
+                 (supply {:.9} + battery {:.9} + grid {:.9}) != outflow {outflow:.9} Wh \
+                 (servers {:.9} + charge {:.9} + curtailed {:.9})",
+                f.supply_wh,
+                f.battery_discharge_wh,
+                f.grid_wh,
+                f.server_wh,
+                f.charge_wh,
+                f.curtailed_wh,
+            ));
+        }
+
+        // State of charge stays inside [reserve, full]: the DoD cap is the
+        // discharge floor and a charger cannot overfill the plates.
+        for (i, &(soc, max_dod)) in f.socs.iter().enumerate() {
+            let reserve = 1.0 - max_dod;
+            if !(soc >= reserve - SOC_TOL && soc <= 1.0 + SOC_TOL) {
+                self.violations.push(format!(
+                    "epoch {k}: battery {i} SoC {soc} outside [{reserve}, 1]"
+                ));
+            }
+        }
+
+        // Breaker cap: mean grid draw over the epoch never exceeds every
+        // server at Normal mode plus every charger at its C-rate limit.
+        if f.epoch_hours > 0.0 {
+            let grid_w = f.grid_wh / f.epoch_hours;
+            if !(grid_w <= f.grid_cap_w + GRID_CAP_TOL_W) {
+                self.violations.push(format!(
+                    "epoch {k}: grid draw {grid_w:.6} W exceeds breaker cap {:.6} W",
+                    f.grid_cap_w
+                ));
+            }
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Consume the auditor, yielding its violations.
+    pub fn into_violations(self) -> Vec<String> {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> EpochFlows {
+        EpochFlows {
+            epoch_index: 3,
+            supply_wh: 12.0,
+            battery_discharge_wh: 4.0,
+            grid_wh: 6.0,
+            server_wh: 15.0,
+            charge_wh: 5.0,
+            curtailed_wh: 2.0,
+            socs: vec![(0.85, 0.40), (0.61, 0.40)],
+            grid_cap_w: 1_000.0,
+            epoch_hours: 1.0 / 60.0,
+        }
+    }
+
+    #[test]
+    fn clean_flows_pass() {
+        let mut aud = InvariantAuditor::new();
+        for _ in 0..10 {
+            aud.check_epoch(&balanced());
+        }
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn rounding_noise_is_tolerated() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.server_wh += 1e-9;
+        aud.check_epoch(&f);
+        // A term a hair below zero from float cancellation is noise, not a
+        // violation (books kept balanced: the 2 Wh move to the servers).
+        let mut f = balanced();
+        f.curtailed_wh = -1e-12;
+        f.server_wh += 2.0;
+        aud.check_epoch(&f);
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn energy_imbalance_fires() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        // A watt-hour vanishes into thin air.
+        f.server_wh -= 1.0;
+        aud.check_epoch(&f);
+        assert_eq!(aud.violations().len(), 1, "{:?}", aud.violations());
+        assert!(aud.violations()[0].contains("energy imbalance"));
+        assert!(aud.violations()[0].contains("epoch 3"));
+    }
+
+    #[test]
+    fn soc_bounds_fire_on_both_sides() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.socs = vec![(0.55, 0.40), (1.02, 0.40), (0.61, 0.40)];
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("battery 0 SoC"), "{v:?}");
+        assert!(v[1].contains("battery 1 SoC"), "{v:?}");
+    }
+
+    #[test]
+    fn grid_cap_fires() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        // Rebalance so only the breaker cap trips: bump grid inflow and
+        // sink it into servers.
+        f.grid_wh += 100.0;
+        f.server_wh += 100.0;
+        f.grid_cap_w = 500.0;
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("breaker cap"), "{v:?}");
+    }
+
+    #[test]
+    fn negative_terms_fire() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.battery_discharge_wh = -4.0;
+        f.server_wh -= 8.0; // keep the books balanced; only the sign check trips
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("negative battery discharge"), "{v:?}");
+    }
+
+    #[test]
+    fn nan_flows_are_violations_not_passes() {
+        // NaN comparisons are false both ways; the checks are written so a
+        // NaN lands in the violation branch.
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.server_wh = f64::NAN;
+        aud.check_epoch(&f);
+        assert!(
+            aud.violations()
+                .iter()
+                .any(|v| v.contains("energy imbalance")),
+            "{:?}",
+            aud.violations()
+        );
+    }
+}

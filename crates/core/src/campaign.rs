@@ -9,7 +9,11 @@
 //! extrapolates them to a year so [`gs_tco`]-style models can be fed with
 //! *measured* sprint activity instead of an assumption.
 
-use crate::engine::{run_window, BurstOutcome, EngineConfig, EngineError, RunWindow};
+use crate::checkpoint::{EngineSnapshot, LoopState, MainCarry, RunPhase, SnapshotScope};
+use crate::engine::{
+    run_window, run_window_resumable, BurstOutcome, EngineConfig, EngineError, MeasurementMode,
+    RunWindow,
+};
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
 use gs_cluster::{ServerSetting, NUM_FREQ_LEVELS};
@@ -86,6 +90,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
 /// panicking — for callers handling untrusted input (the CLI).
 pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, EngineError> {
     cfg.validate()?;
+    let (run, normal) = with_campaign_window(cfg, |profiles, window| {
+        let (run, _) = run_window(&cfg.engine, cfg.engine.strategy, profiles, window);
+        let (normal, _) = run_window(&cfg.engine, Strategy::Normal, profiles, window);
+        (run, normal)
+    });
+    Ok(assemble_outcome(cfg, run, &normal))
+}
+
+/// Rebuild the campaign's deterministic load and sky from its seed and
+/// hand the window to `f` — the one place both fresh runs and snapshot
+/// resumes derive the environment, so they cannot diverge.
+fn with_campaign_window<T>(
+    cfg: &CampaignConfig,
+    f: impl FnOnce(&ProfileTable, &RunWindow<'_>) -> T,
+) -> T {
     let profiles = ProfileTable::cached(cfg.engine.app);
     let app = cfg.engine.app.profile();
 
@@ -104,9 +123,23 @@ pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, EngineE
         start: SimTime::ZERO,
         duration: SimDuration::from_hours(cfg.days as u64 * 24),
     };
-    let (run, _) = run_window(&cfg.engine, cfg.engine.strategy, profiles, &window);
-    let (normal, _) = run_window(&cfg.engine, Strategy::Normal, profiles, &window);
+    f(profiles, &window)
+}
 
+/// Derive the campaign-level metrics from the finished strategy and
+/// Normal-baseline runs. The baseline's auditor findings fold into the
+/// strategy outcome — a physics violation in either run taints the result.
+fn assemble_outcome(
+    cfg: &CampaignConfig,
+    mut run: BurstOutcome,
+    normal: &BurstOutcome,
+) -> CampaignOutcome {
+    run.audit_violations.extend(
+        normal
+            .audit_violations
+            .iter()
+            .map(|v| format!("baseline: {v}")),
+    );
     let epoch_hours = cfg.engine.epoch.as_hours_f64();
     let sprint_server_hours: f64 = run
         .epochs
@@ -124,14 +157,153 @@ pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, EngineE
     } else {
         1.0
     };
-    Ok(CampaignOutcome {
+    CampaignOutcome {
         days: cfg.days,
         sprint_server_hours,
         sprint_hours,
         sprint_hours_per_year: sprint_hours * 365.0 / cfg.days as f64,
         goodput_vs_normal,
         run,
-    })
+    }
+}
+
+/// The checkpoint fingerprint of a campaign configuration.
+fn campaign_fingerprint(cfg: &CampaignConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    crate::checkpoint::config_fingerprint(&json)
+}
+
+/// As [`try_run_campaign`], emitting a resumable [`EngineSnapshot`] at
+/// every `every_epochs`-th epoch boundary (0 = never) of both the
+/// strategy and the Normal-baseline run. Requires analytic measurement
+/// (snapshots serialize the full controller state; DES state cannot).
+pub fn try_run_campaign_with_snapshots(
+    cfg: &CampaignConfig,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> Result<CampaignOutcome, EngineError> {
+    cfg.validate()?;
+    if cfg.engine.measurement != MeasurementMode::Analytic {
+        return Err(EngineError::SnapshotRequiresAnalytic);
+    }
+    let fp = campaign_fingerprint(cfg);
+    let run = with_campaign_window(cfg, |profiles, window| {
+        let mut emit = |state: LoopState| {
+            sink(&EngineSnapshot {
+                fingerprint: fp.clone(),
+                scope: SnapshotScope::Campaign(cfg.clone()),
+                phase: RunPhase::Strategy,
+                main_carry: None,
+                state,
+            });
+        };
+        run_window_resumable(
+            &cfg.engine,
+            cfg.engine.strategy,
+            profiles,
+            window,
+            None,
+            every_epochs,
+            &mut emit,
+        )
+        .0
+    });
+    finish_campaign(cfg, &fp, run, None, every_epochs, sink)
+}
+
+/// Resume a campaign from a mid-run snapshot; called through
+/// [`crate::engine::resume_snapshot`] after the fingerprint check.
+pub(crate) fn resume_campaign_snapshot(
+    cfg: &CampaignConfig,
+    snap: EngineSnapshot,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> Result<CampaignOutcome, EngineError> {
+    cfg.validate()?;
+    if cfg.engine.measurement != MeasurementMode::Analytic {
+        return Err(EngineError::SnapshotRequiresAnalytic);
+    }
+    let fp = snap.fingerprint.clone();
+    match snap.phase {
+        RunPhase::Strategy => {
+            let run = with_campaign_window(cfg, |profiles, window| {
+                let mut emit = |state: LoopState| {
+                    sink(&EngineSnapshot {
+                        fingerprint: fp.clone(),
+                        scope: SnapshotScope::Campaign(cfg.clone()),
+                        phase: RunPhase::Strategy,
+                        main_carry: None,
+                        state,
+                    });
+                };
+                run_window_resumable(
+                    &cfg.engine,
+                    cfg.engine.strategy,
+                    profiles,
+                    window,
+                    Some(snap.state),
+                    every_epochs,
+                    &mut emit,
+                )
+                .0
+            });
+            finish_campaign(cfg, &fp, run, None, every_epochs, sink)
+        }
+        RunPhase::Baseline => {
+            let carry = snap.main_carry.ok_or_else(|| {
+                EngineError::SnapshotMismatch(
+                    "baseline-phase snapshot is missing the finished strategy run".to_string(),
+                )
+            })?;
+            finish_campaign(
+                cfg,
+                &fp,
+                carry.outcome,
+                Some(snap.state),
+                every_epochs,
+                sink,
+            )
+        }
+    }
+}
+
+/// Run (or resume) the campaign's Normal-baseline pass with snapshotting
+/// and assemble the final outcome. Baseline snapshots carry the finished
+/// strategy run so a resume from one still has everything.
+fn finish_campaign(
+    cfg: &CampaignConfig,
+    fp: &str,
+    run: BurstOutcome,
+    baseline_resume: Option<LoopState>,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> Result<CampaignOutcome, EngineError> {
+    let normal = with_campaign_window(cfg, |profiles, window| {
+        let mut emit = |state: LoopState| {
+            sink(&EngineSnapshot {
+                fingerprint: fp.to_string(),
+                scope: SnapshotScope::Campaign(cfg.clone()),
+                phase: RunPhase::Baseline,
+                main_carry: Some(MainCarry {
+                    outcome: run.clone(),
+                    monitor: None,
+                    policy: None,
+                }),
+                state,
+            });
+        };
+        run_window_resumable(
+            &cfg.engine,
+            Strategy::Normal,
+            profiles,
+            window,
+            baseline_resume,
+            every_epochs,
+            &mut emit,
+        )
+        .0
+    });
+    Ok(assemble_outcome(cfg, run, &normal))
 }
 
 #[cfg(test)]
@@ -218,6 +390,51 @@ mod tests {
     }
 
     #[test]
+    fn campaign_snapshot_resume_is_byte_identical() {
+        let cfg = CampaignConfig {
+            engine: EngineConfig {
+                strategy: Strategy::Hybrid,
+                green: GreenConfig::re_batt(),
+                measurement: MeasurementMode::Analytic,
+                seed: 3,
+                ..EngineConfig::default()
+            },
+            days: 1,
+            spikes_per_day: 3,
+            peak_intensity_cores: 12,
+        };
+        let want = serde_json::to_string(&try_run_campaign(&cfg).unwrap()).unwrap();
+
+        let mut snaps = Vec::new();
+        let direct =
+            try_run_campaign_with_snapshots(&cfg, 500, &mut |s| snaps.push(s.clone())).unwrap();
+        assert_eq!(serde_json::to_string(&direct).unwrap(), want);
+        assert!(snaps.iter().any(|s| s.phase == RunPhase::Strategy));
+        assert!(snaps.iter().any(|s| s.phase == RunPhase::Baseline));
+
+        // Resume once from each phase, through the on-disk JSON form.
+        let picks = [
+            snaps
+                .iter()
+                .find(|s| s.phase == RunPhase::Strategy)
+                .unwrap(),
+            snaps
+                .iter()
+                .rfind(|s| s.phase == RunPhase::Baseline)
+                .unwrap(),
+        ];
+        for snap in picks {
+            let snap = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+            match crate::engine::resume_snapshot(snap, 0, &mut |_| {}).unwrap() {
+                crate::engine::ResumedRun::Campaign(out) => {
+                    assert_eq!(serde_json::to_string(&out).unwrap(), want);
+                }
+                other => panic!("expected a campaign, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn try_run_campaign_reports_instead_of_panicking() {
         let cfg = CampaignConfig {
             days: 0,
@@ -230,6 +447,20 @@ mod tests {
         assert!(matches!(
             try_run_campaign(&cfg).unwrap_err(),
             EngineError::InvalidWarmPolicy(_)
+        ));
+    }
+
+    #[test]
+    fn campaigns_reject_degenerate_engine_configs_too() {
+        let mut cfg = CampaignConfig::default();
+        cfg.engine.green.green_servers = 0;
+        assert_eq!(cfg.validate().unwrap_err(), EngineError::ZeroServers);
+
+        let mut cfg = CampaignConfig::default();
+        cfg.engine.switch_hysteresis = f64::NAN;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            EngineError::InvalidThreshold(_)
         ));
     }
 }

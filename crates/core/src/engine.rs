@@ -13,6 +13,8 @@
 //! the green-provisioned servers over the burst, normalized to a Normal
 //! (no-sprint) run of the same burst.
 
+use crate::audit::{EpochFlows, InvariantAuditor};
+use crate::checkpoint::{EngineSnapshot, LoopState, MainCarry, RunPhase, SnapshotScope};
 use crate::config::{AvailabilityLevel, GreenConfig};
 use crate::faults::{ActiveFaults, FaultPlan};
 use crate::monitor::{Monitor, Observation, ObservationQuality};
@@ -48,6 +50,19 @@ pub enum EngineError {
     InvalidTrace(String),
     /// `fault_plan` contains a physically meaningless event.
     InvalidFaultPlan(String),
+    /// The green cluster has zero servers — every per-server share would
+    /// divide by zero.
+    ZeroServers,
+    /// A numeric threshold (named inside) is NaN or outside its legal
+    /// range.
+    InvalidThreshold(String),
+    /// Snapshots capture the full controller state, which the DES
+    /// measurement plane cannot serialize — checkpointed runs must use
+    /// `MeasurementMode::Analytic`.
+    SnapshotRequiresAnalytic,
+    /// A snapshot cannot resume here: its fingerprint (code + config) no
+    /// longer matches, or its shape is inconsistent.
+    SnapshotMismatch(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -59,6 +74,12 @@ impl std::fmt::Display for EngineError {
             EngineError::ZeroDays => f.write_str("campaign needs at least one day"),
             EngineError::InvalidTrace(e) => write!(f, "invalid trace_override: {e}"),
             EngineError::InvalidFaultPlan(e) => write!(f, "invalid fault_plan: {e}"),
+            EngineError::ZeroServers => f.write_str("green cluster needs at least one server"),
+            EngineError::InvalidThreshold(e) => write!(f, "invalid threshold: {e}"),
+            EngineError::SnapshotRequiresAnalytic => f.write_str(
+                "snapshots require analytic measurement (DES state is not serializable)",
+            ),
+            EngineError::SnapshotMismatch(e) => write!(f, "snapshot mismatch: {e}"),
         }
     }
 }
@@ -148,6 +169,11 @@ pub struct EngineConfig {
     /// Deterministic fault-injection schedule replayed over the run
     /// (telemetry, supply, and actuation faults); `None` runs fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Run the invariant auditor inside the epoch loop (energy
+    /// conservation, SoC bounds, breaker cap, non-negative flows),
+    /// accumulating violations into the outcome. On by default; the cost
+    /// is a handful of additions per epoch.
+    pub audit: bool,
     /// Master seed; all stochastic components derive from it.
     pub seed: u64,
 }
@@ -158,6 +184,16 @@ impl EngineConfig {
     pub(crate) fn validate_base(&self) -> Result<(), EngineError> {
         if self.epoch.is_zero() {
             return Err(EngineError::ZeroEpoch);
+        }
+        if self.green.green_servers == 0 {
+            return Err(EngineError::ZeroServers);
+        }
+        if !(0.0..=1.0).contains(&self.switch_hysteresis) {
+            // NaN is not contained in any range, so it fails here too.
+            return Err(EngineError::InvalidThreshold(format!(
+                "switch_hysteresis must be in [0, 1], got {}",
+                self.switch_hysteresis
+            )));
         }
         if let Some(json) = &self.warm_policy_json {
             if let Err(e) = crate::qlearning::QLearner::from_json(json) {
@@ -185,6 +221,13 @@ impl EngineConfig {
         if self.burst_duration.div_duration(self.epoch).unwrap_or(0) < 1 {
             return Err(EngineError::SubEpochBurst);
         }
+        if !(0.0..24.0).contains(&self.burst_start_hour) {
+            // NaN is not contained in any range, so it fails here too.
+            return Err(EngineError::InvalidThreshold(format!(
+                "burst_start_hour must be in [0, 24), got {}",
+                self.burst_start_hour
+            )));
+        }
         Ok(())
     }
 }
@@ -208,6 +251,7 @@ impl Default for EngineConfig {
             trace_override: None,
             warm_policy_json: None,
             fault_plan: None,
+            audit: true,
             seed: 7,
         }
     }
@@ -293,6 +337,11 @@ pub struct BurstOutcome {
     /// graceful degradation under faults.
     #[serde(default = "default_floor_held")]
     pub floor_held: bool,
+    /// Invariant-auditor violations (energy conservation, SoC bounds,
+    /// breaker cap, negative flows). Empty on a healthy run — and when
+    /// the auditor is disabled. Absent in pre-auditor serialized records.
+    #[serde(default)]
+    pub audit_violations: Vec<String>,
     /// Per-epoch records.
     pub epochs: Vec<EpochRecord>,
 }
@@ -348,30 +397,269 @@ impl Engine {
     pub fn run_full(self) -> (BurstOutcome, Monitor, Option<String>) {
         let profiles = ProfileTable::cached(self.cfg.app);
         let (main, monitor, policy) = run_once(&self.cfg, self.cfg.strategy, profiles);
-        let normal_mean = if self.cfg.strategy == Strategy::Normal {
-            main.mean_goodput_rps
-        } else {
-            let (baseline, _, _) = run_once(&self.cfg, Strategy::Normal, profiles);
-            baseline.mean_goodput_rps
-        };
-        let mut outcome = main;
-        outcome.normal_baseline_rps = normal_mean;
-        outcome.speedup_vs_normal = if normal_mean > 0.0 {
-            outcome.mean_goodput_rps / normal_mean
-        } else {
-            1.0
-        };
-        // Graceful-degradation floor: even under faults, the sprint must
-        // not end up below a Normal run of the same burst. The tolerance
-        // absorbs analytic blend rounding (and, for DES, the different rng
-        // streams the strategy and baseline runs consume).
-        let floor_tolerance = match self.cfg.measurement {
-            MeasurementMode::Analytic => 0.99,
-            MeasurementMode::Des => 0.95,
-        };
-        outcome.floor_held = outcome.speedup_vs_normal >= floor_tolerance;
-        (outcome, monitor, policy)
+        let baseline = (self.cfg.strategy != Strategy::Normal)
+            .then(|| run_once(&self.cfg, Strategy::Normal, profiles).0);
+        (judge(&self.cfg, main, baseline), monitor, policy)
     }
+
+    /// As [`Engine::run_full`], emitting a resumable [`EngineSnapshot`]
+    /// at every `every_epochs`-th epoch boundary (0 = never) of both the
+    /// strategy run and the Normal-baseline run. A run killed between two
+    /// snapshots can be continued from the last one with
+    /// [`resume_snapshot`] and finishes with a byte-identical outcome.
+    ///
+    /// Snapshots capture the full controller state, which the DES
+    /// measurement plane cannot serialize — requires
+    /// [`MeasurementMode::Analytic`].
+    pub fn run_full_with_snapshots(
+        self,
+        every_epochs: u64,
+        sink: &mut dyn FnMut(&EngineSnapshot),
+    ) -> Result<(BurstOutcome, Monitor, Option<String>), EngineError> {
+        if self.cfg.measurement != MeasurementMode::Analytic {
+            return Err(EngineError::SnapshotRequiresAnalytic);
+        }
+        let cfg = self.cfg;
+        let profiles = ProfileTable::cached(cfg.app);
+        let fp = burst_fingerprint(&cfg);
+        let (main, monitor, policy) = {
+            let mut emit = |state: LoopState| {
+                sink(&EngineSnapshot {
+                    fingerprint: fp.clone(),
+                    scope: SnapshotScope::Burst(cfg.clone()),
+                    phase: RunPhase::Strategy,
+                    main_carry: None,
+                    state,
+                });
+            };
+            run_once_resumable(&cfg, cfg.strategy, profiles, None, every_epochs, &mut emit)
+        };
+        Ok(finish_burst(
+            &cfg,
+            profiles,
+            &fp,
+            main,
+            monitor,
+            policy,
+            None,
+            every_epochs,
+            sink,
+        ))
+    }
+}
+
+/// Apply the Normal-baseline normalization and the graceful-degradation
+/// floor judgment to a finished strategy run.
+fn judge(
+    cfg: &EngineConfig,
+    mut outcome: BurstOutcome,
+    baseline: Option<BurstOutcome>,
+) -> BurstOutcome {
+    let normal_mean = match baseline {
+        None => outcome.mean_goodput_rps,
+        Some(b) => {
+            // The baseline run audits too; its violations are just as much
+            // a physics regression as the strategy run's.
+            outcome
+                .audit_violations
+                .extend(b.audit_violations.iter().map(|v| format!("baseline: {v}")));
+            b.mean_goodput_rps
+        }
+    };
+    outcome.normal_baseline_rps = normal_mean;
+    outcome.speedup_vs_normal = if normal_mean > 0.0 {
+        outcome.mean_goodput_rps / normal_mean
+    } else {
+        1.0
+    };
+    // Graceful-degradation floor: even under faults, the sprint must
+    // not end up below a Normal run of the same burst. The tolerance
+    // absorbs analytic blend rounding (and, for DES, the different rng
+    // streams the strategy and baseline runs consume).
+    let floor_tolerance = match cfg.measurement {
+        MeasurementMode::Analytic => 0.99,
+        MeasurementMode::Des => 0.95,
+    };
+    outcome.floor_held = outcome.speedup_vs_normal >= floor_tolerance;
+    outcome
+}
+
+/// Run (or resume) the Normal-baseline phase of a burst experiment with
+/// snapshotting, then assemble the normalized result. The finished
+/// strategy run rides inside every baseline-phase snapshot so a resume
+/// from one still has everything.
+#[allow(clippy::too_many_arguments)]
+fn finish_burst(
+    cfg: &EngineConfig,
+    profiles: &ProfileTable,
+    fp: &str,
+    main: BurstOutcome,
+    monitor: Monitor,
+    policy: Option<String>,
+    baseline_resume: Option<LoopState>,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> (BurstOutcome, Monitor, Option<String>) {
+    let baseline = if cfg.strategy == Strategy::Normal {
+        None
+    } else {
+        let carry = MainCarry {
+            outcome: main.clone(),
+            monitor: Some(monitor.clone()),
+            policy: policy.clone(),
+        };
+        let mut emit = |state: LoopState| {
+            sink(&EngineSnapshot {
+                fingerprint: fp.to_string(),
+                scope: SnapshotScope::Burst(cfg.clone()),
+                phase: RunPhase::Baseline,
+                main_carry: Some(carry.clone()),
+                state,
+            });
+        };
+        Some(
+            run_once_resumable(
+                cfg,
+                Strategy::Normal,
+                profiles,
+                baseline_resume,
+                every_epochs,
+                &mut emit,
+            )
+            .0,
+        )
+    };
+    (judge(cfg, main, baseline), monitor, policy)
+}
+
+/// The checkpoint fingerprint of a burst configuration.
+fn burst_fingerprint(cfg: &EngineConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    crate::checkpoint::config_fingerprint(&json)
+}
+
+/// The completed result of resuming a snapshot, whichever experiment
+/// kind it came from.
+// One value exists per resumed process; boxing the bigger variant would
+// complicate every caller to save bytes that never multiply.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ResumedRun {
+    /// A resumed single-burst experiment.
+    Burst {
+        /// The normalized outcome, identical to the uninterrupted run's.
+        outcome: BurstOutcome,
+        /// The strategy run's Monitor streams.
+        monitor: Monitor,
+        /// The strategy run's exported policy, if any.
+        policy: Option<String>,
+    },
+    /// A resumed multi-day campaign.
+    Campaign(crate::campaign::CampaignOutcome),
+}
+
+/// Resume a checkpointed run from its last snapshot, finishing with
+/// output byte-identical to the uninterrupted run. Continues emitting
+/// snapshots at the same cadence through `sink`.
+///
+/// Refuses a snapshot whose fingerprint no longer matches the current
+/// code + embedded configuration.
+pub fn resume_snapshot(
+    snap: EngineSnapshot,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> Result<ResumedRun, EngineError> {
+    let expected = snap.expected_fingerprint();
+    if snap.fingerprint != expected {
+        return Err(EngineError::SnapshotMismatch(format!(
+            "checkpoint fingerprint {} does not match this build/config ({expected}); \
+             the code or configuration changed since the checkpoint was written",
+            snap.fingerprint
+        )));
+    }
+    match snap.scope.clone() {
+        SnapshotScope::Burst(cfg) => resume_burst(cfg, snap, every_epochs, sink),
+        SnapshotScope::Campaign(ccfg) => {
+            crate::campaign::resume_campaign_snapshot(&ccfg, snap, every_epochs, sink)
+                .map(ResumedRun::Campaign)
+        }
+    }
+}
+
+fn resume_burst(
+    cfg: EngineConfig,
+    snap: EngineSnapshot,
+    every_epochs: u64,
+    sink: &mut dyn FnMut(&EngineSnapshot),
+) -> Result<ResumedRun, EngineError> {
+    cfg.validate()?;
+    if cfg.measurement != MeasurementMode::Analytic {
+        return Err(EngineError::SnapshotRequiresAnalytic);
+    }
+    let profiles = ProfileTable::cached(cfg.app);
+    let fp = snap.fingerprint.clone();
+    let (outcome, monitor, policy) = match snap.phase {
+        RunPhase::Strategy => {
+            let (main, monitor, policy) = {
+                let mut emit = |state: LoopState| {
+                    sink(&EngineSnapshot {
+                        fingerprint: fp.clone(),
+                        scope: SnapshotScope::Burst(cfg.clone()),
+                        phase: RunPhase::Strategy,
+                        main_carry: None,
+                        state,
+                    });
+                };
+                run_once_resumable(
+                    &cfg,
+                    cfg.strategy,
+                    profiles,
+                    Some(snap.state),
+                    every_epochs,
+                    &mut emit,
+                )
+            };
+            finish_burst(
+                &cfg,
+                profiles,
+                &fp,
+                main,
+                monitor,
+                policy,
+                None,
+                every_epochs,
+                sink,
+            )
+        }
+        RunPhase::Baseline => {
+            let carry = snap.main_carry.ok_or_else(|| {
+                EngineError::SnapshotMismatch(
+                    "baseline-phase snapshot is missing the finished strategy run".to_string(),
+                )
+            })?;
+            let monitor = carry.monitor.clone().ok_or_else(|| {
+                EngineError::SnapshotMismatch(
+                    "burst snapshot is missing the strategy run's monitor".to_string(),
+                )
+            })?;
+            finish_burst(
+                &cfg,
+                profiles,
+                &fp,
+                carry.outcome,
+                monitor,
+                carry.policy,
+                Some(snap.state),
+                every_epochs,
+                sink,
+            )
+        }
+    };
+    Ok(ResumedRun::Burst {
+        outcome,
+        monitor,
+        policy,
+    })
 }
 
 /// A simulation window: when it runs, which sky it sees, and the offered
@@ -394,6 +682,19 @@ fn run_once(
     strategy: Strategy,
     profiles: &ProfileTable,
 ) -> (BurstOutcome, Monitor, Option<String>) {
+    run_once_resumable(cfg, strategy, profiles, None, 0, &mut |_| {})
+}
+
+/// As [`run_once`], optionally restarting from a captured [`LoopState`]
+/// and emitting fresh captures every `snapshot_every` epochs.
+fn run_once_resumable(
+    cfg: &EngineConfig,
+    strategy: Strategy,
+    profiles: &ProfileTable,
+    resume: Option<LoopState>,
+    snapshot_every: u64,
+    snap: &mut dyn FnMut(LoopState),
+) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let trace: SolarTrace = cfg
         .trace_override
@@ -408,7 +709,15 @@ fn run_once(
         start,
         duration: cfg.burst_duration,
     };
-    run_window_with_policy(cfg, strategy, profiles, &window)
+    run_window_resumable(
+        cfg,
+        strategy,
+        profiles,
+        &window,
+        resume,
+        snapshot_every,
+        snap,
+    )
 }
 
 /// The scheduling-epoch loop over an arbitrary window.
@@ -428,6 +737,23 @@ fn run_window_with_policy(
     strategy: Strategy,
     profiles: &ProfileTable,
     window: &RunWindow<'_>,
+) -> (BurstOutcome, Monitor, Option<String>) {
+    run_window_resumable(cfg, strategy, profiles, window, None, 0, &mut |_| {})
+}
+
+/// The resumable scheduling-epoch loop: restores every mutable local
+/// from a [`LoopState`] when resuming, and captures one at each
+/// `snapshot_every`-th epoch boundary. Both halves touch *all* of the
+/// loop's mutable state — a field missed here would silently break the
+/// byte-identity guarantee, which the resume tests pin down.
+pub(crate) fn run_window_resumable(
+    cfg: &EngineConfig,
+    strategy: Strategy,
+    profiles: &ProfileTable,
+    window: &RunWindow<'_>,
+    resume: Option<LoopState>,
+    snapshot_every: u64,
+    snap: &mut dyn FnMut(LoopState),
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let n = cfg.green.green_servers;
@@ -478,6 +804,19 @@ fn run_window_with_policy(
     let mut meter = PowerMeter::new();
     let mut monitor = Monitor::new();
     let power_model = app.power_model();
+    // Invariant auditor: re-derives energy conservation from the settled
+    // flows each epoch. The breaker cap is every server at Normal mode
+    // full-tilt plus every charger at its C-rate limit — fades only ever
+    // lower the real draw below the cap computed from the fresh specs.
+    let mut auditor = cfg.audit.then(InvariantAuditor::new);
+    let grid_cap_w = n as f64 * power_model.power_w(ServerSetting::normal(), 1.0)
+        + batteries
+            .iter()
+            .flatten()
+            .map(|b| b.spec().max_charge_power_w())
+            .sum::<f64>();
+    let mut audited_grid_wh = 0.0;
+    let mut audited_curtailed_wh = 0.0;
 
     let mut epochs = Vec::new();
     let mut goodput_sum = 0.0;
@@ -511,13 +850,96 @@ fn run_window_with_policy(
     let mut thermal_throttle_epochs = 0usize;
     let mut peak_temp_c = thermals.first().map_or(0.0, |p| p.temp_c());
 
+    // Resume: overwrite every mutable local with the checkpointed state.
+    // `sims` stays fresh — snapshots are gated to analytic measurement,
+    // where the per-server DES sims are never touched — and the analytic
+    // cache is a pure memo that re-derives itself on demand.
+    let mut start_k = 0u64;
+    if let Some(st) = resume {
+        start_k = st.next_epoch;
+        rng = st.rng;
+        batteries = st.batteries;
+        grid_recharging = st.grid_recharging;
+        in_burst_grid_recharge_wh = st.in_burst_grid_recharge_wh;
+        predictor = st.predictor;
+        cs_predictor = st.cs_predictor;
+        if let Some(saved) = st.learner {
+            if let Some(l) = pmk.learner_mut() {
+                *l = saved;
+            }
+        }
+        pending_q = st.pending_q;
+        prev_settings = st.prev_settings;
+        setting_transitions = st.setting_transitions;
+        fade_done = st.fade_done;
+        watchdog = st.watchdog;
+        safe_supply = st.safe_supply;
+        last_raw_obs_w = st.last_raw_obs_w;
+        fault_epochs = st.fault_epochs;
+        safe_mode_epochs = st.safe_mode_epochs;
+        watchdog_clamped_epochs = st.watchdog_clamped_epochs;
+        meter = st.meter;
+        monitor = st.monitor;
+        epochs = st.epochs;
+        goodput_sum = st.goodput_sum;
+        offered_sum = st.offered_sum;
+        re_sum_w = st.re_sum_w;
+        thermals = st.thermals;
+        thermal_throttle_epochs = st.thermal_throttle_epochs;
+        peak_temp_c = st.peak_temp_c;
+        auditor = cfg
+            .audit
+            .then(|| InvariantAuditor::with_violations(st.audit_violations));
+        audited_grid_wh = st.audited_grid_wh;
+        audited_curtailed_wh = st.audited_curtailed_wh;
+    }
+
     let n_epochs = window
         .duration
         .div_duration(cfg.epoch)
         .expect("validated in Engine::new");
     let epoch_hours = cfg.epoch.as_hours_f64();
 
-    for k in 0..n_epochs {
+    for k in start_k..n_epochs {
+        // Capture at the epoch boundary: nothing of epoch k has happened
+        // yet, so a resume from this state replays epoch k first. The
+        // resume boundary itself is not re-captured (`k > start_k`).
+        if snapshot_every > 0 && k > start_k && k % snapshot_every == 0 {
+            snap(LoopState {
+                next_epoch: k,
+                rng: rng.clone(),
+                batteries: batteries.clone(),
+                grid_recharging: grid_recharging.clone(),
+                in_burst_grid_recharge_wh,
+                predictor: predictor.clone(),
+                cs_predictor: cs_predictor.clone(),
+                learner: pmk.learner_mut().cloned(),
+                pending_q,
+                prev_settings: prev_settings.clone(),
+                setting_transitions,
+                fade_done: fade_done.clone(),
+                watchdog: watchdog.clone(),
+                safe_supply: safe_supply.clone(),
+                last_raw_obs_w,
+                fault_epochs,
+                safe_mode_epochs,
+                watchdog_clamped_epochs,
+                meter: meter.clone(),
+                monitor: monitor.clone(),
+                epochs: epochs.clone(),
+                goodput_sum,
+                offered_sum,
+                re_sum_w,
+                thermals: thermals.clone(),
+                thermal_throttle_epochs,
+                peak_temp_c,
+                audit_violations: auditor
+                    .as_ref()
+                    .map_or_else(Vec::new, |a| a.violations().to_vec()),
+                audited_grid_wh,
+                audited_curtailed_wh,
+            });
+        }
         let t = start + SimDuration::from_micros(cfg.epoch.as_micros() * k);
         // Planning lookahead: within a single burst this is the time to
         // the burst's end; campaigns cap it at an hour (the controller
@@ -816,7 +1238,9 @@ fn run_window_with_policy(
             perfs.push(perf);
         }
 
-        // Settle actual energy flows.
+        // Settle actual energy flows. `settled_server_wh` accumulates the
+        // source-side deliveries into servers, independently of the
+        // meters, so the auditor can balance the books against it.
         let sprinting: Vec<usize> = (0..n).filter(|&i| settings[i].is_sprinting()).collect();
         let actual_power: Vec<f64> = (0..n)
             .map(|i| power_model.power_w(settings[i], perfs[i].utilization))
@@ -824,6 +1248,7 @@ fn run_window_with_policy(
         let mut re_left = re_actual_w;
         let mut re_used_w = 0.0;
         let mut battery_w = 0.0;
+        let mut settled_server_wh = 0.0;
         for &i in &sprinting {
             // Mirror the planning-time allocation: waterfall strategies
             // let earlier servers claim their full draw; uniform ones
@@ -836,6 +1261,7 @@ fn run_window_with_policy(
             let from_re = actual_power[i].min(re_share);
             re_left -= from_re;
             re_used_w += from_re;
+            settled_server_wh += from_re * epoch_hours;
             let shortfall = actual_power[i] - from_re;
             if shortfall > 0.0 {
                 let out = batteries[i]
@@ -846,6 +1272,7 @@ fn run_window_with_policy(
                         sustained: SimDuration::ZERO,
                     });
                 battery_w += out.delivered_wh / epoch_hours;
+                settled_server_wh += out.delivered_wh;
                 let gap_wh = shortfall * epoch_hours - out.delivered_wh;
                 if gap_wh > 1e-9 {
                     // The battery (or a renewable prediction error) could
@@ -864,6 +1291,7 @@ fn run_window_with_policy(
                     let normal_power =
                         power_model.power_w(ServerSetting::normal(), normal_perf.utilization);
                     meter.record(Source::Grid, normal_power * (1.0 - w), epoch_hours);
+                    settled_server_wh += normal_power * (1.0 - w) * epoch_hours;
                 }
             }
         }
@@ -873,6 +1301,7 @@ fn run_window_with_policy(
         for i in 0..n {
             if !settings[i].is_sprinting() {
                 meter.record(Source::Grid, actual_power[i], epoch_hours);
+                settled_server_wh += actual_power[i] * epoch_hours;
             }
         }
         // Surplus renewable charges the batteries; the rest is curtailed.
@@ -901,6 +1330,7 @@ fn run_window_with_policy(
         // would amortize grid energy into the sprint, exactly the budget
         // overdraw the green bus exists to avoid.
         let burst_pending = offered > profiles.get(ServerSetting::normal()).slo_capacity;
+        let mut epoch_grid_recharge_wh = 0.0;
         for i in 0..n {
             let Some(b) = batteries[i].as_mut() else {
                 continue;
@@ -916,11 +1346,36 @@ fn run_window_with_policy(
                 if drawn > 0.0 {
                     meter.record(Source::Grid, drawn, epoch_hours);
                     in_burst_grid_recharge_wh += drawn * epoch_hours;
+                    epoch_grid_recharge_wh += drawn * epoch_hours;
                 }
             }
             if b.is_full() {
                 grid_recharging[i] = false;
             }
+        }
+
+        // Audit the epoch's settled books before anything else runs.
+        if let Some(aud) = auditor.as_mut() {
+            let grid_now = meter.energy_wh(Source::Grid);
+            let curtailed_now = meter.curtailed_wh();
+            aud.check_epoch(&EpochFlows {
+                epoch_index: k as usize,
+                supply_wh: re_actual_w * epoch_hours,
+                battery_discharge_wh: battery_w * epoch_hours,
+                grid_wh: grid_now - audited_grid_wh,
+                server_wh: settled_server_wh,
+                charge_wh: charged_w * epoch_hours + epoch_grid_recharge_wh,
+                curtailed_wh: curtailed_now - audited_curtailed_wh,
+                socs: batteries
+                    .iter()
+                    .flatten()
+                    .map(|b| (b.soc_fraction(), b.spec().max_dod))
+                    .collect(),
+                grid_cap_w,
+                epoch_hours,
+            });
+            audited_grid_wh = grid_now;
+            audited_curtailed_wh = curtailed_now;
         }
 
         // Advance the thermal state under the power actually drawn. A
@@ -1090,6 +1545,7 @@ fn run_window_with_policy(
         safe_mode_epochs,
         watchdog_clamped_epochs,
         floor_held: default_floor_held(), // judged against Normal in run_full
+        audit_violations: auditor.map_or_else(Vec::new, InvariantAuditor::into_violations),
         epochs,
     };
     let policy = pmk.learner_mut().map(|l| l.to_json());
@@ -1469,6 +1925,47 @@ mod tests {
     }
 
     #[test]
+    fn zero_server_configs_are_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.green.green_servers = 0;
+        assert_eq!(Engine::try_new(cfg).unwrap_err(), EngineError::ZeroServers);
+    }
+
+    #[test]
+    fn nan_hysteresis_is_rejected() {
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let cfg = EngineConfig {
+                switch_hysteresis: bad,
+                ..quick_cfg()
+            };
+            assert!(
+                matches!(
+                    Engine::try_new(cfg).unwrap_err(),
+                    EngineError::InvalidThreshold(ref m) if m.contains("switch_hysteresis")
+                ),
+                "hysteresis {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_burst_start_hour_is_rejected() {
+        for bad in [f64::NAN, -1.0, 24.0, f64::NEG_INFINITY] {
+            let cfg = EngineConfig {
+                burst_start_hour: bad,
+                ..quick_cfg()
+            };
+            assert!(
+                matches!(
+                    Engine::try_new(cfg).unwrap_err(),
+                    EngineError::InvalidThreshold(ref m) if m.contains("burst_start_hour")
+                ),
+                "start hour {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
     fn grid_never_recharges_while_burst_demand_is_pending() {
         // Paper case 3's conditional: recharge happens "if the workload
         // burst can be completed in this period" — during a battery-only
@@ -1526,6 +2023,157 @@ mod tests {
             (produced - accounted).abs() < produced * 0.02 + 1.0,
             "produced {produced} vs accounted {accounted}"
         );
+    }
+
+    #[test]
+    fn auditor_is_clean_on_healthy_runs() {
+        for strategy in [Strategy::Greedy, Strategy::Pacing, Strategy::Hybrid] {
+            let out = Engine::new(EngineConfig {
+                strategy,
+                availability: AvailabilityLevel::Medium,
+                ..quick_cfg()
+            })
+            .run();
+            assert!(
+                out.audit_violations.is_empty(),
+                "{strategy:?}: {:?}",
+                out.audit_violations
+            );
+        }
+        // The DES settlement path balances the same books.
+        let out = Engine::new(EngineConfig {
+            measurement: MeasurementMode::Des,
+            ..quick_cfg()
+        })
+        .run();
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+    }
+
+    #[test]
+    fn auditor_can_be_disabled() {
+        let out = Engine::new(EngineConfig {
+            audit: false,
+            ..quick_cfg()
+        })
+        .run();
+        assert!(out.audit_violations.is_empty());
+    }
+
+    // ---- checkpoint snapshots ----
+
+    fn json<T: Serialize>(v: &T) -> String {
+        serde_json::to_string(v).expect("serializes")
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_for_bursts() {
+        // Hybrid at Medium exercises everything a snapshot must carry:
+        // the RNG stream (ε-greedy exploration), the Q-table, the EWMA
+        // predictors, battery state, and the meters.
+        let cfg = EngineConfig {
+            strategy: Strategy::Hybrid,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(10),
+            ..quick_cfg()
+        };
+        let (want_out, want_mon, want_pol) = Engine::new(cfg.clone()).run_full();
+
+        let mut snaps = Vec::new();
+        let (out, mon, pol) = Engine::new(cfg)
+            .run_full_with_snapshots(7, &mut |s| snaps.push(s.clone()))
+            .unwrap();
+        assert_eq!(json(&out), json(&want_out), "snapshotting changed the run");
+        assert_eq!(json(&mon), json(&want_mon));
+        assert_eq!(pol, want_pol);
+        assert!(snaps.iter().any(|s| s.phase == RunPhase::Strategy));
+        assert!(snaps.iter().any(|s| s.phase == RunPhase::Baseline));
+
+        // Resume from every captured snapshot — strategy-phase and
+        // baseline-phase alike — through a JSON round trip (the on-disk
+        // checkpoint): all must converge on the same bytes.
+        for snap in snaps {
+            let snap = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+            match resume_snapshot(snap, 0, &mut |_| {}).unwrap() {
+                ResumedRun::Burst {
+                    outcome,
+                    monitor,
+                    policy,
+                } => {
+                    assert_eq!(json(&outcome), json(&want_out));
+                    assert_eq!(json(&monitor), json(&want_mon));
+                    assert_eq!(policy, want_pol);
+                }
+                other => panic!("expected a burst, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_under_faults() {
+        // The fault-plan cursor (fade_done), the watchdog, and the
+        // safe-mode estimator all live in the snapshot too.
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::generate(
+                77,
+                SimTime::from_hours(11),
+                SimDuration::from_mins(10),
+                4,
+            )),
+            ..quick_cfg()
+        };
+        let (want_out, want_mon, _) = Engine::new(cfg.clone()).run_full();
+        let mut snaps = Vec::new();
+        Engine::new(cfg)
+            .run_full_with_snapshots(5, &mut |s| snaps.push(s.clone()))
+            .unwrap();
+        let snap = snaps.swap_remove(snaps.len() / 2);
+        let snap = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+        match resume_snapshot(snap, 0, &mut |_| {}).unwrap() {
+            ResumedRun::Burst {
+                outcome, monitor, ..
+            } => {
+                assert_eq!(json(&outcome), json(&want_out));
+                assert_eq!(json(&monitor), json(&want_mon));
+            }
+            other => panic!("expected a burst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshots_require_analytic_measurement() {
+        let err = Engine::new(EngineConfig {
+            measurement: MeasurementMode::Des,
+            ..quick_cfg()
+        })
+        .run_full_with_snapshots(5, &mut |_| {})
+        .unwrap_err();
+        assert_eq!(err, EngineError::SnapshotRequiresAnalytic);
+    }
+
+    #[test]
+    fn resume_refuses_a_stale_fingerprint() {
+        let mut snaps = Vec::new();
+        Engine::new(EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(10),
+            ..quick_cfg()
+        })
+        .run_full_with_snapshots(5, &mut |s| snaps.push(s.clone()))
+        .unwrap();
+        let mut snap = snaps.swap_remove(0);
+        snap.fingerprint = "0000000000000000".to_string();
+        match resume_snapshot(snap, 0, &mut |_| {}) {
+            Err(EngineError::SnapshotMismatch(m)) => {
+                assert!(m.contains("fingerprint"), "{m}");
+            }
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
     }
 
     // ---- fault injection ----

@@ -41,7 +41,9 @@
 //! assert!(outcome.speedup_vs_normal > 1.0);
 //! ```
 
+pub mod audit;
 pub mod campaign;
+pub mod checkpoint;
 pub mod cluster_view;
 pub mod config;
 pub mod datacenter;
@@ -53,12 +55,22 @@ pub mod predictor;
 pub mod profiler;
 pub mod qlearning;
 pub mod report;
+pub mod supervisor;
 pub mod sweep;
 
-pub use campaign::{run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome};
+pub use audit::{EpochFlows, InvariantAuditor};
+pub use campaign::{
+    run_campaign, try_run_campaign, try_run_campaign_with_snapshots, CampaignConfig,
+    CampaignOutcome,
+};
+pub use checkpoint::{
+    config_fingerprint, fingerprint, points_digest, EngineSnapshot, Journal, JournalError,
+    JournalHeader, LoadedJournal, LoopState, MainCarry, RunPhase, SnapshotScope,
+};
 pub use cluster_view::{run_cluster, ClusterOutcome, GridSprintPolicy};
 pub use config::{AvailabilityLevel, GreenConfig};
 pub use datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome, RackSpec};
+pub use engine::{resume_snapshot, ResumedRun};
 pub use engine::{
     BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, PredictorKind, ThermalModel,
 };
@@ -68,6 +80,9 @@ pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
 pub use qlearning::QLearner;
+pub use supervisor::{
+    epoch_budget, run_supervised_sweep, FailureRecord, RetryRecord, SupervisorPolicy, SweepReport,
+};
 pub use sweep::{
     default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
     SweepResult, SweepTask,
@@ -75,14 +90,22 @@ pub use sweep::{
 
 /// Everything a sweep-driving binary or notebook needs, in one import.
 pub mod prelude {
+    pub use crate::audit::{EpochFlows, InvariantAuditor};
     pub use crate::campaign::{run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome};
+    pub use crate::checkpoint::{
+        config_fingerprint, EngineSnapshot, Journal, JournalError, JournalHeader, LoadedJournal,
+    };
     pub use crate::config::{AvailabilityLevel, GreenConfig};
+    pub use crate::engine::{resume_snapshot, ResumedRun};
     pub use crate::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
     pub use crate::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
     pub use crate::pmk::Strategy;
     pub use crate::profiler::ProfileTable;
+    pub use crate::supervisor::{
+        epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
+    };
     pub use crate::sweep::{
         default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
         SweepResult, SweepTask,

@@ -1,0 +1,462 @@
+//! Supervised sweep execution: panic isolation, bounded retries, epoch
+//! budgets, and journal-backed resume.
+//!
+//! The plain executor ([`crate::sweep::run_sweep`]) is the fast path for
+//! trusted grids: a panicking task kills the whole run. Long campaigns
+//! want the opposite trade — one poisoned cell must not cost a night of
+//! finished work. The supervisor wraps each task in `catch_unwind`,
+//! retries it a bounded number of times with a deterministic backoff, and
+//! records tasks that still fail as [`SweepOutcome::Failed`] instead of
+//! aborting their siblings.
+//!
+//! Task "timeouts" are deterministic epoch budgets, not wall clocks: the
+//! total number of scheduling epochs a task will execute is a pure
+//! function of its configuration ([`epoch_budget`]), so an over-budget
+//! task is rejected up front — same verdict on every machine and every
+//! run, which keeps supervised sweeps bit-identical across worker counts.
+//!
+//! Everything the supervisor learns goes into a [`SweepReport`] side
+//! channel; [`SweepResult`] records stay byte-identical to unsupervised
+//! runs, so journals and golden outputs do not fork.
+
+use crate::checkpoint::Journal;
+use crate::sweep::{derive_seed, SweepOutcome, SweepPoint, SweepResult, SweepTask};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// How the supervisor treats misbehaving tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Re-attempts after a panicking first try (0 = fail immediately).
+    pub max_retries: u32,
+    /// Epoch budget per task (strategy plus baseline run); a task whose
+    /// configured epoch count exceeds this is failed without running.
+    /// 0 disables the budget.
+    pub task_timeout_epochs: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 2,
+            task_timeout_epochs: 0,
+        }
+    }
+}
+
+/// One retried task, for the end-of-run report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// Task index in the submitted point list.
+    pub index: usize,
+    /// The point's label.
+    pub label: String,
+    /// Attempts actually made (first try included).
+    pub attempts: u32,
+}
+
+/// One permanently failed task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Task index in the submitted point list.
+    pub index: usize,
+    /// The point's label.
+    pub label: String,
+    /// Why it failed (last panic message or the budget verdict).
+    pub error: String,
+}
+
+/// What happened around the results: the supervisor's side channel, kept
+/// out of [`SweepResult`] so supervised output stays byte-identical to
+/// unsupervised output.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Tasks that completed (including after retries).
+    pub completed: usize,
+    /// Tasks that needed more than one attempt but eventually completed.
+    pub retried: Vec<RetryRecord>,
+    /// Tasks recorded as [`SweepOutcome::Failed`].
+    pub failed: Vec<FailureRecord>,
+    /// Indices skipped because the journal already held their result.
+    pub skipped: Vec<usize>,
+}
+
+impl SweepReport {
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} completed, {} retried, {} failed, {} skipped (already journaled)",
+            self.completed,
+            self.retried.len(),
+            self.failed.len(),
+            self.skipped.len()
+        )
+    }
+}
+
+/// The total scheduling epochs a task will execute: its window length in
+/// epochs, doubled for the Normal-baseline pass every non-Normal task
+/// runs. A pure function of the configuration — the deterministic stand-in
+/// for a wall-clock timeout.
+pub fn epoch_budget(task: &SweepTask) -> u64 {
+    let (window_epochs, runs) = match task {
+        SweepTask::Burst(cfg) => {
+            let epochs = cfg
+                .burst_duration
+                .div_duration(cfg.epoch)
+                .unwrap_or(u64::MAX);
+            let runs = if cfg.strategy == crate::pmk::Strategy::Normal {
+                1
+            } else {
+                2
+            };
+            (epochs, runs)
+        }
+        SweepTask::Campaign(cfg) => {
+            let window = gs_sim::SimDuration::from_hours(u64::from(cfg.days) * 24);
+            // Campaigns always run strategy + Normal baseline.
+            (window.div_duration(cfg.engine.epoch).unwrap_or(u64::MAX), 2)
+        }
+    };
+    window_epochs.saturating_mul(runs)
+}
+
+/// Deterministic backoff before retry `attempt` (1-based), in
+/// milliseconds. Pure function of the attempt number — wall-clock only,
+/// never part of any result.
+pub fn backoff_ms(attempt: u32) -> u64 {
+    25u64.saturating_mul(1 << attempt.min(6))
+}
+
+/// Run one task under supervision: budget check, catch_unwind isolation,
+/// bounded retries. Returns the outcome plus the attempts consumed.
+fn run_supervised_task(
+    task: &SweepTask,
+    seed: u64,
+    policy: &SupervisorPolicy,
+) -> (SweepOutcome, u32) {
+    if policy.task_timeout_epochs > 0 {
+        let budget = epoch_budget(task);
+        if budget > policy.task_timeout_epochs {
+            return (
+                SweepOutcome::Failed(format!(
+                    "epoch budget exceeded: task needs {budget} epochs, limit is {}",
+                    policy.task_timeout_epochs
+                )),
+                0,
+            );
+        }
+    }
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match catch_unwind(AssertUnwindSafe(|| {
+            crate::sweep::run_task_seeded(task, seed)
+        })) {
+            Ok(outcome) => return (outcome, attempt),
+            Err(panic) => {
+                let msg = panic_message(panic.as_ref());
+                if attempt > policy.max_retries {
+                    return (
+                        SweepOutcome::Failed(format!(
+                            "task panicked on all {attempt} attempts: {msg}"
+                        )),
+                        attempt,
+                    );
+                }
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+            }
+        }
+    }
+}
+
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a sweep under supervision, optionally journaling each completed
+/// record and skipping indices the journal already holds.
+///
+/// Results come back in submission order, `skip`ped indices excluded —
+/// completed results are byte-identical to an unsupervised
+/// [`crate::sweep::run_sweep`] of the same points. `on_result` fires in
+/// completion order (for streaming output), after the record is durably
+/// journaled.
+///
+/// Panics only if `jobs == 0`; task panics become
+/// [`SweepOutcome::Failed`] records.
+pub fn run_supervised_sweep(
+    points: Vec<SweepPoint>,
+    master_seed: u64,
+    jobs: usize,
+    policy: &SupervisorPolicy,
+    skip: &HashSet<usize>,
+    journal: Option<&mut Journal>,
+    mut on_result: impl FnMut(&SweepResult),
+) -> (Vec<SweepResult>, SweepReport) {
+    assert!(jobs >= 1, "sweep needs at least one worker");
+    let n = points.len();
+    let mut report = SweepReport {
+        skipped: {
+            let mut s: Vec<usize> = skip.iter().copied().filter(|&i| i < n).collect();
+            s.sort_unstable();
+            s
+        },
+        ..SweepReport::default()
+    };
+    if n == 0 {
+        return (Vec::new(), report);
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(SweepResult, u32)>();
+    let points = &points;
+    let next = &next;
+    // The journal is written from the collector only; the Mutex satisfies
+    // the borrow checker across the scope, not real contention.
+    let journal = Mutex::new(journal);
+
+    let mut results: Vec<Option<SweepResult>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if skip.contains(&i) {
+                    continue;
+                }
+                let point = &points[i];
+                let seed = derive_seed(master_seed, i as u64);
+                let (outcome, attempts) = run_supervised_task(&point.task, seed, policy);
+                if tx
+                    .send((
+                        SweepResult {
+                            index: i,
+                            label: point.label.clone(),
+                            seed,
+                            outcome,
+                        },
+                        attempts,
+                    ))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (result, attempts) in rx {
+            match &result.outcome {
+                SweepOutcome::Failed(error) => report.failed.push(FailureRecord {
+                    index: result.index,
+                    label: result.label.clone(),
+                    error: error.clone(),
+                }),
+                _ => {
+                    report.completed += 1;
+                    if attempts > 1 {
+                        report.retried.push(RetryRecord {
+                            index: result.index,
+                            label: result.label.clone(),
+                            attempts,
+                        });
+                    }
+                }
+            }
+            if let Some(j) = journal.lock().expect("journal lock").as_mut() {
+                if let Err(e) = j.append(&result) {
+                    // Durability is the journal's whole job: losing it is
+                    // fatal, losing one record silently is worse.
+                    panic!("cannot append to journal {}: {e}", j.path().display());
+                }
+            }
+            on_result(&result);
+            let slot = result.index;
+            results[slot] = Some(result);
+        }
+    });
+    report.failed.sort_by_key(|f| f.index);
+    report.retried.sort_by_key(|r| r.index);
+    let results = results.into_iter().flatten().collect();
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use crate::config::{AvailabilityLevel, GreenConfig};
+    use crate::engine::{EngineConfig, MeasurementMode};
+    use crate::pmk::Strategy;
+    use crate::sweep::run_sweep;
+    use gs_sim::SimDuration;
+
+    fn quick_cfg(strategy: Strategy) -> EngineConfig {
+        EngineConfig {
+            strategy,
+            green: GreenConfig::re_batt(),
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(5),
+            measurement: MeasurementMode::Analytic,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn healthy_grid() -> Vec<SweepPoint> {
+        [Strategy::Greedy, Strategy::Pacing, Strategy::Hybrid]
+            .into_iter()
+            .map(|s| SweepPoint::burst(format!("{s}"), quick_cfg(s)))
+            .collect()
+    }
+
+    /// A configuration that passes nothing through `Engine::new` — the
+    /// warm-policy JSON is garbage, so the run panics deterministically.
+    fn poisoned_point() -> SweepPoint {
+        let mut cfg = quick_cfg(Strategy::Hybrid);
+        cfg.warm_policy_json = Some("not json at all".to_string());
+        SweepPoint::burst("poisoned", cfg)
+    }
+
+    #[test]
+    fn supervised_matches_unsupervised_byte_for_byte() {
+        let want = run_sweep(healthy_grid(), 7, 2);
+        for jobs in [1, 4] {
+            let (got, report) = run_supervised_sweep(
+                healthy_grid(),
+                7,
+                jobs,
+                &SupervisorPolicy::default(),
+                &HashSet::new(),
+                None,
+                |_| {},
+            );
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(&want).unwrap()
+            );
+            assert_eq!(report.completed, 3);
+            assert!(report.retried.is_empty());
+            assert!(report.failed.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_fails_without_killing_siblings() {
+        let mut points = healthy_grid();
+        points.insert(1, poisoned_point());
+        let policy = SupervisorPolicy {
+            max_retries: 1,
+            task_timeout_epochs: 0,
+        };
+        let (results, report) =
+            run_supervised_sweep(points, 7, 4, &policy, &HashSet::new(), None, |_| {});
+        assert_eq!(results.len(), 4);
+        assert!(results[1].outcome.is_failed());
+        assert!(results[1].outcome.vs_normal().is_nan());
+        for i in [0, 2, 3] {
+            assert!(!results[i].outcome.is_failed(), "sibling {i} was lost");
+        }
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].index, 1);
+        assert!(
+            report.failed[0].error.contains("all 2 attempts"),
+            "{}",
+            report.failed[0].error
+        );
+        assert!(
+            report.failed[0].error.contains("warm_policy_json"),
+            "{}",
+            report.failed[0].error
+        );
+    }
+
+    #[test]
+    fn over_budget_tasks_are_rejected_up_front() {
+        // A 5-minute burst at 60 s epochs runs 5 + 5 = 10 epochs; a 1-day
+        // campaign runs 2880. Budgeting 100 passes the burst, fails the
+        // campaign deterministically — and without executing it.
+        let burst = SweepPoint::burst("ok", quick_cfg(Strategy::Greedy));
+        let campaign = SweepPoint::campaign(
+            "big",
+            CampaignConfig {
+                engine: quick_cfg(Strategy::Greedy),
+                days: 1,
+                spikes_per_day: 2,
+                peak_intensity_cores: 12,
+            },
+        );
+        assert_eq!(epoch_budget(&burst.task), 10);
+        assert_eq!(epoch_budget(&campaign.task), 2880);
+        let policy = SupervisorPolicy {
+            max_retries: 0,
+            task_timeout_epochs: 100,
+        };
+        let (results, report) = run_supervised_sweep(
+            vec![burst, campaign],
+            7,
+            2,
+            &policy,
+            &HashSet::new(),
+            None,
+            |_| {},
+        );
+        assert!(!results[0].outcome.is_failed());
+        assert!(results[1].outcome.is_failed());
+        assert_eq!(report.failed.len(), 1);
+        assert!(
+            report.failed[0].error.contains("epoch budget exceeded"),
+            "{}",
+            report.failed[0].error
+        );
+    }
+
+    #[test]
+    fn skip_set_resumes_without_recomputing() {
+        let all = run_sweep(healthy_grid(), 7, 1);
+        let skip: HashSet<usize> = [0, 2].into_iter().collect();
+        let (results, report) = run_supervised_sweep(
+            healthy_grid(),
+            7,
+            2,
+            &SupervisorPolicy::default(),
+            &skip,
+            None,
+            |_| {},
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].index, 1);
+        assert_eq!(
+            serde_json::to_string(&results[0]).unwrap(),
+            serde_json::to_string(&all[1]).unwrap()
+        );
+        assert_eq!(report.skipped, vec![0, 2]);
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn normal_strategy_budget_is_single_run() {
+        let normal = SweepPoint::burst("n", quick_cfg(Strategy::Normal));
+        assert_eq!(epoch_budget(&normal.task), 5);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        assert_eq!(backoff_ms(1), 50);
+        assert_eq!(backoff_ms(2), 100);
+        assert_eq!(backoff_ms(100), backoff_ms(6));
+    }
+}

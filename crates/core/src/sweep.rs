@@ -66,16 +66,27 @@ impl SweepPoint {
 pub enum SweepOutcome {
     Burst(BurstOutcome),
     Campaign(CampaignOutcome),
+    /// The task did not complete: it panicked on every allowed attempt or
+    /// blew its epoch budget (supervised execution only). The error is
+    /// recorded in place of a result so sibling tasks survive.
+    Failed(String),
 }
 
 impl SweepOutcome {
     /// The headline metric, whichever kind of task ran: speedup vs the
-    /// Normal baseline (bursts) or goodput vs Normal (campaigns).
+    /// Normal baseline (bursts) or goodput vs Normal (campaigns). NaN for
+    /// a failed task.
     pub fn vs_normal(&self) -> f64 {
         match self {
             SweepOutcome::Burst(b) => b.speedup_vs_normal,
             SweepOutcome::Campaign(c) => c.goodput_vs_normal,
+            SweepOutcome::Failed(_) => f64::NAN,
         }
+    }
+
+    /// True when the task did not complete.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SweepOutcome::Failed(_))
     }
 }
 
@@ -154,7 +165,7 @@ pub fn run_sweep_streaming(
                 }
                 let point = &points[i];
                 let seed = derive_seed(master_seed, i as u64);
-                let outcome = run_task(&point.task, seed);
+                let outcome = run_task_seeded(&point.task, seed);
                 // The receiver can only hang up by panicking; die quietly
                 // with it rather than double-panicking.
                 if tx
@@ -184,7 +195,7 @@ pub fn run_sweep_streaming(
 }
 
 /// Execute one task with its derived seed substituted in.
-fn run_task(task: &SweepTask, seed: u64) -> SweepOutcome {
+pub(crate) fn run_task_seeded(task: &SweepTask, seed: u64) -> SweepOutcome {
     match task {
         SweepTask::Burst(cfg) => {
             let mut cfg = cfg.clone();

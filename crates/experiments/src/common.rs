@@ -71,6 +71,7 @@ pub fn run_batch(configs: Vec<EngineConfig>, opts: &RunOpts) -> Vec<BurstOutcome
         .map(|r| match r.outcome {
             SweepOutcome::Burst(b) => b,
             SweepOutcome::Campaign(_) => unreachable!("run_batch submits only bursts"),
+            SweepOutcome::Failed(_) => unreachable!("run_sweep is unsupervised; tasks panic"),
         })
         .collect()
 }

@@ -6,11 +6,16 @@
 //!                      [--minutes N] [--intensity K] [--seed N] [--analytic]
 //!                      [--hysteresis F] [--trace FILE.csv]
 //!                      [--warm-policy FILE] [--save-policy FILE] [--scenario FILE.json]
+//!                      [--checkpoint FILE] [--snapshot-every N]
 //! greensprint campaign [--days N] [--spikes N] [--app ...] [--strategy ...] [--seed N]
+//!                      [--checkpoint FILE] [--snapshot-every N]
 //! greensprint sweep [--apps A,B] [--strategies S,..] [--availabilities L,..] [--minutes M,..]
 //!                   [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
+//!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
 //! greensprint chaos [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N]
 //!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
+//!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
+//! greensprint resume FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
 //! greensprint tco [--hours H]
 //! ```
@@ -18,7 +23,8 @@
 use greensprint_repro::power::trace_io;
 use greensprint_repro::power::wind::WindModel;
 use greensprint_repro::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
@@ -33,6 +39,7 @@ fn main() {
         "campaign" => campaign(&flags),
         "sweep" => sweep(&flags),
         "chaos" => chaos(&flags),
+        "resume" => resume_cmd(&positional, &flags),
         "trace" => trace(&positional, &flags),
         "tco" => tco(&flags),
         "help" | "--help" | "-h" => usage(""),
@@ -72,6 +79,132 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
             exit(2);
         }),
     }
+}
+
+/// A runtime (non-usage) failure: message to stderr, exit 1.
+fn fatal(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+/// Serialize one sweep record as its JSON output line.
+fn result_line(r: &SweepResult) -> String {
+    serde_json::to_string(r).unwrap_or_else(|e| fatal(&format!("cannot serialize result: {e}")))
+}
+
+/// Durably replace the snapshot checkpoint at `path` (write-then-rename,
+/// so a crash mid-write leaves the previous snapshot intact).
+fn write_snapshot(path: &str, snap: &EngineSnapshot) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, snap.to_json())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|e| fatal(&format!("cannot write checkpoint {path}: {e}")));
+}
+
+fn supervisor_policy(flags: &HashMap<String, String>) -> SupervisorPolicy {
+    SupervisorPolicy {
+        max_retries: get(flags, "retries", 2_u32),
+        task_timeout_epochs: get(flags, "task-timeout-epochs", 0_u64),
+    }
+}
+
+fn snapshot_every(flags: &HashMap<String, String>) -> u64 {
+    let every: u64 = get(flags, "snapshot-every", 10);
+    if every == 0 {
+        usage("--snapshot-every must be at least 1");
+    }
+    every
+}
+
+/// Run a prepared point list, supervised when any robustness flag
+/// (`--checkpoint`, `--retries`, `--task-timeout-epochs`) asks for it,
+/// on the plain executor otherwise. Returns the full result set in
+/// submission order; `on_result` streams completion-order output.
+fn execute_points(
+    points: Vec<SweepPoint>,
+    master_seed: u64,
+    jobs: usize,
+    flags: &HashMap<String, String>,
+    mode: &str,
+    on_result: impl FnMut(&SweepResult),
+) -> Vec<SweepResult> {
+    let supervised = flags.contains_key("checkpoint")
+        || flags.contains_key("retries")
+        || flags.contains_key("task-timeout-epochs");
+    if !supervised {
+        return run_sweep_streaming(points, master_seed, jobs, on_result);
+    }
+    let mut journal = flags.get("checkpoint").map(|path| {
+        let p = Path::new(path);
+        if p.exists() {
+            usage(&format!(
+                "checkpoint {path} already exists; `greensprint resume {path}` continues it, \
+                 or remove the file to start over"
+            ));
+        }
+        Journal::create(p, &JournalHeader::new(mode, master_seed, points.clone()))
+            .unwrap_or_else(|e| fatal(&format!("cannot create checkpoint {path}: {e}")))
+    });
+    let policy = supervisor_policy(flags);
+    let (results, report) = run_supervised_sweep(
+        points,
+        master_seed,
+        jobs,
+        &policy,
+        &HashSet::new(),
+        journal.as_mut(),
+        on_result,
+    );
+    report_supervision(&report);
+    results
+}
+
+fn report_supervision(report: &SweepReport) {
+    eprintln!("supervisor: {}", report.summary());
+    for r in &report.retried {
+        eprintln!(
+            "  retried #{} {}: {} attempts",
+            r.index, r.label, r.attempts
+        );
+    }
+    for f in &report.failed {
+        eprintln!("  failed #{} {}: {}", f.index, f.label, f.error);
+    }
+}
+
+/// The chaos pass/fail verdict over a completed result set: exit 1 when
+/// any run lost the Normal floor, overdrew the grid cap, tripped the
+/// runtime invariant auditor, or did not complete at all.
+fn chaos_gate(results: &[SweepResult]) {
+    let runs = results.len();
+    let mut violations = 0usize;
+    let mut failures = 0usize;
+    for r in results {
+        match &r.outcome {
+            SweepOutcome::Burst(b) => {
+                if !b.floor_held || b.grid_overload_wh != 0.0 || !b.audit_violations.is_empty() {
+                    violations += 1;
+                }
+            }
+            SweepOutcome::Failed(_) => failures += 1,
+            SweepOutcome::Campaign(_) => {}
+        }
+    }
+    if violations > 0 || failures > 0 {
+        if violations > 0 {
+            eprintln!(
+                "error: {violations} chaos run(s) violated the safety floor or the invariant audit"
+            );
+        }
+        if failures > 0 {
+            eprintln!("error: {failures} chaos run(s) did not complete");
+        }
+        exit(1);
+    }
+    eprintln!(
+        "chaos: {runs} run(s), all held the Normal floor with zero grid overload and a clean \
+         invariant audit"
+    );
 }
 
 fn parse_app(s: &str) -> Application {
@@ -226,7 +359,20 @@ fn simulate(flags: &HashMap<String, String>) {
     );
     let save_policy = flags.get("save-policy").cloned();
     let engine = Engine::try_new(cfg).unwrap_or_else(|e| usage(&e.to_string()));
-    let (out, _, policy) = engine.run_full();
+    let (out, _, policy) = match flags.get("checkpoint") {
+        None => engine.run_full(),
+        Some(path) => engine
+            .run_full_with_snapshots(snapshot_every(flags), &mut |s| write_snapshot(path, s))
+            .unwrap_or_else(|e| usage(&e.to_string())),
+    };
+    print_burst_result(&out);
+    if let (Some(path), Some(json)) = (save_policy, policy) {
+        std::fs::write(&path, json).unwrap_or_else(|e| fatal(&format!("cannot write {path}: {e}")));
+        println!("  policy            : saved to {path}");
+    }
+}
+
+fn print_burst_result(out: &BurstOutcome) {
     println!("\nresult:");
     println!("  speedup vs Normal : {:.2}x", out.speedup_vs_normal);
     println!(
@@ -250,12 +396,12 @@ fn simulate(flags: &HashMap<String, String>) {
         "  knob churn        : {} setting transitions",
         out.setting_transitions
     );
-    if let (Some(path), Some(json)) = (save_policy, policy) {
-        std::fs::write(&path, json).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            exit(1);
-        });
-        println!("  policy            : saved to {path}");
+    if !out.audit_violations.is_empty() {
+        eprintln!(
+            "warning: {} invariant audit violation(s); first: {}",
+            out.audit_violations.len(),
+            out.audit_violations[0]
+        );
     }
 }
 
@@ -266,7 +412,17 @@ fn campaign(flags: &HashMap<String, String>) {
         spikes_per_day: get(flags, "spikes", 4_u32),
         peak_intensity_cores: get(flags, "intensity", 12_u8),
     };
-    let out = try_run_campaign(&cfg).unwrap_or_else(|e| usage(&e.to_string()));
+    let out = match flags.get("checkpoint") {
+        None => try_run_campaign(&cfg),
+        Some(path) => try_run_campaign_with_snapshots(&cfg, snapshot_every(flags), &mut |s| {
+            write_snapshot(path, s)
+        }),
+    }
+    .unwrap_or_else(|e| usage(&e.to_string()));
+    print_campaign_result(&out);
+}
+
+fn print_campaign_result(out: &CampaignOutcome) {
     let tco = TcoParams::paper();
     println!("campaign over {} day(s):", out.days);
     println!(
@@ -283,6 +439,13 @@ fn campaign(flags: &HashMap<String, String>) {
         "  POI                 : {:+.0} $/KW/year",
         tco.poi(out.sprint_hours_per_year)
     );
+    if !out.run.audit_violations.is_empty() {
+        eprintln!(
+            "warning: {} invariant audit violation(s); first: {}",
+            out.run.audit_violations.len(),
+            out.run.audit_violations[0]
+        );
+    }
 }
 
 /// `greensprint sweep` — run a grid of bursts (or campaigns, with
@@ -293,6 +456,9 @@ fn sweep(flags: &HashMap<String, String>) {
     let jobs: usize = get(flags, "jobs", default_jobs());
     if jobs == 0 {
         usage("--jobs must be at least 1");
+    }
+    if resume_flag(flags, "sweep") {
+        return;
     }
     let seed: u64 = get(flags, "seed", 7);
     let intensity: u8 = get(flags, "intensity", 12);
@@ -362,12 +528,31 @@ fn sweep(flags: &HashMap<String, String>) {
             usage(&format!("invalid sweep point {}: {e}", p.label));
         }
     }
-    run_sweep_streaming(points, seed, jobs, |r| {
-        println!(
-            "{}",
-            serde_json::to_string(r).expect("sweep results serialize")
-        );
+    execute_points(points, seed, jobs, flags, "sweep", |r| {
+        println!("{}", result_line(r));
     });
+}
+
+/// Handle `sweep --resume FILE` / `chaos --resume FILE`: continue the
+/// journal in place (its embedded points define the grid; grid flags are
+/// ignored). Returns true when a resume ran.
+fn resume_flag(flags: &HashMap<String, String>, mode: &str) -> bool {
+    let Some(path) = flags.get("resume") else {
+        return false;
+    };
+    if flags.contains_key("checkpoint") {
+        usage("--resume and --checkpoint are mutually exclusive; a resumed journal keeps appending in place");
+    }
+    let (journal, loaded) = Journal::resume(Path::new(path))
+        .unwrap_or_else(|e| usage(&format!("cannot resume {path}: {e}")));
+    if loaded.header.mode != mode {
+        usage(&format!(
+            "checkpoint {path} is a {} journal; resume it with `greensprint {} --resume` or `greensprint resume`",
+            loaded.header.mode, loaded.header.mode
+        ));
+    }
+    resume_journal(path, journal, loaded, flags);
+    true
 }
 
 /// `greensprint chaos` — fault-injection runs. Each run applies a
@@ -380,6 +565,9 @@ fn chaos(flags: &HashMap<String, String>) {
     let jobs: usize = get(flags, "jobs", default_jobs());
     if jobs == 0 {
         usage("--jobs must be at least 1");
+    }
+    if resume_flag(flags, "chaos") {
+        return;
     }
     let runs: usize = get(flags, "runs", 4);
     if runs == 0 {
@@ -428,23 +616,126 @@ fn chaos(flags: &HashMap<String, String>) {
         }
     }
 
-    let mut violations = 0usize;
-    run_sweep_streaming(points, get(flags, "seed", 7), jobs, |r| {
-        println!(
-            "{}",
-            serde_json::to_string(r).expect("chaos results serialize")
-        );
-        if let SweepOutcome::Burst(b) = &r.outcome {
-            if !b.floor_held || b.grid_overload_wh != 0.0 {
-                violations += 1;
+    let results = execute_points(points, get(flags, "seed", 7), jobs, flags, "chaos", |r| {
+        println!("{}", result_line(r));
+    });
+    chaos_gate(&results);
+}
+
+/// `greensprint resume FILE` — continue an interrupted run from its
+/// checkpoint. The file kind is detected: a sweep/chaos journal re-runs
+/// the missing points (appending to the journal) and prints the *full*
+/// result set, one JSON line per point in index order — byte-identical to
+/// an uninterrupted `--jobs 1` run whatever `--jobs` is used here; an
+/// engine snapshot finishes the burst or campaign and prints the usual
+/// report.
+fn resume_cmd(positional: &[String], flags: &HashMap<String, String>) {
+    let path = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage("resume needs a checkpoint FILE (a sweep journal or an engine snapshot)")
+    });
+    match Journal::resume(Path::new(path)) {
+        Ok((journal, loaded)) => resume_journal(path, journal, loaded, flags),
+        Err(JournalError::NotAJournal(_)) => resume_engine_snapshot(path, flags),
+        Err(e) => usage(&format!("cannot resume {path}: {e}")),
+    }
+}
+
+/// Finish a journaled sweep: verify the header, skip journaled points,
+/// run the rest under supervision (appending to the same journal), and
+/// print every result — journaled and fresh — in index order.
+fn resume_journal(
+    path: &str,
+    mut journal: Journal,
+    loaded: LoadedJournal,
+    flags: &HashMap<String, String>,
+) {
+    let header = loaded.header;
+    let points_json = serde_json::to_string(&header.points)
+        .unwrap_or_else(|e| fatal(&format!("cannot serialize journal points: {e}")));
+    if header.fingerprint != config_fingerprint(&points_json)
+        || header.points_digest != points_digest(&header.points)
+    {
+        usage(&format!(
+            "cannot resume {path}: the journal was written by a different build or its \
+             point list was edited; re-run the sweep from scratch"
+        ));
+    }
+    let n = header.points.len();
+    let mut slots: Vec<Option<SweepResult>> = (0..n).map(|_| None).collect();
+    for r in loaded.results {
+        if r.index >= n || r.seed != derive_seed(header.master_seed, r.index as u64) {
+            usage(&format!(
+                "cannot resume {path}: journaled record for index {} does not match the \
+                 journal's own point list",
+                r.index
+            ));
+        }
+        let i = r.index;
+        slots[i] = Some(r);
+    }
+    let jobs: usize = get(flags, "jobs", default_jobs());
+    if jobs == 0 {
+        usage("--jobs must be at least 1");
+    }
+    let done = slots.iter().filter(|s| s.is_some()).count();
+    if loaded.dropped_tail {
+        eprintln!("resume: dropped a truncated tail record; that point will re-run");
+    }
+    eprintln!("resume: {path} — {done}/{n} point(s) already journaled");
+    let skip: HashSet<usize> = (0..n).filter(|&i| slots[i].is_some()).collect();
+    let policy = supervisor_policy(flags);
+    let (fresh, report) = run_supervised_sweep(
+        header.points.clone(),
+        header.master_seed,
+        jobs,
+        &policy,
+        &skip,
+        Some(&mut journal),
+        |_| {},
+    );
+    for r in fresh {
+        let i = r.index;
+        slots[i] = Some(r);
+    }
+    let results: Vec<SweepResult> = slots.into_iter().flatten().collect();
+    for r in &results {
+        println!("{}", result_line(r));
+    }
+    report_supervision(&report);
+    if header.mode == "chaos" {
+        chaos_gate(&results);
+    }
+}
+
+/// Finish a snapshotted burst or campaign, continuing to checkpoint into
+/// the same file while it runs.
+fn resume_engine_snapshot(path: &str, flags: &HashMap<String, String>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read checkpoint {path}: {e}")));
+    let snap = EngineSnapshot::from_json(&text).unwrap_or_else(|e| {
+        usage(&format!(
+            "{path} is neither a sweep journal nor an engine snapshot: {e}"
+        ))
+    });
+    let every = snapshot_every(flags);
+    eprintln!(
+        "resume: {path} — continuing at epoch {}",
+        snap.state.next_epoch
+    );
+    match resume_snapshot(snap, every, &mut |s| write_snapshot(path, s)) {
+        Ok(ResumedRun::Burst {
+            outcome, policy, ..
+        }) => {
+            print_burst_result(&outcome);
+            if let (Some(sp), Some(json)) = (flags.get("save-policy"), policy) {
+                std::fs::write(sp, json)
+                    .unwrap_or_else(|e| fatal(&format!("cannot write {sp}: {e}")));
+                println!("  policy            : saved to {sp}");
             }
         }
-    });
-    if violations > 0 {
-        eprintln!("error: {violations} chaos run(s) violated the safety floor");
-        exit(1);
+        Ok(ResumedRun::Campaign(out)) => print_campaign_result(&out),
+        Err(e) => usage(&e.to_string()),
     }
-    eprintln!("chaos: {runs} run(s), all held the Normal floor with zero grid overload");
 }
 
 fn trace(positional: &[String], flags: &HashMap<String, String>) {
@@ -502,19 +793,36 @@ usage:
                        [--strategy normal|greedy|parallel|pacing|hybrid] [--availability min|med|max]
                        [--minutes N] [--intensity K] [--seed N] [--analytic] [--hysteresis F]
                        [--trace FILE.csv] [--warm-policy FILE] [--save-policy FILE]
-                       [--scenario FILE.json]
+                       [--scenario FILE.json] [--checkpoint FILE] [--snapshot-every N]
   greensprint campaign [--days N] [--spikes N] [--app A] [--strategy S] [--seed N] [--analytic]
+                       [--checkpoint FILE] [--snapshot-every N]
   greensprint sweep    [--apps A,B] [--strategies S,..] [--availabilities L,..] [--minutes M,..]
                        [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
+                       [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
                        grid sweep on the deterministic parallel executor; one JSON line
                        per point (completion order), identical results for any --jobs
   greensprint chaos    [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N] [--seed N]
                        [--app A] [--strategy S] [--availability L] [--minutes N] [--analytic]
+                       [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
                        fault-injection runs (sensor dropout, inverter derate, stuck servers,
                        ...); one JSON line per run; exits 1 if any run loses the Normal
-                       floor or overdraws the grid
+                       floor, overdraws the grid, or trips the invariant auditor
+  greensprint resume   FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
+                       continue an interrupted run from its checkpoint: a sweep/chaos
+                       journal re-runs only the missing points and prints the full result
+                       set in index order; an engine snapshot (simulate/campaign
+                       --checkpoint, Analytic mode only) finishes from the last epoch
   greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
-  greensprint tco [--hours H]"
+  greensprint tco [--hours H]
+
+robustness flags:
+  --checkpoint FILE        sweep/chaos: fsync'd JSON-lines journal of completed points
+                           simulate/campaign: engine snapshot, rewritten atomically
+  --resume FILE            continue a journal in place (grid flags are ignored)
+  --retries N              re-attempts for a panicking task before recording it failed (2)
+  --task-timeout-epochs N  deterministic per-task epoch budget; over-budget tasks are
+                           failed up front without running (0 = unlimited)
+  --snapshot-every N       epochs between engine snapshots (10)"
     );
     exit(2);
 }

@@ -47,15 +47,24 @@ pub use gs_workload as workload;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use greensprint::campaign::{
-        run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome,
+        run_campaign, try_run_campaign, try_run_campaign_with_snapshots, CampaignConfig,
+        CampaignOutcome,
+    };
+    pub use greensprint::checkpoint::{
+        config_fingerprint, points_digest, EngineSnapshot, Journal, JournalError, JournalHeader,
+        LoadedJournal,
     };
     pub use greensprint::config::{AvailabilityLevel, GreenConfig};
+    pub use greensprint::engine::{resume_snapshot, ResumedRun};
     pub use greensprint::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
     pub use greensprint::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
+    pub use greensprint::supervisor::{
+        epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
+    };
     pub use greensprint::sweep::{
         default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
         SweepResult, SweepTask,

@@ -66,6 +66,27 @@ proptest! {
         );
     }
 
+    /// The runtime invariant auditor (on by default) watches every epoch
+    /// of every chaos run — energy conservation, SoC bounds, the breaker
+    /// cap, term non-negativity. No seeded fault plan may trip it: faults
+    /// perturb the *inputs* the controller sees, never the physics.
+    #[test]
+    fn any_fault_plan_passes_the_invariant_audit(seed in 0_u64..10_000, strat in 0_usize..4) {
+        let strategy = [
+            Strategy::Greedy,
+            Strategy::Parallel,
+            Strategy::Pacing,
+            Strategy::Hybrid,
+        ][strat];
+        let out = Engine::new(chaos_cfg(strategy, generate(seed))).run();
+        prop_assert!(
+            out.audit_violations.is_empty(),
+            "seed {seed} {strategy:?}: {} violation(s), first: {}",
+            out.audit_violations.len(),
+            out.audit_violations[0]
+        );
+    }
+
     /// Same (seed, plan) → bit-identical outcome, run to run.
     #[test]
     fn fault_runs_are_reproducible(seed in 0_u64..1_000) {
@@ -103,6 +124,12 @@ fn chaos_sweep_is_job_count_invariant() {
         if let SweepOutcome::Burst(b) = &r.outcome {
             assert!(b.floor_held, "{}", r.label);
             assert_eq!(b.grid_overload_wh, 0.0, "{}", r.label);
+            assert!(
+                b.audit_violations.is_empty(),
+                "{}: {:?}",
+                r.label,
+                b.audit_violations
+            );
         }
     }
 }
