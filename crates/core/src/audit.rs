@@ -44,6 +44,11 @@ pub struct EpochFlows {
     pub grid_cap_w: f64,
     /// Epoch length in hours (converts the energy terms to mean power).
     pub epoch_hours: f64,
+    /// During a guardrail failover epoch: `(rack goodput, required
+    /// Normal-floor goodput)`, both in req/s. `None` when the guardrail
+    /// is off or the configured strategy is steering. Failover exists to
+    /// degrade *to* the Normal floor, never below it.
+    pub failover_floor: Option<(f64, f64)>,
 }
 
 /// Relative tolerance for the energy-conservation balance. The settlement
@@ -78,6 +83,7 @@ const NEG_TOL_WH: f64 = 1e-9;
 ///     socs: vec![(0.8, 0.4)],
 ///     grid_cap_w: 500.0,
 ///     epoch_hours: 1.0 / 60.0,
+///     failover_floor: None,
 /// });
 /// assert!(aud.violations().is_empty());
 /// ```
@@ -163,6 +169,18 @@ impl InvariantAuditor {
                 ));
             }
         }
+
+        // Guardrail failover floor: a demoted epoch whose goodput lands
+        // under the Normal floor means the ladder made things worse than
+        // never sprinting at all.
+        if let Some((goodput, floor)) = f.failover_floor {
+            if !(goodput >= floor) {
+                self.violations.push(format!(
+                    "epoch {k}: failover goodput {goodput:.6} req/s \
+                     below Normal floor {floor:.6} req/s"
+                ));
+            }
+        }
     }
 
     /// Violations recorded so far.
@@ -192,6 +210,7 @@ mod tests {
             socs: vec![(0.85, 0.40), (0.61, 0.40)],
             grid_cap_w: 1_000.0,
             epoch_hours: 1.0 / 60.0,
+            failover_floor: None,
         }
     }
 
@@ -268,6 +287,32 @@ mod tests {
         let v = aud.into_violations();
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("negative battery discharge"), "{v:?}");
+    }
+
+    #[test]
+    fn failover_floor_fires_only_when_goodput_falls_below_it() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.failover_floor = Some((900.0, 1_000.0));
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("failover goodput"), "{v:?}");
+
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.failover_floor = Some((1_000.0, 1_000.0));
+        aud.check_epoch(&f);
+        f.failover_floor = None;
+        aud.check_epoch(&f);
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+
+        // NaN goodput during failover is a violation, not a pass.
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.failover_floor = Some((f64::NAN, 1_000.0));
+        aud.check_epoch(&f);
+        assert_eq!(aud.violations().len(), 1);
     }
 
     #[test]

@@ -145,6 +145,10 @@ pub struct LoopState {
     pub audited_grid_wh: f64,
     /// Curtailed energy already audited (Wh).
     pub audited_curtailed_wh: f64,
+    /// Guardrail ladder/probation state, when the guardrail is enabled.
+    /// Absent in pre-guardrail snapshots.
+    #[serde(default)]
+    pub guardrail: Option<crate::guardrail::GuardrailState>,
 }
 
 /// Which of the two runs inside an experiment the snapshot was taken in.

@@ -17,6 +17,9 @@ use crate::audit::{EpochFlows, InvariantAuditor};
 use crate::checkpoint::{EngineSnapshot, LoopState, MainCarry, RunPhase, SnapshotScope};
 use crate::config::{AvailabilityLevel, GreenConfig};
 use crate::faults::{ActiveFaults, FaultPlan};
+use crate::guardrail::{
+    EpochSignals, Guardrail, GuardrailAction, GuardrailConfig, QuarantineRecord,
+};
 use crate::monitor::{Monitor, Observation, ObservationQuality};
 use crate::pmk::{ActuationWatchdog, Pmk, PmkContext, Strategy};
 use crate::predictor::Predictor;
@@ -56,6 +59,9 @@ pub enum EngineError {
     /// A numeric threshold (named inside) is NaN or outside its legal
     /// range.
     InvalidThreshold(String),
+    /// The guardrail configuration cannot supervise anything (a learned
+    /// fallback, zero-length streaks, non-finite thresholds).
+    InvalidGuardrail(String),
     /// Snapshots capture the full controller state, which the DES
     /// measurement plane cannot serialize — checkpointed runs must use
     /// `MeasurementMode::Analytic`.
@@ -76,6 +82,7 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidFaultPlan(e) => write!(f, "invalid fault_plan: {e}"),
             EngineError::ZeroServers => f.write_str("green cluster needs at least one server"),
             EngineError::InvalidThreshold(e) => write!(f, "invalid threshold: {e}"),
+            EngineError::InvalidGuardrail(e) => write!(f, "invalid guardrail: {e}"),
             EngineError::SnapshotRequiresAnalytic => f.write_str(
                 "snapshots require analytic measurement (DES state is not serializable)",
             ),
@@ -174,6 +181,13 @@ pub struct EngineConfig {
     /// accumulating violations into the outcome. On by default; the cost
     /// is a handful of additions per epoch.
     pub audit: bool,
+    /// Consecutive commanded-vs-observed actuation mismatches before the
+    /// watchdog clamps a server to Normal (must be at least 1).
+    pub watchdog_threshold: u32,
+    /// Policy guardrail: shadow fallback scoring, misbehavior detectors,
+    /// and the failover ladder. Disabled by default — the paper-faithful
+    /// controller runs unsupervised.
+    pub guardrail: GuardrailConfig,
     /// Master seed; all stochastic components derive from it.
     pub seed: u64,
 }
@@ -211,6 +225,14 @@ impl EngineConfig {
             if let Err(e) = plan.validate() {
                 return Err(EngineError::InvalidFaultPlan(e));
             }
+        }
+        if self.watchdog_threshold == 0 {
+            return Err(EngineError::InvalidThreshold(
+                "watchdog_threshold must be at least 1, got 0".to_string(),
+            ));
+        }
+        if let Err(e) = self.guardrail.validate() {
+            return Err(EngineError::InvalidGuardrail(e));
         }
         Ok(())
     }
@@ -252,6 +274,8 @@ impl Default for EngineConfig {
             warm_policy_json: None,
             fault_plan: None,
             audit: true,
+            watchdog_threshold: crate::pmk::WATCHDOG_THRESHOLD,
+            guardrail: GuardrailConfig::default(),
             seed: 7,
         }
     }
@@ -286,6 +310,11 @@ pub struct EpochRecord {
     /// supply observation). Absent in pre-fault serialized records.
     #[serde(default)]
     pub safe_mode: bool,
+    /// The guardrail ladder level that steered this epoch (0 = the
+    /// configured strategy; always 0 with the guardrail off). Absent in
+    /// pre-guardrail serialized records.
+    #[serde(default)]
+    pub ladder_level: u8,
 }
 
 /// The result of one burst experiment.
@@ -342,6 +371,19 @@ pub struct BurstOutcome {
     /// the auditor is disabled. Absent in pre-auditor serialized records.
     #[serde(default)]
     pub audit_violations: Vec<String>,
+    /// Epochs steered by a demoted ladder level (0 with the guardrail
+    /// off or never triggered).
+    #[serde(default)]
+    pub failover_epochs: usize,
+    /// Deepest guardrail ladder level reached during the burst.
+    #[serde(default)]
+    pub ladder_level: usize,
+    /// Q-tables quarantined by the guardrail during the burst.
+    #[serde(default)]
+    pub quarantined_tables: usize,
+    /// Human-readable guardrail demotion/promotion/quarantine log.
+    #[serde(default)]
+    pub guardrail_events: Vec<String>,
     /// Per-epoch records.
     pub epochs: Vec<EpochRecord>,
 }
@@ -785,6 +827,24 @@ pub(crate) fn run_window_resumable(
     }
     let mut prev_settings: Vec<ServerSetting> = vec![ServerSetting::normal(); n];
     let mut setting_transitions = 0usize;
+    // Policy guardrail: shadow-score a certified fallback each epoch and
+    // demote down the failover ladder when the active policy misbehaves.
+    // Normal has no ladder, so the baseline run is never supervised.
+    let mut guard: Option<Guardrail> = if cfg.guardrail.enabled {
+        Guardrail::new(cfg.guardrail.clone(), strategy)
+    } else {
+        None
+    };
+    let mut shadow_pmk: Option<Pmk> = guard.as_ref().map(|_| {
+        let mut p = Pmk::new(cfg.guardrail.fallback, profiles);
+        p.hysteresis = cfg.switch_hysteresis;
+        p
+    });
+    // The demoted rung's controller, steering instead of `pmk` while the
+    // ladder level is above 0. Rebuilt from the guardrail level rather
+    // than persisted: every rung below the top is learner-free, so the
+    // strategy name is its entire state.
+    let mut fallback_pmk: Option<Pmk> = None;
     // Fault-injection state: the plan is replayed deterministically; the
     // watchdog and safe-mode estimator run unconditionally (they are the
     // production control path) but are inert while telemetry is clean and
@@ -792,7 +852,7 @@ pub(crate) fn run_window_resumable(
     let fault_plan = cfg.fault_plan.as_ref();
     let mut fade_done: Vec<bool> =
         fault_plan.map_or_else(Vec::new, |p| vec![false; p.events.len()]);
-    let mut watchdog = ActuationWatchdog::new(n);
+    let mut watchdog = ActuationWatchdog::with_threshold(n, cfg.watchdog_threshold);
     let mut safe_supply = gs_power::pss::SafeSupplyEstimator::new();
     // One-epoch telemetry delay line: the raw (meter-shaped) reading taken
     // last epoch, which a TelemetryDelay fault serves instead of today's.
@@ -892,6 +952,15 @@ pub(crate) fn run_window_resumable(
             .then(|| InvariantAuditor::with_violations(st.audit_violations));
         audited_grid_wh = st.audited_grid_wh;
         audited_curtailed_wh = st.audited_curtailed_wh;
+        if let (true, Some(saved)) = (cfg.guardrail.enabled, st.guardrail) {
+            let g = Guardrail::restore(cfg.guardrail.clone(), saved);
+            if g.level() > 0 {
+                let mut p = Pmk::new(g.active_strategy(), profiles);
+                p.hysteresis = cfg.switch_hysteresis;
+                fallback_pmk = Some(p);
+            }
+            guard = Some(g);
+        }
     }
 
     let n_epochs = window
@@ -938,6 +1007,7 @@ pub(crate) fn run_window_resumable(
                     .map_or_else(Vec::new, |a| a.violations().to_vec()),
                 audited_grid_wh,
                 audited_curtailed_wh,
+                guardrail: guard.as_ref().map(|g| g.state().clone()),
             });
         }
         let t = start + SimDuration::from_micros(cfg.epoch.as_micros() * k);
@@ -960,6 +1030,18 @@ pub(crate) fn run_window_resumable(
                 fade_done[idx] = true;
                 for b in batteries.iter_mut().flatten() {
                     b.fade_capacity(factor);
+                }
+            }
+        }
+        // Q-table poisoning is software corruption: it hits whichever
+        // policy is steering, once per event. While a learner-free ladder
+        // level steers there is nothing to poison and the event is spent.
+        for &(idx, magnitude) in &faults.poisons {
+            if !fade_done[idx] {
+                fade_done[idx] = true;
+                let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
+                if let Some(l) = steering.learner_mut() {
+                    l.poison(magnitude);
                 }
             }
         }
@@ -1061,8 +1143,10 @@ pub(crate) fn run_window_resumable(
         //
         // Greedy is uniform by definition ("simply activate all cores")
         // and always splits the supply evenly.
+        // A demoted ladder level plans as the strategy actually steering.
+        let steering_strategy = guard.as_ref().map_or(strategy, |g| g.active_strategy());
         let planning = matches!(
-            strategy,
+            steering_strategy,
             Strategy::Parallel | Strategy::Pacing | Strategy::Hybrid
         );
         re_sum_w += re_believed_w;
@@ -1121,7 +1205,10 @@ pub(crate) fn run_window_resumable(
         };
 
         let mut q_state = None;
-        let mut settings = decide(re_pred_w, &mut pmk, &mut rng, &mut q_state);
+        let mut settings = {
+            let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
+            decide(re_pred_w, steering, &mut rng, &mut q_state)
+        };
 
         // Rack-level PSS check against the *observed* renewable supply
         // (identical to the physical supply while telemetry is clean; the
@@ -1157,7 +1244,10 @@ pub(crate) fn run_window_resumable(
             0.0,
         );
         if plan.unmet_w > 1.0 {
-            settings = decide(re_believed_w, &mut pmk, &mut rng, &mut q_state);
+            settings = {
+                let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
+                decide(re_believed_w, steering, &mut rng, &mut q_state)
+            };
             plan = pss.plan(
                 sprint_demand(&settings),
                 re_believed_w,
@@ -1373,6 +1463,30 @@ pub(crate) fn run_window_resumable(
                     .collect(),
                 grid_cap_w,
                 epoch_hours,
+                // While a demoted ladder level steers, the rack must never
+                // serve below the Normal floor — failover is a degradation
+                // bound, not a license to collapse. The tolerance absorbs
+                // blend rounding (and DES stochasticity vs the analytic
+                // floor estimate).
+                failover_floor: match guard.as_ref() {
+                    Some(g) if g.level() > 0 => {
+                        let normal_perf = analytic_cache
+                            .entry((ServerSetting::normal(), offered.to_bits()))
+                            .or_insert_with(|| {
+                                measure_analytic(&app, profiles, ServerSetting::normal(), offered)
+                            })
+                            .clone();
+                        let tol = match cfg.measurement {
+                            MeasurementMode::Analytic => 0.99,
+                            MeasurementMode::Des => 0.85,
+                        };
+                        Some((
+                            perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
+                            normal_perf.goodput_rps * n as f64 * tol,
+                        ))
+                    }
+                    _ => None,
+                },
             });
             audited_grid_wh = grid_now;
             audited_curtailed_wh = curtailed_now;
@@ -1452,27 +1566,137 @@ pub(crate) fn run_window_resumable(
         // a dropout stays lost (a delayed read of nothing is nothing).
         last_raw_obs_w = fresh_obs_w;
 
+        // Server 0 is the representative server for reward scoring: the
+        // Hybrid Bellman update and the guardrail's shadow comparison
+        // both grade the epoch with Algorithm 1's reward on it.
+        let supply0_w = re_believed_w / n as f64 + instant_w[0];
+        let active_inputs = RewardInputs {
+            power_supply_w: supply0_w,
+            power_current_w: actual_power[0],
+            qos_target_s: app.slo_deadline_s,
+            qos_current_s: perfs[0].slo_percentile_latency_s,
+            offered_slo_fraction: if perfs[0].offered_rps > 0.0 {
+                perfs[0].goodput_rps / perfs[0].offered_rps
+            } else {
+                1.0
+            },
+            slo_percentile: app.slo_percentile,
+        };
+
         // Hybrid: reward and Bellman update on the representative server.
+        // While a demoted ladder level steers, `pending_q` stays `None`
+        // (the steering controller is learner-free), so no update fires.
         if let Some(learner) = pmk.learner_mut() {
-            let i = 0;
-            let inputs = RewardInputs {
-                power_supply_w: re_believed_w / n as f64 + instant_w[i],
-                power_current_w: actual_power[i],
+            let r = reward(&active_inputs);
+            let next_state = learner.state(supply0_w, offered);
+            if let Some((s_prev, a_prev)) = pending_q {
+                learner.update(s_prev, a_prev, r, next_state);
+            }
+            pending_q = q_state.map(|s| (s, settings[0]));
+        }
+
+        // Guardrail: score the shadow fallback on the same planning
+        // context, feed the detectors, and act on the ladder verdict.
+        // Demotions and promotions take effect from the next epoch.
+        let steering_level = guard.as_ref().map_or(0, |g| g.level());
+        if let Some(g) = guard.as_mut() {
+            // Shadow decision for the representative server. The fallback
+            // strategies are rng-free by construction (GuardrailConfig
+            // validation rejects Hybrid), so the throwaway rng preserves
+            // the run's main stream byte-for-byte.
+            let shadow = shadow_pmk.as_mut().expect("guardrail carries a shadow");
+            let shadow_ctx = PmkContext {
+                predicted_load_rps: load_pred,
+                re_share_w: re_believed_w / n as f64,
+                battery_instant_w: instant_w[0],
+                battery_sustained_w: sustained_w[0],
+            };
+            let mut throwaway = SimRng::seed_from_u64(0);
+            let chosen = shadow.choose(profiles, &shadow_ctx, &mut throwaway);
+            let shadow_setting =
+                shadow.apply_hysteresis(profiles, &shadow_ctx, g.shadow_prev(), chosen);
+            g.set_shadow_prev(shadow_setting);
+            let shadow_perf = analytic_cache
+                .entry((shadow_setting, offered.to_bits()))
+                .or_insert_with(|| measure_analytic(&app, profiles, shadow_setting, offered))
+                .clone();
+            let shadow_inputs = RewardInputs {
+                power_supply_w: supply0_w,
+                power_current_w: power_model.power_w(shadow_setting, shadow_perf.utilization),
                 qos_target_s: app.slo_deadline_s,
-                qos_current_s: perfs[i].slo_percentile_latency_s,
-                offered_slo_fraction: if perfs[i].offered_rps > 0.0 {
-                    perfs[i].goodput_rps / perfs[i].offered_rps
+                qos_current_s: shadow_perf.slo_percentile_latency_s,
+                offered_slo_fraction: if shadow_perf.offered_rps > 0.0 {
+                    shadow_perf.goodput_rps / shadow_perf.offered_rps
                 } else {
                     1.0
                 },
                 slo_percentile: app.slo_percentile,
             };
-            let r = reward(&inputs);
-            let next_state = learner.state(re_believed_w / n as f64 + instant_w[i], offered);
-            if let (Some((s_prev, a_prev)), true) = (pending_q, true) {
-                learner.update(s_prev, a_prev, r, next_state);
+            let slo_ok = |p: &EpochPerf| {
+                p.slo_percentile_latency_s <= app.slo_deadline_s
+                    && (p.offered_rps <= 0.0 || p.goodput_rps >= 0.9 * p.offered_rps)
+            };
+            // Corruption scan on whichever policy is steering; a
+            // learner-free rung has no table to corrupt.
+            let cap = g.config().value_explosion_cap;
+            let table_corrupt = {
+                let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
+                steering.learner_mut().is_some_and(|l| {
+                    let stats = l.table_stats();
+                    stats.non_finite > 0
+                        || stats.max_abs > cap
+                        || pending_q.is_some_and(|(s, _)| !s.in_range())
+                })
+            };
+            monitor.record_ladder(t, steering_level);
+            match g.observe(&EpochSignals {
+                epoch_index: k,
+                active_reward: reward(&active_inputs),
+                shadow_reward: reward(&shadow_inputs),
+                active_slo_ok: slo_ok(&perfs[0]),
+                shadow_slo_ok: slo_ok(&shadow_perf),
+                battery_discharge_w: battery_w,
+                planned_battery_w: sustained_w.iter().sum(),
+                table_corrupt,
+            }) {
+                GuardrailAction::Demote { reason } => {
+                    // Quarantine the learner the demoted rung steered
+                    // with; rungs below the top are learner-free.
+                    if fallback_pmk.is_none() {
+                        if let Some(l) = pmk.learner_mut() {
+                            let rec = QuarantineRecord::new(k, &reason, l.to_json());
+                            let detail = match g.config().quarantine_dir.clone() {
+                                Some(dir) => match rec.write_to(&dir) {
+                                    Ok(path) => format!(" -> {path}"),
+                                    Err(e) => format!(" (sidecar write failed: {e})"),
+                                },
+                                None => String::new(),
+                            };
+                            g.note_quarantine(k, &rec.checksum, &detail);
+                            // The quarantined table never steers again: a
+                            // future re-promotion restarts from the
+                            // deterministic profile bootstrap.
+                            pmk = Pmk::new(strategy, profiles);
+                            pmk.hysteresis = cfg.switch_hysteresis;
+                            pending_q = None;
+                        }
+                    }
+                    let mut p = Pmk::new(g.active_strategy(), profiles);
+                    p.hysteresis = cfg.switch_hysteresis;
+                    fallback_pmk = Some(p);
+                }
+                GuardrailAction::Promote => {
+                    if g.level() == 0 {
+                        fallback_pmk = None;
+                    } else {
+                        let mut p = Pmk::new(g.active_strategy(), profiles);
+                        p.hysteresis = cfg.switch_hysteresis;
+                        fallback_pmk = Some(p);
+                    }
+                    pending_q = None;
+                }
+                GuardrailAction::Hold => {}
             }
-            pending_q = q_state.map(|s| (s, settings[0]));
         }
 
         for i in 0..n {
@@ -1497,6 +1721,7 @@ pub(crate) fn run_window_resumable(
             goodput_rps: goodput,
             sprinting_servers: settings.iter().filter(|s| s.is_sprinting()).count() as u8,
             safe_mode: in_safe_mode,
+            ladder_level: steering_level as u8,
         });
     }
 
@@ -1546,6 +1771,12 @@ pub(crate) fn run_window_resumable(
         watchdog_clamped_epochs,
         floor_held: default_floor_held(), // judged against Normal in run_full
         audit_violations: auditor.map_or_else(Vec::new, InvariantAuditor::into_violations),
+        failover_epochs: guard.as_ref().map_or(0, |g| g.state().failover_epochs),
+        ladder_level: guard.as_ref().map_or(0, |g| g.state().peak_level),
+        quarantined_tables: guard.as_ref().map_or(0, |g| g.state().quarantined_tables),
+        guardrail_events: guard
+            .as_ref()
+            .map_or_else(Vec::new, |g| g.state().events.clone()),
         epochs,
     };
     let policy = pmk.learner_mut().map(|l| l.to_json());
@@ -2404,5 +2635,197 @@ mod tests {
             ..quick_cfg()
         };
         let _ = Engine::new(cfg);
+    }
+
+    // ---- policy guardrails ----
+
+    use crate::guardrail::GuardrailConfig;
+
+    fn guarded_hybrid_cfg() -> EngineConfig {
+        EngineConfig {
+            strategy: Strategy::Hybrid,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(15),
+            measurement: MeasurementMode::Analytic,
+            guardrail: GuardrailConfig {
+                enabled: true,
+                ..GuardrailConfig::default()
+            },
+            ..quick_cfg()
+        }
+    }
+
+    /// A poison event landing exactly in epoch 1 of the default burst.
+    fn poison_at_epoch_1() -> FaultPlan {
+        FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_secs(60),
+            duration: SimDuration::from_secs(60),
+            kind: FaultKind::QTablePoison { magnitude: 1e9 },
+        }])
+    }
+
+    #[test]
+    fn zero_watchdog_threshold_is_rejected() {
+        let cfg = EngineConfig {
+            watchdog_threshold: 0,
+            ..quick_cfg()
+        };
+        assert!(matches!(
+            Engine::try_new(cfg).unwrap_err(),
+            EngineError::InvalidThreshold(ref m) if m.contains("watchdog_threshold")
+        ));
+        let cfg = EngineConfig {
+            watchdog_threshold: 5,
+            ..quick_cfg()
+        };
+        assert!(Engine::try_new(cfg).is_ok());
+    }
+
+    #[test]
+    fn degenerate_guardrail_configs_are_rejected() {
+        let mut cfg = guarded_hybrid_cfg();
+        cfg.guardrail.fallback = Strategy::Hybrid;
+        let err = Engine::try_new(cfg).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidGuardrail(_)));
+        assert!(err.to_string().contains("invalid guardrail"), "{err}");
+
+        let mut cfg = guarded_hybrid_cfg();
+        cfg.guardrail.probation_epochs = 0;
+        assert!(matches!(
+            Engine::try_new(cfg).unwrap_err(),
+            EngineError::InvalidGuardrail(_)
+        ));
+    }
+
+    #[test]
+    fn guardrail_is_quiet_on_healthy_runs() {
+        let out = Engine::new(guarded_hybrid_cfg()).run();
+        assert_eq!(out.failover_epochs, 0, "events: {:?}", out.guardrail_events);
+        assert_eq!(out.ladder_level, 0);
+        assert_eq!(out.quarantined_tables, 0);
+        assert!(out.guardrail_events.is_empty());
+        assert!(out.epochs.iter().all(|e| e.ladder_level == 0));
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+        assert!(out.speedup_vs_normal > 1.5, "{}", out.speedup_vs_normal);
+    }
+
+    #[test]
+    fn poisoned_qtable_fails_over_quarantines_and_recovers() {
+        let cfg = EngineConfig {
+            fault_plan: Some(poison_at_epoch_1()),
+            ..guarded_hybrid_cfg()
+        };
+        let out = Engine::new(cfg.clone()).run();
+        // Corruption fires in the poisoned epoch itself: the table is
+        // quarantined and the next rung (Parallel) steers.
+        assert_eq!(
+            out.quarantined_tables, 1,
+            "events: {:?}",
+            out.guardrail_events
+        );
+        assert!(out.ladder_level >= 1);
+        assert!(out.failover_epochs > 0);
+        assert!(out
+            .guardrail_events
+            .iter()
+            .any(|e| e.contains("corruption")));
+        assert_eq!(out.epochs[1].ladder_level, 0, "demotion lands next epoch");
+        assert_eq!(out.epochs[2].ladder_level, 1);
+        // Probation (6 clean epochs) passes and control re-promotes to
+        // the fresh Hybrid bootstrap before the burst ends.
+        assert!(out
+            .guardrail_events
+            .iter()
+            .any(|e| e.contains("re-promoted")));
+        assert_eq!(out.epochs.last().unwrap().ladder_level, 0);
+        // The failover never violates the Normal floor or the books.
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+        // Deterministic: same plan, same bytes.
+        let again = Engine::new(cfg).run();
+        assert_eq!(json(&out), json(&again));
+    }
+
+    #[test]
+    fn quarantine_sidecar_lands_in_the_configured_dir() {
+        let dir = std::env::temp_dir().join(format!("gs-engine-quar-{}", std::process::id()));
+        let dir_s = dir.display().to_string();
+        let mut cfg = EngineConfig {
+            fault_plan: Some(poison_at_epoch_1()),
+            ..guarded_hybrid_cfg()
+        };
+        cfg.guardrail.quarantine_dir = Some(dir_s.clone());
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.quarantined_tables, 1);
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("quarantine dir exists")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 1, "{files:?}");
+        assert!(files[0].starts_with("qtable-e1-"), "{files:?}");
+        let text = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+        let rec = crate::guardrail::QuarantineRecord::from_json(&text).unwrap();
+        // The captured table carries the poison signature and is
+        // loadable for forensics but rejected for reuse.
+        let learner = crate::qlearning::QLearner::from_json_unchecked(&rec.policy).unwrap();
+        assert!(learner.table_stats().non_finite > 0);
+        assert!(crate::qlearning::QLearner::from_json(&rec.policy).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_across_a_failover() {
+        let cfg = EngineConfig {
+            fault_plan: Some(poison_at_epoch_1()),
+            ..guarded_hybrid_cfg()
+        };
+        let (want_out, want_mon, want_pol) = Engine::new(cfg.clone()).run_full();
+        assert!(want_out.failover_epochs > 0, "fixture must fail over");
+
+        let mut snaps = Vec::new();
+        let (out, ..) = Engine::new(cfg)
+            .run_full_with_snapshots(3, &mut |s| snaps.push(s.clone()))
+            .unwrap();
+        assert_eq!(json(&out), json(&want_out), "snapshotting changed the run");
+        // Resume from every boundary — before, during, and after the
+        // failover window — and converge on the same bytes.
+        for snap in snaps {
+            let snap = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+            match resume_snapshot(snap, 0, &mut |_| {}).unwrap() {
+                ResumedRun::Burst {
+                    outcome,
+                    monitor,
+                    policy,
+                } => {
+                    assert_eq!(json(&outcome), json(&want_out));
+                    assert_eq!(json(&monitor), json(&want_mon));
+                    assert_eq!(policy, want_pol);
+                }
+                other => panic!("expected a burst, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn guardrail_supervises_non_learned_strategies_too() {
+        // Greedy has no Q-table to poison, but the ladder still arms for
+        // its comparative detectors; a healthy run never triggers.
+        let cfg = EngineConfig {
+            strategy: Strategy::Greedy,
+            ..guarded_hybrid_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.quarantined_tables, 0);
+        assert_eq!(out.failover_epochs, 0, "events: {:?}", out.guardrail_events);
+        assert!(out.floor_held);
     }
 }

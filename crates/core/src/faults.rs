@@ -92,6 +92,16 @@ pub enum FaultKind {
         /// Highest core count that can be activated.
         max_cores: u8,
     },
+    /// The active Hybrid Q-table is corrupted in place (a crashed learner
+    /// thread, bad restore, or adversarial write): cells are overwritten
+    /// with NaN and `magnitude`, exercising the guardrail's corruption
+    /// detector and failover ladder. Applied exactly once per event, to
+    /// whichever policy is active when the event first overlaps an epoch;
+    /// a no-op while a learner-free fallback strategy is steering.
+    QTablePoison {
+        /// Value planted in the non-NaN cells (the "value explosion").
+        magnitude: f64,
+    },
 }
 
 /// One scheduled fault: `kind` is active during `[at, at + duration)`.
@@ -183,6 +193,32 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Generate a Q-table-poisoning plan: 1–3 [`FaultKind::QTablePoison`]
+    /// events landing in the first half of `[start, start + window)`, so
+    /// a guardrail run has room to fail over *and* complete probation
+    /// before the burst ends. Kept separate from [`FaultPlan::generate`]
+    /// on purpose — adding a kind to that selector would reshuffle every
+    /// existing seeded plan stream. Pure function of the arguments.
+    pub fn generate_poison(seed: u64, start: SimTime, window: SimDuration) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x706f_6973_6f6e_2121); // "poison!!"
+        let n_events = 1 + rng.index(3); // 1..=3
+        let span_s = window.as_secs_f64();
+        let events = (0..n_events)
+            .map(|_| {
+                let at = start + SimDuration::from_secs_f64(span_s * rng.uniform_range(0.0, 0.5));
+                let duration = SimDuration::from_secs_f64(rng.uniform_range(30.0, 180.0));
+                FaultEvent {
+                    at,
+                    duration,
+                    kind: FaultKind::QTablePoison {
+                        magnitude: rng.uniform_range(1e7, 1e9),
+                    },
+                }
+            })
+            .collect();
+        FaultPlan { seed, events }
+    }
+
     /// Check every event is physically meaningful (factors finite and in
     /// range). Returns a description of the first offending event.
     pub fn validate(&self) -> Result<(), String> {
@@ -198,6 +234,9 @@ impl FaultPlan {
                 FaultKind::SocMisreport { factor } => check("soc-misreport", factor, 0.0, 10.0)?,
                 FaultKind::InverterDerate { factor } => check("inverter-derate", factor, 0.0, 1.0)?,
                 FaultKind::BatteryFade { factor } => check("battery-fade", factor, 0.01, 1.0)?,
+                FaultKind::QTablePoison { magnitude } => {
+                    check("qtable-poison", magnitude, 0.0, 1e12)?
+                }
                 _ => {}
             }
         }
@@ -231,6 +270,7 @@ impl FaultPlan {
                         None => max_cores,
                     })
                 }
+                FaultKind::QTablePoison { magnitude } => active.poisons.push((i, magnitude)),
             }
         }
         active
@@ -274,6 +314,9 @@ pub struct ActiveFaults {
     pub stuck: Vec<u8>,
     /// Core-activation cap (min over active events), if any.
     pub core_cap: Option<u8>,
+    /// `(event index, magnitude)` of Q-table-poisoning events overlapping
+    /// this epoch; like fades, the engine applies each exactly once.
+    pub poisons: Vec<(usize, f64)>,
 }
 
 impl Default for ActiveFaults {
@@ -289,6 +332,7 @@ impl Default for ActiveFaults {
             command_loss: Vec::new(),
             stuck: Vec::new(),
             core_cap: None,
+            poisons: Vec::new(),
         }
     }
 }
@@ -427,6 +471,54 @@ mod tests {
 
         let quiet = plan.active_during(t + mins(6), t + mins(7));
         assert!(!quiet.any());
+    }
+
+    #[test]
+    fn poison_plans_are_pure_seeded_and_validate() {
+        let start = SimTime::from_hours(11);
+        let a = FaultPlan::generate_poison(42, start, mins(10));
+        let b = FaultPlan::generate_poison(42, start, mins(10));
+        assert_eq!(a, b);
+        let c = FaultPlan::generate_poison(43, start, mins(10));
+        assert_ne!(a, c);
+        assert!((1..=3).contains(&a.events.len()));
+        assert!(a.validate().is_ok());
+        for e in &a.events {
+            // Early enough that failover and probation fit in the burst.
+            assert!(e.at >= start && e.at < start + mins(5));
+            assert!(matches!(e.kind, FaultKind::QTablePoison { magnitude }
+                if (1e7..=1e9).contains(&magnitude)));
+        }
+        // Poison plans do not perturb the pre-existing generator stream.
+        assert_eq!(
+            FaultPlan::generate(42, start, mins(10), 3),
+            FaultPlan::generate(42, start, mins(10), 3),
+        );
+    }
+
+    #[test]
+    fn poison_events_aggregate_and_validate() {
+        let t = SimTime::from_mins(10);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: t,
+            duration: mins(2),
+            kind: FaultKind::QTablePoison { magnitude: 1e8 },
+        }]);
+        assert!(plan.validate().is_ok());
+        let active = plan.active_during(t, t + SimDuration::from_secs(60));
+        assert_eq!(active.poisons, vec![(0, 1e8)]);
+        assert!(active.any());
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+
+        let bad = FaultPlan::new(vec![FaultEvent {
+            at: t,
+            duration: mins(2),
+            kind: FaultKind::QTablePoison {
+                magnitude: f64::INFINITY,
+            },
+        }]);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

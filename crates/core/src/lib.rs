@@ -49,6 +49,7 @@ pub mod config;
 pub mod datacenter;
 pub mod engine;
 pub mod faults;
+pub mod guardrail;
 pub mod monitor;
 pub mod pmk;
 pub mod predictor;
@@ -75,11 +76,15 @@ pub use engine::{
     BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, PredictorKind, ThermalModel,
 };
 pub use faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
+pub use guardrail::{
+    ladder_for, EpochSignals, Guardrail, GuardrailAction, GuardrailConfig, GuardrailState,
+    QuarantineRecord,
+};
 pub use monitor::Monitor;
 pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
-pub use qlearning::QLearner;
+pub use qlearning::{PolicyError, QLearner, TableStats};
 pub use supervisor::{
     epoch_budget, run_supervised_sweep, FailureRecord, RetryRecord, SupervisorPolicy, SweepReport,
 };
@@ -101,8 +106,10 @@ pub mod prelude {
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
     pub use crate::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
+    pub use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord};
     pub use crate::pmk::Strategy;
     pub use crate::profiler::ProfileTable;
+    pub use crate::qlearning::{PolicyError, QLearner};
     pub use crate::supervisor::{
         epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
     };

@@ -47,8 +47,16 @@ fn re_quality_series() -> TimeSeries {
     TimeSeries::new("re_quality")
 }
 
+fn ladder_series() -> TimeSeries {
+    TimeSeries::new("ladder_level")
+}
+
 /// Time-series retention of every observation stream.
+///
+/// Deserializes with container-level defaults so serialized monitors from
+/// before a stream existed load with that stream empty.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Monitor {
     re_supply: TimeSeries,
     demand: TimeSeries,
@@ -69,6 +77,11 @@ pub struct Monitor {
     /// Epochs recorded without a fresh supply reading.
     #[serde(default)]
     stale_re_epochs: usize,
+    /// Guardrail failover-ladder level per epoch (0 = active strategy).
+    /// Only populated when the guardrail is enabled; absent in older
+    /// serialized monitors.
+    #[serde(default = "ladder_series")]
+    ladder: TimeSeries,
 }
 
 impl Default for Monitor {
@@ -91,6 +104,7 @@ impl Monitor {
             last_good_re: None,
             last_good_soc: None,
             stale_re_epochs: 0,
+            ladder: ladder_series(),
         }
     }
 
@@ -171,6 +185,16 @@ impl Monitor {
     /// How many recorded epochs lacked a fresh supply reading.
     pub fn stale_re_epochs(&self) -> usize {
         self.stale_re_epochs
+    }
+
+    /// Record the guardrail's failover-ladder level for one epoch.
+    pub fn record_ladder(&mut self, t: SimTime, level: usize) {
+        self.ladder.push(t, level as f64);
+    }
+
+    /// Failover-ladder level stream (empty when the guardrail is off).
+    pub fn ladder(&self) -> &TimeSeries {
+        &self.ladder
     }
 }
 
@@ -274,5 +298,22 @@ mod tests {
         assert_eq!(m.re_supply().points().last().unwrap().1, 42.0);
         assert_eq!(m.last_good_re(), None);
         assert_eq!(m.stale_re_epochs(), 1);
+    }
+
+    #[test]
+    fn ladder_stream_is_optional_and_records_levels() {
+        let mut m = Monitor::new();
+        assert_eq!(m.ladder().len(), 0);
+        m.record_ladder(SimTime::from_secs(60), 0);
+        m.record_ladder(SimTime::from_secs(120), 2);
+        assert_eq!(m.ladder().len(), 2);
+        assert_eq!(m.ladder().points().last().unwrap().1, 2.0);
+        // Pre-guardrail serialized monitors deserialize with an empty
+        // ladder stream rather than failing.
+        let json = serde_json::to_string(&Monitor::new()).unwrap();
+        let stripped = json.replace(",\"ladder\":{\"points\":[],\"name\":\"ladder_level\"}", "");
+        assert_ne!(json, stripped);
+        let old: Monitor = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.ladder().len(), 0);
     }
 }

@@ -237,8 +237,9 @@ impl Pmk {
     }
 }
 
-/// Consecutive commanded-vs-observed mismatches before the watchdog clamps
-/// a server to Normal (and matches before it releases the clamp).
+/// Default number of consecutive commanded-vs-observed mismatches before
+/// the watchdog clamps a server to Normal (and matches before it releases
+/// the clamp). Configurable per run via `EngineConfig::watchdog_threshold`.
 pub const WATCHDOG_THRESHOLD: u32 = 3;
 
 /// Commanded-vs-observed actuation watchdog.
@@ -247,25 +248,43 @@ pub const WATCHDOG_THRESHOLD: u32 = 3;
 /// hot-plug times out. A controller that keeps planning sprints for a
 /// server that is not actually obeying burns battery against phantom
 /// performance. The watchdog compares what the PMK commanded against what
-/// the control plane reports applied; after [`WATCHDOG_THRESHOLD`]
-/// consecutive mismatches on a server it clamps that server's commands to
-/// Normal — the one setting that requires no actuation — until the same
-/// number of consecutive clean matches shows the knob is back.
+/// the control plane reports applied; after `threshold` consecutive
+/// mismatches on a server (default [`WATCHDOG_THRESHOLD`]) it clamps that
+/// server's commands to Normal — the one setting that requires no
+/// actuation — until the same number of consecutive clean matches shows
+/// the knob is back.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ActuationWatchdog {
     mismatch_streak: Vec<u32>,
     match_streak: Vec<u32>,
     clamped: Vec<bool>,
+    /// Streak length that trips (and releases) the clamp. Serialized with
+    /// the watchdog; checkpoints from before the field existed are
+    /// already rejected by the config fingerprint.
+    threshold: u32,
 }
 
 impl ActuationWatchdog {
-    /// A watchdog for `n` servers, all trusted.
+    /// A watchdog for `n` servers, all trusted, with the default
+    /// [`WATCHDOG_THRESHOLD`].
     pub fn new(n: usize) -> Self {
+        Self::with_threshold(n, WATCHDOG_THRESHOLD)
+    }
+
+    /// A watchdog for `n` servers with a custom mismatch threshold
+    /// (clamped to ≥ 1; a zero threshold would clamp healthy servers).
+    pub fn with_threshold(n: usize, threshold: u32) -> Self {
         ActuationWatchdog {
             mismatch_streak: vec![0; n],
             match_streak: vec![0; n],
             clamped: vec![false; n],
+            threshold: threshold.max(1),
         }
+    }
+
+    /// The configured mismatch threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
     }
 
     /// Report one epoch's commanded and observed settings for server `i`.
@@ -273,13 +292,13 @@ impl ActuationWatchdog {
         if commanded == applied {
             self.mismatch_streak[i] = 0;
             self.match_streak[i] += 1;
-            if self.clamped[i] && self.match_streak[i] >= WATCHDOG_THRESHOLD {
+            if self.clamped[i] && self.match_streak[i] >= self.threshold {
                 self.clamped[i] = false;
             }
         } else {
             self.match_streak[i] = 0;
             self.mismatch_streak[i] += 1;
-            if self.mismatch_streak[i] >= WATCHDOG_THRESHOLD {
+            if self.mismatch_streak[i] >= self.threshold {
                 self.clamped[i] = true;
             }
         }
@@ -460,6 +479,21 @@ mod tests {
             w.observe(0, stuck, stuck);
         }
         assert!(!w.is_clamped(0));
+    }
+
+    #[test]
+    fn watchdog_custom_threshold_clamps_and_releases_on_its_own_schedule() {
+        let mut w = ActuationWatchdog::with_threshold(1, 1);
+        assert_eq!(w.threshold(), 1);
+        let cmd = ServerSetting::max_sprint();
+        w.observe(0, cmd, ServerSetting::normal());
+        assert!(w.is_clamped(0), "threshold 1 clamps on the first mismatch");
+        w.observe(0, ServerSetting::normal(), ServerSetting::normal());
+        assert!(!w.is_clamped(0), "and releases after one clean match");
+        // A zero threshold is coerced to 1 rather than clamping healthy
+        // servers on their first epoch.
+        let w = ActuationWatchdog::with_threshold(1, 0);
+        assert_eq!(w.threshold(), 1);
     }
 
     #[test]

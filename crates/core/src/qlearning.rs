@@ -53,6 +53,14 @@ impl QState {
 
     /// Total number of states.
     pub const COUNT: usize = LEVELS * LEVELS;
+
+    /// Whether both levels lie inside the quantization grid. [`quantize`]
+    /// never produces an out-of-range level, but a deserialized or
+    /// corrupted state can carry one; indexing the table with it would
+    /// read another state's cells (or panic).
+    pub fn in_range(self) -> bool {
+        self.power_level < LEVELS && self.load_level < LEVELS
+    }
 }
 
 /// Quantize a fraction in `[0, 1]` to a 5 % level.
@@ -116,6 +124,65 @@ pub fn reward(inp: &RewardInputs) -> f64 {
     } else {
         -r_power - 1.0
     }
+}
+
+/// Why an exported policy cannot be loaded.
+///
+/// Returned by [`QLearner::from_json`]; surfaced by the CLI as a usage
+/// error (exit 2) and by the engine as `InvalidWarmPolicy`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// The text does not parse as a policy at all.
+    Parse(String),
+    /// The table does not have `QState::COUNT × |S|` cells.
+    WrongShape {
+        /// Cells a well-formed table must have.
+        expected: usize,
+        /// Cells the table actually has.
+        got: usize,
+    },
+    /// The table holds NaN or infinite values.
+    NonFinite {
+        /// Number of non-finite cells.
+        cells: usize,
+    },
+    /// A hyper-parameter or quantization reference is out of range.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Parse(e) => write!(f, "policy does not parse: {e}"),
+            PolicyError::WrongShape { expected, got } => {
+                write!(f, "table has {got} cells, expected {expected}")
+            }
+            PolicyError::NonFinite { cells } => {
+                write!(f, "table holds {cells} NaN/inf cells")
+            }
+            PolicyError::BadParameter(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Summary statistics over a Q-table, shared by the guardrail's
+/// corruption detector and `greensprint qtable dump`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Total number of cells.
+    pub cells: usize,
+    /// Cells holding NaN or ±inf.
+    pub non_finite: usize,
+    /// Smallest finite value (`0.0` if none are finite).
+    pub min: f64,
+    /// Largest finite value (`0.0` if none are finite).
+    pub max: f64,
+    /// Mean over finite values (`0.0` if none are finite).
+    pub mean: f64,
+    /// Largest absolute finite value (`0.0` if none are finite).
+    pub max_abs: f64,
 }
 
 /// The tabular Q-learner.
@@ -256,9 +323,118 @@ impl QLearner {
         serde_json::to_string(self).expect("QLearner serializes")
     }
 
-    /// Restore a learner saved with [`Self::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Restore a learner saved with [`Self::to_json`], rejecting any
+    /// table no engine should ever run: wrong dimensions, NaN/inf
+    /// cells, or out-of-range hyper-parameters / quantization maxima.
+    pub fn from_json(json: &str) -> Result<Self, PolicyError> {
+        let q = Self::from_json_unchecked(json)?;
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// Parse without validation — the forensic path for inspecting
+    /// quarantined (deliberately corrupt) tables; [`Self::validate`]
+    /// reports what is wrong with the result.
+    ///
+    /// The serializer writes non-finite floats as `null` (JSON has no
+    /// NaN), so `null` table cells are mapped back to NaN here — a
+    /// quarantined table round-trips with its corruption intact.
+    pub fn from_json_unchecked(json: &str) -> Result<Self, PolicyError> {
+        let mut v: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| PolicyError::Parse(e.to_string()))?;
+        if let serde_json::Value::Object(fields) = &mut v {
+            if let Some((_, serde_json::Value::Array(cells))) =
+                fields.iter_mut().find(|(k, _)| k == "table")
+            {
+                for c in cells.iter_mut() {
+                    if matches!(c, serde_json::Value::Null) {
+                        *c = serde_json::Value::Number(serde::Number::from_f64(f64::NAN));
+                    }
+                }
+            }
+        }
+        serde_json::from_value(v).map_err(|e| PolicyError::Parse(e.to_string()))
+    }
+
+    /// Structural health check: table shape, cell finiteness, and
+    /// hyper-parameter / quantization-reference ranges.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        let expected = QState::COUNT * ServerSetting::all().len();
+        if self.table.len() != expected {
+            return Err(PolicyError::WrongShape {
+                expected,
+                got: self.table.len(),
+            });
+        }
+        let cells = self.table.iter().filter(|v| !v.is_finite()).count();
+        if cells > 0 {
+            return Err(PolicyError::NonFinite { cells });
+        }
+        for (name, v) in [
+            ("max_power_w", self.max_power_w),
+            ("max_load_rps", self.max_load_rps),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PolicyError::BadParameter(format!(
+                    "{name} must be finite and positive, got {v}"
+                )));
+            }
+        }
+        for (name, v) in [
+            ("learning_rate", self.learning_rate),
+            ("discount", self.discount),
+            ("epsilon", self.epsilon),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(PolicyError::BadParameter(format!(
+                    "{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics over the table (finite-value min/max/mean and
+    /// the non-finite cell count).
+    pub fn table_stats(&self) -> TableStats {
+        let mut stats = TableStats {
+            cells: self.table.len(),
+            non_finite: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            max_abs: 0.0,
+        };
+        let mut finite = 0_usize;
+        let mut sum = 0.0;
+        for &v in &self.table {
+            if v.is_finite() {
+                finite += 1;
+                sum += v;
+                stats.min = stats.min.min(v);
+                stats.max = stats.max.max(v);
+                stats.max_abs = stats.max_abs.max(v.abs());
+            } else {
+                stats.non_finite += 1;
+            }
+        }
+        if finite > 0 {
+            stats.mean = sum / finite as f64;
+        } else {
+            stats.min = 0.0;
+            stats.max = 0.0;
+        }
+        stats
+    }
+
+    /// Deterministically corrupt the table — the chaos `QTablePoison`
+    /// fault. Every 13th cell becomes NaN and every other cell is
+    /// overwritten with `magnitude`, exhibiting both corruption
+    /// signatures (non-finite cells and value explosion) at once.
+    pub fn poison(&mut self, magnitude: f64) {
+        for (i, v) in self.table.iter_mut().enumerate() {
+            *v = if i % 13 == 0 { f64::NAN } else { magnitude };
+        }
     }
 
     /// The Bellman update of Algorithm 1 line 15.
@@ -504,6 +680,131 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         assert!(QLearner::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_nan_cells() {
+        let (mut q, profiles) = learner();
+        q.bootstrap(&profiles);
+        q.poison(1.0);
+        let err = QLearner::from_json(&q.to_json()).expect_err("NaN table must be rejected");
+        assert!(
+            matches!(err, PolicyError::NonFinite { cells } if cells > 0),
+            "{err}"
+        );
+    }
+
+    /// Overwrite one top-level field of a policy JSON object.
+    fn set_field(json: &str, key: &str, val: serde_json::Value) -> String {
+        let mut v: serde_json::Value = serde_json::from_str(json).unwrap();
+        let serde_json::Value::Object(fields) = &mut v else {
+            panic!("policy JSON is an object");
+        };
+        let slot = fields
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("field {key} missing"));
+        slot.1 = val;
+        serde_json::to_string(&v).unwrap()
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shape_and_bad_references() {
+        let (q, _) = learner();
+        let json = q.to_json();
+
+        // Truncate the table: drop one cell.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Object(fields) = &mut v {
+            if let Some((_, serde_json::Value::Array(cells))) =
+                fields.iter_mut().find(|(k, _)| k == "table")
+            {
+                cells.pop();
+            }
+        }
+        let err = QLearner::from_json(&serde_json::to_string(&v).unwrap())
+            .expect_err("short table must be rejected");
+        assert!(matches!(err, PolicyError::WrongShape { .. }), "{err}");
+
+        // Non-positive quantization reference.
+        let bad = set_field(
+            &json,
+            "max_power_w",
+            serde_json::Value::Number(serde::Number::from_f64(-1.0)),
+        );
+        let err = QLearner::from_json(&bad).expect_err("bad max_power_w");
+        assert!(matches!(err, PolicyError::BadParameter(_)), "{err}");
+
+        // Out-of-range hyper-parameter.
+        let bad = set_field(
+            &json,
+            "learning_rate",
+            serde_json::Value::Number(serde::Number::from_f64(3.5)),
+        );
+        let err = QLearner::from_json(&bad).expect_err("bad learning_rate");
+        assert!(matches!(err, PolicyError::BadParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn unchecked_parse_loads_corrupt_tables_for_forensics() {
+        let (mut q, _) = learner();
+        q.poison(1e9);
+        let json = q.to_json();
+        assert!(QLearner::from_json(&json).is_err());
+        let loaded = QLearner::from_json_unchecked(&json).expect("forensic load");
+        let stats = loaded.table_stats();
+        assert!(stats.non_finite > 0);
+        assert_eq!(stats.max_abs, 1e9);
+        assert!(loaded.validate().is_err());
+    }
+
+    #[test]
+    fn table_stats_summarize_the_table() {
+        let (mut q, profiles) = learner();
+        q.bootstrap(&profiles);
+        let stats = q.table_stats();
+        assert_eq!(stats.cells, QState::COUNT * ServerSetting::all().len());
+        assert_eq!(stats.non_finite, 0);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!(stats.max_abs >= stats.max.abs());
+    }
+
+    #[test]
+    fn poison_flips_both_corruption_signatures() {
+        let (mut q, _) = learner();
+        q.poison(1e8);
+        let stats = q.table_stats();
+        assert!(stats.non_finite > 0, "poison must plant NaN cells");
+        assert_eq!(stats.max_abs, 1e8, "poison must plant exploded values");
+        // A poisoned table still yields *some* feasible action — the
+        // engine's floor never depends on table health.
+        let mut rng = SimRng::seed_from_u64(9);
+        let s = QState {
+            power_level: 10,
+            load_level: 10,
+        };
+        let all = ServerSetting::all();
+        let pick = q.best_action(s, &all, &mut rng);
+        assert!(all.contains(&pick));
+    }
+
+    #[test]
+    fn qstate_range_check() {
+        assert!(QState {
+            power_level: 20,
+            load_level: 0
+        }
+        .in_range());
+        assert!(!QState {
+            power_level: 21,
+            load_level: 0
+        }
+        .in_range());
+        assert!(!QState {
+            power_level: 0,
+            load_level: 99
+        }
+        .in_range());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
 //!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
 //! greensprint resume FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
+//! greensprint qtable (validate|dump) FILE
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
 //! greensprint tco [--hours H]
 //! ```
@@ -40,6 +41,7 @@ fn main() {
         "sweep" => sweep(&flags),
         "chaos" => chaos(&flags),
         "resume" => resume_cmd(&positional, &flags),
+        "qtable" => qtable(&positional),
         "trace" => trace(&positional, &flags),
         "tco" => tco(&flags),
         "help" | "--help" | "-h" => usage(""),
@@ -284,6 +286,26 @@ fn axis<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> 
         .collect()
 }
 
+/// Apply the guardrail flags (`--guardrail on|off`, `--fallback STRATEGY`,
+/// `--quarantine-dir DIR`) on top of a base configuration. Used by every
+/// subcommand that builds an [`EngineConfig`], so scenario files, plain
+/// flag runs, and sweep/chaos grids all accept the same switches.
+fn apply_guardrail_flags(cfg: &mut EngineConfig, flags: &HashMap<String, String>) {
+    if let Some(v) = flags.get("guardrail") {
+        cfg.guardrail.enabled = match v.as_str() {
+            "on" | "true" => true,
+            "off" | "false" => false,
+            other => usage(&format!("--guardrail takes on|off, got {other}")),
+        };
+    }
+    if let Some(s) = flags.get("fallback") {
+        cfg.guardrail.fallback = parse_strategy(s);
+    }
+    if let Some(dir) = flags.get("quarantine-dir") {
+        cfg.guardrail.quarantine_dir = Some(dir.clone());
+    }
+}
+
 fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
     // A scenario file provides the base configuration; every other flag
     // then overrides it. Missing fields take the library defaults
@@ -315,6 +337,7 @@ fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
         if flags.contains_key("analytic") {
             cfg.measurement = MeasurementMode::Analytic;
         }
+        apply_guardrail_flags(&mut cfg, flags);
         return cfg;
     }
     let trace_override = flags.get("trace").map(|path| {
@@ -325,7 +348,7 @@ fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
         std::fs::read_to_string(path)
             .unwrap_or_else(|e| usage(&format!("cannot read policy {path}: {e}")))
     });
-    EngineConfig {
+    let mut cfg = EngineConfig {
         app: app_of(flags),
         green: green_of(flags),
         strategy: strategy_of(flags),
@@ -342,7 +365,9 @@ fn engine_cfg(flags: &HashMap<String, String>) -> EngineConfig {
         warm_policy_json,
         seed: get(flags, "seed", 7_u64),
         ..EngineConfig::default()
-    }
+    };
+    apply_guardrail_flags(&mut cfg, flags);
+    cfg
 }
 
 fn simulate(flags: &HashMap<String, String>) {
@@ -480,7 +505,7 @@ fn sweep(flags: &HashMap<String, String>) {
         for green in &greens {
             for strat in &strategies {
                 for avail in &availabilities {
-                    let base = EngineConfig {
+                    let mut base = EngineConfig {
                         app: parse_app(app),
                         green: parse_green(green),
                         strategy: parse_strategy(strat),
@@ -489,6 +514,7 @@ fn sweep(flags: &HashMap<String, String>) {
                         measurement,
                         ..EngineConfig::default()
                     };
+                    apply_guardrail_flags(&mut base, flags);
                     if days > 0 {
                         let label = format!("{app}/{green}/{strat}/{avail}/{days}day");
                         points.push(SweepPoint::campaign(
@@ -781,6 +807,78 @@ fn tco(flags: &HashMap<String, String>) {
     );
 }
 
+/// `greensprint qtable validate|dump FILE` — offline forensics on a
+/// serialized Q-table: either a raw policy JSON (`simulate --save-policy`)
+/// or a quarantine sidecar written by the guardrail. `validate` exits 0
+/// for a healthy table and 2 with the typed rejection otherwise; `dump`
+/// prints what it can of any table, corrupt or not.
+fn qtable(positional: &[String]) {
+    let action = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage("qtable needs an action: validate | dump");
+    });
+    let path = positional.get(1).map(String::as_str).unwrap_or_else(|| {
+        usage("qtable needs a FILE (a saved policy or a quarantine sidecar)");
+    });
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    // A quarantine sidecar wraps the policy with provenance; unwrap it.
+    let (policy, sidecar) = match QuarantineRecord::from_json(&text) {
+        Ok(rec) => (rec.policy.clone(), Some(rec)),
+        Err(_) => (text, None),
+    };
+    if let Some(rec) = &sidecar {
+        println!("quarantine sidecar:");
+        println!("  epoch     : {}", rec.epoch);
+        println!("  reason    : {}", rec.reason);
+        println!("  checksum  : {}", rec.checksum);
+        match rec.verify() {
+            Ok(()) => println!("  integrity : checksum ok"),
+            Err(e) => println!("  integrity : MISMATCH ({e})"),
+        }
+    }
+    match action {
+        "validate" => match QLearner::from_json(&policy) {
+            Ok(l) => {
+                print_table_stats(&l);
+                println!("verdict: ok");
+            }
+            Err(e) => {
+                eprintln!("error: invalid Q-table: {e}");
+                exit(2);
+            }
+        },
+        "dump" => match QLearner::from_json_unchecked(&policy) {
+            Ok(l) => {
+                print_table_stats(&l);
+                match l.validate() {
+                    Ok(()) => println!("verdict: ok"),
+                    Err(e) => println!("verdict: CORRUPT ({e})"),
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot parse Q-table: {e}");
+                exit(2);
+            }
+        },
+        other => usage(&format!("unknown qtable action: {other}")),
+    }
+}
+
+fn print_table_stats(l: &QLearner) {
+    let s = l.table_stats();
+    println!("q-table:");
+    println!(
+        "  hyperparams : alpha {} gamma {} epsilon {}",
+        l.learning_rate, l.discount, l.epsilon
+    );
+    println!("  cells       : {}", s.cells);
+    println!("  non-finite  : {}", s.non_finite);
+    println!(
+        "  range       : [{:.6}, {:.6}] mean {:.6} max|q| {:.6}",
+        s.min, s.max, s.mean, s.max_abs
+    );
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -812,8 +910,22 @@ usage:
                        journal re-runs only the missing points and prints the full result
                        set in index order; an engine snapshot (simulate/campaign
                        --checkpoint, Analytic mode only) finishes from the last epoch
+  greensprint qtable   (validate|dump) FILE
+                       offline Q-table forensics: FILE is a saved policy or a guardrail
+                       quarantine sidecar; validate exits 2 on a corrupt table, dump
+                       prints stats for any table
   greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
   greensprint tco [--hours H]
+
+guardrail flags (simulate/campaign/sweep/chaos):
+  --guardrail on|off       shadow a certified fallback strategy each epoch; on
+                           deterministic detector trips (SLO streak, SoC-vs-plan
+                           divergence, reward regression vs shadow, Q-table corruption)
+                           demote down the failover ladder Hybrid > Parallel > Pacing >
+                           Normal, quarantine the offending Q-table, and re-promote
+                           after a clean probation window (off)
+  --fallback STRATEGY      certified fallback to shadow and land on (pacing)
+  --quarantine-dir DIR     where quarantined Q-table sidecars are written
 
 robustness flags:
   --checkpoint FILE        sweep/chaos: fsync'd JSON-lines journal of completed points

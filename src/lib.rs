@@ -60,8 +60,12 @@ pub mod prelude {
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
     };
     pub use greensprint::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
+    pub use greensprint::guardrail::{
+        Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord,
+    };
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
+    pub use greensprint::qlearning::{PolicyError, QLearner, TableStats};
     pub use greensprint::supervisor::{
         epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
     };

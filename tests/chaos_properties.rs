@@ -22,6 +22,18 @@ fn generate(seed: u64) -> FaultPlan {
     FaultPlan::generate(seed, SimTime::from_hours(11), SimDuration::from_mins(5), 3)
 }
 
+fn generate_poison(seed: u64) -> FaultPlan {
+    FaultPlan::generate_poison(seed, SimTime::from_hours(11), SimDuration::from_mins(5))
+}
+
+/// The poison property config: Hybrid (the only learned strategy, so the
+/// only poisonable one) with the guardrail supervising it.
+fn guarded_cfg(plan: FaultPlan) -> EngineConfig {
+    let mut cfg = chaos_cfg(Strategy::Hybrid, plan);
+    cfg.guardrail.enabled = true;
+    cfg
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -87,6 +99,46 @@ proptest! {
         );
     }
 
+    /// Any seeded Q-table-poisoning plan trips the guardrail within the
+    /// detection window: the corruption detector fires the epoch the
+    /// poison lands, the ladder demotes at that epoch's boundary (so the
+    /// failover steers no later than the following epoch), the offending
+    /// table is quarantined, and the run still holds the Normal floor
+    /// with a clean invariant audit.
+    #[test]
+    fn any_poison_plan_fails_over_and_holds_the_floor(seed in 0_u64..10_000) {
+        let plan = generate_poison(seed);
+        let first_at = plan
+            .events
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .expect("poison plans always carry at least one event");
+        let start = SimTime::from_hours(11);
+        let poison_epoch = ((first_at.as_secs_f64() - start.as_secs_f64()) / 60.0) as usize;
+        let out = Engine::new(guarded_cfg(plan)).run();
+        prop_assert!(out.failover_epochs > 0, "seed {seed}: guardrail never fired");
+        prop_assert!(out.ladder_level >= 1, "seed {seed}");
+        prop_assert!(out.quarantined_tables >= 1, "seed {seed}: table not quarantined");
+        let first_failover = out.epochs.iter().position(|e| e.ladder_level > 0);
+        prop_assert!(
+            first_failover.is_some_and(|i| i <= poison_epoch + 2),
+            "seed {seed}: poison at epoch {poison_epoch}, failover first steered at {first_failover:?}"
+        );
+        prop_assert!(out.floor_held, "seed {seed}");
+        prop_assert!(
+            out.grid_overload_wh == 0.0,
+            "seed {seed}: overload {}",
+            out.grid_overload_wh
+        );
+        prop_assert!(
+            out.audit_violations.is_empty(),
+            "seed {seed}: {} violation(s), first: {}",
+            out.audit_violations.len(),
+            out.audit_violations[0]
+        );
+    }
+
     /// Same (seed, plan) → bit-identical outcome, run to run.
     #[test]
     fn fault_runs_are_reproducible(seed in 0_u64..1_000) {
@@ -124,6 +176,41 @@ fn chaos_sweep_is_job_count_invariant() {
         if let SweepOutcome::Burst(b) = &r.outcome {
             assert!(b.floor_held, "{}", r.label);
             assert_eq!(b.grid_overload_wh, 0.0, "{}", r.label);
+            assert!(
+                b.audit_violations.is_empty(),
+                "{}: {:?}",
+                r.label,
+                b.audit_violations
+            );
+        }
+    }
+}
+
+/// A guardrail-supervised poisoning batch stays bit-identical at any job
+/// count: the shadow controller, detectors, and failover ladder are all
+/// deterministic, so parallelism cannot perturb the outcome.
+#[test]
+fn poisoned_chaos_sweep_is_job_count_invariant() {
+    let points: Vec<SweepPoint> = (0..6)
+        .map(|r| {
+            SweepPoint::burst(
+                format!("poison{r}"),
+                guarded_cfg(generate_poison(derive_seed(99, r))),
+            )
+        })
+        .collect();
+    let serial = run_sweep(points.clone(), 7, 1);
+    let parallel = run_sweep(points, 7, 8);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "jobs 1 vs jobs 8 must be byte-identical under failover"
+    );
+    for r in &serial {
+        if let SweepOutcome::Burst(b) = &r.outcome {
+            assert!(b.failover_epochs > 0, "{}: guardrail never fired", r.label);
+            assert!(b.quarantined_tables >= 1, "{}", r.label);
+            assert!(b.floor_held, "{}", r.label);
             assert!(
                 b.audit_violations.is_empty(),
                 "{}: {:?}",

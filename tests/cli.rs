@@ -286,6 +286,134 @@ fn chaos_accepts_a_plan_file_and_rejects_garbage_plans() {
 }
 
 #[test]
+fn guardrail_chaos_fails_over_and_exits_clean() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let plan = dir.join(format!("gs-cli-poison-{pid}.json"));
+    let quarantine = dir.join(format!("gs-cli-quarantine-{pid}"));
+    // One Q-table poisoning event one epoch into an 11:00 burst.
+    std::fs::write(
+        &plan,
+        r#"{"seed": 0, "events": [
+            {"at": 39660000000, "duration": 60000000,
+             "kind": {"QTablePoison": {"magnitude": 1000000000.0}}}
+        ]}"#,
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "chaos",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--strategy",
+        "hybrid",
+        "--minutes",
+        "15",
+        "--analytic",
+        "--runs",
+        "2",
+        "--jobs",
+        "2",
+        "--guardrail",
+        "on",
+        "--quarantine-dir",
+        quarantine.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    for line in &lines {
+        // Every run failed over, quarantined the table, and still passed
+        // the chaos gate (floor, grid cap, audit).
+        assert!(!line.contains("\"failover_epochs\":0,"), "{line}");
+        assert!(line.contains("\"quarantined_tables\":1"), "{line}");
+        assert!(line.contains("\"floor_held\":true"), "{line}");
+        assert!(line.contains("\"audit_violations\":[]"), "{line}");
+    }
+    assert!(stderr.contains("all held the Normal floor"), "{stderr}");
+    // The quarantine sidecars landed and carry the corrupt table.
+    let sidecars: Vec<_> = std::fs::read_dir(&quarantine)
+        .expect("quarantine dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(!sidecars.is_empty(), "no sidecars in {quarantine:?}");
+    let (stdout, _, ok) = run(&["qtable", "dump", sidecars[0].to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("quarantine sidecar"), "{stdout}");
+    assert!(stdout.contains("checksum ok"), "{stdout}");
+    assert!(stdout.contains("verdict: CORRUPT"), "{stdout}");
+    // validate refuses the same table with exit 2.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(["qtable", "validate", sidecars[0].to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(plan).ok();
+    std::fs::remove_dir_all(quarantine).ok();
+}
+
+#[test]
+fn qtable_validates_healthy_policies_and_rejects_garbage() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let policy = dir.join(format!("gs-cli-qtable-{pid}.json"));
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--strategy",
+        "hybrid",
+        "--minutes",
+        "5",
+        "--analytic",
+        "--save-policy",
+        policy.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    let (stdout, _, ok) = run(&["qtable", "validate", policy.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("verdict: ok"), "{stdout}");
+    assert!(stdout.contains("non-finite  : 0"), "{stdout}");
+
+    // Garbage → exit 2 with the typed rejection, no panic.
+    std::fs::write(&policy, r#"{"not": "a table"}"#).unwrap();
+    for action in ["validate", "dump"] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+            .args(["qtable", action, policy.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{action}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("Q-table"), "{action}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{action}: {stderr}");
+    }
+    // Missing operands are usage errors.
+    let (_, stderr, ok) = run(&["qtable", "validate"]);
+    assert!(!ok);
+    assert!(stderr.contains("qtable needs a FILE"), "{stderr}");
+    let (_, stderr, ok) = run(&["qtable"]);
+    assert!(!ok);
+    assert!(stderr.contains("validate | dump"), "{stderr}");
+    std::fs::remove_file(policy).ok();
+}
+
+#[test]
+fn guardrail_flag_rejects_bad_values() {
+    let (_, stderr, ok) = run(&["simulate", "--analytic", "--guardrail", "maybe"]);
+    assert!(!ok);
+    assert!(stderr.contains("--guardrail takes on|off"), "{stderr}");
+    // A Hybrid fallback cannot be certified (it is the learned strategy
+    // the guardrail exists to supervise) — rejected up front.
+    let (_, stderr, ok) = run(&[
+        "simulate",
+        "--analytic",
+        "--guardrail",
+        "on",
+        "--fallback",
+        "hybrid",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("guardrail"), "{stderr}");
+}
+
+#[test]
 fn missing_input_files_are_usage_errors() {
     for args in [
         ["simulate", "--trace", "/nonexistent/gs-trace.csv"],
