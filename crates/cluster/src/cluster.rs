@@ -71,6 +71,24 @@ impl Cluster {
         self.servers.iter().filter(|s| s.is_green()).count()
     }
 
+    /// Indices of the green servers currently powered (the capacity a
+    /// degraded-fleet plan can actually spread load across).
+    pub fn live_green_ids(&self) -> Vec<usize> {
+        self.servers
+            .iter()
+            .filter(|s| s.is_green() && s.is_powered())
+            .map(Server::id)
+            .collect()
+    }
+
+    /// Number of powered green servers.
+    pub fn live_green_count(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|s| s.is_green() && s.is_powered())
+            .count()
+    }
+
     /// Aggregate power (W) of the green subset at a common utilization.
     pub fn green_power_w(&self, utilization: f64) -> f64 {
         self.servers
@@ -128,6 +146,26 @@ mod tests {
         // peak green supply.
         let g = c.green_power_w(1.0);
         assert!((g - 465.0).abs() < 1.0, "green={g}");
+    }
+
+    #[test]
+    fn downed_green_servers_leave_the_live_set_and_the_power_books() {
+        let mut c = cluster();
+        for s in c.servers_mut() {
+            s.apply_setting(ServerSetting::max_sprint());
+        }
+        let full = c.green_power_w(1.0);
+        c.servers_mut()[1].set_powered(false);
+        assert_eq!(c.live_green_count(), 2);
+        assert_eq!(c.live_green_ids(), vec![0, 2]);
+        assert_eq!(c.green_count(), 3, "provisioning is not liveness");
+        let degraded = c.green_power_w(1.0);
+        assert!(
+            (full - degraded - 155.0).abs() < 1.0,
+            "dead server still drawing: full={full} degraded={degraded}"
+        );
+        c.servers_mut()[1].set_powered(true);
+        assert_eq!(c.live_green_count(), 3);
     }
 
     #[test]

@@ -24,17 +24,37 @@ pub struct Server {
     provisioning: Provisioning,
     power_model: PowerModel,
     control: SimControl,
+    powered: bool,
 }
 
 impl Server {
-    /// Create a server in Normal mode.
+    /// Create a server in Normal mode, powered up.
     pub fn new(id: usize, provisioning: Provisioning, power_model: PowerModel) -> Self {
         Server {
             id,
             provisioning,
             power_model,
             control: SimControl::new(),
+            powered: true,
         }
+    }
+
+    /// Physical power state: a crashed or flapping server draws nothing
+    /// and carries no load until it is powered back up.
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Power the server down (0 W) or back up. A server that comes back
+    /// from an outage boots in Normal mode — its pre-crash sprint setting
+    /// is volatile state, exactly like the engine's fleet-fault model.
+    pub fn set_powered(&mut self, on: bool) {
+        if on && !self.powered {
+            self.control
+                .apply(ServerSetting::normal())
+                .expect("sim control cannot fail");
+        }
+        self.powered = on;
     }
 
     /// Stable identifier (index in the cluster).
@@ -78,7 +98,11 @@ impl Server {
     }
 
     /// Power draw (W) at the current setting and the given utilization.
+    /// Zero while powered down.
     pub fn power_w(&self, utilization: f64) -> f64 {
+        if !self.powered {
+            return 0.0;
+        }
         self.power_model.power_w(self.setting(), utilization)
     }
 
@@ -124,6 +148,23 @@ mod tests {
         assert!((s.power_w(1.0) - 155.0).abs() < 1e-9);
         assert!(s.power_w(0.5) < 155.0);
         assert!((s.planned_power_w(ServerSetting::normal()) - 99.7).abs() < 0.5);
+    }
+
+    #[test]
+    fn power_cycle_draws_nothing_down_and_reboots_into_normal() {
+        let mut s = server();
+        s.apply_setting(ServerSetting::max_sprint());
+        assert!(s.is_powered());
+        s.set_powered(false);
+        assert!(!s.is_powered());
+        assert_eq!(s.power_w(1.0), 0.0, "a dead server draws nothing");
+        s.set_powered(true);
+        assert_eq!(
+            s.setting(),
+            ServerSetting::normal(),
+            "the pre-crash sprint setting is volatile"
+        );
+        assert_eq!(s.power_w(0.0), 76.0);
     }
 
     #[test]

@@ -47,8 +47,20 @@ pub struct EpochFlows {
     /// During a guardrail failover epoch: `(rack goodput, required
     /// Normal-floor goodput)`, both in req/s. `None` when the guardrail
     /// is off or the configured strategy is steering. Failover exists to
-    /// degrade *to* the Normal floor, never below it.
+    /// degrade *to* the Normal floor, never below it — scaled by the live
+    /// fleet, because a dead server owes nothing.
     pub failover_floor: Option<(f64, f64)>,
+    /// Servers carrying load this epoch (fleet faults shrink this below
+    /// the configured rack size).
+    pub live_servers: usize,
+    /// Energy the settlement attributed to servers that were down this
+    /// epoch. Must be zero: a crashed server draws 0 W, not an idle floor.
+    pub dead_server_wh: f64,
+    /// `(rack goodput, live-capacity ceiling)`, both in req/s: aggregate
+    /// goodput can never exceed what the live servers could serve flat-out
+    /// at max sprint. `None` when the engine has no capacity model for the
+    /// epoch (e.g. DES measurement noise makes the bound advisory).
+    pub goodput_capacity: Option<(f64, f64)>,
 }
 
 /// Relative tolerance for the energy-conservation balance. The settlement
@@ -84,6 +96,9 @@ const NEG_TOL_WH: f64 = 1e-9;
 ///     grid_cap_w: 500.0,
 ///     epoch_hours: 1.0 / 60.0,
 ///     failover_floor: None,
+///     live_servers: 3,
+///     dead_server_wh: 0.0,
+///     goodput_capacity: None,
 /// });
 /// assert!(aud.violations().is_empty());
 /// ```
@@ -181,6 +196,32 @@ impl InvariantAuditor {
                 ));
             }
         }
+
+        // Dead servers draw nothing: any energy settled against a downed
+        // server means the fleet bookkeeping and the power settlement
+        // disagree about who was alive.
+        if !(f.dead_server_wh.abs() <= NEG_TOL_WH) {
+            self.violations.push(format!(
+                "epoch {k}: {:.9} Wh attributed to dead servers \
+                 ({} live)",
+                f.dead_server_wh, f.live_servers
+            ));
+        }
+
+        // Live-capacity ceiling: the rack cannot serve more goodput than
+        // its live servers could at max sprint, no matter what the
+        // redistribution arithmetic claims.
+        if let Some((goodput, ceiling)) = f.goodput_capacity {
+            let tol = ENERGY_REL_TOL * ceiling.abs().max(1.0);
+            if !(goodput <= ceiling + tol) {
+                self.violations.push(format!(
+                    "epoch {k}: goodput {goodput:.6} req/s exceeds \
+                     live-capacity ceiling {ceiling:.6} req/s \
+                     ({} live server(s))",
+                    f.live_servers
+                ));
+            }
+        }
     }
 
     /// Violations recorded so far.
@@ -211,6 +252,9 @@ mod tests {
             grid_cap_w: 1_000.0,
             epoch_hours: 1.0 / 60.0,
             failover_floor: None,
+            live_servers: 2,
+            dead_server_wh: 0.0,
+            goodput_capacity: None,
         }
     }
 
@@ -311,6 +355,57 @@ mod tests {
         let mut aud = InvariantAuditor::new();
         let mut f = balanced();
         f.failover_floor = Some((f64::NAN, 1_000.0));
+        aud.check_epoch(&f);
+        assert_eq!(aud.violations().len(), 1);
+    }
+
+    #[test]
+    fn dead_server_energy_fires() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.live_servers = 1;
+        f.dead_server_wh = 0.25;
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("attributed to dead servers"), "{v:?}");
+
+        // Float-cancellation dust and NaN behave as for the other terms.
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.dead_server_wh = 1e-12;
+        aud.check_epoch(&f);
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.dead_server_wh = f64::NAN;
+        aud.check_epoch(&f);
+        assert_eq!(aud.violations().len(), 1);
+    }
+
+    #[test]
+    fn goodput_capacity_ceiling_fires_only_when_exceeded() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.live_servers = 1;
+        f.goodput_capacity = Some((1_500.0, 1_000.0));
+        aud.check_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("live-capacity ceiling"), "{v:?}");
+
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.goodput_capacity = Some((1_000.0, 1_000.0));
+        aud.check_epoch(&f);
+        f.goodput_capacity = None;
+        aud.check_epoch(&f);
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+
+        // NaN goodput cannot sneak under the ceiling.
+        let mut aud = InvariantAuditor::new();
+        let mut f = balanced();
+        f.goodput_capacity = Some((f64::NAN, 1_000.0));
         aud.check_epoch(&f);
         assert_eq!(aud.violations().len(), 1);
     }

@@ -149,6 +149,25 @@ pub struct LoopState {
     /// Absent in pre-guardrail snapshots.
     #[serde(default)]
     pub guardrail: Option<crate::guardrail::GuardrailState>,
+    /// Per-server remaining crash-outage epochs (fleet faults).
+    #[serde(default)]
+    pub down_left: Vec<u32>,
+    /// Per-server consecutive-healthy-epoch streaks (rejoin hysteresis).
+    #[serde(default)]
+    pub health_streak: Vec<u32>,
+    /// Server-epochs spent dead so far.
+    #[serde(default)]
+    pub dead_server_epochs: usize,
+    /// Server-epochs spent straggling so far.
+    #[serde(default)]
+    pub straggler_epochs: usize,
+    /// Smallest live-fleet size seen so far (the engine clamps it to the
+    /// fleet size on restore).
+    #[serde(default)]
+    pub min_live_servers: usize,
+    /// Human-readable fleet crash/flap/rejoin log.
+    #[serde(default)]
+    pub fleet_events: Vec<String>,
 }
 
 /// Which of the two runs inside an experiment the snapshot was taken in.

@@ -50,6 +50,10 @@ pub struct ClusterOutcome {
     pub breaker_tripped: bool,
     /// Whole-cluster speedup over an all-Normal cluster.
     pub cluster_speedup_vs_normal: f64,
+    /// Smallest live green-server count seen during the burst (the full
+    /// green subset unless the fault plan crashed or flapped servers).
+    #[serde(default)]
+    pub green_min_live_servers: usize,
 }
 
 /// The grid budget of the prototype: 100 W × 10 servers.
@@ -97,6 +101,7 @@ pub fn run_cluster(cfg: &EngineConfig, policy: GridSprintPolicy) -> ClusterOutco
     let cluster_normal = normal_perf.goodput_rps * PAPER_CLUSTER_SIZE as f64;
     let cluster_goodput = green.mean_goodput_rps * cfg.green.green_servers as f64 + grid_goodput;
 
+    let green_min_live_servers = green.min_live_servers.min(cfg.green.green_servers);
     ClusterOutcome {
         green,
         grid_setting,
@@ -105,6 +110,7 @@ pub fn run_cluster(cfg: &EngineConfig, policy: GridSprintPolicy) -> ClusterOutco
         grid_power_w,
         breaker_tripped: tripped,
         cluster_speedup_vs_normal: cluster_goodput / cluster_normal,
+        green_min_live_servers,
     }
 }
 
@@ -188,6 +194,42 @@ mod tests {
         // sub-optimal discipline earns.
         let disciplined = run_cluster(&cfg(), GridSprintPolicy::SubOptimal);
         assert!(disciplined.cluster_speedup_vs_normal > out.cluster_speedup_vs_normal);
+    }
+
+    #[test]
+    fn a_green_server_crash_degrades_but_does_not_sink_the_cluster() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use gs_sim::SimTime;
+        let healthy = run_cluster(&cfg(), GridSprintPolicy::SubOptimal);
+        assert_eq!(healthy.green_min_live_servers, 3);
+        let crash = FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_mins(2),
+            duration: SimDuration::from_mins(1),
+            kind: FaultKind::ServerCrash {
+                server: 1,
+                down_epochs: 3,
+            },
+        };
+        let out = run_cluster(
+            &EngineConfig {
+                fault_plan: Some(FaultPlan::new(vec![crash])),
+                ..cfg()
+            },
+            GridSprintPolicy::SubOptimal,
+        );
+        assert_eq!(out.green_min_live_servers, 2);
+        assert!(out.green.floor_held);
+        assert!(!out.breaker_tripped, "a green crash is not a grid event");
+        assert!(
+            out.cluster_speedup_vs_normal < healthy.cluster_speedup_vs_normal,
+            "degraded {} vs healthy {}",
+            out.cluster_speedup_vs_normal,
+            healthy.cluster_speedup_vs_normal
+        );
+        assert!(
+            out.cluster_speedup_vs_normal > 1.0,
+            "still beats all-Normal"
+        );
     }
 
     #[test]

@@ -222,7 +222,10 @@ impl EngineConfig {
             }
         }
         if let Some(plan) = &self.fault_plan {
-            if let Err(e) = plan.validate() {
+            // Validate against this rack's size too: an event targeting a
+            // server the rack does not have would silently no-op (or
+            // worse, index out of range) mid-burst.
+            if let Err(e) = plan.validate_for(self.green.green_servers) {
                 return Err(EngineError::InvalidFaultPlan(e));
             }
         }
@@ -281,6 +284,12 @@ impl Default for EngineConfig {
     }
 }
 
+/// Consecutive healthy epochs a returning server must string together
+/// before it rejoins the plan and regains load — the fleet's rejoin
+/// hysteresis. A flapping server keeps resetting its streak, so it can
+/// never oscillate the capacity plan.
+pub const REJOIN_EPOCHS: u32 = 3;
+
 /// One epoch's record for reporting.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EpochRecord {
@@ -315,6 +324,11 @@ pub struct EpochRecord {
     /// pre-guardrail serialized records.
     #[serde(default)]
     pub ladder_level: u8,
+    /// Servers carrying load this epoch (the full rack minus crashed,
+    /// flapping, and rejoin-probation servers). Absent in pre-fleet
+    /// serialized records.
+    #[serde(default)]
+    pub live_servers: u8,
 }
 
 /// The result of one burst experiment.
@@ -384,6 +398,21 @@ pub struct BurstOutcome {
     /// Human-readable guardrail demotion/promotion/quarantine log.
     #[serde(default)]
     pub guardrail_events: Vec<String>,
+    /// Server-epochs spent physically down (crashed or flapping). Zero
+    /// without fleet faults.
+    #[serde(default)]
+    pub dead_server_epochs: usize,
+    /// Server-epochs spent alive but goodput-degraded by a straggler
+    /// fault.
+    #[serde(default)]
+    pub straggler_epochs: usize,
+    /// Smallest number of load-carrying servers seen in any epoch (the
+    /// full rack size on a healthy run; 0 in old serialized records).
+    #[serde(default)]
+    pub min_live_servers: usize,
+    /// Human-readable fleet crash/flap/rejoin log.
+    #[serde(default)]
+    pub fleet_events: Vec<String>,
     /// Per-epoch records.
     pub epochs: Vec<EpochRecord>,
 }
@@ -860,6 +889,16 @@ pub(crate) fn run_window_resumable(
     let mut fault_epochs = 0usize;
     let mut safe_mode_epochs = 0usize;
     let mut watchdog_clamped_epochs = 0usize;
+    // Fleet fault state: per-server crash countdowns, rejoin-hysteresis
+    // health streaks, and the burst-level fleet accounting. A full fleet
+    // starts with every streak at the rejoin threshold — every server is
+    // trusted with load from epoch 0.
+    let mut down_left: Vec<u32> = vec![0; n];
+    let mut health_streak: Vec<u32> = vec![REJOIN_EPOCHS; n];
+    let mut dead_server_epochs = 0usize;
+    let mut straggler_epochs = 0usize;
+    let mut min_live_servers = n;
+    let mut fleet_events: Vec<String> = Vec::new();
     let pss = PowerSourceSelector::new();
     let mut meter = PowerMeter::new();
     let mut monitor = Monitor::new();
@@ -938,6 +977,18 @@ pub(crate) fn run_window_resumable(
         fault_epochs = st.fault_epochs;
         safe_mode_epochs = st.safe_mode_epochs;
         watchdog_clamped_epochs = st.watchdog_clamped_epochs;
+        // Pre-fleet snapshots carry empty vectors; keep the fresh
+        // full-fleet initialization for those.
+        if st.down_left.len() == n {
+            down_left = st.down_left;
+        }
+        if st.health_streak.len() == n {
+            health_streak = st.health_streak;
+        }
+        dead_server_epochs = st.dead_server_epochs;
+        straggler_epochs = st.straggler_epochs;
+        min_live_servers = st.min_live_servers.min(n);
+        fleet_events = st.fleet_events;
         meter = st.meter;
         monitor = st.monitor;
         epochs = st.epochs;
@@ -1008,6 +1059,12 @@ pub(crate) fn run_window_resumable(
                 audited_grid_wh,
                 audited_curtailed_wh,
                 guardrail: guard.as_ref().map(|g| g.state().clone()),
+                down_left: down_left.clone(),
+                health_streak: health_streak.clone(),
+                dead_server_epochs,
+                straggler_epochs,
+                min_live_servers,
+                fleet_events: fleet_events.clone(),
             });
         }
         let t = start + SimDuration::from_micros(cfg.epoch.as_micros() * k);
@@ -1045,6 +1102,60 @@ pub(crate) fn run_window_resumable(
                 }
             }
         }
+        // Fleet faults. A crash charges its outage onto the server's
+        // countdown exactly once; a flap takes the server down on
+        // alternating epochs of its window; either way the server's health
+        // streak resets, and it only regains load after `REJOIN_EPOCHS`
+        // consecutive healthy epochs.
+        for &(idx, server, crash_epochs) in &faults.crashes {
+            let i = usize::from(server);
+            if i < n && !fade_done[idx] {
+                fade_done[idx] = true;
+                down_left[i] = down_left[i].max(crash_epochs);
+                fleet_events.push(format!(
+                    "epoch {k}: server {i} crashed for {crash_epochs} epoch(s)"
+                ));
+            }
+        }
+        let up: Vec<bool> = (0..n)
+            .map(|i| down_left[i] == 0 && !faults.flap_down(i, t, cfg.epoch))
+            .collect();
+        for i in 0..n {
+            if up[i] {
+                if health_streak[i] + 1 == REJOIN_EPOCHS {
+                    fleet_events.push(format!("epoch {k}: server {i} rejoined the plan"));
+                }
+                health_streak[i] = (health_streak[i] + 1).min(REJOIN_EPOCHS);
+            } else {
+                if health_streak[i] > 0 {
+                    fleet_events.push(format!("epoch {k}: server {i} went down"));
+                }
+                health_streak[i] = 0;
+                dead_server_epochs += 1;
+                // A dead server's control state is gone with it: the
+                // watchdog forgets its streaks and the hysteresis
+                // incumbent resets to Normal (it reboots into Normal).
+                watchdog.reset(i);
+                prev_settings[i] = ServerSetting::normal();
+                if down_left[i] > 0 {
+                    down_left[i] -= 1;
+                }
+            }
+        }
+        // `live` servers carry load and are sprint-planned; `up` servers
+        // that have not yet served their rejoin probation idle at Normal.
+        let live: Vec<bool> = (0..n)
+            .map(|i| up[i] && health_streak[i] >= REJOIN_EPOCHS)
+            .collect();
+        let live_count = live.iter().filter(|&&l| l).count();
+        min_live_servers = min_live_servers.min(live_count);
+        // Plan against the believed live capacity; the representative
+        // server for reward scoring is the first live (else first up) one.
+        let plan_n = live_count.max(1);
+        let rep: Option<usize> = live
+            .iter()
+            .position(|&l| l)
+            .or_else(|| up.iter().position(|&u| u));
         // Telemetry faults shape what the controller *believes*: a dropout
         // yields no reading at all; a delay serves last epoch's raw
         // reading; meter bias scales whatever the sensor outputs.
@@ -1152,9 +1263,13 @@ pub(crate) fn run_window_resumable(
         re_sum_w += re_believed_w;
         let re_mean_w = re_sum_w / (k + 1) as f64;
         let full_sprint_w = profiles.planned_power_w(ServerSetting::max_sprint(), load_pred);
-        let deficit_share = (full_sprint_w - re_mean_w / n as f64).max(0.0);
-        let uniform_sustainable =
-            deficit_share <= 1e-9 || (0..n).all(|i| sustained_remaining_w[i] >= deficit_share);
+        // Capacity re-plan: the deficit and the sustainability test are
+        // taken over the *live* fleet — dead servers neither claim supply
+        // nor owe battery coverage. `plan_n == n` on a healthy fleet, so
+        // the arithmetic (and its float bits) is unchanged there.
+        let deficit_share = (full_sprint_w - re_mean_w / plan_n as f64).max(0.0);
+        let uniform_sustainable = deficit_share <= 1e-9
+            || (0..n).all(|i| !live[i] || sustained_remaining_w[i] >= deficit_share);
         let waterfall = planning && !uniform_sustainable;
         // When the whole remaining burst is energetically covered, sprint
         // freely (instantaneous battery budget); otherwise hedge with the
@@ -1171,10 +1286,17 @@ pub(crate) fn run_window_resumable(
             let mut settings = Vec::with_capacity(n);
             let mut re_unclaimed = re_plan_w;
             for i in 0..n {
+                if !live[i] {
+                    // Dead and rejoin-probation servers take no part in
+                    // sprint planning — and consume no decision
+                    // randomness, so liveness alone steers the stream.
+                    settings.push(ServerSetting::normal());
+                    continue;
+                }
                 let re_share = if waterfall {
                     re_unclaimed
                 } else {
-                    re_plan_w / n as f64
+                    re_plan_w / plan_n as f64
                 };
                 let ctx = PmkContext {
                     predicted_load_rps: load_pred,
@@ -1182,7 +1304,7 @@ pub(crate) fn run_window_resumable(
                     battery_instant_w: instant_w[i],
                     battery_sustained_w: sustained_w[i],
                 };
-                if i == 0 {
+                if Some(i) == rep {
                     if let Some(learner) = pmk.learner_mut() {
                         *capture_state =
                             Some(learner.state(ctx.instant_budget_w(), ctx.predicted_load_rps));
@@ -1283,6 +1405,13 @@ pub(crate) fn run_window_resumable(
             watchdog_clamped_epochs += 1;
         }
         for i in 0..n {
+            if !up[i] {
+                // A dead server applies nothing and the watchdog stays
+                // quiet (it was reset on the down transition); it reboots
+                // into Normal.
+                settings[i] = ServerSetting::normal();
+                continue;
+            }
             let applied = if faults.command_lost(i) || faults.is_stuck(i) {
                 prev_settings[i]
             } else if let Some(cap) = faults.core_cap {
@@ -1312,29 +1441,70 @@ pub(crate) fn run_window_resumable(
             }
         }
 
-        // Measure the epoch.
+        // Measure the epoch. The offered load redistributes onto the live
+        // servers (a shrunken fleet serves the same rack-level demand);
+        // the `live_count == n` guard keeps the healthy-fleet arithmetic
+        // bit-identical to the pre-fleet code path.
+        let served_rps = if live_count == n || live_count == 0 {
+            offered
+        } else {
+            offered * n as f64 / live_count as f64
+        };
         let mut perfs = Vec::with_capacity(n);
         for i in 0..n {
+            if !live[i] {
+                // Dead servers serve nothing; probation servers idle at
+                // Normal without load until their streak completes.
+                perfs.push(EpochPerf::default());
+                continue;
+            }
             let admit = profiles.get(settings[i]).slo_capacity;
             let perf = match cfg.measurement {
                 MeasurementMode::Des => {
-                    sims[i].advance_epoch(&app, settings[i], offered, admit, cfg.epoch)
+                    sims[i].advance_epoch(&app, settings[i], served_rps, admit, cfg.epoch)
                 }
                 MeasurementMode::Analytic => analytic_cache
-                    .entry((settings[i], offered.to_bits()))
-                    .or_insert_with(|| measure_analytic(&app, profiles, settings[i], offered))
+                    .entry((settings[i], served_rps.to_bits()))
+                    .or_insert_with(|| measure_analytic(&app, profiles, settings[i], served_rps))
                     .clone(),
             };
             perfs.push(perf);
+        }
+        // Stragglers degrade delivered goodput on an otherwise-alive
+        // server (slow disk, thermal neighbor, NIC trouble) — applied
+        // after measurement so power and latency stay those of the chosen
+        // setting.
+        if !faults.stragglers.is_empty() {
+            for i in 0..n {
+                if up[i] {
+                    let factor = faults.straggler_factor(i);
+                    if factor != 1.0 {
+                        perfs[i].goodput_rps *= factor;
+                        straggler_epochs += 1;
+                    }
+                }
+            }
         }
 
         // Settle actual energy flows. `settled_server_wh` accumulates the
         // source-side deliveries into servers, independently of the
         // meters, so the auditor can balance the books against it.
         let sprinting: Vec<usize> = (0..n).filter(|&i| settings[i].is_sprinting()).collect();
+        // A dead server draws nothing — 0 W, not an idle floor; the
+        // auditor checks the settled books agree.
         let actual_power: Vec<f64> = (0..n)
-            .map(|i| power_model.power_w(settings[i], perfs[i].utilization))
+            .map(|i| {
+                if up[i] {
+                    power_model.power_w(settings[i], perfs[i].utilization)
+                } else {
+                    0.0
+                }
+            })
             .collect();
+        let dead_server_wh: f64 = (0..n)
+            .filter(|&i| !up[i])
+            .map(|i| actual_power[i] * epoch_hours)
+            .sum();
         let mut re_left = re_actual_w;
         let mut re_used_w = 0.0;
         let mut battery_w = 0.0;
@@ -1372,9 +1542,9 @@ pub(crate) fn run_window_resumable(
                     // the time-weighted blend of the two regimes.
                     let w = (out.sustained.as_secs_f64() / cfg.epoch.as_secs_f64()).clamp(0.0, 1.0);
                     let normal_perf = analytic_cache
-                        .entry((ServerSetting::normal(), offered.to_bits()))
+                        .entry((ServerSetting::normal(), served_rps.to_bits()))
                         .or_insert_with(|| {
-                            measure_analytic(&app, profiles, ServerSetting::normal(), offered)
+                            measure_analytic(&app, profiles, ServerSetting::normal(), served_rps)
                         })
                         .clone();
                     perfs[i] = blend_perf(&perfs[i], &normal_perf, w);
@@ -1387,9 +1557,10 @@ pub(crate) fn run_window_resumable(
         }
         meter.record(Source::Renewable, re_used_w, epoch_hours);
         meter.record(Source::Battery, battery_w, epoch_hours);
-        // Normal-mode servers ride the grid budget.
+        // Normal-mode servers ride the grid budget; dead servers draw
+        // nothing and are never metered.
         for i in 0..n {
-            if !settings[i].is_sprinting() {
+            if !settings[i].is_sprinting() && up[i] {
                 meter.record(Source::Grid, actual_power[i], epoch_hours);
                 settled_server_wh += actual_power[i] * epoch_hours;
             }
@@ -1465,28 +1636,52 @@ pub(crate) fn run_window_resumable(
                 epoch_hours,
                 // While a demoted ladder level steers, the rack must never
                 // serve below the Normal floor — failover is a degradation
-                // bound, not a license to collapse. The tolerance absorbs
-                // blend rounding (and DES stochasticity vs the analytic
-                // floor estimate).
+                // bound, not a license to collapse. The floor is owed by
+                // the *live* fleet: a dead server serves nothing and owes
+                // nothing. The tolerance absorbs blend rounding (and DES
+                // stochasticity vs the analytic floor estimate).
                 failover_floor: match guard.as_ref() {
                     Some(g) if g.level() > 0 => {
                         let normal_perf = analytic_cache
-                            .entry((ServerSetting::normal(), offered.to_bits()))
+                            .entry((ServerSetting::normal(), served_rps.to_bits()))
                             .or_insert_with(|| {
-                                measure_analytic(&app, profiles, ServerSetting::normal(), offered)
+                                measure_analytic(
+                                    &app,
+                                    profiles,
+                                    ServerSetting::normal(),
+                                    served_rps,
+                                )
                             })
                             .clone();
                         let tol = match cfg.measurement {
                             MeasurementMode::Analytic => 0.99,
                             MeasurementMode::Des => 0.85,
                         };
+                        // A straggler degrades Normal-mode serving just as
+                        // much as demoted serving; weight its share of the
+                        // floor accordingly (1.0 per healthy server).
+                        let live_weight: f64 = (0..n)
+                            .filter(|&i| live[i])
+                            .map(|i| faults.straggler_factor(i))
+                            .sum();
                         Some((
                             perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
-                            normal_perf.goodput_rps * n as f64 * tol,
+                            normal_perf.goodput_rps * live_weight * tol,
                         ))
                     }
                     _ => None,
                 },
+                live_servers: live_count,
+                dead_server_wh,
+                // The capacity ceiling is exact only on the analytic
+                // plane; DES queue drain can legitimately complete a few
+                // requests above the per-epoch steady-state capacity.
+                goodput_capacity: matches!(cfg.measurement, MeasurementMode::Analytic).then(|| {
+                    (
+                        perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
+                        live_count as f64 * profiles.get(ServerSetting::max_sprint()).slo_capacity,
+                    )
+                }),
             });
             audited_grid_wh = grid_now;
             audited_curtailed_wh = curtailed_now;
@@ -1566,136 +1761,151 @@ pub(crate) fn run_window_resumable(
         // a dropout stays lost (a delayed read of nothing is nothing).
         last_raw_obs_w = fresh_obs_w;
 
-        // Server 0 is the representative server for reward scoring: the
-        // Hybrid Bellman update and the guardrail's shadow comparison
-        // both grade the epoch with Algorithm 1's reward on it.
-        let supply0_w = re_believed_w / n as f64 + instant_w[0];
-        let active_inputs = RewardInputs {
-            power_supply_w: supply0_w,
-            power_current_w: actual_power[0],
-            qos_target_s: app.slo_deadline_s,
-            qos_current_s: perfs[0].slo_percentile_latency_s,
-            offered_slo_fraction: if perfs[0].offered_rps > 0.0 {
-                perfs[0].goodput_rps / perfs[0].offered_rps
-            } else {
-                1.0
-            },
-            slo_percentile: app.slo_percentile,
-        };
+        monitor.record_fleet(t, &up);
 
-        // Hybrid: reward and Bellman update on the representative server.
-        // While a demoted ladder level steers, `pending_q` stays `None`
-        // (the steering controller is learner-free), so no update fires.
-        if let Some(learner) = pmk.learner_mut() {
-            let r = reward(&active_inputs);
-            let next_state = learner.state(supply0_w, offered);
-            if let Some((s_prev, a_prev)) = pending_q {
-                learner.update(s_prev, a_prev, r, next_state);
-            }
-            pending_q = q_state.map(|s| (s, settings[0]));
-        }
-
-        // Guardrail: score the shadow fallback on the same planning
-        // context, feed the detectors, and act on the ladder verdict.
-        // Demotions and promotions take effect from the next epoch.
+        // The representative server for reward scoring — the first live
+        // (else first up) server: the Hybrid Bellman update and the
+        // guardrail's shadow comparison both grade the epoch with
+        // Algorithm 1's reward on it. With the whole fleet down there is
+        // nothing to score and no detector has signal.
         let steering_level = guard.as_ref().map_or(0, |g| g.level());
-        if let Some(g) = guard.as_mut() {
-            // Shadow decision for the representative server. The fallback
-            // strategies are rng-free by construction (GuardrailConfig
-            // validation rejects Hybrid), so the throwaway rng preserves
-            // the run's main stream byte-for-byte.
-            let shadow = shadow_pmk.as_mut().expect("guardrail carries a shadow");
-            let shadow_ctx = PmkContext {
-                predicted_load_rps: load_pred,
-                re_share_w: re_believed_w / n as f64,
-                battery_instant_w: instant_w[0],
-                battery_sustained_w: sustained_w[0],
-            };
-            let mut throwaway = SimRng::seed_from_u64(0);
-            let chosen = shadow.choose(profiles, &shadow_ctx, &mut throwaway);
-            let shadow_setting =
-                shadow.apply_hysteresis(profiles, &shadow_ctx, g.shadow_prev(), chosen);
-            g.set_shadow_prev(shadow_setting);
-            let shadow_perf = analytic_cache
-                .entry((shadow_setting, offered.to_bits()))
-                .or_insert_with(|| measure_analytic(&app, profiles, shadow_setting, offered))
-                .clone();
-            let shadow_inputs = RewardInputs {
+        if let Some(r0) = rep {
+            let supply0_w = re_believed_w / plan_n as f64 + instant_w[r0];
+            let active_inputs = RewardInputs {
                 power_supply_w: supply0_w,
-                power_current_w: power_model.power_w(shadow_setting, shadow_perf.utilization),
+                power_current_w: actual_power[r0],
                 qos_target_s: app.slo_deadline_s,
-                qos_current_s: shadow_perf.slo_percentile_latency_s,
-                offered_slo_fraction: if shadow_perf.offered_rps > 0.0 {
-                    shadow_perf.goodput_rps / shadow_perf.offered_rps
+                qos_current_s: perfs[r0].slo_percentile_latency_s,
+                offered_slo_fraction: if perfs[r0].offered_rps > 0.0 {
+                    perfs[r0].goodput_rps / perfs[r0].offered_rps
                 } else {
                     1.0
                 },
                 slo_percentile: app.slo_percentile,
             };
-            let slo_ok = |p: &EpochPerf| {
-                p.slo_percentile_latency_s <= app.slo_deadline_s
-                    && (p.offered_rps <= 0.0 || p.goodput_rps >= 0.9 * p.offered_rps)
-            };
-            // Corruption scan on whichever policy is steering; a
-            // learner-free rung has no table to corrupt.
-            let cap = g.config().value_explosion_cap;
-            let table_corrupt = {
-                let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
-                steering.learner_mut().is_some_and(|l| {
-                    let stats = l.table_stats();
-                    stats.non_finite > 0
-                        || stats.max_abs > cap
-                        || pending_q.is_some_and(|(s, _)| !s.in_range())
-                })
-            };
-            monitor.record_ladder(t, steering_level);
-            match g.observe(&EpochSignals {
-                epoch_index: k,
-                active_reward: reward(&active_inputs),
-                shadow_reward: reward(&shadow_inputs),
-                active_slo_ok: slo_ok(&perfs[0]),
-                shadow_slo_ok: slo_ok(&shadow_perf),
-                battery_discharge_w: battery_w,
-                planned_battery_w: sustained_w.iter().sum(),
-                table_corrupt,
-            }) {
-                GuardrailAction::Demote { reason } => {
-                    // Quarantine the learner the demoted rung steered
-                    // with; rungs below the top are learner-free.
-                    if fallback_pmk.is_none() {
-                        if let Some(l) = pmk.learner_mut() {
-                            let rec = QuarantineRecord::new(k, &reason, l.to_json());
-                            let detail = match g.config().quarantine_dir.clone() {
-                                Some(dir) => match rec.write_to(&dir) {
-                                    Ok(path) => format!(" -> {path}"),
-                                    Err(e) => format!(" (sidecar write failed: {e})"),
-                                },
-                                None => String::new(),
-                            };
-                            g.note_quarantine(k, &rec.checksum, &detail);
-                            // The quarantined table never steers again: a
-                            // future re-promotion restarts from the
-                            // deterministic profile bootstrap.
-                            pmk = Pmk::new(strategy, profiles);
-                            pmk.hysteresis = cfg.switch_hysteresis;
-                            pending_q = None;
-                        }
-                    }
-                    let mut p = Pmk::new(g.active_strategy(), profiles);
-                    p.hysteresis = cfg.switch_hysteresis;
-                    fallback_pmk = Some(p);
+
+            // Hybrid: reward and Bellman update on the representative server.
+            // While a demoted ladder level steers, `pending_q` stays `None`
+            // (the steering controller is learner-free), so no update fires.
+            if let Some(learner) = pmk.learner_mut() {
+                let r = reward(&active_inputs);
+                let next_state = learner.state(supply0_w, offered);
+                if let Some((s_prev, a_prev)) = pending_q {
+                    learner.update(s_prev, a_prev, r, next_state);
                 }
-                GuardrailAction::Promote => {
-                    if g.level() == 0 {
-                        fallback_pmk = None;
+                pending_q = q_state.map(|s| (s, settings[r0]));
+            }
+
+            // Guardrail: score the shadow fallback on the same planning
+            // context, feed the detectors, and act on the ladder verdict.
+            // Demotions and promotions take effect from the next epoch.
+            if let Some(g) = guard.as_mut() {
+                // Shadow decision for the representative server. The fallback
+                // strategies are rng-free by construction (GuardrailConfig
+                // validation rejects Hybrid), so the throwaway rng preserves
+                // the run's main stream byte-for-byte.
+                let shadow = shadow_pmk.as_mut().expect("guardrail carries a shadow");
+                let shadow_ctx = PmkContext {
+                    predicted_load_rps: load_pred,
+                    re_share_w: re_believed_w / plan_n as f64,
+                    battery_instant_w: instant_w[r0],
+                    battery_sustained_w: sustained_w[r0],
+                };
+                let mut throwaway = SimRng::seed_from_u64(0);
+                let chosen = shadow.choose(profiles, &shadow_ctx, &mut throwaway);
+                let shadow_setting =
+                    shadow.apply_hysteresis(profiles, &shadow_ctx, g.shadow_prev(), chosen);
+                g.set_shadow_prev(shadow_setting);
+                let shadow_perf = analytic_cache
+                    .entry((shadow_setting, served_rps.to_bits()))
+                    .or_insert_with(|| measure_analytic(&app, profiles, shadow_setting, served_rps))
+                    .clone();
+                let shadow_inputs = RewardInputs {
+                    power_supply_w: supply0_w,
+                    power_current_w: power_model.power_w(shadow_setting, shadow_perf.utilization),
+                    qos_target_s: app.slo_deadline_s,
+                    qos_current_s: shadow_perf.slo_percentile_latency_s,
+                    offered_slo_fraction: if shadow_perf.offered_rps > 0.0 {
+                        shadow_perf.goodput_rps / shadow_perf.offered_rps
                     } else {
+                        1.0
+                    },
+                    slo_percentile: app.slo_percentile,
+                };
+                let slo_ok = |p: &EpochPerf| {
+                    p.slo_percentile_latency_s <= app.slo_deadline_s
+                        && (p.offered_rps <= 0.0 || p.goodput_rps >= 0.9 * p.offered_rps)
+                };
+                // Corruption scan on whichever policy is steering; a
+                // learner-free rung has no table to corrupt.
+                let cap = g.config().value_explosion_cap;
+                let table_corrupt = {
+                    let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
+                    steering.learner_mut().is_some_and(|l| {
+                        let stats = l.table_stats();
+                        stats.non_finite > 0
+                            || stats.max_abs > cap
+                            || pending_q.is_some_and(|(s, _)| !s.in_range())
+                    })
+                };
+                monitor.record_ladder(t, steering_level);
+                match g.observe(&EpochSignals {
+                    epoch_index: k,
+                    active_reward: reward(&active_inputs),
+                    shadow_reward: reward(&shadow_inputs),
+                    active_slo_ok: slo_ok(&perfs[r0]),
+                    shadow_slo_ok: slo_ok(&shadow_perf),
+                    battery_discharge_w: battery_w,
+                    planned_battery_w: sustained_w.iter().sum(),
+                    table_corrupt,
+                    live_fraction: live_count as f64 / n as f64,
+                }) {
+                    GuardrailAction::Demote { reason } => {
+                        // Quarantine the learner the demoted rung steered
+                        // with; rungs below the top are learner-free.
+                        if fallback_pmk.is_none() {
+                            if let Some(l) = pmk.learner_mut() {
+                                let rec = QuarantineRecord::new(k, &reason, l.to_json());
+                                let detail = match g.config().quarantine_dir.clone() {
+                                    Some(dir) => match rec.write_to(&dir) {
+                                        Ok(path) => format!(" -> {path}"),
+                                        Err(e) => format!(" (sidecar write failed: {e})"),
+                                    },
+                                    None => String::new(),
+                                };
+                                g.note_quarantine(k, &rec.checksum, &detail);
+                                // The quarantined table never steers again: a
+                                // future re-promotion restarts from the
+                                // deterministic profile bootstrap.
+                                pmk = Pmk::new(strategy, profiles);
+                                pmk.hysteresis = cfg.switch_hysteresis;
+                                pending_q = None;
+                            }
+                        }
                         let mut p = Pmk::new(g.active_strategy(), profiles);
                         p.hysteresis = cfg.switch_hysteresis;
                         fallback_pmk = Some(p);
                     }
-                    pending_q = None;
+                    GuardrailAction::Promote => {
+                        if g.level() == 0 {
+                            fallback_pmk = None;
+                        } else {
+                            let mut p = Pmk::new(g.active_strategy(), profiles);
+                            p.hysteresis = cfg.switch_hysteresis;
+                            fallback_pmk = Some(p);
+                        }
+                        pending_q = None;
+                    }
+                    GuardrailAction::Hold => {}
                 }
-                GuardrailAction::Hold => {}
+            }
+        } else {
+            // Whole fleet down: drop any pending Bellman update (there is
+            // no epoch to grade it against) and keep the ladder stream
+            // continuous for the Monitor.
+            pending_q = None;
+            if let Some(g) = guard.as_ref() {
+                monitor.record_ladder(t, g.level());
             }
         }
 
@@ -1710,7 +1920,7 @@ pub(crate) fn run_window_resumable(
         offered_sum += offered;
         epochs.push(EpochRecord {
             t,
-            setting: settings[0],
+            setting: rep.map_or_else(ServerSetting::normal, |r| settings[r]),
             case: plan.case,
             re_supply_w: re_actual_w,
             re_used_w,
@@ -1722,6 +1932,7 @@ pub(crate) fn run_window_resumable(
             sprinting_servers: settings.iter().filter(|s| s.is_sprinting()).count() as u8,
             safe_mode: in_safe_mode,
             ladder_level: steering_level as u8,
+            live_servers: live_count as u8,
         });
     }
 
@@ -1777,6 +1988,10 @@ pub(crate) fn run_window_resumable(
         guardrail_events: guard
             .as_ref()
             .map_or_else(Vec::new, |g| g.state().events.clone()),
+        dead_server_epochs,
+        straggler_epochs,
+        min_live_servers,
+        fleet_events,
         epochs,
     };
     let policy = pmk.learner_mut().map(|l| l.to_json());
@@ -2409,7 +2624,7 @@ mod tests {
 
     // ---- fault injection ----
 
-    use crate::faults::{FaultEvent, FaultKind};
+    use crate::faults::{FaultEvent, FaultKind, FleetMix};
 
     /// An event active across the whole default burst window.
     fn whole_burst(kind: FaultKind) -> FaultEvent {
@@ -2635,6 +2850,274 @@ mod tests {
             ..quick_cfg()
         };
         let _ = Engine::new(cfg);
+    }
+
+    // ---- fleet fault domains ----
+
+    /// A crash event: `duration` only marks the injection instant; the
+    /// outage length is carried by `down_epochs`.
+    fn crash_at(offset_mins: u64, server: u8, down_epochs: u32) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_mins(offset_mins),
+            duration: SimDuration::from_mins(1),
+            kind: FaultKind::ServerCrash {
+                server,
+                down_epochs,
+            },
+        }
+    }
+
+    #[test]
+    fn server_crash_sheds_load_to_survivors_and_rejoins_with_hysteresis() {
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![crash_at(2, 1, 3)])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        // Down for exactly the commanded outage; probation epochs are
+        // powered (up) but carry no load, so they are not "dead".
+        assert_eq!(out.dead_server_epochs, 3, "{:?}", out.fleet_events);
+        assert_eq!(out.min_live_servers, 2);
+        // Epochs 2..=4 down, 5..=6 probation: five epochs at 2 live
+        // servers, then full strength from epoch 7 on.
+        let degraded = out.epochs.iter().filter(|e| e.live_servers == 2).count();
+        assert_eq!(degraded, 3 + REJOIN_EPOCHS as usize - 1);
+        assert_eq!(out.epochs.last().unwrap().live_servers, 3);
+        assert!(out
+            .fleet_events
+            .iter()
+            .any(|e| e.contains("server 1 crashed")));
+        assert!(out
+            .fleet_events
+            .iter()
+            .any(|e| e.contains("server 1 rejoined")));
+        // Survivors absorb the load without dropping below Normal and
+        // without drawing grid power beyond the baseline share.
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+    }
+
+    #[test]
+    fn three_of_ten_servers_crash_mid_sprint_and_the_run_stays_clean() {
+        // The ISSUE acceptance scenario: a 10-server green rack loses 3
+        // servers mid-sprint, holds the Normal floor, books no energy to
+        // the dead servers, and replans back to full strength after the
+        // hysteretic rejoin.
+        let cfg = EngineConfig {
+            green: GreenConfig {
+                name: "RE-Batt-10".into(),
+                green_servers: 10,
+                panels: 10,
+                battery_ah: 10.0,
+            },
+            burst_duration: SimDuration::from_mins(12),
+            fault_plan: Some(FaultPlan::new(vec![
+                crash_at(2, 2, 2),
+                crash_at(2, 5, 2),
+                crash_at(3, 7, 2),
+            ])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.min_live_servers, 7);
+        assert_eq!(out.dead_server_epochs, 6);
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+        // Hot rejoin restores full-fleet planning before the burst ends.
+        assert_eq!(out.epochs.last().unwrap().live_servers, 10);
+        for server in [2, 5, 7] {
+            assert!(
+                out.fleet_events
+                    .iter()
+                    .any(|e| e.contains(&format!("server {server} rejoined"))),
+                "{:?}",
+                out.fleet_events
+            );
+        }
+    }
+
+    #[test]
+    fn whole_fleet_crash_is_survivable() {
+        // Every server down at once: no load is served, no power flows,
+        // and the books still balance. The baseline suffers identically,
+        // so the floor comparison stays fair.
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![
+                crash_at(2, 0, 2),
+                crash_at(2, 1, 2),
+                crash_at(2, 2, 2),
+            ])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.min_live_servers, 0);
+        assert_eq!(out.dead_server_epochs, 6);
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert_eq!(out.grid_overload_wh, 0.0);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+        assert_eq!(out.epochs.last().unwrap().live_servers, 3);
+    }
+
+    #[test]
+    fn flapping_server_is_held_out_until_it_stays_healthy() {
+        // A flapping server alternates power states every epoch, so its
+        // health streak never reaches REJOIN_EPOCHS inside the flap
+        // window: the planner treats it as out for the whole window plus
+        // the probation tail.
+        let flap = FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_mins(1),
+            duration: SimDuration::from_mins(4),
+            kind: FaultKind::ServerFlap { server: 0 },
+        };
+        let cfg = EngineConfig {
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![flap])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        assert_eq!(out.min_live_servers, 2);
+        assert!(out.dead_server_epochs >= 2, "{}", out.dead_server_epochs);
+        assert!(out
+            .fleet_events
+            .iter()
+            .any(|e| e.contains("server 0 rejoined")));
+        assert_eq!(out.epochs.last().unwrap().live_servers, 3);
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+    }
+
+    #[test]
+    fn straggler_degrades_goodput_but_stays_in_the_plan() {
+        let clean = Engine::new(quick_cfg()).run();
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![whole_burst(
+                FaultKind::ServerStraggler {
+                    server: 0,
+                    goodput_factor: 0.5,
+                },
+            )])),
+            ..quick_cfg()
+        };
+        let out = Engine::new(cfg).run();
+        // A straggler still counts as live — it carries load, just slowly.
+        assert_eq!(out.min_live_servers, 3);
+        assert_eq!(out.dead_server_epochs, 0);
+        assert_eq!(out.straggler_epochs, out.epochs.len());
+        assert!(
+            out.mean_goodput_rps < clean.mean_goodput_rps,
+            "straggler {} vs clean {}",
+            out.mean_goodput_rps,
+            clean.mean_goodput_rps
+        );
+        // The baseline straggles identically, so the floor stays fair,
+        // and the audit floor is weighted by the degraded capacity.
+        assert!(out.floor_held, "speedup {}", out.speedup_vs_normal);
+        assert!(
+            out.audit_violations.is_empty(),
+            "{:?}",
+            out.audit_violations
+        );
+    }
+
+    #[test]
+    fn fleet_plan_out_of_range_server_is_rejected() {
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::new(vec![crash_at(1, 9, 1)])),
+            ..quick_cfg()
+        };
+        let err = Engine::try_new(cfg).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidFaultPlan(_)));
+        assert!(err.to_string().contains("targets server"), "{err}");
+    }
+
+    #[test]
+    fn generated_fleet_plans_run_deterministically() {
+        for seed in [3, 17, 99] {
+            let plan = FaultPlan::generate_fleet(
+                seed,
+                SimTime::from_hours(11),
+                SimDuration::from_mins(10),
+                3,
+                FleetMix::default(),
+            );
+            let cfg = EngineConfig {
+                burst_duration: SimDuration::from_mins(10),
+                fault_plan: Some(plan),
+                ..quick_cfg()
+            };
+            let a = Engine::new(cfg.clone()).run();
+            let b = Engine::new(cfg).run();
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+            assert!(a.floor_held, "seed {seed}: {}", a.speedup_vs_normal);
+            assert!(
+                a.audit_violations.is_empty(),
+                "seed {seed}: {:?}",
+                a.audit_violations
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_through_a_crash() {
+        // The liveness vectors (down_left, health_streak) and the fleet
+        // counters all live in the snapshot: resuming from an epoch while
+        // a server is down or on probation must replay the same rejoin.
+        let flap = FaultEvent {
+            at: SimTime::from_hours(11) + SimDuration::from_mins(5),
+            duration: SimDuration::from_mins(2),
+            kind: FaultKind::ServerFlap { server: 0 },
+        };
+        let straggle = whole_burst(FaultKind::ServerStraggler {
+            server: 2,
+            goodput_factor: 0.7,
+        });
+        let cfg = EngineConfig {
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(10),
+            fault_plan: Some(FaultPlan::new(vec![crash_at(2, 1, 2), flap, straggle])),
+            ..quick_cfg()
+        };
+        let (want_out, want_mon, _) = Engine::new(cfg.clone()).run_full();
+        assert!(want_out.dead_server_epochs > 0, "scenario must bite");
+        let mut snaps = Vec::new();
+        Engine::new(cfg)
+            .run_full_with_snapshots(2, &mut |s| snaps.push(s.clone()))
+            .unwrap();
+        for snap in snaps {
+            let snap = EngineSnapshot::from_json(&snap.to_json()).unwrap();
+            match resume_snapshot(snap, 0, &mut |_| {}).unwrap() {
+                ResumedRun::Burst {
+                    outcome, monitor, ..
+                } => {
+                    assert_eq!(json(&outcome), json(&want_out));
+                    assert_eq!(json(&monitor), json(&want_mon));
+                }
+                other => panic!("expected a burst, got {other:?}"),
+            }
+        }
     }
 
     // ---- policy guardrails ----

@@ -23,6 +23,12 @@
 //!   ([`FaultKind::CommandLoss`]), a server stuck at its previous setting
 //!   ([`FaultKind::StuckServer`]), core activations above a cap failing
 //!   ([`FaultKind::CoreActivationFail`]).
+//! * **Fleet** — the rack itself shrinks: a server crashes and stays down
+//!   for a bounded number of epochs ([`FaultKind::ServerCrash`]), flaps up
+//!   and down on alternating epochs ([`FaultKind::ServerFlap`]), or
+//!   straggles at a fraction of its goodput while drawing full power
+//!   ([`FaultKind::ServerStraggler`]). The engine re-plans around the
+//!   surviving capacity and rejoins recovered servers hysteretically.
 //!
 //! Graceful degradation means two invariants hold under *every* plan:
 //! goodput never falls below the Normal-mode floor, and the sprint never
@@ -102,6 +108,34 @@ pub enum FaultKind {
         /// Value planted in the non-NaN cells (the "value explosion").
         magnitude: f64,
     },
+    /// `server` crashes when the event first overlaps an epoch and stays
+    /// down for `down_epochs` epochs: zero power draw, zero goodput, no
+    /// commands land. Applied exactly once per event; after the countdown
+    /// the server must look healthy for the engine's rejoin hysteresis
+    /// window before it regains load.
+    ServerCrash {
+        /// Target green server index.
+        server: u8,
+        /// Epochs the server stays dead once the crash lands.
+        down_epochs: u32,
+    },
+    /// `server` flaps while the event is active: down on the event's
+    /// even-numbered epochs, up on the odd ones. The up epochs never last
+    /// long enough to clear rejoin hysteresis, so a flapping server stays
+    /// out of the plan instead of oscillating it.
+    ServerFlap {
+        /// Target green server index.
+        server: u8,
+    },
+    /// `server` straggles while the event is active: it draws full power
+    /// for its setting but delivers only `goodput_factor ×` the goodput —
+    /// a thermal runaway, a failing DIMM, a noisy neighbour.
+    ServerStraggler {
+        /// Target green server index.
+        server: u8,
+        /// Delivered / nominal goodput ratio in `(0, 1]`.
+        goodput_factor: f64,
+    },
 }
 
 /// One scheduled fault: `kind` is active during `[at, at + duration)`.
@@ -148,7 +182,17 @@ impl FaultPlan {
     /// window)`, targeting a rack of `n_servers` green servers. Pure
     /// function of the arguments: the same seed always yields the same
     /// plan.
+    ///
+    /// A rack of zero servers or a window shorter than one default epoch
+    /// (60 s) has nothing meaningful to target: the plan comes back empty
+    /// rather than sampling degenerate servers or zero-width events.
     pub fn generate(seed: u64, start: SimTime, window: SimDuration, n_servers: u8) -> Self {
+        if n_servers == 0 || window < SimDuration::from_secs(60) {
+            return FaultPlan {
+                seed,
+                events: Vec::new(),
+            };
+        }
         let mut rng = SimRng::seed_from_u64(seed ^ 0x6661_756c_7421); // "fault!"
         let n_events = 3 + rng.index(6); // 3..=8
         let span_s = window.as_secs_f64();
@@ -219,10 +263,80 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
-    /// Check every event is physically meaningful (factors finite and in
-    /// range). Returns a description of the first offending event.
+    /// Generate a fleet-degradation plan: `mix.crashes` server crashes,
+    /// `mix.flaps` flapping servers, and `mix.stragglers` stragglers, all
+    /// landing in the first half of `[start, start + window)` so rejoin
+    /// hysteresis has room to restore full-fleet planning before the
+    /// burst ends. Kept separate from [`FaultPlan::generate`] on purpose —
+    /// adding kinds to that selector would reshuffle every existing seeded
+    /// plan stream. Pure function of the arguments; empty when `n_servers
+    /// == 0` or the window is shorter than one default epoch.
+    pub fn generate_fleet(
+        seed: u64,
+        start: SimTime,
+        window: SimDuration,
+        n_servers: u8,
+        mix: FleetMix,
+    ) -> Self {
+        if n_servers == 0 || window < SimDuration::from_secs(60) {
+            return FaultPlan {
+                seed,
+                events: Vec::new(),
+            };
+        }
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x666c_6565_7421); // "fleet!"
+        let span_s = window.as_secs_f64();
+        let mut events = Vec::new();
+        for _ in 0..mix.crashes {
+            let at = start + SimDuration::from_secs_f64(span_s * rng.uniform_range(0.0, 0.5));
+            let down_epochs = 1 + rng.index(3) as u32; // 1..=3
+            events.push(FaultEvent {
+                at,
+                // A crash applies once when it first overlaps an epoch;
+                // the duration only has to reach one.
+                duration: SimDuration::from_secs(60),
+                kind: FaultKind::ServerCrash {
+                    server: rng.index(n_servers as usize) as u8,
+                    down_epochs,
+                },
+            });
+        }
+        for _ in 0..mix.flaps {
+            let at = start + SimDuration::from_secs_f64(span_s * rng.uniform_range(0.0, 0.4));
+            let duration =
+                SimDuration::from_secs_f64((span_s * rng.uniform_range(0.1, 0.4)).max(120.0));
+            events.push(FaultEvent {
+                at,
+                duration,
+                kind: FaultKind::ServerFlap {
+                    server: rng.index(n_servers as usize) as u8,
+                },
+            });
+        }
+        for _ in 0..mix.stragglers {
+            let at = start + SimDuration::from_secs_f64(span_s * rng.uniform_range(0.0, 0.5));
+            let duration =
+                SimDuration::from_secs_f64((span_s * rng.uniform_range(0.1, 0.5)).max(60.0));
+            events.push(FaultEvent {
+                at,
+                duration,
+                kind: FaultKind::ServerStraggler {
+                    server: rng.index(n_servers as usize) as u8,
+                    goodput_factor: rng.uniform_range(0.3, 0.9),
+                },
+            });
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// Check every event is physically meaningful: factors finite and in
+    /// range, durations non-zero, crash countdowns non-degenerate.
+    /// Returns a description of the first offending event.
     pub fn validate(&self) -> Result<(), String> {
         for (i, e) in self.events.iter().enumerate() {
+            if e.duration == SimDuration::ZERO {
+                return Err(format!("event {i}: zero-length window (duration 0)"));
+            }
             let check = |name: &str, f: f64, lo: f64, hi: f64| -> Result<(), String> {
                 if !f.is_finite() || f < lo || f > hi {
                     return Err(format!("event {i}: {name} factor {f} outside [{lo}, {hi}]"));
@@ -237,7 +351,39 @@ impl FaultPlan {
                 FaultKind::QTablePoison { magnitude } => {
                     check("qtable-poison", magnitude, 0.0, 1e12)?
                 }
+                FaultKind::ServerCrash { down_epochs: 0, .. } => {
+                    return Err(format!("event {i}: server-crash with down_epochs 0"));
+                }
+                FaultKind::ServerStraggler { goodput_factor, .. } => {
+                    check("server-straggler", goodput_factor, 0.01, 1.0)?
+                }
                 _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`] plus rack-shape checks: every server-
+    /// targeted event must name a server that exists on an `n_servers`
+    /// rack. A plan written for a 10-server rack silently no-ops (or
+    /// worse) on a 3-server one; reject it up front instead.
+    pub fn validate_for(&self, n_servers: usize) -> Result<(), String> {
+        self.validate()?;
+        for (i, e) in self.events.iter().enumerate() {
+            let target = match e.kind {
+                FaultKind::CommandLoss { server: Some(s) } => Some(("command-loss", s)),
+                FaultKind::StuckServer { server } => Some(("stuck-server", server)),
+                FaultKind::ServerCrash { server, .. } => Some(("server-crash", server)),
+                FaultKind::ServerFlap { server } => Some(("server-flap", server)),
+                FaultKind::ServerStraggler { server, .. } => Some(("server-straggler", server)),
+                _ => None,
+            };
+            if let Some((name, s)) = target {
+                if usize::from(s) >= n_servers {
+                    return Err(format!(
+                        "event {i}: {name} targets server {s} on a {n_servers}-server rack"
+                    ));
+                }
             }
         }
         Ok(())
@@ -271,6 +417,15 @@ impl FaultPlan {
                     })
                 }
                 FaultKind::QTablePoison { magnitude } => active.poisons.push((i, magnitude)),
+                FaultKind::ServerCrash {
+                    server,
+                    down_epochs,
+                } => active.crashes.push((i, server, down_epochs)),
+                FaultKind::ServerFlap { server } => active.flaps.push((server, e.at)),
+                FaultKind::ServerStraggler {
+                    server,
+                    goodput_factor,
+                } => active.stragglers.push((server, goodput_factor)),
             }
         }
         active
@@ -317,6 +472,17 @@ pub struct ActiveFaults {
     /// `(event index, magnitude)` of Q-table-poisoning events overlapping
     /// this epoch; like fades, the engine applies each exactly once.
     pub poisons: Vec<(usize, f64)>,
+    /// `(event index, server, down_epochs)` of server-crash events
+    /// overlapping this epoch; the engine applies each exactly once and
+    /// then counts the server's dead epochs down itself.
+    pub crashes: Vec<(usize, u8, u32)>,
+    /// `(server, event start)` of flap events overlapping this epoch; the
+    /// start time anchors the alternating up/down phase (see
+    /// [`ActiveFaults::flap_down`]).
+    pub flaps: Vec<(u8, SimTime)>,
+    /// `(server, goodput factor)` of straggler events overlapping this
+    /// epoch; factors compose when events overlap on one server.
+    pub stragglers: Vec<(u8, f64)>,
 }
 
 impl Default for ActiveFaults {
@@ -333,6 +499,9 @@ impl Default for ActiveFaults {
             stuck: Vec::new(),
             core_cap: None,
             poisons: Vec::new(),
+            crashes: Vec::new(),
+            flaps: Vec::new(),
+            stragglers: Vec::new(),
         }
     }
 }
@@ -351,6 +520,54 @@ impl ActiveFaults {
     /// True if server `i` is stuck at its previous setting this epoch.
     pub fn is_stuck(&self, i: usize) -> bool {
         self.stuck.contains(&(i as u8))
+    }
+
+    /// True if a flap event holds server `i` down during the epoch that
+    /// starts at `t`. The phase is a pure function of the event's start
+    /// time — epoch 0 of the event (and every even epoch after) is down —
+    /// so a resumed run computes the same answer as an uninterrupted one.
+    pub fn flap_down(&self, i: usize, t: SimTime, epoch: SimDuration) -> bool {
+        self.flaps.iter().any(|&(s, at)| {
+            usize::from(s) == i && {
+                let phase = if t >= at {
+                    (t - at).div_duration(epoch).unwrap_or(0)
+                } else {
+                    0
+                };
+                phase % 2 == 0
+            }
+        })
+    }
+
+    /// Composite goodput factor for server `i` this epoch (product over
+    /// active straggler events; `1.0` when none target it).
+    pub fn straggler_factor(&self, i: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|&&(s, _)| usize::from(s) == i)
+            .map(|&(_, f)| f)
+            .product()
+    }
+}
+
+/// How many of each fleet fault [`FaultPlan::generate_fleet`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetMix {
+    /// Bounded-outage crashes ([`FaultKind::ServerCrash`]).
+    pub crashes: u8,
+    /// Flapping servers ([`FaultKind::ServerFlap`]).
+    pub flaps: u8,
+    /// Slow-but-alive servers ([`FaultKind::ServerStraggler`]).
+    pub stragglers: u8,
+}
+
+impl Default for FleetMix {
+    fn default() -> Self {
+        FleetMix {
+            crashes: 2,
+            flaps: 1,
+            stragglers: 1,
+        }
     }
 }
 
@@ -519,6 +736,189 @@ mod tests {
             },
         }]);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_generator_inputs_yield_empty_plans() {
+        let start = SimTime::from_hours(11);
+        // Zero servers: nothing to target.
+        let plan = FaultPlan::generate(5, start, mins(30), 0);
+        assert!(plan.events.is_empty());
+        assert_eq!(plan.seed, 5);
+        // Window shorter than one default epoch: no room for an event.
+        let plan = FaultPlan::generate(5, start, SimDuration::from_secs(59), 3);
+        assert!(plan.events.is_empty());
+        let plan = FaultPlan::generate_fleet(5, start, mins(30), 0, FleetMix::default());
+        assert!(plan.events.is_empty());
+        let plan =
+            FaultPlan::generate_fleet(5, start, SimDuration::from_secs(59), 3, FleetMix::default());
+        assert!(plan.events.is_empty());
+        assert!(plan.validate_for(3).is_ok());
+    }
+
+    #[test]
+    fn fleet_plans_are_pure_seeded_and_validate() {
+        let start = SimTime::from_hours(11);
+        let mix = FleetMix::default();
+        let a = FaultPlan::generate_fleet(42, start, mins(10), 4, mix);
+        let b = FaultPlan::generate_fleet(42, start, mins(10), 4, mix);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate_fleet(43, start, mins(10), 4, mix);
+        assert_ne!(a, c);
+        assert_eq!(
+            a.events.len(),
+            usize::from(mix.crashes + mix.flaps + mix.stragglers)
+        );
+        assert!(a.validate().is_ok());
+        assert!(a.validate_for(4).is_ok());
+        for e in &a.events {
+            // First half of the window, so rejoin fits inside the burst.
+            assert!(e.at >= start && e.at < start + mins(5));
+            assert!(e.duration > SimDuration::ZERO);
+            assert!(matches!(
+                e.kind,
+                FaultKind::ServerCrash { .. }
+                    | FaultKind::ServerFlap { .. }
+                    | FaultKind::ServerStraggler { .. }
+            ));
+        }
+        // Fleet plans do not perturb the pre-existing generator streams.
+        assert_eq!(
+            FaultPlan::generate(42, start, mins(10), 3),
+            FaultPlan::generate(42, start, mins(10), 3),
+        );
+        assert_eq!(
+            FaultPlan::generate_poison(42, start, mins(10)),
+            FaultPlan::generate_poison(42, start, mins(10)),
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_length_windows_and_bad_fleet_params() {
+        let zero = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_mins(1),
+            duration: SimDuration::ZERO,
+            kind: FaultKind::BreakerTrip,
+        }]);
+        assert!(zero.validate().unwrap_err().contains("zero-length"));
+        assert!(FaultPlan::from_json(&zero.to_json()).is_err());
+
+        let dead_crash = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_mins(1),
+            duration: mins(1),
+            kind: FaultKind::ServerCrash {
+                server: 0,
+                down_epochs: 0,
+            },
+        }]);
+        assert!(dead_crash.validate().unwrap_err().contains("down_epochs"));
+
+        let nan_straggler = FaultPlan::new(vec![FaultEvent {
+            at: SimTime::from_mins(1),
+            duration: mins(1),
+            kind: FaultKind::ServerStraggler {
+                server: 0,
+                goodput_factor: f64::NAN,
+            },
+        }]);
+        assert!(nan_straggler.validate().is_err());
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_range_servers() {
+        let mk = |kind| {
+            FaultPlan::new(vec![FaultEvent {
+                at: SimTime::from_mins(1),
+                duration: mins(1),
+                kind,
+            }])
+        };
+        let cases = [
+            mk(FaultKind::CommandLoss { server: Some(99) }),
+            mk(FaultKind::StuckServer { server: 10 }),
+            mk(FaultKind::ServerCrash {
+                server: 10,
+                down_epochs: 2,
+            }),
+            mk(FaultKind::ServerFlap { server: 10 }),
+            mk(FaultKind::ServerStraggler {
+                server: 10,
+                goodput_factor: 0.5,
+            }),
+        ];
+        for plan in &cases {
+            // Plain validate has no rack shape, so it passes...
+            assert!(plan.validate().is_ok());
+            // ...but a 10-server rack has servers 0..=9 only.
+            let err = plan.validate_for(10).unwrap_err();
+            assert!(err.contains("10-server rack"), "{err}");
+        }
+        // In-range targets pass.
+        let ok = mk(FaultKind::ServerCrash {
+            server: 9,
+            down_epochs: 2,
+        });
+        assert!(ok.validate_for(10).is_ok());
+        assert!(ok.validate_for(9).is_err());
+        // CommandLoss-to-all targets no specific server.
+        assert!(mk(FaultKind::CommandLoss { server: None })
+            .validate_for(1)
+            .is_ok());
+    }
+
+    #[test]
+    fn fleet_events_aggregate_into_active_faults() {
+        let t = SimTime::from_mins(10);
+        let epoch = SimDuration::from_secs(60);
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: t,
+                duration: mins(1),
+                kind: FaultKind::ServerCrash {
+                    server: 1,
+                    down_epochs: 3,
+                },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(4),
+                kind: FaultKind::ServerFlap { server: 2 },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(4),
+                kind: FaultKind::ServerStraggler {
+                    server: 0,
+                    goodput_factor: 0.5,
+                },
+            },
+            FaultEvent {
+                at: t,
+                duration: mins(4),
+                kind: FaultKind::ServerStraggler {
+                    server: 0,
+                    goodput_factor: 0.8,
+                },
+            },
+        ]);
+        assert!(plan.validate_for(3).is_ok());
+        let active = plan.active_during(t, t + epoch);
+        assert_eq!(active.crashes, vec![(0, 1, 3)]);
+        assert_eq!(active.flaps, vec![(2, t)]);
+        assert!((active.straggler_factor(0) - 0.4).abs() < 1e-12);
+        assert_eq!(active.straggler_factor(1), 1.0);
+        assert!(active.any());
+        // Flap phase alternates per epoch from the event start: down on
+        // even epochs, up on odd ones, down again — deterministically.
+        assert!(active.flap_down(2, t, epoch));
+        assert!(!active.flap_down(1, t, epoch));
+        let a1 = plan.active_during(t + epoch, t + epoch + epoch);
+        assert!(!a1.flap_down(2, t + epoch, epoch));
+        let a2 = plan.active_during(t + epoch + epoch, t + mins(3));
+        assert!(a2.flap_down(2, t + epoch + epoch, epoch));
+        // Round trip keeps fleet kinds intact.
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
     }
 
     #[test]

@@ -185,6 +185,11 @@ pub struct EpochSignals {
     /// an out-of-range pending state). Always `false` while a
     /// learner-free ladder level is steering.
     pub table_corrupt: bool,
+    /// Load-carrying servers as a fraction of the configured rack
+    /// (`1.0` on a healthy fleet). Below 1.0 the comparative detectors
+    /// freeze: an SLO miss on a shrunken fleet is capacity-driven, not
+    /// policy misbehavior, and must not quarantine a healthy Q-table.
+    pub live_fraction: f64,
 }
 
 /// What the ladder decided this epoch. `Demote`/`Promote` take effect for
@@ -329,7 +334,17 @@ impl Guardrail {
     /// *clears* a streak by accident because every comparison is phrased
     /// so NaN counts as misbehavior where it plausibly is one.
     pub fn observe(&mut self, sig: &EpochSignals) -> GuardrailAction {
-        let comparative = self.state.level < self.fallback_pos();
+        // While the fleet is degraded (live_fraction < 1), the shadow
+        // comparison loses meaning in both directions — the active policy
+        // and the shadow both serve redistributed load on fewer servers,
+        // so an SLO miss or reward gap is capacity, not policy. The
+        // comparative streaks freeze: they neither grow nor clear until
+        // the fleet is whole again. A NaN live_fraction counts as
+        // degraded. The absolute detectors (SoC overdraw, corruption)
+        // keep full authority at any fleet size.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let degraded = !(sig.live_fraction >= 1.0);
+        let comparative = self.state.level < self.fallback_pos() && !degraded;
         let st = &mut self.state;
         let corrupt = sig.table_corrupt;
         let slo_bad = comparative && !sig.active_slo_ok && sig.shadow_slo_ok;
@@ -340,8 +355,20 @@ impl Guardrail {
             comparative && !(sig.active_reward >= sig.shadow_reward - self.cfg.reward_margin);
         let soc_bad =
             sig.battery_discharge_w > self.cfg.soc_divergence_factor * sig.planned_battery_w + 1.0;
-        st.slo_streak = if slo_bad { st.slo_streak + 1 } else { 0 };
-        st.reward_streak = if reward_bad { st.reward_streak + 1 } else { 0 };
+        st.slo_streak = if slo_bad {
+            st.slo_streak + 1
+        } else if degraded {
+            st.slo_streak
+        } else {
+            0
+        };
+        st.reward_streak = if reward_bad {
+            st.reward_streak + 1
+        } else if degraded {
+            st.reward_streak
+        } else {
+            0
+        };
         st.soc_streak = if soc_bad { st.soc_streak + 1 } else { 0 };
 
         let trigger = if corrupt {
@@ -385,6 +412,10 @@ impl Guardrail {
         } else if st.level > 0 {
             if corrupt || slo_bad || reward_bad || soc_bad {
                 st.clean_streak = 0;
+                GuardrailAction::Hold
+            } else if degraded {
+                // A degraded fleet can neither incriminate nor exonerate
+                // the demoted policy: hold probation where it stands.
                 GuardrailAction::Hold
             } else {
                 st.clean_streak += 1;
@@ -517,6 +548,7 @@ mod tests {
             battery_discharge_w: 50.0,
             planned_battery_w: 100.0,
             table_corrupt: false,
+            live_fraction: 1.0,
         }
     }
 
@@ -666,6 +698,116 @@ mod tests {
             g.observe(&fine);
         }
         assert_eq!(g.state().soc_streak, 0);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn degraded_fleet_freezes_comparative_detectors_but_not_absolute_ones() {
+        // Capacity-driven SLO misses while servers are down must not
+        // quarantine a healthy policy: comparative detectors disarm and
+        // their streaks freeze for as long as live_fraction < 1.
+        let mut g = Guardrail::new(cfg(), Strategy::Hybrid).unwrap();
+        let capacity_miss = EpochSignals {
+            active_slo_ok: false,
+            shadow_slo_ok: true,
+            active_reward: -5.0,
+            shadow_reward: 2.5,
+            live_fraction: 0.7,
+            ..quiet(0)
+        };
+        for _ in 0..10 {
+            assert_eq!(g.observe(&capacity_miss), GuardrailAction::Hold);
+        }
+        assert_eq!(g.level(), 0);
+        assert_eq!(g.state().slo_streak, 0);
+        assert_eq!(g.state().reward_streak, 0);
+
+        // Freeze, not reset: two bad full-fleet epochs, one degraded
+        // epoch in between, then a third bad epoch completes the streak.
+        let bad = EpochSignals {
+            active_slo_ok: false,
+            shadow_slo_ok: true,
+            ..quiet(1)
+        };
+        g.observe(&bad);
+        g.observe(&bad);
+        assert_eq!(g.state().slo_streak, 2);
+        assert_eq!(
+            g.observe(&EpochSignals {
+                live_fraction: 0.5,
+                ..bad
+            }),
+            GuardrailAction::Hold
+        );
+        assert_eq!(g.state().slo_streak, 2, "degraded epoch froze the streak");
+        assert!(matches!(g.observe(&bad), GuardrailAction::Demote { .. }));
+
+        // Absolute detectors keep their authority at any fleet size:
+        // corruption demotes immediately...
+        let mut g = Guardrail::new(cfg(), Strategy::Hybrid).unwrap();
+        assert!(matches!(
+            g.observe(&EpochSignals {
+                table_corrupt: true,
+                live_fraction: 0.5,
+                ..quiet(0)
+            }),
+            GuardrailAction::Demote { .. }
+        ));
+        // ...and SoC overdraw still streaks to a demotion.
+        let mut g = Guardrail::new(cfg(), Strategy::Hybrid).unwrap();
+        let draining = EpochSignals {
+            battery_discharge_w: 400.0,
+            planned_battery_w: 100.0,
+            live_fraction: 0.5,
+            ..quiet(0)
+        };
+        g.observe(&draining);
+        g.observe(&draining);
+        assert!(matches!(
+            g.observe(&draining),
+            GuardrailAction::Demote { .. }
+        ));
+
+        // A NaN live_fraction is treated as degraded, never as healthy.
+        let mut g = Guardrail::new(cfg(), Strategy::Hybrid).unwrap();
+        let nan_fleet = EpochSignals {
+            active_slo_ok: false,
+            shadow_slo_ok: true,
+            live_fraction: f64::NAN,
+            ..quiet(0)
+        };
+        for _ in 0..10 {
+            assert_eq!(g.observe(&nan_fleet), GuardrailAction::Hold);
+        }
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn probation_holds_but_does_not_reset_while_the_fleet_is_degraded() {
+        let mut g = Guardrail::new(cfg(), Strategy::Hybrid).unwrap();
+        g.observe(&EpochSignals {
+            table_corrupt: true,
+            ..quiet(0)
+        });
+        assert_eq!(g.level(), 1);
+        for k in 1..=4 {
+            assert_eq!(g.observe(&quiet(k)), GuardrailAction::Hold);
+        }
+        assert_eq!(g.state().clean_streak, 4);
+        // Degraded epochs neither advance nor reset the probation clock.
+        for k in 5..=8 {
+            assert_eq!(
+                g.observe(&EpochSignals {
+                    live_fraction: 0.7,
+                    ..quiet(k)
+                }),
+                GuardrailAction::Hold
+            );
+        }
+        assert_eq!(g.state().clean_streak, 4, "probation held, not reset");
+        // Full-fleet clean epochs finish the window and promote.
+        assert_eq!(g.observe(&quiet(9)), GuardrailAction::Hold);
+        assert_eq!(g.observe(&quiet(10)), GuardrailAction::Promote);
         assert_eq!(g.level(), 0);
     }
 

@@ -51,6 +51,10 @@ fn ladder_series() -> TimeSeries {
     TimeSeries::new("ladder_level")
 }
 
+fn fleet_series() -> TimeSeries {
+    TimeSeries::new("fleet_live")
+}
+
 /// Time-series retention of every observation stream.
 ///
 /// Deserializes with container-level defaults so serialized monitors from
@@ -82,6 +86,16 @@ pub struct Monitor {
     /// serialized monitors.
     #[serde(default = "ladder_series")]
     ladder: TimeSeries,
+    /// Live-server count per epoch (the fleet-size stream). Only
+    /// populated when the engine tracks fleet faults; absent in older
+    /// serialized monitors.
+    #[serde(default = "fleet_series")]
+    fleet_live: TimeSeries,
+    /// Per-server liveness streams (1.0 live, 0.0 dead), one per green
+    /// server, named `server<i>_live`. Empty until the first fleet
+    /// recording.
+    #[serde(default)]
+    server_live: Vec<TimeSeries>,
 }
 
 impl Default for Monitor {
@@ -105,6 +119,8 @@ impl Monitor {
             last_good_soc: None,
             stale_re_epochs: 0,
             ladder: ladder_series(),
+            fleet_live: fleet_series(),
+            server_live: Vec::new(),
         }
     }
 
@@ -195,6 +211,32 @@ impl Monitor {
     /// Failover-ladder level stream (empty when the guardrail is off).
     pub fn ladder(&self) -> &TimeSeries {
         &self.ladder
+    }
+
+    /// Record one epoch of per-server liveness: `up[i]` says whether green
+    /// server `i` answered this epoch. Feeds the fleet-size stream and one
+    /// liveness stream per server.
+    pub fn record_fleet(&mut self, t: SimTime, up: &[bool]) {
+        while self.server_live.len() < up.len() {
+            let i = self.server_live.len();
+            self.server_live
+                .push(TimeSeries::new(format!("server{i}_live")));
+        }
+        for (i, &alive) in up.iter().enumerate() {
+            self.server_live[i].push(t, if alive { 1.0 } else { 0.0 });
+        }
+        let live = up.iter().filter(|&&a| a).count();
+        self.fleet_live.push(t, live as f64);
+    }
+
+    /// Live-server-count stream (empty until fleet faults are tracked).
+    pub fn fleet_live(&self) -> &TimeSeries {
+        &self.fleet_live
+    }
+
+    /// Per-server liveness streams (1.0 live, 0.0 dead).
+    pub fn server_live(&self) -> &[TimeSeries] {
+        &self.server_live
     }
 }
 
@@ -298,6 +340,33 @@ mod tests {
         assert_eq!(m.re_supply().points().last().unwrap().1, 42.0);
         assert_eq!(m.last_good_re(), None);
         assert_eq!(m.stale_re_epochs(), 1);
+    }
+
+    #[test]
+    fn fleet_streams_record_liveness_and_are_optional() {
+        let mut m = Monitor::new();
+        assert_eq!(m.fleet_live().len(), 0);
+        assert!(m.server_live().is_empty());
+        m.record_fleet(SimTime::from_secs(60), &[true, true, false]);
+        m.record_fleet(SimTime::from_secs(120), &[true, false, false]);
+        assert_eq!(m.fleet_live().points().last().unwrap().1, 1.0);
+        assert_eq!(m.server_live().len(), 3);
+        assert_eq!(m.server_live()[0].points().last().unwrap().1, 1.0);
+        assert_eq!(m.server_live()[2].points().last().unwrap().1, 0.0);
+        assert_eq!(m.server_live()[1].name(), "server1_live");
+        // Pre-fleet serialized monitors deserialize with empty fleet
+        // streams rather than failing.
+        let json = serde_json::to_string(&Monitor::new()).unwrap();
+        let stripped = json
+            .replace(
+                ",\"fleet_live\":{\"points\":[],\"name\":\"fleet_live\"}",
+                "",
+            )
+            .replace(",\"server_live\":[]", "");
+        assert_ne!(json, stripped);
+        let old: Monitor = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.fleet_live().len(), 0);
+        assert!(old.server_live().is_empty());
     }
 
     #[test]

@@ -304,6 +304,16 @@ impl ActuationWatchdog {
         }
     }
 
+    /// Forget everything known about server `i` — streaks and clamp. A
+    /// crashed server reboots with fresh knobs; holding a clamp (or a
+    /// half-built streak) against the replacement would punish hardware
+    /// that no longer exists.
+    pub fn reset(&mut self, i: usize) {
+        self.mismatch_streak[i] = 0;
+        self.match_streak[i] = 0;
+        self.clamped[i] = false;
+    }
+
     /// True while server `i`'s commands are clamped to Normal.
     pub fn is_clamped(&self, i: usize) -> bool {
         self.clamped[i]

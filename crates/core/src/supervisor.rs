@@ -385,6 +385,66 @@ mod tests {
     }
 
     #[test]
+    fn zero_retries_fail_on_the_first_panic() {
+        let policy = SupervisorPolicy {
+            max_retries: 0,
+            task_timeout_epochs: 0,
+        };
+        let (results, report) = run_supervised_sweep(
+            vec![poisoned_point()],
+            7,
+            1,
+            &policy,
+            &HashSet::new(),
+            None,
+            |_| {},
+        );
+        assert!(results[0].outcome.is_failed());
+        assert_eq!(report.completed, 0);
+        assert!(report.retried.is_empty(), "nothing retried with 0 retries");
+        assert_eq!(report.failed.len(), 1);
+        assert!(
+            report.failed[0].error.contains("all 1 attempts"),
+            "{}",
+            report.failed[0].error
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_produce_identical_reports_at_any_job_count() {
+        // A task that panics on every attempt must exhaust its retry
+        // budget deterministically: the same failure record — attempts,
+        // message, and all sibling results — at any worker count.
+        let grid = || {
+            let mut points = healthy_grid();
+            points.insert(0, poisoned_point());
+            points.push(poisoned_point());
+            points
+        };
+        let policy = SupervisorPolicy {
+            max_retries: 2,
+            task_timeout_epochs: 0,
+        };
+        let run =
+            |jobs| run_supervised_sweep(grid(), 7, jobs, &policy, &HashSet::new(), None, |_| {});
+        let (want_results, want_report) = run(1);
+        assert_eq!(want_report.failed.len(), 2);
+        for f in &want_report.failed {
+            assert!(f.error.contains("all 3 attempts"), "{}", f.error);
+        }
+        for jobs in [2, 4] {
+            let (results, report) = run(jobs);
+            assert_eq!(
+                serde_json::to_string(&results).unwrap(),
+                serde_json::to_string(&want_results).unwrap(),
+                "{jobs} workers changed the result bytes"
+            );
+            assert_eq!(report.failed, want_report.failed);
+            assert_eq!(report.completed, want_report.completed);
+        }
+    }
+
+    #[test]
     fn over_budget_tasks_are_rejected_up_front() {
         // A 5-minute burst at 60 s epochs runs 5 + 5 = 10 epochs; a 1-day
         // campaign runs 2880. Budgeting 100 passes the burst, fails the

@@ -13,6 +13,7 @@
 //!                   [--configs C,..] [--days N] [--intensity K] [--seed N] [--jobs N] [--analytic]
 //!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
 //! greensprint chaos [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N]
+//!                   [--fleet] [--crashes N] [--flaps N] [--stragglers N]
 //!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
 //!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
 //! greensprint resume FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
@@ -583,10 +584,12 @@ fn resume_flag(flags: &HashMap<String, String>, mode: &str) -> bool {
 
 /// `greensprint chaos` — fault-injection runs. Each run applies a
 /// [`FaultPlan`] (loaded from `--plan FILE.json`, or generated from
-/// `--fault-seed`) to a burst and fans the batch through the same
-/// deterministic executor as `sweep`: one JSON line per run, bit-identical
-/// for any `--jobs`. Exits 1 if any run loses the Normal goodput floor or
-/// overdraws the grid cap — the invariants safe mode exists to keep.
+/// `--fault-seed`; `--fleet` generates server crash/flap/straggler plans
+/// instead, with `--crashes/--flaps/--stragglers` picking the mix) to a
+/// burst and fans the batch through the same deterministic executor as
+/// `sweep`: one JSON line per run, bit-identical for any `--jobs`. Exits 1
+/// if any run loses the Normal goodput floor or overdraws the grid cap —
+/// the invariants safe mode and capacity re-planning exist to keep.
 fn chaos(flags: &HashMap<String, String>) {
     let jobs: usize = get(flags, "jobs", default_jobs());
     if jobs == 0 {
@@ -600,6 +603,23 @@ fn chaos(flags: &HashMap<String, String>) {
         usage("--runs must be at least 1");
     }
     let fault_seed: u64 = get(flags, "fault-seed", 42);
+    let fleet = flags.contains_key("fleet");
+    let default_mix = FleetMix::default();
+    let mix = FleetMix {
+        crashes: get(flags, "crashes", default_mix.crashes),
+        flaps: get(flags, "flaps", default_mix.flaps),
+        stragglers: get(flags, "stragglers", default_mix.stragglers),
+    };
+    if !fleet
+        && ["crashes", "flaps", "stragglers"]
+            .iter()
+            .any(|k| flags.contains_key(*k))
+    {
+        usage("--crashes/--flaps/--stragglers shape fleet plans; add --fleet");
+    }
+    if fleet && flags.contains_key("plan") {
+        usage("--fleet generates plans; it cannot be combined with --plan");
+    }
     let base = engine_cfg(flags);
     let file_plan: Option<FaultPlan> = flags.get("plan").map(|path| {
         let text = std::fs::read_to_string(path)
@@ -608,6 +628,7 @@ fn chaos(flags: &HashMap<String, String>) {
             .unwrap_or_else(|e| usage(&format!("invalid fault plan {path}: {e}")))
     });
     let start = SimTime::from_secs_f64(base.burst_start_hour * 3_600.0);
+    let n_servers = base.green.green_servers.min(u8::MAX as usize) as u8;
 
     let mut points = Vec::new();
     for r in 0..runs {
@@ -615,15 +636,26 @@ fn chaos(flags: &HashMap<String, String>) {
         // per run via the executor); otherwise each run gets its own
         // independently seeded plan.
         let plan = file_plan.clone().unwrap_or_else(|| {
-            FaultPlan::generate(
-                derive_seed(fault_seed, r as u64),
-                start,
-                base.burst_duration,
-                base.green.green_servers.min(u8::MAX as usize) as u8,
-            )
+            if fleet {
+                FaultPlan::generate_fleet(
+                    derive_seed(fault_seed, r as u64),
+                    start,
+                    base.burst_duration,
+                    n_servers,
+                    mix,
+                )
+            } else {
+                FaultPlan::generate(
+                    derive_seed(fault_seed, r as u64),
+                    start,
+                    base.burst_duration,
+                    n_servers,
+                )
+            }
         });
+        let kind = if fleet { "fleet" } else { "plan" };
         let label = format!(
-            "chaos/{}/{}/{}/plan{r}",
+            "chaos/{}/{}/{}/{kind}{r}",
             base.app, base.strategy, base.availability
         );
         points.push(SweepPoint::burst(
@@ -900,11 +932,16 @@ usage:
                        grid sweep on the deterministic parallel executor; one JSON line
                        per point (completion order), identical results for any --jobs
   greensprint chaos    [--plan FILE.json] [--fault-seed N] [--runs R] [--jobs N] [--seed N]
+                       [--fleet] [--crashes N] [--flaps N] [--stragglers N]
                        [--app A] [--strategy S] [--availability L] [--minutes N] [--analytic]
                        [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
                        fault-injection runs (sensor dropout, inverter derate, stuck servers,
                        ...); one JSON line per run; exits 1 if any run loses the Normal
-                       floor, overdraws the grid, or trips the invariant auditor
+                       floor, overdraws the grid, or trips the invariant auditor.
+                       --fleet switches the generator to server-level fault domains
+                       (crashes, power flaps, stragglers) with --crashes/--flaps/
+                       --stragglers picking the per-plan mix (2/1/1); dead servers shed
+                       their load to the survivors and rejoin after a clean streak
   greensprint resume   FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
                        continue an interrupted run from its checkpoint: a sweep/chaos
                        journal re-runs only the missing points and prints the full result

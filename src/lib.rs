@@ -58,8 +58,9 @@ pub mod prelude {
     pub use greensprint::engine::{resume_snapshot, ResumedRun};
     pub use greensprint::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,
+        REJOIN_EPOCHS,
     };
-    pub use greensprint::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
+    pub use greensprint::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan, FleetMix};
     pub use greensprint::guardrail::{
         Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord,
     };

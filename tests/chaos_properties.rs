@@ -26,6 +26,24 @@ fn generate_poison(seed: u64) -> FaultPlan {
     FaultPlan::generate_poison(seed, SimTime::from_hours(11), SimDuration::from_mins(5))
 }
 
+/// A seeded crash/flap/straggler plan over a 10-minute burst window.
+fn generate_fleet(seed: u64) -> FaultPlan {
+    FaultPlan::generate_fleet(
+        seed,
+        SimTime::from_hours(11),
+        SimDuration::from_mins(10),
+        3,
+        FleetMix::default(),
+    )
+}
+
+fn fleet_cfg(strategy: Strategy, plan: FaultPlan) -> EngineConfig {
+    EngineConfig {
+        burst_duration: SimDuration::from_mins(10),
+        ..chaos_cfg(strategy, plan)
+    }
+}
+
 /// The poison property config: Hybrid (the only learned strategy, so the
 /// only poisonable one) with the guardrail supervising it.
 fn guarded_cfg(plan: FaultPlan) -> EngineConfig {
@@ -139,6 +157,98 @@ proptest! {
         );
     }
 
+    /// Generated fleet plans are always well-formed for the rack they
+    /// were sized for.
+    #[test]
+    fn generated_fleet_plans_validate(seed in 0_u64..u64::MAX) {
+        let plan = generate_fleet(seed);
+        prop_assert!(plan.validate().is_ok(), "seed {seed}: {:?}", plan.validate());
+        prop_assert!(plan.validate_for(3).is_ok(), "seed {seed}: {:?}", plan.validate_for(3));
+        prop_assert!(!plan.events.is_empty());
+    }
+
+    /// The degraded-fleet tentpole invariant: under any seeded
+    /// crash/flap/straggler plan, any strategy, the survivors hold the
+    /// Normal floor, the grid cap is never exceeded, and the invariant
+    /// audit (which books dead servers at zero power and caps goodput by
+    /// live capacity) stays clean.
+    #[test]
+    fn any_fleet_plan_holds_the_floor_and_audits_clean(seed in 0_u64..10_000, strat in 0_usize..4) {
+        let strategy = [
+            Strategy::Greedy,
+            Strategy::Parallel,
+            Strategy::Pacing,
+            Strategy::Hybrid,
+        ][strat];
+        let out = Engine::new(fleet_cfg(strategy, generate_fleet(seed))).run();
+        prop_assert!(
+            out.speedup_vs_normal >= 0.99,
+            "seed {seed} {strategy:?}: speedup {}",
+            out.speedup_vs_normal
+        );
+        prop_assert!(out.floor_held, "seed {seed} {strategy:?}");
+        prop_assert!(
+            out.grid_overload_wh == 0.0,
+            "seed {seed} {strategy:?}: overload {}",
+            out.grid_overload_wh
+        );
+        prop_assert!(
+            out.audit_violations.is_empty(),
+            "seed {seed} {strategy:?}: {} violation(s), first: {}",
+            out.audit_violations.len(),
+            out.audit_violations[0]
+        );
+    }
+
+    /// Epoch goodput never exceeds what the live servers could possibly
+    /// serve at the deepest sprint — crashed and probation servers must
+    /// contribute nothing.
+    #[test]
+    fn fleet_goodput_respects_the_live_capacity_ceiling(seed in 0_u64..10_000) {
+        let out = Engine::new(fleet_cfg(Strategy::Greedy, generate_fleet(seed))).run();
+        let cap = ProfileTable::cached(Application::SpecJbb)
+            .get(ServerSetting::max_sprint())
+            .slo_capacity;
+        for (k, e) in out.epochs.iter().enumerate() {
+            let ceiling = f64::from(e.live_servers) * cap;
+            prop_assert!(
+                e.goodput_rps <= ceiling * (1.0 + 1e-9) + 1e-9,
+                "seed {seed} epoch {k}: goodput {} > {} live servers x {cap}",
+                e.goodput_rps,
+                e.live_servers
+            );
+        }
+    }
+
+    /// `live_servers` is exactly the hysteresis function of physical
+    /// liveness: a server counts as live iff it answered this epoch and
+    /// the `REJOIN_EPOCHS` before it — so a downed server rejoins the
+    /// plan precisely `REJOIN_EPOCHS` epochs after it comes back, never
+    /// earlier and never later.
+    #[test]
+    fn rejoin_happens_exactly_at_the_hysteresis_window(seed in 0_u64..10_000) {
+        let (out, monitor, _) =
+            Engine::new(fleet_cfg(Strategy::Greedy, generate_fleet(seed))).run_full();
+        let servers = monitor.server_live();
+        prop_assert!(servers.len() == 3, "seed {seed}: {} streams", servers.len());
+        let mut streaks = vec![REJOIN_EPOCHS; servers.len()];
+        for (k, e) in out.epochs.iter().enumerate() {
+            let mut live = 0u8;
+            for (i, s) in servers.iter().enumerate() {
+                let up = s.points()[k].1 > 0.5;
+                streaks[i] = if up { (streaks[i] + 1).min(REJOIN_EPOCHS) } else { 0 };
+                if up && streaks[i] >= REJOIN_EPOCHS {
+                    live += 1;
+                }
+            }
+            prop_assert!(
+                e.live_servers == live,
+                "seed {seed} epoch {k}: recorded {} live, hysteresis says {live}",
+                e.live_servers
+            );
+        }
+    }
+
     /// Same (seed, plan) → bit-identical outcome, run to run.
     #[test]
     fn fault_runs_are_reproducible(seed in 0_u64..1_000) {
@@ -171,6 +281,40 @@ fn chaos_sweep_is_job_count_invariant() {
         serde_json::to_string(&serial).unwrap(),
         serde_json::to_string(&parallel).unwrap(),
         "jobs 1 vs jobs 8 must be byte-identical"
+    );
+    for r in &serial {
+        if let SweepOutcome::Burst(b) = &r.outcome {
+            assert!(b.floor_held, "{}", r.label);
+            assert_eq!(b.grid_overload_wh, 0.0, "{}", r.label);
+            assert!(
+                b.audit_violations.is_empty(),
+                "{}: {:?}",
+                r.label,
+                b.audit_violations
+            );
+        }
+    }
+}
+
+/// A fleet-chaos batch through the sweep executor is bit-identical at any
+/// job count: liveness vectors, rejoin hysteresis, and capacity re-plans
+/// are all part of the deterministic per-task state.
+#[test]
+fn fleet_chaos_sweep_is_job_count_invariant() {
+    let points: Vec<SweepPoint> = (0..6)
+        .map(|r| {
+            SweepPoint::burst(
+                format!("fleet{r}"),
+                fleet_cfg(Strategy::Hybrid, generate_fleet(derive_seed(1042, r))),
+            )
+        })
+        .collect();
+    let serial = run_sweep(points.clone(), 7, 1);
+    let parallel = run_sweep(points, 7, 8);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "jobs 1 vs jobs 8 must be byte-identical under fleet faults"
     );
     for r in &serial {
         if let SweepOutcome::Burst(b) = &r.outcome {
