@@ -14,6 +14,7 @@ use crate::engine::{
     run_window, run_window_resumable, BurstOutcome, EngineConfig, EngineError, MeasurementMode,
     RunWindow,
 };
+use crate::fleet::EngineScratch;
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
 use gs_cluster::{ServerSetting, NUM_FREQ_LEVELS};
@@ -89,10 +90,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
 /// As [`run_campaign`], surfacing configuration errors instead of
 /// panicking — for callers handling untrusted input (the CLI).
 pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CampaignOutcome, EngineError> {
+    let mut scratch = EngineScratch::new();
+    try_run_campaign_in(cfg, &mut scratch)
+}
+
+/// As [`try_run_campaign`], reusing a caller-provided scratch arena
+/// across the strategy and baseline windows (sweep workers thread one
+/// arena through every task).
+pub(crate) fn try_run_campaign_in(
+    cfg: &CampaignConfig,
+    scratch: &mut EngineScratch,
+) -> Result<CampaignOutcome, EngineError> {
     cfg.validate()?;
     let (run, normal) = with_campaign_window(cfg, |profiles, window| {
-        let (run, _) = run_window(&cfg.engine, cfg.engine.strategy, profiles, window);
-        let (normal, _) = run_window(&cfg.engine, Strategy::Normal, profiles, window);
+        let (run, _) = run_window(&cfg.engine, cfg.engine.strategy, profiles, window, scratch);
+        let (normal, _) = run_window(&cfg.engine, Strategy::Normal, profiles, window, scratch);
         (run, normal)
     });
     Ok(assemble_outcome(cfg, run, &normal))
@@ -187,6 +199,7 @@ pub fn try_run_campaign_with_snapshots(
         return Err(EngineError::SnapshotRequiresAnalytic);
     }
     let fp = campaign_fingerprint(cfg);
+    let mut scratch = EngineScratch::new();
     let run = with_campaign_window(cfg, |profiles, window| {
         let mut emit = |state: LoopState| {
             sink(&EngineSnapshot {
@@ -205,10 +218,11 @@ pub fn try_run_campaign_with_snapshots(
             None,
             every_epochs,
             &mut emit,
+            &mut scratch,
         )
         .0
     });
-    finish_campaign(cfg, &fp, run, None, every_epochs, sink)
+    finish_campaign(cfg, &fp, run, None, every_epochs, sink, &mut scratch)
 }
 
 /// Resume a campaign from a mid-run snapshot; called through
@@ -224,6 +238,7 @@ pub(crate) fn resume_campaign_snapshot(
         return Err(EngineError::SnapshotRequiresAnalytic);
     }
     let fp = snap.fingerprint.clone();
+    let mut scratch = EngineScratch::new();
     match snap.phase {
         RunPhase::Strategy => {
             let run = with_campaign_window(cfg, |profiles, window| {
@@ -244,10 +259,11 @@ pub(crate) fn resume_campaign_snapshot(
                     Some(snap.state),
                     every_epochs,
                     &mut emit,
+                    &mut scratch,
                 )
                 .0
             });
-            finish_campaign(cfg, &fp, run, None, every_epochs, sink)
+            finish_campaign(cfg, &fp, run, None, every_epochs, sink, &mut scratch)
         }
         RunPhase::Baseline => {
             let carry = snap.main_carry.ok_or_else(|| {
@@ -262,6 +278,7 @@ pub(crate) fn resume_campaign_snapshot(
                 Some(snap.state),
                 every_epochs,
                 sink,
+                &mut scratch,
             )
         }
     }
@@ -270,6 +287,7 @@ pub(crate) fn resume_campaign_snapshot(
 /// Run (or resume) the campaign's Normal-baseline pass with snapshotting
 /// and assemble the final outcome. Baseline snapshots carry the finished
 /// strategy run so a resume from one still has everything.
+#[allow(clippy::too_many_arguments)]
 fn finish_campaign(
     cfg: &CampaignConfig,
     fp: &str,
@@ -277,6 +295,7 @@ fn finish_campaign(
     baseline_resume: Option<LoopState>,
     every_epochs: u64,
     sink: &mut dyn FnMut(&EngineSnapshot),
+    scratch: &mut EngineScratch,
 ) -> Result<CampaignOutcome, EngineError> {
     let normal = with_campaign_window(cfg, |profiles, window| {
         let mut emit = |state: LoopState| {
@@ -300,6 +319,7 @@ fn finish_campaign(
             baseline_resume,
             every_epochs,
             &mut emit,
+            scratch,
         )
         .0
     });

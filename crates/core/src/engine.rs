@@ -17,6 +17,7 @@ use crate::audit::{EpochFlows, InvariantAuditor};
 use crate::checkpoint::{EngineSnapshot, LoopState, MainCarry, RunPhase, SnapshotScope};
 use crate::config::{AvailabilityLevel, GreenConfig};
 use crate::faults::{ActiveFaults, FaultPlan};
+use crate::fleet::{EngineScratch, FleetState};
 use crate::guardrail::{
     EpochSignals, Guardrail, GuardrailAction, GuardrailConfig, QuarantineRecord,
 };
@@ -454,6 +455,14 @@ impl Engine {
         self.run_with_monitor().0
     }
 
+    /// As [`Engine::run`], reusing a caller-provided [`EngineScratch`]
+    /// arena. Purely an allocation optimization: a run begins by
+    /// resetting the arena, so the outcome is byte-identical to
+    /// [`Engine::run`] whatever the arena previously ran.
+    pub fn run_with_scratch(self, scratch: &mut EngineScratch) -> BurstOutcome {
+        self.run_full_in(scratch).0
+    }
+
     /// As [`Engine::run`], also returning the Monitor streams of the
     /// strategy run (paper Fig. 5).
     pub fn run_with_monitor(self) -> (BurstOutcome, Monitor) {
@@ -466,10 +475,15 @@ impl Engine {
     /// from it — the paper's "we also continue to update the values in
     /// the lookup table" carried across sprints.
     pub fn run_full(self) -> (BurstOutcome, Monitor, Option<String>) {
+        let mut scratch = EngineScratch::new();
+        self.run_full_in(&mut scratch)
+    }
+
+    fn run_full_in(self, scratch: &mut EngineScratch) -> (BurstOutcome, Monitor, Option<String>) {
         let profiles = ProfileTable::cached(self.cfg.app);
-        let (main, monitor, policy) = run_once(&self.cfg, self.cfg.strategy, profiles);
+        let (main, monitor, policy) = run_once(&self.cfg, self.cfg.strategy, profiles, scratch);
         let baseline = (self.cfg.strategy != Strategy::Normal)
-            .then(|| run_once(&self.cfg, Strategy::Normal, profiles).0);
+            .then(|| run_once(&self.cfg, Strategy::Normal, profiles, scratch).0);
         (judge(&self.cfg, main, baseline), monitor, policy)
     }
 
@@ -493,6 +507,7 @@ impl Engine {
         let cfg = self.cfg;
         let profiles = ProfileTable::cached(cfg.app);
         let fp = burst_fingerprint(&cfg);
+        let mut scratch = EngineScratch::new();
         let (main, monitor, policy) = {
             let mut emit = |state: LoopState| {
                 sink(&EngineSnapshot {
@@ -503,7 +518,15 @@ impl Engine {
                     state,
                 });
             };
-            run_once_resumable(&cfg, cfg.strategy, profiles, None, every_epochs, &mut emit)
+            run_once_resumable(
+                &cfg,
+                cfg.strategy,
+                profiles,
+                None,
+                every_epochs,
+                &mut emit,
+                &mut scratch,
+            )
         };
         Ok(finish_burst(
             &cfg,
@@ -515,6 +538,7 @@ impl Engine {
             None,
             every_epochs,
             sink,
+            &mut scratch,
         ))
     }
 }
@@ -570,6 +594,7 @@ fn finish_burst(
     baseline_resume: Option<LoopState>,
     every_epochs: u64,
     sink: &mut dyn FnMut(&EngineSnapshot),
+    scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let baseline = if cfg.strategy == Strategy::Normal {
         None
@@ -596,6 +621,7 @@ fn finish_burst(
                 baseline_resume,
                 every_epochs,
                 &mut emit,
+                scratch,
             )
             .0,
         )
@@ -669,6 +695,7 @@ fn resume_burst(
     }
     let profiles = ProfileTable::cached(cfg.app);
     let fp = snap.fingerprint.clone();
+    let mut scratch = EngineScratch::new();
     let (outcome, monitor, policy) = match snap.phase {
         RunPhase::Strategy => {
             let (main, monitor, policy) = {
@@ -688,6 +715,7 @@ fn resume_burst(
                     Some(snap.state),
                     every_epochs,
                     &mut emit,
+                    &mut scratch,
                 )
             };
             finish_burst(
@@ -700,6 +728,7 @@ fn resume_burst(
                 None,
                 every_epochs,
                 sink,
+                &mut scratch,
             )
         }
         RunPhase::Baseline => {
@@ -723,6 +752,7 @@ fn resume_burst(
                 Some(snap.state),
                 every_epochs,
                 sink,
+                &mut scratch,
             )
         }
     };
@@ -752,12 +782,14 @@ fn run_once(
     cfg: &EngineConfig,
     strategy: Strategy,
     profiles: &ProfileTable,
+    scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor, Option<String>) {
-    run_once_resumable(cfg, strategy, profiles, None, 0, &mut |_| {})
+    run_once_resumable(cfg, strategy, profiles, None, 0, &mut |_| {}, scratch)
 }
 
 /// As [`run_once`], optionally restarting from a captured [`LoopState`]
 /// and emitting fresh captures every `snapshot_every` epochs.
+#[allow(clippy::too_many_arguments)]
 fn run_once_resumable(
     cfg: &EngineConfig,
     strategy: Strategy,
@@ -765,6 +797,7 @@ fn run_once_resumable(
     resume: Option<LoopState>,
     snapshot_every: u64,
     snap: &mut dyn FnMut(LoopState),
+    scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let trace: SolarTrace = cfg
@@ -788,6 +821,7 @@ fn run_once_resumable(
         resume,
         snapshot_every,
         snap,
+        scratch,
     )
 }
 
@@ -797,19 +831,19 @@ pub(crate) fn run_window(
     strategy: Strategy,
     profiles: &ProfileTable,
     window: &RunWindow<'_>,
+    scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor) {
-    let (outcome, monitor, _) = run_window_with_policy(cfg, strategy, profiles, window);
+    let (outcome, monitor, _) = run_window_resumable(
+        cfg,
+        strategy,
+        profiles,
+        window,
+        None,
+        0,
+        &mut |_| {},
+        scratch,
+    );
     (outcome, monitor)
-}
-
-/// As [`run_window`], also exporting the Hybrid learner's final policy.
-fn run_window_with_policy(
-    cfg: &EngineConfig,
-    strategy: Strategy,
-    profiles: &ProfileTable,
-    window: &RunWindow<'_>,
-) -> (BurstOutcome, Monitor, Option<String>) {
-    run_window_resumable(cfg, strategy, profiles, window, None, 0, &mut |_| {})
 }
 
 /// The resumable scheduling-epoch loop: restores every mutable local
@@ -817,6 +851,7 @@ fn run_window_with_policy(
 /// `snapshot_every`-th epoch boundary. Both halves touch *all* of the
 /// loop's mutable state — a field missed here would silently break the
 /// byte-identity guarantee, which the resume tests pin down.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_window_resumable(
     cfg: &EngineConfig,
     strategy: Strategy,
@@ -825,16 +860,33 @@ pub(crate) fn run_window_resumable(
     resume: Option<LoopState>,
     snapshot_every: u64,
     snap: &mut dyn FnMut(LoopState),
+    scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let n = cfg.green.green_servers;
+    scratch.begin_run(n);
+    let EngineScratch {
+        fleet,
+        analytic_cache,
+    } = scratch;
     let pv: PvArray = cfg.green.pv_array();
     let trace = window.trace;
     let start = window.start;
     let end = start + window.duration;
 
     let mut rng = SimRng::seed_from_u64(cfg.seed ^ strategy_salt(strategy));
-    let mut sims: Vec<ServerSim> = (0..n).map(|_| ServerSim::new(rng.fork())).collect();
+    // Forking the per-server DES streams is part of the pinned master rng
+    // sequence whether or not the run is analytic; only DES mode pays to
+    // materialize the simulators themselves.
+    let mut sims: Vec<ServerSim> = match cfg.measurement {
+        MeasurementMode::Des => (0..n).map(|_| ServerSim::new(rng.fork())).collect(),
+        MeasurementMode::Analytic => {
+            for _ in 0..n {
+                let _ = rng.fork();
+            }
+            Vec::new()
+        }
+    };
     let mut batteries: Vec<Option<Battery>> = (0..n)
         .map(|_| cfg.green.battery_spec().map(Battery::new_full))
         .collect();
@@ -854,7 +906,6 @@ pub(crate) fn run_window_resumable(
             Err(e) => panic!("invalid warm_policy_json: {e}"),
         }
     }
-    let mut prev_settings: Vec<ServerSetting> = vec![ServerSetting::normal(); n];
     let mut setting_transitions = 0usize;
     // Policy guardrail: shadow-score a certified fallback each epoch and
     // demote down the failover ladder when the active policy misbehaves.
@@ -893,8 +944,7 @@ pub(crate) fn run_window_resumable(
     // health streaks, and the burst-level fleet accounting. A full fleet
     // starts with every streak at the rejoin threshold — every server is
     // trusted with load from epoch 0.
-    let mut down_left: Vec<u32> = vec![0; n];
-    let mut health_streak: Vec<u32> = vec![REJOIN_EPOCHS; n];
+    fleet.health_streak.fill(REJOIN_EPOCHS);
     let mut dead_server_epochs = 0usize;
     let mut straggler_epochs = 0usize;
     let mut min_live_servers = n;
@@ -928,10 +978,6 @@ pub(crate) fn run_window_resumable(
     // planners' estimate of the *future mean* supply (the reactive EWMA
     // would thrash the sustainability test on every cloud flicker).
     let mut re_sum_w = 0.0;
-    // Analytic measurements are pure functions of (setting, offered rate);
-    // bursts revisit the same handful of pairs every epoch, so memoize.
-    let mut analytic_cache: std::collections::HashMap<(ServerSetting, u64), EpochPerf> =
-        std::collections::HashMap::new();
     // Thermal packages, pre-warmed at Normal-mode load so the burst does
     // not start from a cold heatsink.
     let mut thermals: Vec<gs_thermal::ThermalPackage> = match cfg.thermal {
@@ -968,7 +1014,7 @@ pub(crate) fn run_window_resumable(
             }
         }
         pending_q = st.pending_q;
-        prev_settings = st.prev_settings;
+        fleet.prev_settings.copy_from_slice(&st.prev_settings);
         setting_transitions = st.setting_transitions;
         fade_done = st.fade_done;
         watchdog = st.watchdog;
@@ -980,10 +1026,10 @@ pub(crate) fn run_window_resumable(
         // Pre-fleet snapshots carry empty vectors; keep the fresh
         // full-fleet initialization for those.
         if st.down_left.len() == n {
-            down_left = st.down_left;
+            fleet.down_left.copy_from_slice(&st.down_left);
         }
         if st.health_streak.len() == n {
-            health_streak = st.health_streak;
+            fleet.health_streak.copy_from_slice(&st.health_streak);
         }
         dead_server_epochs = st.dead_server_epochs;
         straggler_epochs = st.straggler_epochs;
@@ -1019,6 +1065,11 @@ pub(crate) fn run_window_resumable(
         .div_duration(cfg.epoch)
         .expect("validated in Engine::new");
     let epoch_hours = cfg.epoch.as_hours_f64();
+    // Pre-size the per-epoch append targets (capacity only — none of it
+    // is serialized) so the loop never reallocates them.
+    let epochs_left = n_epochs.saturating_sub(start_k) as usize;
+    epochs.reserve(epochs_left);
+    monitor.reserve_epochs(n, epochs_left);
 
     for k in start_k..n_epochs {
         // Capture at the epoch boundary: nothing of epoch k has happened
@@ -1035,7 +1086,7 @@ pub(crate) fn run_window_resumable(
                 cs_predictor: cs_predictor.clone(),
                 learner: pmk.learner_mut().cloned(),
                 pending_q,
-                prev_settings: prev_settings.clone(),
+                prev_settings: fleet.prev_settings.clone(),
                 setting_transitions,
                 fade_done: fade_done.clone(),
                 watchdog: watchdog.clone(),
@@ -1059,8 +1110,8 @@ pub(crate) fn run_window_resumable(
                 audited_grid_wh,
                 audited_curtailed_wh,
                 guardrail: guard.as_ref().map(|g| g.state().clone()),
-                down_left: down_left.clone(),
-                health_streak: health_streak.clone(),
+                down_left: fleet.down_left.clone(),
+                health_streak: fleet.health_streak.clone(),
                 dead_server_epochs,
                 straggler_epochs,
                 min_live_servers,
@@ -1111,51 +1162,52 @@ pub(crate) fn run_window_resumable(
             let i = usize::from(server);
             if i < n && !fade_done[idx] {
                 fade_done[idx] = true;
-                down_left[i] = down_left[i].max(crash_epochs);
+                fleet.down_left[i] = fleet.down_left[i].max(crash_epochs);
                 fleet_events.push(format!(
                     "epoch {k}: server {i} crashed for {crash_epochs} epoch(s)"
                 ));
             }
         }
-        let up: Vec<bool> = (0..n)
-            .map(|i| down_left[i] == 0 && !faults.flap_down(i, t, cfg.epoch))
-            .collect();
         for i in 0..n {
-            if up[i] {
-                if health_streak[i] + 1 == REJOIN_EPOCHS {
+            fleet.up[i] = fleet.down_left[i] == 0 && !faults.flap_down(i, t, cfg.epoch);
+        }
+        for i in 0..n {
+            if fleet.up[i] {
+                if fleet.health_streak[i] + 1 == REJOIN_EPOCHS {
                     fleet_events.push(format!("epoch {k}: server {i} rejoined the plan"));
                 }
-                health_streak[i] = (health_streak[i] + 1).min(REJOIN_EPOCHS);
+                fleet.health_streak[i] = (fleet.health_streak[i] + 1).min(REJOIN_EPOCHS);
             } else {
-                if health_streak[i] > 0 {
+                if fleet.health_streak[i] > 0 {
                     fleet_events.push(format!("epoch {k}: server {i} went down"));
                 }
-                health_streak[i] = 0;
+                fleet.health_streak[i] = 0;
                 dead_server_epochs += 1;
                 // A dead server's control state is gone with it: the
                 // watchdog forgets its streaks and the hysteresis
                 // incumbent resets to Normal (it reboots into Normal).
                 watchdog.reset(i);
-                prev_settings[i] = ServerSetting::normal();
-                if down_left[i] > 0 {
-                    down_left[i] -= 1;
+                fleet.prev_settings[i] = ServerSetting::normal();
+                if fleet.down_left[i] > 0 {
+                    fleet.down_left[i] -= 1;
                 }
             }
         }
         // `live` servers carry load and are sprint-planned; `up` servers
         // that have not yet served their rejoin probation idle at Normal.
-        let live: Vec<bool> = (0..n)
-            .map(|i| up[i] && health_streak[i] >= REJOIN_EPOCHS)
-            .collect();
-        let live_count = live.iter().filter(|&&l| l).count();
+        for i in 0..n {
+            fleet.live[i] = fleet.up[i] && fleet.health_streak[i] >= REJOIN_EPOCHS;
+        }
+        let live_count = fleet.live.iter().filter(|&&l| l).count();
         min_live_servers = min_live_servers.min(live_count);
         // Plan against the believed live capacity; the representative
         // server for reward scoring is the first live (else first up) one.
         let plan_n = live_count.max(1);
-        let rep: Option<usize> = live
+        let rep: Option<usize> = fleet
+            .live
             .iter()
             .position(|&l| l)
-            .or_else(|| up.iter().position(|&u| u));
+            .or_else(|| fleet.up.iter().position(|&u| u));
         // Telemetry faults shape what the controller *believes*: a dropout
         // yields no reading at all; a delay serves last epoch's raw
         // reading; meter bias scales whatever the sensor outputs.
@@ -1212,28 +1264,29 @@ pub(crate) fn run_window_resumable(
 
         // Battery budgets: what survives this epoch vs the horizon.
         let horizon = remaining.min(cfg.planning_horizon).max(cfg.epoch);
-        let mut instant_w: Vec<f64> = batteries
-            .iter()
-            .map(|b| b.as_ref().map_or(0.0, |b| b.sustainable_power(cfg.epoch)))
-            .collect();
-        let mut sustained_horizon_w: Vec<f64> = batteries
-            .iter()
-            .map(|b| b.as_ref().map_or(0.0, |b| b.sustainable_power(horizon)))
-            .collect();
-        let mut sustained_remaining_w: Vec<f64> = batteries
-            .iter()
-            .map(|b| {
-                b.as_ref()
-                    .map_or(0.0, |b| b.sustainable_power(remaining.max(cfg.epoch)))
-            })
-            .collect();
+        for (slot, b) in fleet.instant_w.iter_mut().zip(&*batteries) {
+            *slot = b.as_ref().map_or(0.0, |b| {
+                sustainable_power_memo(&mut fleet.budget_memo[0], b, cfg.epoch)
+            });
+        }
+        for (slot, b) in fleet.sustained_horizon_w.iter_mut().zip(&*batteries) {
+            *slot = b.as_ref().map_or(0.0, |b| {
+                sustainable_power_memo(&mut fleet.budget_memo[1], b, horizon)
+            });
+        }
+        for (slot, b) in fleet.sustained_remaining_w.iter_mut().zip(&*batteries) {
+            *slot = b.as_ref().map_or(0.0, |b| {
+                sustainable_power_memo(&mut fleet.budget_memo[2], b, remaining.max(cfg.epoch))
+            });
+        }
         // SoC misreport scales the *controller's view* of every battery
         // budget; the physical packs (and settlement) are untouched.
         if faults.soc_report_factor != 1.0 {
-            for v in instant_w
+            for v in fleet
+                .instant_w
                 .iter_mut()
-                .chain(sustained_horizon_w.iter_mut())
-                .chain(sustained_remaining_w.iter_mut())
+                .chain(fleet.sustained_horizon_w.iter_mut())
+                .chain(fleet.sustained_remaining_w.iter_mut())
             {
                 *v *= faults.soc_report_factor;
             }
@@ -1269,28 +1322,30 @@ pub(crate) fn run_window_resumable(
         // the arithmetic (and its float bits) is unchanged there.
         let deficit_share = (full_sprint_w - re_mean_w / plan_n as f64).max(0.0);
         let uniform_sustainable = deficit_share <= 1e-9
-            || (0..n).all(|i| !live[i] || sustained_remaining_w[i] >= deficit_share);
+            || (0..n).all(|i| !fleet.live[i] || fleet.sustained_remaining_w[i] >= deficit_share);
         let waterfall = planning && !uniform_sustainable;
         // When the whole remaining burst is energetically covered, sprint
         // freely (instantaneous battery budget); otherwise hedge with the
         // planning-horizon sustainable power.
-        let sustained_w: &[f64] = if planning && uniform_sustainable {
-            &instant_w
-        } else {
-            &sustained_horizon_w
-        };
+        let use_instant = planning && uniform_sustainable;
         let decide = |re_plan_w: f64,
                       pmk: &mut Pmk,
                       rng: &mut SimRng,
-                      capture_state: &mut Option<QState>| {
-            let mut settings = Vec::with_capacity(n);
+                      capture_state: &mut Option<QState>,
+                      fleet: &mut FleetState| {
+            // Learner-free strategies decide as a pure function of
+            // (renewable share, battery budgets, hysteresis incumbent) —
+            // everything else is epoch-constant — so one memo entry serves
+            // every server presenting the same inputs. Hybrid consumes rng
+            // inside `choose`, so it is never memoized.
+            let memoize = pmk.is_learner_free();
             let mut re_unclaimed = re_plan_w;
             for i in 0..n {
-                if !live[i] {
+                if !fleet.live[i] {
                     // Dead and rejoin-probation servers take no part in
                     // sprint planning — and consume no decision
                     // randomness, so liveness alone steers the stream.
-                    settings.push(ServerSetting::normal());
+                    fleet.settings[i] = ServerSetting::normal();
                     continue;
                 }
                 let re_share = if waterfall {
@@ -1298,26 +1353,51 @@ pub(crate) fn run_window_resumable(
                 } else {
                     re_plan_w / plan_n as f64
                 };
-                let ctx = PmkContext {
-                    predicted_load_rps: load_pred,
-                    re_share_w: re_share,
-                    battery_instant_w: instant_w[i],
-                    battery_sustained_w: sustained_w[i],
+                let sustained = if use_instant {
+                    fleet.instant_w[i]
+                } else {
+                    fleet.sustained_horizon_w[i]
                 };
-                if Some(i) == rep {
-                    if let Some(learner) = pmk.learner_mut() {
-                        *capture_state =
-                            Some(learner.state(ctx.instant_budget_w(), ctx.predicted_load_rps));
+                let key = (
+                    re_share.to_bits(),
+                    fleet.instant_w[i].to_bits(),
+                    sustained.to_bits(),
+                    fleet.prev_settings[i],
+                );
+                let memo_hit = if memoize {
+                    fleet.decision_memo.get(key)
+                } else {
+                    None
+                };
+                let s = match memo_hit {
+                    Some(s) => s,
+                    None => {
+                        let ctx = PmkContext {
+                            predicted_load_rps: load_pred,
+                            re_share_w: re_share,
+                            battery_instant_w: fleet.instant_w[i],
+                            battery_sustained_w: sustained,
+                        };
+                        if Some(i) == rep {
+                            if let Some(learner) = pmk.learner_mut() {
+                                *capture_state = Some(
+                                    learner.state(ctx.instant_budget_w(), ctx.predicted_load_rps),
+                                );
+                            }
+                        }
+                        let s = pmk.choose(profiles, &ctx, rng);
+                        let s = pmk.apply_hysteresis(profiles, &ctx, fleet.prev_settings[i], s);
+                        if memoize {
+                            fleet.decision_memo.insert(key, s);
+                        }
+                        s
                     }
-                }
-                let s = pmk.choose(profiles, &ctx, rng);
-                let s = pmk.apply_hysteresis(profiles, &ctx, prev_settings[i], s);
+                };
                 if waterfall && s.is_sprinting() {
                     re_unclaimed = (re_unclaimed - profiles.planned_power_w(s, load_pred)).max(0.0);
                 }
-                settings.push(s);
+                fleet.settings[i] = s;
             }
-            settings
         };
         let sprint_demand = |settings: &[ServerSetting]| -> f64 {
             (0..n)
@@ -1326,11 +1406,12 @@ pub(crate) fn run_window_resumable(
                 .sum()
         };
 
+        fleet.begin_epoch();
         let mut q_state = None;
-        let mut settings = {
+        {
             let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
-            decide(re_pred_w, steering, &mut rng, &mut q_state)
-        };
+            decide(re_pred_w, steering, &mut rng, &mut q_state, fleet);
+        }
 
         // Rack-level PSS check against the *observed* renewable supply
         // (identical to the physical supply while telemetry is clean; the
@@ -1352,34 +1433,34 @@ pub(crate) fn run_window_resumable(
                 })
             })
             .sum();
-        let batt_avail = |settings: &[ServerSetting]| -> f64 {
+        let batt_avail = |settings: &[ServerSetting], instant_w: &[f64]| -> f64 {
             (0..n)
                 .filter(|&i| settings[i].is_sprinting())
                 .map(|i| instant_w[i])
                 .sum()
         };
         let mut plan = pss.plan(
-            sprint_demand(&settings),
+            sprint_demand(&fleet.settings),
             re_believed_w,
-            batt_avail(&settings),
+            batt_avail(&fleet.settings, &fleet.instant_w),
             batt_accept,
             0.0,
         );
         if plan.unmet_w > 1.0 {
-            settings = {
+            {
                 let steering = fallback_pmk.as_mut().unwrap_or(&mut pmk);
-                decide(re_believed_w, steering, &mut rng, &mut q_state)
-            };
+                decide(re_believed_w, steering, &mut rng, &mut q_state, fleet);
+            }
             plan = pss.plan(
-                sprint_demand(&settings),
+                sprint_demand(&fleet.settings),
                 re_believed_w,
-                batt_avail(&settings),
+                batt_avail(&fleet.settings, &fleet.instant_w),
                 batt_accept,
                 0.0,
             );
             if plan.unmet_w > 1.0 {
                 // Genuine power emergency: finish sprinting (paper §III-B).
-                for s in &mut settings {
+                for s in &mut fleet.settings {
                     *s = ServerSetting::normal();
                 }
             }
@@ -1392,41 +1473,39 @@ pub(crate) fn run_window_resumable(
         // core-activation failure caps how many cores can come up
         // (deactivation always works and Normal's cores are already
         // active, so the effective cap never drops below Normal).
-        let commanded: Vec<ServerSetting> = (0..n)
-            .map(|i| {
-                if watchdog.is_clamped(i) {
-                    ServerSetting::normal()
-                } else {
-                    settings[i]
-                }
-            })
-            .collect();
+        for i in 0..n {
+            fleet.commanded[i] = if watchdog.is_clamped(i) {
+                ServerSetting::normal()
+            } else {
+                fleet.settings[i]
+            };
+        }
         if watchdog.clamped_count() > 0 {
             watchdog_clamped_epochs += 1;
         }
         for i in 0..n {
-            if !up[i] {
+            if !fleet.up[i] {
                 // A dead server applies nothing and the watchdog stays
                 // quiet (it was reset on the down transition); it reboots
                 // into Normal.
-                settings[i] = ServerSetting::normal();
+                fleet.settings[i] = ServerSetting::normal();
                 continue;
             }
             let applied = if faults.command_lost(i) || faults.is_stuck(i) {
-                prev_settings[i]
+                fleet.prev_settings[i]
             } else if let Some(cap) = faults.core_cap {
                 let cap = cap.clamp(gs_cluster::NORMAL_CORES, gs_cluster::MAX_CORES);
-                let c = commanded[i];
+                let c = fleet.commanded[i];
                 if c.cores > cap {
                     ServerSetting::new(cap, c.freq_idx)
                 } else {
                     c
                 }
             } else {
-                commanded[i]
+                fleet.commanded[i]
             };
-            watchdog.observe(i, commanded[i], applied);
-            settings[i] = applied;
+            watchdog.observe(i, fleet.commanded[i], applied);
+            fleet.settings[i] = applied;
         }
 
         // Thermal guard: a server at its junction limit cannot sprint,
@@ -1434,9 +1513,9 @@ pub(crate) fn run_window_resumable(
         // keeps this from ever firing during the evaluated bursts; the
         // NoPcm model shows why that assumption was needed).
         if !thermals.is_empty() {
-            for i in 0..n {
-                if settings[i].is_sprinting() && thermals[i].is_throttling() {
-                    settings[i] = ServerSetting::normal();
+            for (setting, th) in fleet.settings.iter_mut().zip(&*thermals) {
+                if setting.is_sprinting() && th.is_throttling() {
+                    *setting = ServerSetting::normal();
                 }
             }
         }
@@ -1450,25 +1529,42 @@ pub(crate) fn run_window_resumable(
         } else {
             offered * n as f64 / live_count as f64
         };
-        let mut perfs = Vec::with_capacity(n);
+        // SoA walk over several parallel arrays; the index form is the
+        // clearest way to touch them all in lockstep.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
-            if !live[i] {
+            if !fleet.live[i] {
                 // Dead servers serve nothing; probation servers idle at
                 // Normal without load until their streak completes.
-                perfs.push(EpochPerf::default());
+                fleet.perfs[i] = EpochPerf::default();
                 continue;
             }
-            let admit = profiles.get(settings[i]).slo_capacity;
+            let setting = fleet.settings[i];
             let perf = match cfg.measurement {
                 MeasurementMode::Des => {
-                    sims[i].advance_epoch(&app, settings[i], served_rps, admit, cfg.epoch)
+                    let admit = profiles.get(setting).slo_capacity;
+                    sims[i].advance_epoch(&app, setting, served_rps, admit, cfg.epoch)
                 }
-                MeasurementMode::Analytic => analytic_cache
-                    .entry((settings[i], served_rps.to_bits()))
-                    .or_insert_with(|| measure_analytic(&app, profiles, settings[i], served_rps))
-                    .clone(),
+                // Within one epoch the served rate is constant, so the
+                // per-epoch memo (a short linear scan) answers repeats
+                // without hashing into the run-scoped cache.
+                MeasurementMode::Analytic => {
+                    match fleet.perf_memo.iter().find(|(s, _)| *s == setting) {
+                        Some((_, p)) => p.clone(),
+                        None => {
+                            let p = analytic_cache
+                                .entry((setting, served_rps.to_bits()))
+                                .or_insert_with(|| {
+                                    measure_analytic(&app, profiles, setting, served_rps)
+                                })
+                                .clone();
+                            fleet.perf_memo.push((setting, p.clone()));
+                            p
+                        }
+                    }
+                }
             };
-            perfs.push(perf);
+            fleet.perfs[i] = perf;
         }
         // Stragglers degrade delivered goodput on an otherwise-alive
         // server (slow disk, thermal neighbor, NIC trouble) — applied
@@ -1476,10 +1572,10 @@ pub(crate) fn run_window_resumable(
         // setting.
         if !faults.stragglers.is_empty() {
             for i in 0..n {
-                if up[i] {
+                if fleet.up[i] {
                     let factor = faults.straggler_factor(i);
                     if factor != 1.0 {
-                        perfs[i].goodput_rps *= factor;
+                        fleet.perfs[i].goodput_rps *= factor;
                         straggler_epochs += 1;
                     }
                 }
@@ -1489,44 +1585,54 @@ pub(crate) fn run_window_resumable(
         // Settle actual energy flows. `settled_server_wh` accumulates the
         // source-side deliveries into servers, independently of the
         // meters, so the auditor can balance the books against it.
-        let sprinting: Vec<usize> = (0..n).filter(|&i| settings[i].is_sprinting()).collect();
+        fleet.sprinting.clear();
+        for i in 0..n {
+            if fleet.settings[i].is_sprinting() {
+                fleet.sprinting.push(i);
+            }
+        }
         // A dead server draws nothing — 0 W, not an idle floor; the
         // auditor checks the settled books agree.
-        let actual_power: Vec<f64> = (0..n)
-            .map(|i| {
-                if up[i] {
-                    power_model.power_w(settings[i], perfs[i].utilization)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        for i in 0..n {
+            fleet.actual_power[i] = if fleet.up[i] {
+                power_model.power_w(fleet.settings[i], fleet.perfs[i].utilization)
+            } else {
+                0.0
+            };
+        }
         let dead_server_wh: f64 = (0..n)
-            .filter(|&i| !up[i])
-            .map(|i| actual_power[i] * epoch_hours)
+            .filter(|&i| !fleet.up[i])
+            .map(|i| fleet.actual_power[i] * epoch_hours)
             .sum();
         let mut re_left = re_actual_w;
         let mut re_used_w = 0.0;
         let mut battery_w = 0.0;
         let mut settled_server_wh = 0.0;
-        for &i in &sprinting {
+        for &i in &fleet.sprinting {
             // Mirror the planning-time allocation: waterfall strategies
             // let earlier servers claim their full draw; uniform ones
             // split the supply evenly.
             let re_share = if waterfall {
                 re_left
             } else {
-                re_left.min(re_actual_w / sprinting.len() as f64)
+                re_left.min(re_actual_w / fleet.sprinting.len() as f64)
             };
-            let from_re = actual_power[i].min(re_share);
+            let from_re = fleet.actual_power[i].min(re_share);
             re_left -= from_re;
             re_used_w += from_re;
             settled_server_wh += from_re * epoch_hours;
-            let shortfall = actual_power[i] - from_re;
+            let shortfall = fleet.actual_power[i] - from_re;
             if shortfall > 0.0 {
+                let drain_memo = &mut fleet.drain_memo;
                 let out = batteries[i]
                     .as_mut()
-                    .map(|b| b.discharge(shortfall, cfg.epoch))
+                    .map(|b| {
+                        b.discharge_memoized(shortfall, cfg.epoch, &mut |spec, current| {
+                            let key = (current.to_bits(), spec.capacity_ah.to_bits());
+                            drain_memo
+                                .get_or_insert_with(key, || spec.peukert_drain_ah_per_hour(current))
+                        })
+                    })
                     .unwrap_or(gs_power::battery::DischargeOutcome {
                         delivered_wh: 0.0,
                         sustained: SimDuration::ZERO,
@@ -1547,7 +1653,7 @@ pub(crate) fn run_window_resumable(
                             measure_analytic(&app, profiles, ServerSetting::normal(), served_rps)
                         })
                         .clone();
-                    perfs[i] = blend_perf(&perfs[i], &normal_perf, w);
+                    fleet.perfs[i] = blend_perf(&fleet.perfs[i], &normal_perf, w);
                     let normal_power =
                         power_model.power_w(ServerSetting::normal(), normal_perf.utilization);
                     meter.record(Source::Grid, normal_power * (1.0 - w), epoch_hours);
@@ -1560,20 +1666,23 @@ pub(crate) fn run_window_resumable(
         // Normal-mode servers ride the grid budget; dead servers draw
         // nothing and are never metered.
         for i in 0..n {
-            if !settings[i].is_sprinting() && up[i] {
-                meter.record(Source::Grid, actual_power[i], epoch_hours);
-                settled_server_wh += actual_power[i] * epoch_hours;
+            if !fleet.settings[i].is_sprinting() && fleet.up[i] {
+                meter.record(Source::Grid, fleet.actual_power[i], epoch_hours);
+                settled_server_wh += fleet.actual_power[i] * epoch_hours;
             }
         }
         // Surplus renewable charges the batteries; the rest is curtailed.
         let mut charged_w = 0.0;
         if re_left > 0.0 {
-            let open: Vec<usize> = (0..n)
-                .filter(|&i| batteries[i].as_ref().is_some_and(|b| !b.is_full()))
-                .collect();
-            if !open.is_empty() {
-                let share = re_left / open.len() as f64;
-                for i in open {
+            fleet.open.clear();
+            for (i, b) in batteries.iter().enumerate() {
+                if b.as_ref().is_some_and(|b| !b.is_full()) {
+                    fleet.open.push(i);
+                }
+            }
+            if !fleet.open.is_empty() {
+                let share = re_left / fleet.open.len() as f64;
+                for &i in &fleet.open {
                     let drawn = batteries[i]
                         .as_mut()
                         .expect("filtered to Some")
@@ -1602,7 +1711,7 @@ pub(crate) fn run_window_resumable(
             if b.dod_fraction() >= b.spec().max_dod - 0.02 {
                 grid_recharging[i] = true;
             }
-            if grid_recharging[i] && !settings[i].is_sprinting() && !burst_pending {
+            if grid_recharging[i] && !fleet.settings[i].is_sprinting() && !burst_pending {
                 let drawn = b.charge(b.spec().max_charge_power_w(), cfg.epoch);
                 if drawn > 0.0 {
                     meter.record(Source::Grid, drawn, epoch_hours);
@@ -1619,7 +1728,14 @@ pub(crate) fn run_window_resumable(
         if let Some(aud) = auditor.as_mut() {
             let grid_now = meter.energy_wh(Source::Grid);
             let curtailed_now = meter.curtailed_wh();
-            aud.check_epoch(&EpochFlows {
+            fleet.socs.clear();
+            fleet.socs.extend(
+                batteries
+                    .iter()
+                    .flatten()
+                    .map(|b| (b.soc_fraction(), b.spec().max_dod)),
+            );
+            let mut flows = EpochFlows {
                 epoch_index: k as usize,
                 supply_wh: re_actual_w * epoch_hours,
                 battery_discharge_wh: battery_w * epoch_hours,
@@ -1627,11 +1743,7 @@ pub(crate) fn run_window_resumable(
                 server_wh: settled_server_wh,
                 charge_wh: charged_w * epoch_hours + epoch_grid_recharge_wh,
                 curtailed_wh: curtailed_now - audited_curtailed_wh,
-                socs: batteries
-                    .iter()
-                    .flatten()
-                    .map(|b| (b.soc_fraction(), b.spec().max_dod))
-                    .collect(),
+                socs: std::mem::take(&mut fleet.socs),
                 grid_cap_w,
                 epoch_hours,
                 // While a demoted ladder level steers, the rack must never
@@ -1661,11 +1773,11 @@ pub(crate) fn run_window_resumable(
                         // much as demoted serving; weight its share of the
                         // floor accordingly (1.0 per healthy server).
                         let live_weight: f64 = (0..n)
-                            .filter(|&i| live[i])
+                            .filter(|&i| fleet.live[i])
                             .map(|i| faults.straggler_factor(i))
                             .sum();
                         Some((
-                            perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
+                            fleet.perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
                             normal_perf.goodput_rps * live_weight * tol,
                         ))
                     }
@@ -1678,11 +1790,14 @@ pub(crate) fn run_window_resumable(
                 // requests above the per-epoch steady-state capacity.
                 goodput_capacity: matches!(cfg.measurement, MeasurementMode::Analytic).then(|| {
                     (
-                        perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
+                        fleet.perfs.iter().map(|p| p.goodput_rps).sum::<f64>(),
                         live_count as f64 * profiles.get(ServerSetting::max_sprint()).slo_capacity,
                     )
                 }),
-            });
+            };
+            aud.check_epoch(&flows);
+            // Reclaim the SoC list's allocation for the next epoch.
+            fleet.socs = std::mem::take(&mut flows.socs);
             audited_grid_wh = grid_now;
             audited_curtailed_wh = curtailed_now;
         }
@@ -1693,8 +1808,8 @@ pub(crate) fn run_window_resumable(
         // and the epoch's performance is blended accordingly.
         let mut any_thermal_throttle = false;
         for (i, pkg) in thermals.iter_mut().enumerate() {
-            if !settings[i].is_sprinting() {
-                pkg.advance(actual_power[i], cfg.epoch);
+            if !fleet.settings[i].is_sprinting() {
+                pkg.advance(fleet.actual_power[i], cfg.epoch);
                 peak_temp_c = peak_temp_c.max(pkg.temp_c());
                 continue;
             }
@@ -1705,7 +1820,7 @@ pub(crate) fn run_window_resumable(
                     crossed_at = Some(s);
                     break;
                 }
-                pkg.advance(actual_power[i], SimDuration::from_secs(1));
+                pkg.advance(fleet.actual_power[i], SimDuration::from_secs(1));
             }
             if let Some(s) = crossed_at {
                 any_thermal_throttle = true;
@@ -1716,7 +1831,7 @@ pub(crate) fn run_window_resumable(
                         measure_analytic(&app, profiles, ServerSetting::normal(), offered)
                     })
                     .clone();
-                perfs[i] = blend_perf(&perfs[i], &normal_perf, w);
+                fleet.perfs[i] = blend_perf(&fleet.perfs[i], &normal_perf, w);
                 let normal_power =
                     power_model.power_w(ServerSetting::normal(), normal_perf.utilization);
                 pkg.advance(normal_power, SimDuration::from_secs(total_s - s));
@@ -1732,14 +1847,14 @@ pub(crate) fn run_window_resumable(
         // last-good values during dropout, biased readings under meter
         // faults — with quality flags saying which readings to trust. The
         // EpochRecord below keeps the physical values for energy audits.
-        let goodput: f64 = perfs.iter().map(|p| p.goodput_rps).sum();
+        let goodput: f64 = fleet.perfs.iter().map(|p| p.goodput_rps).sum();
         let soc = mean_soc(&batteries);
         let soc_reported = (soc * faults.soc_report_factor).min(1.0);
         monitor.record_q(
             t,
             Observation {
                 re_supply_w: obs_w.unwrap_or(0.0),
-                demand_w: actual_power.iter().sum(),
+                demand_w: fleet.actual_power.iter().sum(),
                 battery_w,
                 battery_soc: soc_reported,
                 goodput_rps: goodput,
@@ -1761,7 +1876,7 @@ pub(crate) fn run_window_resumable(
         // a dropout stays lost (a delayed read of nothing is nothing).
         last_raw_obs_w = fresh_obs_w;
 
-        monitor.record_fleet(t, &up);
+        monitor.record_fleet(t, &fleet.up);
 
         // The representative server for reward scoring — the first live
         // (else first up) server: the Hybrid Bellman update and the
@@ -1770,14 +1885,14 @@ pub(crate) fn run_window_resumable(
         // nothing to score and no detector has signal.
         let steering_level = guard.as_ref().map_or(0, |g| g.level());
         if let Some(r0) = rep {
-            let supply0_w = re_believed_w / plan_n as f64 + instant_w[r0];
+            let supply0_w = re_believed_w / plan_n as f64 + fleet.instant_w[r0];
             let active_inputs = RewardInputs {
                 power_supply_w: supply0_w,
-                power_current_w: actual_power[r0],
+                power_current_w: fleet.actual_power[r0],
                 qos_target_s: app.slo_deadline_s,
-                qos_current_s: perfs[r0].slo_percentile_latency_s,
-                offered_slo_fraction: if perfs[r0].offered_rps > 0.0 {
-                    perfs[r0].goodput_rps / perfs[r0].offered_rps
+                qos_current_s: fleet.perfs[r0].slo_percentile_latency_s,
+                offered_slo_fraction: if fleet.perfs[r0].offered_rps > 0.0 {
+                    fleet.perfs[r0].goodput_rps / fleet.perfs[r0].offered_rps
                 } else {
                     1.0
                 },
@@ -1793,7 +1908,7 @@ pub(crate) fn run_window_resumable(
                 if let Some((s_prev, a_prev)) = pending_q {
                     learner.update(s_prev, a_prev, r, next_state);
                 }
-                pending_q = q_state.map(|s| (s, settings[r0]));
+                pending_q = q_state.map(|s| (s, fleet.settings[r0]));
             }
 
             // Guardrail: score the shadow fallback on the same planning
@@ -1808,8 +1923,12 @@ pub(crate) fn run_window_resumable(
                 let shadow_ctx = PmkContext {
                     predicted_load_rps: load_pred,
                     re_share_w: re_believed_w / plan_n as f64,
-                    battery_instant_w: instant_w[r0],
-                    battery_sustained_w: sustained_w[r0],
+                    battery_instant_w: fleet.instant_w[r0],
+                    battery_sustained_w: if use_instant {
+                        fleet.instant_w[r0]
+                    } else {
+                        fleet.sustained_horizon_w[r0]
+                    },
                 };
                 let mut throwaway = SimRng::seed_from_u64(0);
                 let chosen = shadow.choose(profiles, &shadow_ctx, &mut throwaway);
@@ -1853,10 +1972,14 @@ pub(crate) fn run_window_resumable(
                     epoch_index: k,
                     active_reward: reward(&active_inputs),
                     shadow_reward: reward(&shadow_inputs),
-                    active_slo_ok: slo_ok(&perfs[r0]),
+                    active_slo_ok: slo_ok(&fleet.perfs[r0]),
                     shadow_slo_ok: slo_ok(&shadow_perf),
                     battery_discharge_w: battery_w,
-                    planned_battery_w: sustained_w.iter().sum(),
+                    planned_battery_w: if use_instant {
+                        fleet.instant_w.iter().sum()
+                    } else {
+                        fleet.sustained_horizon_w.iter().sum()
+                    },
                     table_corrupt,
                     live_fraction: live_count as f64 / n as f64,
                 }) {
@@ -1910,26 +2033,27 @@ pub(crate) fn run_window_resumable(
         }
 
         for i in 0..n {
-            if settings[i] != prev_settings[i] {
+            if fleet.settings[i] != fleet.prev_settings[i] {
                 setting_transitions += 1;
             }
         }
-        prev_settings.copy_from_slice(&settings);
+        let (prev, cur) = (&mut fleet.prev_settings, &fleet.settings);
+        prev.copy_from_slice(cur);
 
         goodput_sum += goodput / n as f64;
         offered_sum += offered;
         epochs.push(EpochRecord {
             t,
-            setting: rep.map_or_else(ServerSetting::normal, |r| settings[r]),
+            setting: rep.map_or_else(ServerSetting::normal, |r| fleet.settings[r]),
             case: plan.case,
             re_supply_w: re_actual_w,
             re_used_w,
             battery_w,
-            demand_w: actual_power.iter().sum(),
+            demand_w: fleet.actual_power.iter().sum(),
             battery_soc: soc,
             offered_rps: offered,
             goodput_rps: goodput,
-            sprinting_servers: settings.iter().filter(|s| s.is_sprinting()).count() as u8,
+            sprinting_servers: fleet.settings.iter().filter(|s| s.is_sprinting()).count() as u8,
             safe_mode: in_safe_mode,
             ladder_level: steering_level as u8,
             live_servers: live_count as u8,
@@ -2064,12 +2188,34 @@ fn blend_perf(sprint: &EpochPerf, normal: &EpochPerf, w: f64) -> EpochPerf {
     }
 }
 
+/// Per-epoch memoized [`Battery::sustainable_power`]. The Peukert math
+/// is pure in the battery's `(usable_rated_ah, capacity_ah)` — every
+/// other input is a per-run spec constant — so equal keys provably give
+/// equal results. A short linear scan: fleets cluster into a handful of
+/// battery states.
+fn sustainable_power_memo(
+    memo: &mut crate::fleet::InlineMemo<(u64, u64), f64>,
+    b: &Battery,
+    d: SimDuration,
+) -> f64 {
+    let key = (
+        b.usable_rated_ah().to_bits(),
+        b.spec().capacity_ah.to_bits(),
+    );
+    memo.get_or_insert_with(key, || b.sustainable_power(d))
+}
+
 fn mean_soc(batteries: &[Option<Battery>]) -> f64 {
-    let units: Vec<&Battery> = batteries.iter().flatten().collect();
-    if units.is_empty() {
+    let count = batteries.iter().flatten().count();
+    if count == 0 {
         return 1.0;
     }
-    units.iter().map(|b| b.soc_fraction()).sum::<f64>() / units.len() as f64
+    batteries
+        .iter()
+        .flatten()
+        .map(Battery::soc_fraction)
+        .sum::<f64>()
+        / count as f64
 }
 
 /// Decorrelate the strategy run from the Normal baseline while keeping

@@ -1,0 +1,328 @@
+//! Struct-of-arrays fleet state and the reusable engine scratch arena.
+//!
+//! The epoch loop in [`crate::engine`] touches a dozen per-server
+//! quantities every epoch. Before this module existed each of them was a
+//! fresh `Vec` per epoch (or per decision): at 1000 servers × thousands of
+//! epochs the allocator dominated the profile. [`FleetState`] holds them
+//! all as parallel arrays — settings, liveness, crash countdowns, health
+//! streaks, battery budgets, power draws — sized once per run and
+//! overwritten in place each epoch, plus the per-epoch memo tables the
+//! hot loop uses to avoid recomputing pure functions.
+//!
+//! [`EngineScratch`] wraps the fleet arrays together with the run-scoped
+//! analytic-measurement cache into the arena a caller can thread through
+//! many runs (the sweep worker pool keeps one per worker; campaigns reuse
+//! one across the strategy and baseline passes). Every run begins with
+//! [`EngineScratch::begin_run`], which clears all cross-run state, so
+//! reuse is unobservable in the output: the determinism contract
+//! (byte-identical outcomes, snapshot/resume, jobs-invariance) is pinned
+//! by `tests/golden_outputs.rs`.
+//!
+//! None of this is serialized. Persistent loop state (batteries,
+//! predictors, the learner, …) still lives in
+//! [`crate::checkpoint::LoopState`]; the arrays here that *are* part of a
+//! snapshot (`prev_settings`, `down_left`, `health_streak`) are copied
+//! in/out of it at the capture/resume boundary.
+
+use gs_cluster::ServerSetting;
+use gs_workload::metrics::EpochPerf;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Key of one memoized per-server sprint decision within an epoch: the
+/// bits of `(re_share, battery_instant, battery_sustained)` plus the
+/// hysteresis incumbent. Everything else a learner-free decision depends
+/// on (predicted load, the profile table, the hysteresis band) is
+/// constant within an epoch, so equal keys provably yield equal settings.
+pub(crate) type DecisionKey = (u64, u64, u64, ServerSetting);
+
+/// Per-server state as parallel arrays, resized once per run and
+/// overwritten in place every epoch.
+#[derive(Debug, Default)]
+pub(crate) struct FleetState {
+    // --- persistent across epochs (snapshot-carried) -------------------
+    /// Hysteresis incumbent per server (last epoch's applied setting).
+    pub prev_settings: Vec<ServerSetting>,
+    /// Crash countdown per server (epochs of outage left).
+    pub down_left: Vec<u32>,
+    /// Consecutive healthy epochs per server (rejoin probation).
+    pub health_streak: Vec<u32>,
+    // --- rewritten every epoch -----------------------------------------
+    /// Responding at all this epoch (not crashed/flapped down).
+    pub up: Vec<bool>,
+    /// Carrying load this epoch (`up` and past rejoin probation).
+    pub live: Vec<bool>,
+    /// The setting each server actually runs this epoch.
+    pub settings: Vec<ServerSetting>,
+    /// What the control plane commanded (before actuation faults).
+    pub commanded: Vec<ServerSetting>,
+    /// Battery power sustainable for one epoch (controller's view).
+    pub instant_w: Vec<f64>,
+    /// Battery power sustainable over the planning horizon.
+    pub sustained_horizon_w: Vec<f64>,
+    /// Battery power sustainable over the remaining burst.
+    pub sustained_remaining_w: Vec<f64>,
+    /// Physical power draw this epoch.
+    pub actual_power: Vec<f64>,
+    /// Measured per-server performance this epoch.
+    pub perfs: Vec<EpochPerf>,
+    /// Indices of sprinting servers (settlement order).
+    pub sprinting: Vec<usize>,
+    /// Indices of batteries open to charging (length varies per epoch).
+    pub open: Vec<usize>,
+    /// `(soc, max_dod)` per battery, lent to the invariant auditor.
+    pub socs: Vec<(f64, f64)>,
+    // --- per-epoch memo tables ------------------------------------------
+    /// Learner-free sprint decisions already made this epoch.
+    pub decision_memo: InlineMemo<DecisionKey, ServerSetting>,
+    /// Analytic measurements already taken this epoch, by setting (the
+    /// served rate is constant within an epoch). A short linear-scan
+    /// list: epochs see a handful of distinct settings.
+    pub perf_memo: Vec<(ServerSetting, EpochPerf)>,
+    /// Memoized `Battery::sustainable_power` results, one slot per
+    /// planning duration (epoch / horizon / remaining-burst). Keyed by
+    /// the bits of `(usable_rated_ah, capacity_ah)` — the only battery
+    /// state the Peukert computation reads beyond per-run spec constants
+    /// — so one entry serves every battery in the same state and the
+    /// `3n` powf-heavy calls per epoch collapse to one per distinct
+    /// battery state.
+    pub budget_memo: [InlineMemo<(u64, u64), f64>; 3],
+    /// Memoized Peukert drain rates for settlement discharges, keyed by
+    /// the bits of `(discharge current, capacity_ah)` — the drain is
+    /// pure in those given the per-run spec constants (SoC never enters
+    /// it), so sprinters drawing the same power share one `powf`.
+    pub drain_memo: InlineMemo<(u64, u64), f64>,
+}
+
+impl FleetState {
+    /// Size every per-server array for an `n`-server run. Values are
+    /// engine-initialized afterwards; per-epoch arrays are fully
+    /// overwritten before first read each epoch.
+    fn begin_run(&mut self, n: usize) {
+        fn fit<T: Clone>(v: &mut Vec<T>, n: usize, fill: T) {
+            v.clear();
+            v.resize(n, fill);
+        }
+        fit(&mut self.prev_settings, n, ServerSetting::normal());
+        fit(&mut self.down_left, n, 0);
+        fit(&mut self.health_streak, n, 0);
+        fit(&mut self.up, n, true);
+        fit(&mut self.live, n, true);
+        fit(&mut self.settings, n, ServerSetting::normal());
+        fit(&mut self.commanded, n, ServerSetting::normal());
+        fit(&mut self.instant_w, n, 0.0);
+        fit(&mut self.sustained_horizon_w, n, 0.0);
+        fit(&mut self.sustained_remaining_w, n, 0.0);
+        fit(&mut self.actual_power, n, 0.0);
+        fit(&mut self.perfs, n, EpochPerf::default());
+        self.sprinting.clear();
+        self.open.clear();
+        self.socs.clear();
+        self.decision_memo.clear();
+        self.perf_memo.clear();
+        for memo in &mut self.budget_memo {
+            memo.clear();
+        }
+        self.drain_memo.clear();
+    }
+
+    /// Clear the per-epoch memo tables (start of every epoch).
+    pub fn begin_epoch(&mut self) {
+        self.decision_memo.clear();
+        self.perf_memo.clear();
+        for memo in &mut self.budget_memo {
+            memo.clear();
+        }
+        self.drain_memo.clear();
+    }
+}
+
+/// Reusable allocation arena for engine runs.
+///
+/// One run uses one scratch exclusively; reusing the same scratch across
+/// sequential runs (a sweep worker's tasks, a campaign's strategy and
+/// baseline passes, the `bench` trajectory reps) skips the per-run
+/// allocation and cache warm-up without affecting a single output byte.
+/// Dropping it between runs is always safe — it carries no result state.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    pub(crate) fleet: FleetState,
+    /// Run-scoped memo of analytic epoch measurements, keyed by
+    /// `(setting, offered_rps.to_bits())`. Pure: cleared at run start
+    /// because profiles and app differ between runs.
+    pub(crate) analytic_cache: HashMap<(ServerSetting, u64), EpochPerf, FxBuildHasher>,
+}
+
+impl EngineScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for an `n`-server run: sizes the fleet arrays and clears
+    /// every cross-run cache (capacity is retained).
+    pub(crate) fn begin_run(&mut self, n: usize) {
+        self.fleet.begin_run(n);
+        self.analytic_cache.clear();
+    }
+}
+
+/// A hash-map memo fronted by a one-entry inline cache. The per-server
+/// loops mostly present *runs* of identical keys (fleets cluster into a
+/// handful of states), and the run case hits the inline slot with a key
+/// compare instead of a hash-and-probe. Purely a lookup structure for
+/// per-epoch pure-function memos — iteration order is never observed.
+#[derive(Debug, Default)]
+pub(crate) struct InlineMemo<K: Copy + Eq + std::hash::Hash, V: Copy> {
+    last: Option<(K, V)>,
+    map: HashMap<K, V, FxBuildHasher>,
+}
+
+impl<K: Copy + Eq + std::hash::Hash, V: Copy> InlineMemo<K, V> {
+    /// Drop every entry (start of an epoch — durations and epoch-scoped
+    /// inputs change, so stale values must not survive).
+    pub fn clear(&mut self) {
+        self.last = None;
+        self.map.clear();
+    }
+
+    /// Look up `key`, refreshing the inline slot on a map hit.
+    pub fn get(&mut self, key: K) -> Option<V> {
+        if let Some((k, v)) = self.last {
+            if k == key {
+                return Some(v);
+            }
+        }
+        let v = self.map.get(&key).copied();
+        if let Some(v) = v {
+            self.last = Some((key, v));
+        }
+        v
+    }
+
+    /// Record `key → v` and make it the inline entry.
+    pub fn insert(&mut self, key: K, v: V) {
+        self.last = Some((key, v));
+        self.map.insert(key, v);
+    }
+
+    /// The memoized value for `key`, computing and recording it on miss.
+    pub fn get_or_insert_with(&mut self, key: K, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = f();
+        self.insert(key, v);
+        v
+    }
+
+    /// True when no entry has been recorded since the last clear.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// `BuildHasher` for the hot-path hash maps.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The FxHash word-at-a-time multiply-xor hash (the rustc hash): not
+/// DoS-resistant, which is fine for keys the simulation itself produces,
+/// and several times faster than SipHash on the small fixed-size keys the
+/// epoch loop uses. Hand-rolled because the workspace vendors no hashing
+/// crate.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_run_sizes_every_array() {
+        let mut s = EngineScratch::new();
+        s.begin_run(7);
+        assert_eq!(s.fleet.prev_settings.len(), 7);
+        assert_eq!(s.fleet.perfs.len(), 7);
+        assert_eq!(s.fleet.instant_w.len(), 7);
+        s.fleet.sprinting.push(3);
+        s.fleet.decision_memo.insert(
+            (0, 0, 0, ServerSetting::normal()),
+            ServerSetting::max_sprint(),
+        );
+        s.analytic_cache
+            .insert((ServerSetting::normal(), 0), EpochPerf::default());
+        // A new run clears per-epoch lists and every cross-run cache.
+        s.begin_run(3);
+        assert_eq!(s.fleet.prev_settings.len(), 3);
+        assert!(s.fleet.sprinting.is_empty());
+        assert!(s.fleet.decision_memo.is_empty());
+        assert!(s.analytic_cache.is_empty());
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_and_repeats() {
+        use std::hash::Hash;
+        let h = |k: &DecisionKey| {
+            let mut hasher = FxHasher::default();
+            k.hash(&mut hasher);
+            hasher.finish()
+        };
+        let a = (1u64, 2u64, 3u64, ServerSetting::normal());
+        let b = (1u64, 2u64, 4u64, ServerSetting::normal());
+        assert_eq!(h(&a), h(&a));
+        assert_ne!(h(&a), h(&b));
+    }
+}

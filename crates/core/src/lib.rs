@@ -49,6 +49,7 @@ pub mod config;
 pub mod datacenter;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod guardrail;
 pub mod monitor;
 pub mod pmk;
@@ -76,6 +77,7 @@ pub use engine::{
     BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, PredictorKind, ThermalModel,
 };
 pub use faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
+pub use fleet::EngineScratch;
 pub use guardrail::{
     ladder_for, EpochSignals, Guardrail, GuardrailAction, GuardrailConfig, GuardrailState,
     QuarantineRecord,

@@ -217,16 +217,46 @@ impl Monitor {
     /// server `i` answered this epoch. Feeds the fleet-size stream and one
     /// liveness stream per server.
     pub fn record_fleet(&mut self, t: SimTime, up: &[bool]) {
-        while self.server_live.len() < up.len() {
-            let i = self.server_live.len();
-            self.server_live
-                .push(TimeSeries::new(format!("server{i}_live")));
-        }
+        self.ensure_fleet_streams(up.len());
         for (i, &alive) in up.iter().enumerate() {
             self.server_live[i].push(t, if alive { 1.0 } else { 0.0 });
         }
         let live = up.iter().filter(|&&a| a).count();
         self.fleet_live.push(t, live as f64);
+    }
+
+    /// Materialize the per-server liveness streams for an `n`-server
+    /// fleet (idempotent).
+    fn ensure_fleet_streams(&mut self, n: usize) {
+        while self.server_live.len() < n {
+            let i = self.server_live.len();
+            self.server_live
+                .push(TimeSeries::new(format!("server{i}_live")));
+        }
+    }
+
+    /// Capacity hint: pre-allocate every per-epoch stream for `epochs`
+    /// more epochs of an `n`-server run, so the hot loop appends without
+    /// reallocating. Purely an allocation optimization — capacity is not
+    /// serialized and no recorded value changes.
+    pub fn reserve_epochs(&mut self, n: usize, epochs: usize) {
+        self.ensure_fleet_streams(n);
+        for s in [
+            &mut self.re_supply,
+            &mut self.demand,
+            &mut self.battery_power,
+            &mut self.battery_soc,
+            &mut self.goodput,
+            &mut self.offered,
+            &mut self.re_quality,
+            &mut self.ladder,
+            &mut self.fleet_live,
+        ] {
+            s.reserve(epochs);
+        }
+        for s in &mut self.server_live {
+            s.reserve(epochs);
+        }
     }
 
     /// Live-server-count stream (empty until fleet faults are tracked).

@@ -114,6 +114,9 @@ pub struct Pmk {
     all_actions: Vec<ServerSetting>,
     /// Hybrid's learner (present only for [`Strategy::Hybrid`]).
     learner: Option<QLearner>,
+    /// Reusable buffer for Hybrid's per-decision feasible-action filter,
+    /// so `choose` allocates nothing on the epoch loop's hot path.
+    feasible_buf: Vec<ServerSetting>,
 }
 
 impl Pmk {
@@ -144,6 +147,7 @@ impl Pmk {
             pacing_actions,
             all_actions: ServerSetting::all(),
             learner,
+            feasible_buf: Vec::new(),
         }
     }
 
@@ -185,6 +189,14 @@ impl Pmk {
         self.learner.as_mut()
     }
 
+    /// True when this PMK carries no learner — its decisions are then a
+    /// pure function of `(profiles, ctx, incumbent)` and consume no
+    /// randomness, which is what makes per-epoch decision memoization
+    /// sound (see `FleetState::decision_memo`).
+    pub fn is_learner_free(&self) -> bool {
+        self.learner.is_none()
+    }
+
     /// Choose the sprint setting for one server this epoch.
     pub fn choose(
         &mut self,
@@ -203,22 +215,19 @@ impl Pmk {
                     ServerSetting::normal()
                 }
             }
-            Strategy::Parallel => self.budgeted(profiles, &self.parallel_actions.clone(), ctx),
-            Strategy::Pacing => self.budgeted(profiles, &self.pacing_actions.clone(), ctx),
+            Strategy::Parallel => self.budgeted(profiles, &self.parallel_actions, ctx),
+            Strategy::Pacing => self.budgeted(profiles, &self.pacing_actions, ctx),
             Strategy::Hybrid => {
                 let learner = self.learner.as_ref().expect("hybrid has a learner");
-                let feasible: Vec<ServerSetting> = self
-                    .all_actions
-                    .iter()
-                    .copied()
-                    .filter(|&s| {
+                self.feasible_buf.clear();
+                self.feasible_buf
+                    .extend(self.all_actions.iter().copied().filter(|&s| {
                         s == ServerSetting::normal()
                             || profiles.planned_power_w(s, ctx.predicted_load_rps)
                                 <= ctx.instant_budget_w()
-                    })
-                    .collect();
+                    }));
                 let state = learner.state(ctx.instant_budget_w(), ctx.predicted_load_rps);
-                learner.best_action(state, &feasible, rng)
+                learner.best_action(state, &self.feasible_buf, rng)
             }
         }
     }

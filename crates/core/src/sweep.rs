@@ -19,8 +19,9 @@
 //!   finished result back over a channel tagged with its index and label;
 //!   the collector re-orders by index before returning.
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use crate::campaign::{CampaignConfig, CampaignOutcome};
 use crate::engine::{BurstOutcome, Engine, EngineConfig};
+use crate::fleet::EngineScratch;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -158,26 +159,33 @@ pub fn run_sweep_streaming(
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let point = &points[i];
-                let seed = derive_seed(master_seed, i as u64);
-                let outcome = run_task_seeded(&point.task, seed);
-                // The receiver can only hang up by panicking; die quietly
-                // with it rather than double-panicking.
-                if tx
-                    .send(SweepResult {
-                        index: i,
-                        label: point.label.clone(),
-                        seed,
-                        outcome,
-                    })
-                    .is_err()
-                {
-                    break;
+            s.spawn(move || {
+                // One scratch arena per worker, reused across every task
+                // it claims: each engine run resets it, so reuse cannot
+                // leak state between points (pinned by the jobs-invariance
+                // golden test).
+                let mut arena = EngineScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let point = &points[i];
+                    let seed = derive_seed(master_seed, i as u64);
+                    let outcome = run_task_seeded_in(&point.task, seed, &mut arena);
+                    // The receiver can only hang up by panicking; die
+                    // quietly with it rather than double-panicking.
+                    if tx
+                        .send(SweepResult {
+                            index: i,
+                            label: point.label.clone(),
+                            seed,
+                            outcome,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
                 }
             });
         }
@@ -196,16 +204,28 @@ pub fn run_sweep_streaming(
 
 /// Execute one task with its derived seed substituted in.
 pub(crate) fn run_task_seeded(task: &SweepTask, seed: u64) -> SweepOutcome {
+    let mut arena = EngineScratch::new();
+    run_task_seeded_in(task, seed, &mut arena)
+}
+
+/// As [`run_task_seeded`], reusing a caller-provided scratch arena.
+pub(crate) fn run_task_seeded_in(
+    task: &SweepTask,
+    seed: u64,
+    arena: &mut EngineScratch,
+) -> SweepOutcome {
     match task {
         SweepTask::Burst(cfg) => {
             let mut cfg = cfg.clone();
             cfg.seed = seed;
-            SweepOutcome::Burst(Engine::new(cfg).run())
+            SweepOutcome::Burst(Engine::new(cfg).run_with_scratch(arena))
         }
         SweepTask::Campaign(cfg) => {
             let mut cfg = cfg.clone();
             cfg.engine.seed = seed;
-            SweepOutcome::Campaign(run_campaign(&cfg))
+            let outcome = crate::campaign::try_run_campaign_in(&cfg, arena)
+                .unwrap_or_else(|e| panic!("invalid campaign configuration: {e}"));
+            SweepOutcome::Campaign(outcome)
         }
     }
 }

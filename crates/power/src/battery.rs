@@ -251,6 +251,24 @@ impl Battery {
     /// discharge is truncated there. Requests above the C-rate limit are
     /// clamped to it (the power electronics current-limit).
     pub fn discharge(&mut self, power_w: f64, dt: SimDuration) -> DischargeOutcome {
+        self.discharge_memoized(power_w, dt, &mut |spec, current| {
+            spec.peukert_drain_ah_per_hour(current)
+        })
+    }
+
+    /// As [`Battery::discharge`], with the Peukert drain-rate computation
+    /// routed through `drain`. The drain rate is a pure function of the
+    /// discharge current and the spec, so a caller settling many
+    /// same-spec batteries can memoize the `powf` behind it; passing
+    /// [`BatterySpec::peukert_drain_ah_per_hour`] straight through (as
+    /// [`Battery::discharge`] does) is the reference behavior, and any
+    /// memo returning the same bits is byte-identical to it.
+    pub fn discharge_memoized(
+        &mut self,
+        power_w: f64,
+        dt: SimDuration,
+        drain: &mut dyn FnMut(&BatterySpec, f64) -> f64,
+    ) -> DischargeOutcome {
         if power_w <= 0.0 || dt.is_zero() || self.at_dod_floor() {
             return DischargeOutcome {
                 delivered_wh: 0.0,
@@ -258,9 +276,7 @@ impl Battery {
             };
         }
         let power_w = power_w.min(self.spec.max_discharge_power_w());
-        let drain = self
-            .spec
-            .peukert_drain_ah_per_hour(self.current_for_power(power_w));
+        let drain = drain(&self.spec, self.current_for_power(power_w));
         let hours_to_floor = self.usable_rated_ah() / drain;
         let hours = dt.as_hours_f64().min(hours_to_floor);
         self.soc_rated_ah -= drain * hours;

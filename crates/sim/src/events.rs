@@ -1,11 +1,200 @@
-//! A stable discrete-event queue.
+//! Deterministic discrete-event queues.
 //!
 //! Events are ordered by [`SimTime`]; ties are broken by insertion order so
-//! that simulations are fully deterministic regardless of heap internals.
+//! that simulations are fully deterministic regardless of container
+//! internals.
+//!
+//! Two implementations share the contract:
+//!
+//! * [`EventQueue`] — the production queue, a bucketed *calendar queue*:
+//!   events hash by timestamp into a power-of-two ring of sorted buckets,
+//!   inserts cost O(bucket occupancy) (kept ~constant by doubling the ring
+//!   when it saturates), and the next event is the minimum over bucket
+//!   fronts, memoized so `peek_time` is O(1). A monotonically increasing
+//!   sequence number breaks timestamp ties FIFO, so the pop order is the
+//!   total order `(at, seq)` — independent of bucket geometry or resize
+//!   history.
+//! * [`BinaryHeapQueue`] — the original heap-backed implementation, retained
+//!   as the reference for dequeue-order equivalence property tests (see
+//!   `tests/queue_equivalence.rs`).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Calendar queue (production implementation)
+// ---------------------------------------------------------------------------
+
+/// Initial number of buckets (power of two).
+const INITIAL_BUCKETS: usize = 4;
+/// Ring stops doubling past this many buckets; beyond it buckets just grow.
+const MAX_BUCKETS: usize = 1024;
+/// Double the ring when average bucket occupancy exceeds this.
+const GROW_OCCUPANCY: usize = 4;
+/// Initial bucket width: one simulated second per bucket.
+const INITIAL_WIDTH_US: u64 = 1_000_000;
+
+/// A min-priority queue of timestamped events with stable FIFO tie-breaking,
+/// backed by a bucketed calendar queue.
+pub struct EventQueue<E> {
+    /// Ring of buckets, each sorted ascending by `(at_us, seq)`.
+    buckets: Vec<VecDeque<(u64, u64, E)>>,
+    /// Bucket width in microseconds (>= 1).
+    width_us: u64,
+    /// Pending events across all buckets.
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    /// `(at_us, seq, bucket)` of the global minimum; `Some` iff `len > 0`.
+    min_cache: Option<(u64, u64, usize)>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| VecDeque::new()).collect(),
+            width_us: INITIAL_WIDTH_US,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            min_cache: None,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn bucket_of(&self, at_us: u64) -> usize {
+        // width >= 1 and bucket count is a power of two.
+        ((at_us / self.width_us) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event fires "now" instead (clamped), keeping
+    /// the clock monotone.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let at_us = at.as_micros();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        if self.len >= GROW_OCCUPANCY * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.grow();
+        }
+
+        let b = self.bucket_of(at_us);
+        let bucket = &mut self.buckets[b];
+        // Insert after every entry with an equal-or-earlier timestamp: seq is
+        // globally increasing, so this keeps the bucket sorted by (at, seq)
+        // and equal timestamps FIFO.
+        let idx = bucket.partition_point(|&(t, _, _)| t <= at_us);
+        bucket.insert(idx, (at_us, seq, event));
+        self.len += 1;
+
+        match self.min_cache {
+            // seq is larger than every pending seq, so the new event only
+            // becomes the minimum on a strictly earlier timestamp.
+            Some((min_at, _, _)) if at_us >= min_at => {}
+            _ => self.min_cache = Some((at_us, seq, b)),
+        }
+    }
+
+    /// Double the bucket ring and re-spread all pending events.
+    ///
+    /// Deterministic: the rebuild order depends only on the pending
+    /// `(at, seq)` set, never on prior bucket geometry.
+    fn grow(&mut self) {
+        let mut all: Vec<(u64, u64, E)> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.extend(b.drain(..));
+        }
+        all.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+
+        // Re-derive the bucket width from the pending span so occupancy
+        // stays near one event per bucket slot.
+        let n = self.buckets.len() * 2;
+        if let (Some(first), Some(last)) = (all.first(), all.last()) {
+            let span = last.0 - first.0;
+            self.width_us = (span / all.len() as u64).max(1);
+        }
+        self.buckets = (0..n).map(|_| VecDeque::new()).collect();
+        for (at_us, seq, event) in all {
+            let b = self.bucket_of(at_us);
+            // `all` is globally sorted, so per-bucket order stays sorted.
+            self.buckets[b].push_back((at_us, seq, event));
+        }
+        self.refresh_min();
+    }
+
+    /// Recompute the cached minimum by scanning bucket fronts. Each bucket
+    /// is sorted, so the global minimum is always some bucket's front.
+    fn refresh_min(&mut self) {
+        self.min_cache = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, q)| q.front().map(|&(at, seq, _)| (at, seq, b)))
+            .min_by_key(|&(at, seq, _)| (at, seq));
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (_, _, b) = self.min_cache?;
+        let (at_us, _, event) = self.buckets[b].pop_front().expect("cached min bucket");
+        self.len -= 1;
+        let at = SimTime::from_micros(at_us);
+        self.now = at;
+        self.refresh_min();
+        Some((at, event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.min_cache
+            .map(|(at_us, _, _)| SimTime::from_micros(at_us))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all pending events, leaving the clock untouched.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.min_cache = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-heap reference implementation
+// ---------------------------------------------------------------------------
 
 struct Entry<E> {
     at: SimTime,
@@ -37,40 +226,37 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A min-priority queue of timestamped events with stable FIFO tie-breaking.
-pub struct EventQueue<E> {
+/// The heap-backed reference queue: same contract as [`EventQueue`], kept
+/// for dequeue-order equivalence property tests.
+pub struct BinaryHeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for BinaryHeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> BinaryHeapQueue<E> {
     /// Create an empty queue with the clock at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
     }
 
-    /// The current simulation time: the timestamp of the most recently
-    /// popped event (or zero before any pop).
+    /// The current simulation time (timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
-    ///
-    /// Scheduling in the past is a logic error and panics in debug builds;
-    /// in release builds the event fires "now" instead (clamped), keeping
-    /// the clock monotone.
+    /// Schedule `event` at absolute time `at` (same clamping semantics as
+    /// [`EventQueue::schedule`]).
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
@@ -176,5 +362,44 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn survives_bucket_ring_growth() {
+        // Push far past the grow threshold with a mix of clustered and
+        // spread timestamps, then verify the global (time, FIFO) order.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            let t = SimTime::from_micros((i * 7919) % 100 * 250_000);
+            q.schedule(t, i);
+            expect.push((t, i));
+        }
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matches_reference_queue_exactly() {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        // Interleave schedules and pops, with duplicate timestamps.
+        // Offsets are relative to the popped-to clock so no event lands
+        // in the past (schedule() rejects that by contract).
+        let times = [5u64, 3, 5, 1, 3, 3, 9, 1, 5, 2, 8, 8, 0, 7, 5];
+        for (i, &t) in times.iter().enumerate() {
+            let at = cal.now() + crate::SimDuration::from_secs(t);
+            cal.schedule(at, i);
+            heap.schedule(at, i);
+            if i % 3 == 2 {
+                assert_eq!(cal.pop(), heap.pop());
+                assert_eq!(cal.now(), heap.now());
+            }
+        }
+        while !heap.is_empty() {
+            assert_eq!(cal.pop(), heap.pop());
+        }
+        assert!(cal.is_empty());
     }
 }

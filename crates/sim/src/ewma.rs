@@ -131,6 +131,29 @@ mod tests {
     }
 
     #[test]
+    fn warmup_is_alpha_independent() {
+        // The first observation initializes the filter directly — no
+        // phantom zero state blended in, whatever alpha is.
+        for alpha in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let mut e = Ewma::new(alpha);
+            assert_eq!(e.observe(123.456), 123.456, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn reinitializes_after_reset() {
+        // reset() returns the filter to the warmup state: the next
+        // observation initializes directly, with no memory of the old
+        // estimate.
+        let mut e = Ewma::new(0.9);
+        e.observe(3.0);
+        e.observe(4.0);
+        e.reset();
+        assert_eq!(e.observe(10.0), 10.0);
+        assert_eq!(e.prediction(), Some(10.0));
+    }
+
+    #[test]
     #[should_panic(expected = "alpha must be in [0, 1]")]
     fn rejects_bad_alpha() {
         let _ = Ewma::new(1.5);

@@ -18,7 +18,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{BinaryHeapQueue, EventQueue};
 pub use ewma::Ewma;
 pub use p2::P2Quantile;
 pub use rng::SimRng;

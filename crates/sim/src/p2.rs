@@ -222,6 +222,82 @@ mod tests {
     }
 
     #[test]
+    fn exact_head_covers_every_rank() {
+        // For n < 5 the estimator must be *exact* by nearest rank, for
+        // any quantile, at every warmup length.
+        let data = [7.0, 1.0, 5.0, 3.0];
+        for n in 1..=4usize {
+            let mut sorted: Vec<f64> = data[..n].to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (q, _) in [(0.01, ()), (0.25, ()), (0.5, ()), (0.75, ()), (0.99, ())] {
+                let mut p = P2Quantile::new(q);
+                for &x in &data[..n] {
+                    p.record(x);
+                }
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                assert_eq!(
+                    p.estimate(),
+                    Some(sorted[rank - 1]),
+                    "q={q} n={n} must be the exact rank-{rank} statistic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_stream_of_duplicates_is_exact() {
+        // Degenerate marker gaps (all heights equal) must not divide by
+        // zero or drift: the estimate of a constant stream is the value.
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..10_000 {
+            p.record(3.5);
+        }
+        assert_eq!(p.estimate(), Some(3.5));
+    }
+
+    #[test]
+    fn two_point_mass_with_heavy_duplicates() {
+        // 90% zeros / 10% ones: the median is 0, the p99 is 1.
+        let mut med = P2Quantile::new(0.5);
+        let mut p99 = P2Quantile::new(0.99);
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..50_000 {
+            let x = if rng.chance(0.1) { 1.0 } else { 0.0 };
+            med.record(x);
+            p99.record(x);
+        }
+        let (m, t) = (med.estimate().unwrap(), p99.estimate().unwrap());
+        assert!(m < 0.2, "median of 90% zeros drifted to {m}");
+        assert!(t > 0.8, "p99 of 10% ones collapsed to {t}");
+    }
+
+    #[test]
+    fn estimate_stays_within_observed_range() {
+        // The parabolic update can overshoot; the linear fallback must
+        // keep every estimate inside [min, max] of the data seen.
+        let mut p = P2Quantile::new(0.95);
+        let mut rng = SimRng::seed_from_u64(10);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..20_000 {
+            // Mix duplicates, bursts, and smooth noise.
+            let x = match i % 4 {
+                0 => 2.0,
+                1 => rng.uniform() * 10.0,
+                2 => rng.exp(0.5),
+                _ => 2.0,
+            };
+            lo = lo.min(x);
+            hi = hi.max(x);
+            p.record(x);
+            let est = p.estimate().unwrap();
+            assert!(
+                (lo..=hi).contains(&est),
+                "estimate {est} escaped observed range [{lo}, {hi}] at i={i}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "quantile must be in (0,1)")]
     fn rejects_degenerate_quantile() {
         let _ = P2Quantile::new(1.0);

@@ -34,6 +34,12 @@ impl TimeSeries {
         self.points.push((t, v));
     }
 
+    /// Pre-allocate room for `additional` more points (a capacity hint —
+    /// never observable in the recorded data).
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
+    }
+
     /// All points, in time order.
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points

@@ -1,6 +1,9 @@
 //! Property tests for the simulation kernel.
 
-use gs_sim::{EventQueue, Ewma, OnlineStats, ReservoirPercentiles, SimDuration, SimRng, SimTime};
+use gs_sim::{
+    BinaryHeapQueue, EventQueue, Ewma, OnlineStats, ReservoirPercentiles, SimDuration, SimRng,
+    SimTime,
+};
 use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
 
 proptest! {
@@ -24,6 +27,44 @@ proptest! {
                 }
             }
             last = Some((at, i));
+        }
+    }
+
+    /// The calendar queue and the reference binary heap dequeue identical
+    /// `(time, event)` sequences under interleaved schedule/pop traffic
+    /// with heavy timestamp duplication — the property the DES leans on
+    /// when it swaps queue implementations.
+    #[test]
+    fn calendar_matches_heap_under_interleaving(
+        ops in prop::collection::vec(
+            (prop::collection::vec(0_u64..8, 0..12), 0_usize..8),
+            1..40,
+        )
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut next_id = 0_u32;
+        for (offsets, pops) in ops {
+            // Tiny offsets force many exact-duplicate timestamps.
+            for off in offsets {
+                let at = cal.now() + SimDuration::from_millis(off);
+                cal.schedule(at, next_id);
+                heap.schedule(at, next_id);
+                next_id += 1;
+            }
+            for _ in 0..pops {
+                prop_assert_eq!(cal.pop(), heap.pop());
+                prop_assert_eq!(cal.now(), heap.now());
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+        }
+        // Drain both to the end: every remaining event agrees too.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 use crate::apps::AppProfile;
 use crate::metrics::EpochPerf;
 use gs_cluster::ServerSetting;
-use gs_sim::{ReservoirPercentiles, SimDuration, SimRng, SimTime};
+use gs_sim::{EventQueue, ReservoirPercentiles, SimDuration, SimRng, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -24,25 +24,110 @@ const QUEUE_CAP: usize = 50_000;
 /// Latency reservoir size per epoch.
 const LATENCY_RESERVOIR: usize = 20_000;
 
-/// A single simulated server.
+/// The set of in-service requests, popped in completion order.
+///
+/// The pop order contract is min `(done, arrival FIFO)`. Requests enter
+/// service strictly in arrival order ([`ServerSimWith::fill_cores`] pops the
+/// FIFO wait queue), so a queue that breaks completion-time ties by
+/// *insertion* order (the calendar queue's sequence numbers) produces the
+/// identical pop sequence to one that breaks ties by *arrival time* (the
+/// original `BinaryHeap<Reverse<(done, arrived)>>`). Both implementations
+/// live here so property tests can assert that equivalence end to end.
+pub trait CompletionQueue: Default + std::fmt::Debug {
+    /// Add a request completing at `done` that arrived at `arrived`.
+    fn push(&mut self, done: SimTime, arrived: SimTime);
+    /// Earliest pending completion time.
+    fn peek_done(&self) -> Option<SimTime>;
+    /// Remove and return the earliest `(done, arrived)` pair.
+    fn pop(&mut self) -> Option<(SimTime, SimTime)>;
+    /// Requests currently in service.
+    fn len(&self) -> usize;
+    /// True if no requests are in service.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drop all in-service requests.
+    fn clear(&mut self);
+}
+
+/// Production completion set: bucketed calendar queue (see [`EventQueue`]).
+#[derive(Default)]
+pub struct CalendarCompletions(EventQueue<SimTime>);
+
+impl std::fmt::Debug for CalendarCompletions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarCompletions")
+            .field("len", &self.0.len())
+            .finish()
+    }
+}
+
+impl CompletionQueue for CalendarCompletions {
+    fn push(&mut self, done: SimTime, arrived: SimTime) {
+        self.0.schedule(done, arrived);
+    }
+    fn peek_done(&self) -> Option<SimTime> {
+        self.0.peek_time()
+    }
+    fn pop(&mut self) -> Option<(SimTime, SimTime)> {
+        self.0.pop()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// Reference completion set: the original binary heap ordered by
+/// `(done, arrived)`, kept for equivalence property tests.
+#[derive(Default, Debug)]
+pub struct HeapCompletions(BinaryHeap<Reverse<(SimTime, SimTime)>>);
+
+impl CompletionQueue for HeapCompletions {
+    fn push(&mut self, done: SimTime, arrived: SimTime) {
+        self.0.push(Reverse((done, arrived)));
+    }
+    fn peek_done(&self) -> Option<SimTime> {
+        self.0.peek().map(|Reverse((t, _))| *t)
+    }
+    fn pop(&mut self) -> Option<(SimTime, SimTime)> {
+        self.0.pop().map(|Reverse(pair)| pair)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// A single simulated server, generic over the in-service container.
 #[derive(Debug)]
-pub struct ServerSim {
+pub struct ServerSimWith<Q: CompletionQueue> {
     rng: SimRng,
     now: SimTime,
     /// Arrival timestamps of queued requests (FIFO).
     queue: VecDeque<SimTime>,
     /// (completion time, arrival time) of in-service requests.
-    in_service: BinaryHeap<Reverse<(SimTime, SimTime)>>,
+    in_service: Q,
 }
 
-impl ServerSim {
+/// A single simulated server (production calendar-queue configuration).
+pub type ServerSim = ServerSimWith<CalendarCompletions>;
+
+/// Heap-backed reference simulator for equivalence property tests.
+pub type ReferenceServerSim = ServerSimWith<HeapCompletions>;
+
+impl<Q: CompletionQueue> ServerSimWith<Q> {
     /// Create a server simulator with its own random stream.
     pub fn new(rng: SimRng) -> Self {
-        ServerSim {
+        ServerSimWith {
             rng,
             now: SimTime::ZERO,
             queue: VecDeque::new(),
-            in_service: BinaryHeap::new(),
+            in_service: Q::default(),
         }
     }
 
@@ -97,7 +182,7 @@ impl ServerSim {
         };
 
         loop {
-            let next_completion = self.in_service.peek().map(|Reverse((t, _))| *t);
+            let next_completion = self.in_service.peek_done();
             // The next event is the earlier of arrival and completion,
             // bounded by the epoch end.
             let next_event = match next_completion {
@@ -115,7 +200,7 @@ impl ServerSim {
             if Some(next_event) == next_completion && next_event <= next_arrival {
                 // Completion first (ties prefer completions: frees a core
                 // before the simultaneous arrival is placed).
-                let Reverse((done, arrived)) = self.in_service.pop().expect("peeked above");
+                let (done, arrived) = self.in_service.pop().expect("peeked above");
                 debug_assert_eq!(done, next_event);
                 let lat = (done - arrived).as_secs_f64();
                 completed += 1;
@@ -165,7 +250,7 @@ impl ServerSim {
             };
             let service = app.sample_service_s(&mut self.rng, setting);
             let done = self.now + SimDuration::from_secs_f64(service);
-            self.in_service.push(Reverse((done, arrived)));
+            self.in_service.push(done, arrived);
         }
     }
 

@@ -20,6 +20,7 @@
 //! greensprint qtable (validate|dump) FILE
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
 //! greensprint tco [--hours H]
+//! greensprint bench [--quick] [--force] [--reps N] [--out FILE.json]
 //! ```
 
 use greensprint_repro::power::trace_io;
@@ -45,6 +46,7 @@ fn main() {
         "qtable" => qtable(&positional),
         "trace" => trace(&positional, &flags),
         "tco" => tco(&flags),
+        "bench" => bench(&flags),
         "help" | "--help" | "-h" => usage(""),
         other => usage(&format!("unknown subcommand: {other}")),
     }
@@ -911,6 +913,244 @@ fn print_table_stats(l: &QLearner) {
     );
 }
 
+/// The machine-readable bench artifact (`BENCH_<sha>.json`), schema
+/// `greensprint-bench/v1`. CI's bench-smoke job validates these fields.
+#[derive(serde::Serialize)]
+struct BenchArtifact {
+    schema: &'static str,
+    git_sha: String,
+    quick: bool,
+    reps: usize,
+    peak_rss_kb: Option<u64>,
+    epoch_loop: EpochLoopBench,
+    des: DesBench,
+    sweep: SweepBench,
+}
+
+#[derive(serde::Serialize)]
+struct EpochLoopBench {
+    servers: usize,
+    epochs: u64,
+    table_build_s: f64,
+    best_wall_s: f64,
+    epochs_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DesBench {
+    epochs: usize,
+    epoch_secs: f64,
+    events: u64,
+    best_wall_s: f64,
+    events_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct SweepBench {
+    points: usize,
+    jobs: usize,
+    best_wall_s: f64,
+    points_per_sec: f64,
+}
+
+/// The current git short sha, for stamping bench artifacts. Falls back
+/// to `"unknown"` outside a git checkout (e.g. an installed binary).
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` `VmHWM`
+/// (Linux only; `None` elsewhere).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Time `body` `reps` times after one untimed warm-up call, returning the
+/// best (minimum) wall time in seconds. Best-of-N because shared machines
+/// are noisy: the minimum is the least-perturbed observation.
+fn best_wall_s(reps: usize, mut body: impl FnMut()) -> f64 {
+    body(); // warm-up: touch caches, fault in pages
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        body();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// `greensprint bench` — run the standardized hot-path workloads (engine
+/// epoch loop, request-level DES, parallel sweep) and write
+/// `BENCH_<git-short-sha>.json` so the performance trajectory is tracked
+/// commit by commit. The one-time `ProfileTable` build is done *before*
+/// any timed region and each workload gets an untimed warm-up rep, so the
+/// numbers measure the steady-state loops, not cold caches; wall times are
+/// best-of-`--reps` (minimum) because shared machines are noisy. Refuses
+/// to overwrite an existing artifact for the same sha without `--force`
+/// (exit 2).
+fn bench(flags: &HashMap<String, String>) {
+    let quick = flags.contains_key("quick");
+    let force = flags.contains_key("force");
+    let reps: usize = get(flags, "reps", if quick { 2 } else { 5 });
+    if reps == 0 {
+        usage("--reps must be at least 1");
+    }
+    let sha = git_short_sha();
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{sha}.json"));
+    if Path::new(&out_path).exists() && !force {
+        eprintln!("error: {out_path} already exists for sha {sha}; pass --force to overwrite it");
+        exit(2);
+    }
+
+    // Workload 1 — engine epoch loop: a green fleet driven by the Pacing
+    // strategy in Analytic mode (the learner-free configuration every
+    // sweep cell and campaign epoch runs through). One engine run
+    // simulates 2× the burst minutes of 1-minute epochs: the strategy run
+    // plus its Normal baseline.
+    let servers: usize = if quick { 200 } else { 1000 };
+    let minutes: u64 = if quick { 60 } else { 240 };
+    let epochs_per_run = 2 * minutes;
+    let t0 = std::time::Instant::now();
+    let _ = ProfileTable::cached(Application::SpecJbb);
+    let table_build_s = t0.elapsed().as_secs_f64();
+    let epoch_cfg = || EngineConfig {
+        green: GreenConfig {
+            name: "bench".into(),
+            green_servers: servers,
+            panels: servers as u32,
+            battery_ah: 10.0,
+        },
+        strategy: Strategy::Pacing,
+        availability: AvailabilityLevel::Medium,
+        burst_duration: SimDuration::from_mins(minutes),
+        measurement: MeasurementMode::Analytic,
+        thermal: ThermalModel::Disabled,
+        ..EngineConfig::default()
+    };
+    Engine::try_new(epoch_cfg()).unwrap_or_else(|e| fatal(&e.to_string()));
+    let epoch_wall = best_wall_s(reps, || {
+        let out = Engine::new(epoch_cfg()).run();
+        assert!(out.speedup_vs_normal.is_finite());
+    });
+    let epochs_per_sec = epochs_per_run as f64 / epoch_wall;
+    eprintln!(
+        "bench: epoch_loop  {servers} servers x {epochs_per_run} epochs: \
+         {epoch_wall:.3} s best-of-{reps} = {epochs_per_sec:.1} epochs/s \
+         (profile table {table_build_s:.3} s, untimed)"
+    );
+
+    // Workload 2 — request-level DES: one Memcached server at its SLO
+    // capacity under max sprint (the highest event rate the engine ever
+    // asks of a single server). Events = arrivals + completions.
+    let app = Application::Memcached.profile();
+    let setting = ServerSetting::max_sprint();
+    let offered = app.slo_capacity(setting);
+    let des_epoch = SimDuration::from_secs(10);
+    let des_epochs: usize = if quick { 6 } else { 60 };
+    let mut des_events = 0u64;
+    let des_wall = best_wall_s(reps, || {
+        let mut sim = greensprint_repro::workload::des::ServerSim::new(SimRng::seed_from_u64(1));
+        let mut events = 0.0;
+        for _ in 0..des_epochs {
+            let perf = sim.advance_epoch(&app, setting, offered, offered, des_epoch);
+            events += (perf.offered_rps + perf.completed_rps) * des_epoch.as_secs_f64();
+        }
+        des_events = events.round() as u64;
+    });
+    let events_per_sec = des_events as f64 / des_wall;
+    eprintln!(
+        "bench: des         {des_events} events over {des_epochs} x {des_epoch} epochs: \
+         {des_wall:.3} s best-of-{reps} = {events_per_sec:.0} events/s"
+    );
+
+    // Workload 3 — parallel sweep: a small strategy x app grid of analytic
+    // bursts through the deterministic executor at the default job count.
+    let strategies: &[Strategy] = if quick {
+        &[Strategy::Greedy, Strategy::Pacing]
+    } else {
+        &[
+            Strategy::Greedy,
+            Strategy::Parallel,
+            Strategy::Pacing,
+            Strategy::Hybrid,
+        ]
+    };
+    let jobs = default_jobs();
+    let sweep_points = || {
+        let mut points = Vec::new();
+        for &strategy in strategies {
+            for app in [Application::SpecJbb, Application::Memcached] {
+                let cfg = EngineConfig {
+                    app,
+                    strategy,
+                    green: GreenConfig::re_batt(),
+                    availability: AvailabilityLevel::Medium,
+                    burst_duration: SimDuration::from_mins(5),
+                    measurement: MeasurementMode::Analytic,
+                    ..EngineConfig::default()
+                };
+                points.push(SweepPoint::burst(format!("{app}/{strategy}"), cfg));
+            }
+        }
+        points
+    };
+    let n_points = sweep_points().len();
+    let sweep_wall = best_wall_s(reps, || {
+        let results = run_sweep(sweep_points(), 7, jobs);
+        assert_eq!(results.len(), n_points);
+    });
+    let points_per_sec = n_points as f64 / sweep_wall;
+    eprintln!(
+        "bench: sweep       {n_points} points on {jobs} jobs: \
+         {sweep_wall:.3} s best-of-{reps} = {points_per_sec:.1} points/s"
+    );
+
+    let artifact = BenchArtifact {
+        schema: "greensprint-bench/v1",
+        git_sha: sha,
+        quick,
+        reps,
+        peak_rss_kb: peak_rss_kb(),
+        epoch_loop: EpochLoopBench {
+            servers,
+            epochs: epochs_per_run,
+            table_build_s,
+            best_wall_s: epoch_wall,
+            epochs_per_sec,
+        },
+        des: DesBench {
+            epochs: des_epochs,
+            epoch_secs: des_epoch.as_secs_f64(),
+            events: des_events,
+            best_wall_s: des_wall,
+            events_per_sec,
+        },
+        sweep: SweepBench {
+            points: n_points,
+            jobs,
+            best_wall_s: sweep_wall,
+            points_per_sec,
+        },
+    };
+    let text = serde_json::to_string_pretty(&artifact)
+        .unwrap_or_else(|e| fatal(&format!("cannot serialize bench artifact: {e}")));
+    std::fs::write(&out_path, text + "\n")
+        .unwrap_or_else(|e| fatal(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path}");
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -953,6 +1193,12 @@ usage:
                        prints stats for any table
   greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
   greensprint tco [--hours H]
+  greensprint bench    [--quick] [--force] [--reps N] [--out FILE.json]
+                       standardized hot-path benchmarks (engine epoch loop, request
+                       DES, parallel sweep); writes BENCH_<git-short-sha>.json with
+                       wall times, epochs/events/points per second, and peak RSS.
+                       Best-of---reps timing after untimed warm-up; refuses to
+                       overwrite the same sha's artifact without --force (exit 2)
 
 guardrail flags (simulate/campaign/sweep/chaos):
   --guardrail on|off       shadow a certified fallback strategy each epoch; on

@@ -1,0 +1,238 @@
+//! Golden-output equivalence suite: the hot-path optimization program's
+//! safety net.
+//!
+//! The fixtures under `tests/golden/` were captured from the build **before**
+//! the SoA epoch loop, the calendar-queue DES, and the sweep arenas landed
+//! (PR 6). Every test serializes today's engine output with the same
+//! `serde_json` the capture used and asserts the bytes are identical —
+//! so any optimization that changes a single bit of arithmetic, RNG
+//! consumption, or serialization order fails loudly here.
+//!
+//! Covered planes, per the determinism contract:
+//! * `BurstOutcome` JSON for 3 seeds × {plain, fault-plan, fleet-fault}
+//!   configurations (Hybrid strategy, so the learner's RNG stream is pinned
+//!   too);
+//! * `SweepResult` JSON-lines for a mixed burst/campaign grid, run at
+//!   `jobs = 1` and `jobs = 4` (jobs-invariance against golden bytes);
+//! * chaos JSON-lines (fault-plan points through the same executor, the
+//!   `greensprint chaos` output format);
+//! * a snapshot/resume cycle of each burst family: the outcome resumed from
+//!   a mid-run snapshot must reproduce the same golden bytes.
+//!
+//! Regenerating fixtures is only legitimate when the *intended* output
+//! changes (never for an optimization): `GOLDEN_REGEN=1 cargo test --test
+//! golden_outputs`, then justify the diff in the PR.
+
+use greensprint_repro::prelude::*;
+use std::path::{Path, PathBuf};
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn regen() -> bool {
+    std::env::var_os("GOLDEN_REGEN").is_some_and(|v| v == "1")
+}
+
+/// Compare `actual` against the named fixture byte-for-byte (or rewrite the
+/// fixture under `GOLDEN_REGEN=1`).
+fn check(name: &str, actual: &str) {
+    let path = fixture_dir().join(name);
+    if regen() {
+        std::fs::create_dir_all(fixture_dir()).expect("create fixture dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    if expected != actual {
+        // Find the first divergence for a readable failure.
+        let at = expected
+            .bytes()
+            .zip(actual.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.len().min(actual.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "{name}: output diverged from the pre-refactor golden bytes at offset {at}\n\
+             expected …{}…\n\
+             actual   …{}…\n\
+             (an optimization must be byte-identical; if the output was *meant* to change, \
+             regenerate with GOLDEN_REGEN=1 and justify the diff)",
+            &expected[lo..(at + 60).min(expected.len())],
+            &actual[lo..(at + 60).min(actual.len())],
+        );
+    }
+}
+
+/// The three burst families, all Analytic (snapshot-capable) and all on the
+/// Hybrid strategy so the learner's RNG stream is part of the contract.
+fn family_cfg(family: &str, seed: u64) -> EngineConfig {
+    let start = SimTime::from_hours(11);
+    let dur = SimDuration::from_mins(10);
+    let base = EngineConfig {
+        app: Application::SpecJbb,
+        green: GreenConfig::re_batt(),
+        strategy: Strategy::Hybrid,
+        availability: AvailabilityLevel::Medium,
+        burst_duration: dur,
+        measurement: MeasurementMode::Analytic,
+        seed,
+        ..EngineConfig::default()
+    };
+    match family {
+        "plain" => base,
+        "faults" => EngineConfig {
+            fault_plan: Some(FaultPlan::generate(seed ^ 0xfau64, start, dur, 3)),
+            ..base
+        },
+        "fleet" => EngineConfig {
+            fault_plan: Some(FaultPlan::generate_fleet(
+                seed ^ 0xf1u64,
+                start,
+                dur,
+                3,
+                FleetMix::default(),
+            )),
+            ..base
+        },
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn outcome_json(cfg: EngineConfig) -> String {
+    let out = Engine::try_new(cfg).expect("valid golden config").run();
+    serde_json::to_string(&out).expect("outcome serializes")
+}
+
+#[test]
+fn golden_burst_outcomes_are_byte_identical() {
+    for family in ["plain", "faults", "fleet"] {
+        for seed in SEEDS {
+            let json = outcome_json(family_cfg(family, seed));
+            check(&format!("burst_{family}_seed{seed}.json"), &json);
+        }
+    }
+}
+
+/// A mixed sweep grid: bursts across strategies plus one campaign, the
+/// shape `greensprint sweep` emits. Serialized as JSON-lines exactly like
+/// the CLI's per-point output.
+fn sweep_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for strategy in [Strategy::Greedy, Strategy::Pacing, Strategy::Hybrid] {
+        for availability in [AvailabilityLevel::Medium, AvailabilityLevel::Maximum] {
+            let cfg = EngineConfig {
+                strategy,
+                availability,
+                burst_duration: SimDuration::from_mins(5),
+                measurement: MeasurementMode::Analytic,
+                ..EngineConfig::default()
+            };
+            points.push(SweepPoint::burst(
+                format!("golden/{strategy}/{availability}"),
+                cfg,
+            ));
+        }
+    }
+    points.push(SweepPoint::campaign(
+        "golden/campaign/1day",
+        CampaignConfig {
+            engine: EngineConfig {
+                strategy: Strategy::Pacing,
+                burst_duration: SimDuration::from_mins(5),
+                measurement: MeasurementMode::Analytic,
+                ..EngineConfig::default()
+            },
+            days: 1,
+            spikes_per_day: 2,
+            peak_intensity_cores: 12,
+        },
+    ));
+    points
+}
+
+fn jsonl(results: &[SweepResult]) -> String {
+    let mut s = String::new();
+    for r in results {
+        s.push_str(&serde_json::to_string(r).expect("result serializes"));
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn golden_sweep_results_are_byte_identical_at_any_jobs() {
+    let serial = run_sweep(sweep_points(), 7, 1);
+    check("sweep.jsonl", &jsonl(&serial));
+    // Jobs-invariance against the same golden bytes: the parallel executor
+    // must reproduce the serial capture exactly.
+    let parallel = run_sweep(sweep_points(), 7, 4);
+    check("sweep.jsonl", &jsonl(&parallel));
+}
+
+#[test]
+fn golden_chaos_lines_are_byte_identical() {
+    // The `greensprint chaos` shape: fault-plan bursts through the
+    // executor, one JSON line per run.
+    let start = SimTime::from_hours(11);
+    let dur = SimDuration::from_mins(5);
+    let mut points = Vec::new();
+    for r in 0..3u64 {
+        let plan = FaultPlan::generate(derive_seed(42, r), start, dur, 3);
+        let cfg = EngineConfig {
+            strategy: Strategy::Hybrid,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: dur,
+            measurement: MeasurementMode::Analytic,
+            fault_plan: Some(plan),
+            ..EngineConfig::default()
+        };
+        points.push(SweepPoint::burst(format!("chaos/golden/plan{r}"), cfg));
+    }
+    let results = run_sweep(points, 7, 2);
+    check("chaos.jsonl", &jsonl(&results));
+}
+
+#[test]
+fn golden_outcomes_survive_snapshot_resume() {
+    // One seed per family: snapshot mid-run, resume from the captured
+    // state, and require the resumed outcome to hit the same golden bytes
+    // as the uninterrupted run.
+    for family in ["plain", "faults", "fleet"] {
+        let cfg = family_cfg(family, SEEDS[0]);
+        let fixture = fixture_dir().join(format!("burst_{family}_seed{}.json", SEEDS[0]));
+        let mut snaps: Vec<EngineSnapshot> = Vec::new();
+        let (uninterrupted, _, _) = Engine::try_new(cfg)
+            .expect("valid golden config")
+            .run_full_with_snapshots(3, &mut |s| snaps.push(s.clone()))
+            .expect("analytic run snapshots");
+        let golden = serde_json::to_string(&uninterrupted).expect("outcome serializes");
+        if !regen() {
+            let expected = std::fs::read_to_string(&fixture)
+                .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", fixture.display()));
+            assert_eq!(
+                expected, golden,
+                "{family}: snapshotting run diverged from golden bytes"
+            );
+        }
+        assert!(
+            snaps.len() >= 2,
+            "{family}: expected multiple snapshots, got {}",
+            snaps.len()
+        );
+        let mid = snaps[snaps.len() / 2].clone();
+        match resume_snapshot(mid, 3, &mut |_| {}).expect("resume") {
+            ResumedRun::Burst { outcome, .. } => {
+                let resumed = serde_json::to_string(&outcome).expect("outcome serializes");
+                assert_eq!(
+                    golden, resumed,
+                    "{family}: resume from mid-run snapshot broke byte-identity"
+                );
+            }
+            other => panic!("expected burst resume, got {other:?}"),
+        }
+    }
+}
