@@ -45,6 +45,181 @@ impl From<io::Error> for ControlError {
     }
 }
 
+impl ControlError {
+    /// True if retrying the same operation could plausibly succeed.
+    ///
+    /// I/O failures against a sysfs tree are transient by nature — EIO on
+    /// a hotplug write, an interrupted syscall, a file that appears a
+    /// moment later — while [`ControlError::Unrepresentable`] means the
+    /// tree holds a value the model cannot express, which no amount of
+    /// retrying will fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ControlError::Io(_))
+    }
+}
+
+/// Deterministic bounded-retry policy for control-plane actuation.
+///
+/// Backoff mirrors the supervisor's schedule (`base × 2^attempt`, exponent
+/// capped at 6) so a serve-mode trace of retry timings is predictable from
+/// the attempt number alone — no wall-clock state, no jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (`0` = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry 1, doubled per subsequent retry.
+    pub base_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_delay_ms: 25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries at the default 25 ms base.
+    pub const fn with_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay_ms: 25,
+        }
+    }
+
+    /// Delay in milliseconds before retry `attempt` (1-based): `base ×
+    /// 2^min(attempt, 6)` — 50, 100, 200, … capped at `base × 64`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_delay_ms.saturating_mul(1 << attempt.min(6))
+    }
+}
+
+/// Apply `setting` through `control`, retrying transient I/O failures per
+/// `policy`. `sleep` receives each backoff delay in milliseconds —
+/// real callers pass `std::thread::sleep`, deterministic callers (tests,
+/// `--sim-time` serve) pass a recorder or no-op so the schedule is
+/// observable without waiting.
+///
+/// Returns the number of retries consumed (`0` = first attempt landed).
+/// Non-transient errors ([`ControlError::Unrepresentable`]) fail
+/// immediately without retrying; exhausted retries surface the last error.
+pub fn apply_with_retry<C: ServerControl + ?Sized>(
+    control: &mut C,
+    setting: ServerSetting,
+    policy: RetryPolicy,
+    sleep: &mut dyn FnMut(u64),
+) -> Result<u32, ControlError> {
+    let mut attempt = 0u32;
+    loop {
+        match control.apply(setting) {
+            Ok(()) => return Ok(attempt),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                sleep(policy.backoff_ms(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read the current setting through `control`, retrying transient I/O
+/// failures per `policy`. Same contract as [`apply_with_retry`].
+pub fn read_with_retry<C: ServerControl + ?Sized>(
+    control: &C,
+    policy: RetryPolicy,
+    sleep: &mut dyn FnMut(u64),
+) -> Result<(ServerSetting, u32), ControlError> {
+    let mut attempt = 0u32;
+    loop {
+        match control.read() {
+            Ok(s) => return Ok((s, attempt)),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                sleep(policy.backoff_ms(attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A fault-injection wrapper: fails the next *n* applies/reads with a
+/// chosen [`io::ErrorKind`], then delegates to the inner backend.
+///
+/// Serve-mode disturbance plans arm the counters ahead of each epoch, so
+/// actuation failures are deterministic in `--sim-time` runs; tests use it
+/// to prove retry recovers exactly when the budget covers the failures.
+#[derive(Debug)]
+pub struct FlakyControl<C> {
+    inner: C,
+    fail_next_applies: u32,
+    fail_next_reads: std::cell::Cell<u32>,
+    kind: io::ErrorKind,
+    failures_injected: u64,
+}
+
+impl<C> FlakyControl<C> {
+    /// Wrap `inner`; no failures armed.
+    pub fn new(inner: C) -> Self {
+        FlakyControl {
+            inner,
+            fail_next_applies: 0,
+            fail_next_reads: std::cell::Cell::new(0),
+            kind: io::ErrorKind::Interrupted,
+            failures_injected: 0,
+        }
+    }
+
+    /// Fail the next `n` applies with `kind`.
+    pub fn fail_applies(&mut self, n: u32, kind: io::ErrorKind) {
+        self.fail_next_applies = n;
+        self.kind = kind;
+    }
+
+    /// Fail the next `n` reads with `kind`.
+    pub fn fail_reads(&mut self, n: u32, kind: io::ErrorKind) {
+        self.fail_next_reads.set(n);
+        self.kind = kind;
+    }
+
+    /// Total apply failures injected so far.
+    pub fn failures_injected(&self) -> u64 {
+        self.failures_injected
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: ServerControl> ServerControl for FlakyControl<C> {
+    fn apply(&mut self, setting: ServerSetting) -> Result<(), ControlError> {
+        if self.fail_next_applies > 0 {
+            self.fail_next_applies -= 1;
+            self.failures_injected += 1;
+            return Err(ControlError::Io(io::Error::new(
+                self.kind,
+                "injected actuation fault",
+            )));
+        }
+        self.inner.apply(setting)
+    }
+
+    fn read(&self) -> Result<ServerSetting, ControlError> {
+        let left = self.fail_next_reads.get();
+        if left > 0 {
+            self.fail_next_reads.set(left - 1);
+            return Err(ControlError::Io(io::Error::new(
+                self.kind,
+                "injected telemetry fault",
+            )));
+        }
+        self.inner.read()
+    }
+}
+
 /// A server's sprint-setting control plane.
 pub trait ServerControl {
     /// Apply a sprint setting (bring cores online/offline, set frequency).
@@ -317,5 +492,137 @@ mod tests {
     fn control_error_display() {
         let e = ControlError::Unrepresentable("x".into());
         assert!(e.to_string().contains("unrepresentable"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(ControlError::Io(io::Error::other("EIO")).is_transient());
+        assert!(!ControlError::Unrepresentable("x".into()).is_transient());
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(1), 50);
+        assert_eq!(p.backoff_ms(2), 100);
+        assert_eq!(p.backoff_ms(3), 200);
+        assert_eq!(p.backoff_ms(6), 1600);
+        assert_eq!(p.backoff_ms(7), 1600); // exponent capped
+        assert_eq!(p.backoff_ms(40), 1600);
+    }
+
+    #[test]
+    fn retry_recovers_when_budget_covers_failures() {
+        let mut c = FlakyControl::new(SimControl::new());
+        c.fail_applies(2, io::ErrorKind::Interrupted);
+        let mut slept = Vec::new();
+        let retries = apply_with_retry(
+            &mut c,
+            ServerSetting::max_sprint(),
+            RetryPolicy::with_retries(3),
+            &mut |ms| slept.push(ms),
+        )
+        .unwrap();
+        assert_eq!(retries, 2);
+        assert_eq!(slept, vec![50, 100], "exact deterministic backoff trace");
+        assert_eq!(c.inner().read().unwrap(), ServerSetting::max_sprint());
+        assert_eq!(c.failures_injected(), 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_last_io_error() {
+        let mut c = FlakyControl::new(SimControl::new());
+        c.fail_applies(10, io::ErrorKind::TimedOut);
+        let mut slept = Vec::new();
+        let err = apply_with_retry(
+            &mut c,
+            ServerSetting::max_sprint(),
+            RetryPolicy::with_retries(2),
+            &mut |ms| slept.push(ms),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ControlError::Io(ref e) if e.kind() == io::ErrorKind::TimedOut));
+        assert_eq!(slept, vec![50, 100]);
+        // The setting never landed.
+        assert_eq!(c.inner().read().unwrap(), ServerSetting::normal());
+    }
+
+    #[test]
+    fn unrepresentable_fails_fast_without_retry() {
+        let root = temp_root("partialwrite");
+        let c = SysfsControl::create_fake_tree(&root).unwrap();
+        // A torn write left a truncated kHz value behind: parseable, but
+        // not one of the model's frequency levels.
+        fs::write(root.join("cpu0/cpufreq/scaling_cur_freq"), "15000").unwrap();
+        let mut slept = Vec::new();
+        let err = read_with_retry(&c, RetryPolicy::with_retries(5), &mut |ms| slept.push(ms))
+            .unwrap_err();
+        assert!(matches!(err, ControlError::Unrepresentable(_)));
+        assert!(slept.is_empty(), "non-transient errors must not back off");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_eio_on_apply_retries_then_surfaces_typed_error() {
+        let root = temp_root("eio");
+        let mut c = SysfsControl::create_fake_tree(&root).unwrap();
+        // Injected EIO stand-in: replace a writable control file with a
+        // directory, so every write fails at the filesystem layer.
+        let setspeed = root.join("cpu3/cpufreq/scaling_setspeed");
+        fs::remove_file(&setspeed).unwrap();
+        fs::create_dir(&setspeed).unwrap();
+        let mut slept = Vec::new();
+        let err = apply_with_retry(
+            &mut c,
+            ServerSetting::max_sprint(),
+            RetryPolicy::with_retries(2),
+            &mut |ms| slept.push(ms),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ControlError::Io(_)), "typed, not a panic");
+        assert_eq!(slept, vec![50, 100], "bounded retry ran to exhaustion");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_transient_eio_recovers_mid_sequence() {
+        let root = temp_root("eio-recover");
+        let c = SysfsControl::create_fake_tree(&root).unwrap();
+        let setspeed = root.join("cpu3/cpufreq/scaling_setspeed");
+        fs::remove_file(&setspeed).unwrap();
+        fs::create_dir(&setspeed).unwrap();
+        let mut c = c;
+        // First attempt fails; the sleeper "repairs" the tree, modelling a
+        // transient fault that clears before the retry fires.
+        let repair_at = setspeed.clone();
+        let mut slept = Vec::new();
+        let retries = apply_with_retry(
+            &mut c,
+            ServerSetting::new(9, 4),
+            RetryPolicy::with_retries(3),
+            &mut |ms| {
+                slept.push(ms);
+                if fs::remove_dir(&repair_at).is_ok() {
+                    fs::write(&repair_at, "0").unwrap();
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(retries, 1);
+        assert_eq!(slept, vec![50]);
+        assert_eq!(c.read().unwrap(), ServerSetting::new(9, 4));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn flaky_read_injection_is_bounded() {
+        let mut c = FlakyControl::new(SimControl::new());
+        c.fail_reads(1, io::ErrorKind::Other);
+        let mut slept = Vec::new();
+        let (setting, retries) =
+            read_with_retry(&c, RetryPolicy::with_retries(2), &mut |ms| slept.push(ms)).unwrap();
+        assert_eq!(setting, ServerSetting::normal());
+        assert_eq!(retries, 1);
+        assert_eq!(slept, vec![50]);
     }
 }

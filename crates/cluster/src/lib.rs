@@ -23,7 +23,10 @@ pub mod server;
 
 pub use affinity::CpuMask;
 pub use cluster::Cluster;
-pub use control::{ControlError, ServerControl, SimControl, SysfsControl};
+pub use control::{
+    apply_with_retry, read_with_retry, ControlError, FlakyControl, RetryPolicy, ServerControl,
+    SimControl, SysfsControl,
+};
 pub use dvfs::{ServerSetting, FREQ_LEVELS_KHZ, MAX_CORES, NORMAL_CORES, NUM_FREQ_LEVELS};
 pub use power_model::PowerModel;
 pub use server::Server;

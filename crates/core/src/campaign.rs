@@ -12,7 +12,7 @@
 use crate::checkpoint::{EngineSnapshot, LoopState, MainCarry, RunPhase, SnapshotScope};
 use crate::engine::{
     run_window, run_window_resumable, BurstOutcome, EngineConfig, EngineError, MeasurementMode,
-    RunWindow,
+    NoHooks, RunWindow,
 };
 use crate::fleet::EngineScratch;
 use crate::pmk::Strategy;
@@ -219,6 +219,7 @@ pub fn try_run_campaign_with_snapshots(
             every_epochs,
             &mut emit,
             &mut scratch,
+            &mut NoHooks,
         )
         .0
     });
@@ -260,6 +261,7 @@ pub(crate) fn resume_campaign_snapshot(
                     every_epochs,
                     &mut emit,
                     &mut scratch,
+                    &mut NoHooks,
                 )
                 .0
             });
@@ -320,6 +322,7 @@ fn finish_campaign(
             every_epochs,
             &mut emit,
             scratch,
+            &mut NoHooks,
         )
         .0
     });

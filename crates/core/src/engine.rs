@@ -526,6 +526,7 @@ impl Engine {
                 every_epochs,
                 &mut emit,
                 &mut scratch,
+                &mut NoHooks,
             )
         };
         Ok(finish_burst(
@@ -545,7 +546,7 @@ impl Engine {
 
 /// Apply the Normal-baseline normalization and the graceful-degradation
 /// floor judgment to a finished strategy run.
-fn judge(
+pub(crate) fn judge(
     cfg: &EngineConfig,
     mut outcome: BurstOutcome,
     baseline: Option<BurstOutcome>,
@@ -622,6 +623,7 @@ fn finish_burst(
                 every_epochs,
                 &mut emit,
                 scratch,
+                &mut NoHooks,
             )
             .0,
         )
@@ -716,6 +718,7 @@ fn resume_burst(
                     every_epochs,
                     &mut emit,
                     &mut scratch,
+                    &mut NoHooks,
                 )
             };
             finish_burst(
@@ -778,19 +781,28 @@ pub(crate) struct RunWindow<'a> {
 }
 
 /// Execute one burst under one strategy.
-fn run_once(
+pub(crate) fn run_once(
     cfg: &EngineConfig,
     strategy: Strategy,
     profiles: &ProfileTable,
     scratch: &mut EngineScratch,
 ) -> (BurstOutcome, Monitor, Option<String>) {
-    run_once_resumable(cfg, strategy, profiles, None, 0, &mut |_| {}, scratch)
+    run_once_resumable(
+        cfg,
+        strategy,
+        profiles,
+        None,
+        0,
+        &mut |_| {},
+        scratch,
+        &mut NoHooks,
+    )
 }
 
 /// As [`run_once`], optionally restarting from a captured [`LoopState`]
 /// and emitting fresh captures every `snapshot_every` epochs.
 #[allow(clippy::too_many_arguments)]
-fn run_once_resumable(
+pub(crate) fn run_once_resumable(
     cfg: &EngineConfig,
     strategy: Strategy,
     profiles: &ProfileTable,
@@ -798,6 +810,7 @@ fn run_once_resumable(
     snapshot_every: u64,
     snap: &mut dyn FnMut(LoopState),
     scratch: &mut EngineScratch,
+    hooks: &mut dyn EpochHooks,
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let trace: SolarTrace = cfg
@@ -822,6 +835,7 @@ fn run_once_resumable(
         snapshot_every,
         snap,
         scratch,
+        hooks,
     )
 }
 
@@ -842,9 +856,61 @@ pub(crate) fn run_window(
         0,
         &mut |_| {},
         scratch,
+        &mut NoHooks,
     );
     (outcome, monitor)
 }
+
+/// What an external driver injects into one epoch, decided before the
+/// epoch executes. The default directive is a strict no-op: every field
+/// leaves the loop's own arithmetic untouched, so a driver that returns
+/// `TickDirective::default()` forever reproduces a batch run bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct TickDirective {
+    /// Replace the trace-derived renewable AC supply with a live reading
+    /// (watts, clamped non-negative; plan-driven supply faults still
+    /// scale it — a live feed does not bypass the physical fault layer).
+    pub supply_w: Option<f64>,
+    /// Declare the telemetry feed stale for this epoch: the controller
+    /// sees no fresh supply observation and the PSS routes into safe
+    /// mode, exactly as under a sensor-dropout fault.
+    pub telemetry_stale: bool,
+    /// Force one rung of failover-ladder demotion before this epoch
+    /// plans (serve's `--overrun degrade` policy). Ignored when the
+    /// guardrail is off or already at the Normal floor.
+    pub demote: Option<String>,
+}
+
+/// Driver hooks for the epoch loop: the seam `greensprint serve` uses to
+/// run the *identical* control path against a tick clock. The batch
+/// entry points all pass [`NoHooks`], whose defaults make every hook
+/// invisible — the golden-output suite pins that equivalence.
+pub(crate) trait EpochHooks {
+    /// Called at the top of epoch `k` (sim time `t`), before anything of
+    /// the epoch has executed. The returned directive shapes this epoch.
+    fn before_epoch(&mut self, _k: u64, _t: SimTime) -> TickDirective {
+        TickDirective::default()
+    }
+    /// Called after epoch `k` fully settled, with its record and the
+    /// fleet's applied per-server settings. Return `false` to stop at
+    /// this boundary (graceful drain): the loop captures a final
+    /// [`LoopState`], hands it to [`EpochHooks::on_snapshot`], and
+    /// returns the partial outcome.
+    fn after_epoch(&mut self, _k: u64, _rec: &EpochRecord, _settings: &[ServerSetting]) -> bool {
+        true
+    }
+    /// Called with every captured [`LoopState`] — the periodic boundary
+    /// captures and the final drain capture — *before* the plain `snap`
+    /// sink sees it. Lets one `&mut` driver observe both the epoch
+    /// stream and the snapshots without a second simultaneous borrow.
+    fn on_snapshot(&mut self, _state: &LoopState) {}
+}
+
+/// The batch driver: every hook is a no-op and every directive a
+/// default, so the loop behaves exactly as it did before hooks existed.
+pub(crate) struct NoHooks;
+
+impl EpochHooks for NoHooks {}
 
 /// The resumable scheduling-epoch loop: restores every mutable local
 /// from a [`LoopState`] when resuming, and captures one at each
@@ -861,6 +927,7 @@ pub(crate) fn run_window_resumable(
     snapshot_every: u64,
     snap: &mut dyn FnMut(LoopState),
     scratch: &mut EngineScratch,
+    hooks: &mut dyn EpochHooks,
 ) -> (BurstOutcome, Monitor, Option<String>) {
     let app = cfg.app.profile();
     let n = cfg.green.green_servers;
@@ -1071,13 +1138,13 @@ pub(crate) fn run_window_resumable(
     epochs.reserve(epochs_left);
     monitor.reserve_epochs(n, epochs_left);
 
-    for k in start_k..n_epochs {
-        // Capture at the epoch boundary: nothing of epoch k has happened
-        // yet, so a resume from this state replays epoch k first. The
-        // resume boundary itself is not re-captured (`k > start_k`).
-        if snapshot_every > 0 && k > start_k && k % snapshot_every == 0 {
-            snap(LoopState {
-                next_epoch: k,
+    // One literal for the full mutable-local capture, expanded at the
+    // periodic boundary and at a drain stop — the two must never drift
+    // apart, or resume byte-identity silently breaks.
+    macro_rules! capture_state {
+        ($next:expr) => {
+            LoopState {
+                next_epoch: $next,
                 rng: rng.clone(),
                 batteries: batteries.clone(),
                 grid_recharging: grid_recharging.clone(),
@@ -1116,9 +1183,39 @@ pub(crate) fn run_window_resumable(
                 straggler_epochs,
                 min_live_servers,
                 fleet_events: fleet_events.clone(),
-            });
+            }
+        };
+    }
+
+    for k in start_k..n_epochs {
+        // Capture at the epoch boundary: nothing of epoch k has happened
+        // yet, so a resume from this state replays epoch k first. The
+        // resume boundary itself is not re-captured (`k > start_k`).
+        if snapshot_every > 0 && k > start_k && k % snapshot_every == 0 {
+            let state = capture_state!(k);
+            hooks.on_snapshot(&state);
+            snap(state);
         }
         let t = start + SimDuration::from_micros(cfg.epoch.as_micros() * k);
+        // The driver's per-tick directive: live supply override, declared
+        // telemetry staleness, or a forced degrade. Batch runs (NoHooks)
+        // always get the default no-op directive.
+        let dir = hooks.before_epoch(k, t);
+        if let Some(reason) = &dir.demote {
+            if let Some(g) = guard.as_mut() {
+                if g.force_demote(k, reason) {
+                    let mut p = Pmk::new(g.active_strategy(), profiles);
+                    p.hysteresis = cfg.switch_hysteresis;
+                    fallback_pmk = Some(p);
+                    // The learner is not suspect (the trigger was a
+                    // deadline overrun, not corruption), so it is benched
+                    // rather than quarantined — but a Bellman update
+                    // graded on an epoch the fallback steered would be
+                    // bogus, so the pending update is dropped.
+                    pending_q = None;
+                }
+            }
+        }
         // Planning lookahead: within a single burst this is the time to
         // the burst's end; campaigns cap it at an hour (the controller
         // cannot know a day ahead when load will subside).
@@ -1129,8 +1226,12 @@ pub(crate) fn run_window_resumable(
             fault_epochs += 1;
         }
         // Supply faults are physical: the inverter/breaker shapes what the
-        // bus actually delivers, before any sensor sees it.
-        let re_actual_w = pv.ac_output(trace.window_mean(t, t + cfg.epoch)) * faults.supply_factor;
+        // bus actually delivers, before any sensor sees it. A live-feed
+        // directive replaces the trace-derived input, not the fault layer.
+        let re_actual_w = match dir.supply_w {
+            Some(w) => w.max(0.0) * faults.supply_factor,
+            None => pv.ac_output(trace.window_mean(t, t + cfg.epoch)) * faults.supply_factor,
+        };
         // Battery fade is permanent; each fade event applies exactly once,
         // when it first overlaps an epoch.
         for &(idx, factor) in &faults.fades {
@@ -1210,8 +1311,10 @@ pub(crate) fn run_window_resumable(
             .or_else(|| fleet.up.iter().position(|&u| u));
         // Telemetry faults shape what the controller *believes*: a dropout
         // yields no reading at all; a delay serves last epoch's raw
-        // reading; meter bias scales whatever the sensor outputs.
-        let fresh_obs_w = (!faults.sensor_dropout).then_some(re_actual_w * faults.meter_factor);
+        // reading; meter bias scales whatever the sensor outputs. A
+        // driver-declared stale feed is indistinguishable from a dropout.
+        let fresh_obs_w = (!faults.sensor_dropout && !dir.telemetry_stale)
+            .then_some(re_actual_w * faults.meter_factor);
         let obs_w = if faults.telemetry_delay {
             last_raw_obs_w
         } else {
@@ -2058,6 +2161,16 @@ pub(crate) fn run_window_resumable(
             ladder_level: steering_level as u8,
             live_servers: live_count as u8,
         });
+        let keep_going = hooks.after_epoch(k, epochs.last().expect("just pushed"), &fleet.settings);
+        if !keep_going {
+            // Graceful drain: the driver asked to stop at this boundary.
+            // Capture the would-be-next state exactly as a periodic
+            // snapshot of epoch k+1 would, so a restart resumes with the
+            // next unexecuted epoch and zero warmup.
+            let state = capture_state!(k + 1);
+            hooks.on_snapshot(&state);
+            break;
+        }
     }
 
     // Post-burst grid recharge back to full (paper case 3: "we charge the
@@ -2068,13 +2181,17 @@ pub(crate) fn run_window_resumable(
         grid_recharge_wh += missing_ah * b.spec().voltage_v / b.spec().charge_efficiency;
     }
 
-    let mean_goodput = goodput_sum / n_epochs as f64;
+    // Completed-epoch count, not the window's nominal count: identical
+    // (`== n_epochs`) for every run that finishes the window, and the
+    // honest divisor for a drain-stopped serve run.
+    let completed = epochs.len().max(1) as u64;
+    let mean_goodput = goodput_sum / completed as f64;
     let outcome = BurstOutcome {
         mean_goodput_rps: mean_goodput,
         normal_baseline_rps: mean_goodput, // replaced by Engine::run
         speedup_vs_normal: 1.0,
         slo_attainment: if offered_sum > 0.0 {
-            mean_goodput / (offered_sum / n_epochs as f64)
+            mean_goodput / (offered_sum / completed as f64)
         } else {
             1.0
         },

@@ -3,7 +3,7 @@
 //! The epoch loop in [`crate::engine`] touches a dozen per-server
 //! quantities every epoch. Before this module existed each of them was a
 //! fresh `Vec` per epoch (or per decision): at 1000 servers × thousands of
-//! epochs the allocator dominated the profile. [`FleetState`] holds them
+//! epochs the allocator dominated the profile. `FleetState` holds them
 //! all as parallel arrays — settings, liveness, crash countdowns, health
 //! streaks, battery budgets, power draws — sized once per run and
 //! overwritten in place each epoch, plus the per-epoch memo tables the
@@ -13,7 +13,7 @@
 //! analytic-measurement cache into the arena a caller can thread through
 //! many runs (the sweep worker pool keeps one per worker; campaigns reuse
 //! one across the strategy and baseline passes). Every run begins with
-//! [`EngineScratch::begin_run`], which clears all cross-run state, so
+//! `EngineScratch::begin_run`, which clears all cross-run state, so
 //! reuse is unobservable in the output: the determinism contract
 //! (byte-identical outcomes, snapshot/resume, jobs-invariance) is pinned
 //! by `tests/golden_outputs.rs`.

@@ -328,6 +328,34 @@ impl Guardrail {
         ));
     }
 
+    /// Demote one rung down the ladder for an externally detected reason
+    /// — serve mode's tick-deadline overruns under `--overrun degrade`
+    /// use this, where the signal (wall-clock or a disturbance plan, not
+    /// epoch telemetry) never flows through [`Guardrail::observe`].
+    ///
+    /// Bookkeeping mirrors an observe-driven demotion exactly: the clean
+    /// streak and detector streaks reset, peak level is tracked, and an
+    /// event line is recorded. Returns `true` if a rung remained to
+    /// demote to; at the Normal floor it records nothing and holds.
+    pub fn force_demote(&mut self, epoch_index: u64, reason: &str) -> bool {
+        let st = &mut self.state;
+        st.clean_streak = 0;
+        if st.level + 1 < st.ladder.len() {
+            st.level += 1;
+            st.peak_level = st.peak_level.max(st.level);
+            st.slo_streak = 0;
+            st.reward_streak = 0;
+            st.soc_streak = 0;
+            st.events.push(format!(
+                "epoch {epoch_index}: demoted to {} ({reason})",
+                st.ladder[st.level]
+            ));
+            true
+        } else {
+            false
+        }
+    }
+
     /// Feed one epoch's signals through the detectors and the ladder.
     ///
     /// Detector streaks are NaN-safe: a NaN reward or discharge never

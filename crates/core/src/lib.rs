@@ -57,6 +57,7 @@ pub mod predictor;
 pub mod profiler;
 pub mod qlearning;
 pub mod report;
+pub mod serve;
 pub mod supervisor;
 pub mod sweep;
 
@@ -87,6 +88,10 @@ pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
 pub use qlearning::{PolicyError, QLearner, TableStats};
+pub use serve::{
+    serve, ControlBackend, DisturbancePlan, OverrunPolicy, ServeArgs, ServeError, ServeOptions,
+    ServeSnapshot, ServeSummary,
+};
 pub use supervisor::{
     epoch_budget, run_supervised_sweep, FailureRecord, RetryRecord, SupervisorPolicy, SweepReport,
 };

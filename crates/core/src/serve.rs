@@ -1,0 +1,1219 @@
+//! `greensprint serve`: the epoch loop as a crash-tolerant rack
+//! controller daemon.
+//!
+//! The batch engine answers "what would the controller have done"; serve
+//! answers "do it, now, and survive the real world doing it". The same
+//! [`crate::engine`] loop runs tick-by-tick against a clock, with:
+//!
+//! * **Live telemetry** — trace replay at a configurable real-time rate,
+//!   plus an optional line-delimited supply feed (file or stdin) whose
+//!   readings override the trace. A feed that goes quiet routes into the
+//!   existing PSS safe mode via a staleness timeout instead of blocking.
+//! * **Deadline budgets** — each tick has an explicit overrun policy:
+//!   `skip` logs the overrun in the metrics stream and carries on;
+//!   `degrade` additionally demotes one rung down the PR-4 failover
+//!   ladder (the controller trades policy sophistication for headroom).
+//! * **Hardened actuation** — per-server settings are applied through
+//!   the [`gs_cluster::control`] retry layer: transient I/O errors back
+//!   off deterministically and bounded; a server that keeps failing is
+//!   clamped to Normal by a serve-level watchdog. Nothing panics the
+//!   control loop.
+//! * **Backpressured metrics** — one JSON line per epoch through a
+//!   bounded drop-oldest buffer with a drop counter; a stalled sink
+//!   never blocks the control path.
+//! * **Liveness + restart** — a heartbeat file for external supervisors,
+//!   a graceful SIGTERM drain that writes a final snapshot, and
+//!   crash-restart (`--resume`) from the last [`ServeSnapshot`] with
+//!   zero warmup.
+//!
+//! `--sim-time` runs the *identical* code path at full speed with no
+//! wall-clock input anywhere in the stream: overruns, staleness, sink
+//! stalls, and actuation failures come only from a seeded
+//! [`DisturbancePlan`], so an interrupted-then-resumed serve emits a
+//! metrics stream byte-identical to an uninterrupted run. The metrics
+//! buffer is flushed before every snapshot write, which is the whole
+//! restart guarantee: every epoch the snapshot believes executed is
+//! already durable in the metrics file, so resume emission can start
+//! exactly one line after the last durable one.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::{BufRead, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use gs_cluster::control::{
+    apply_with_retry, FlakyControl, RetryPolicy, ServerControl, SimControl, SysfsControl,
+};
+use gs_cluster::ServerSetting;
+use gs_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{config_fingerprint, LoopState};
+use crate::engine::{
+    judge, run_once, run_once_resumable, EngineConfig, EpochHooks, EpochRecord, MeasurementMode,
+    TickDirective,
+};
+use crate::fleet::EngineScratch;
+use crate::pmk::Strategy;
+use crate::profiler::ProfileTable;
+
+/// Schema tag of a [`ServeSnapshot`] file.
+pub const SERVE_SCHEMA: &str = "gs-serve-1";
+
+/// Serve-level watchdog: consecutive actuation failures on one server
+/// before serve stops commanding sprint settings to it.
+const CLAMP_AFTER_FAILURES: u32 = 3;
+
+/// What to do when a tick overruns its deadline budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverrunPolicy {
+    /// Log the overrun in the metrics stream and carry on.
+    Skip,
+    /// Log it *and* demote one rung down the failover ladder — requires
+    /// the guardrail.
+    Degrade,
+}
+
+/// A seeded, serializable schedule of real-world misbehavior, replayed
+/// deterministically so `--sim-time` runs exercise every robustness path
+/// without a wall clock. All epoch lists are sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct DisturbancePlan {
+    /// Generator seed (`0` for hand-written plans; provenance only).
+    pub seed: u64,
+    /// Epochs whose telemetry feed is declared stale.
+    pub stale: Vec<u64>,
+    /// Epochs whose tick overruns its deadline budget.
+    pub overruns: Vec<u64>,
+    /// Epochs where the metrics sink stalls (lines stay buffered).
+    pub stalls: Vec<u64>,
+    /// `(epoch, failures)`: injected transient actuation failures per
+    /// server on that epoch.
+    pub actuation: Vec<(u64, u32)>,
+}
+
+impl DisturbancePlan {
+    /// Generate a plan over `n_epochs` epochs. Pure function of the
+    /// arguments: the same seed always yields the same plan.
+    pub fn generate(seed: u64, n_epochs: u64) -> Self {
+        if n_epochs == 0 {
+            return DisturbancePlan {
+                seed,
+                ..DisturbancePlan::default()
+            };
+        }
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x7365_7276_6521); // "serve!"
+        let pick = |rng: &mut SimRng, count: usize| -> Vec<u64> {
+            let mut v: Vec<u64> = (0..count)
+                .map(|_| rng.index(n_epochs as usize) as u64)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let budget = (n_epochs as usize / 8).max(1);
+        let n_stale = 1 + rng.index(budget);
+        let stale = pick(&mut rng, n_stale);
+        let n_over = 1 + rng.index(budget);
+        let overruns = pick(&mut rng, n_over);
+        let n_stall = 1 + rng.index(budget);
+        let stalls = pick(&mut rng, n_stall);
+        let n_act = 1 + rng.index(budget);
+        let actuation = pick(&mut rng, n_act)
+            .into_iter()
+            .map(|k| {
+                let fails = 1 + rng.index(2) as u32;
+                (k, fails)
+            })
+            .collect();
+        DisturbancePlan {
+            seed,
+            stale,
+            overruns,
+            stalls,
+            actuation,
+        }
+    }
+
+    fn is_stale(&self, k: u64) -> bool {
+        self.stale.binary_search(&k).is_ok()
+    }
+    fn is_overrun(&self, k: u64) -> bool {
+        self.overruns.binary_search(&k).is_ok()
+    }
+    fn is_stalled(&self, k: u64) -> bool {
+        self.stalls.binary_search(&k).is_ok()
+    }
+    fn actuation_failures(&self, k: u64) -> u32 {
+        self.actuation
+            .iter()
+            .find(|&&(e, _)| e == k)
+            .map_or(0, |&(_, f)| f)
+    }
+}
+
+/// The deterministic, snapshot-persisted half of serve's configuration:
+/// everything that shapes the *content* of the metrics stream. Runtime
+/// pacing (rate, throttle, tick budget) and file paths live in
+/// [`ServeArgs`] instead — they may differ between an interrupted run
+/// and its resume without breaking byte-identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServeOptions {
+    /// Deadline-overrun policy.
+    pub overrun: OverrunPolicy,
+    /// Feed-silence epochs before telemetry is declared stale.
+    pub stale_after_epochs: u32,
+    /// Seeded misbehavior schedule (None = clean run).
+    pub disturbances: Option<DisturbancePlan>,
+    /// Metrics buffer capacity in lines (drop-oldest beyond it).
+    pub metrics_buffer: usize,
+    /// Snapshot every N epochs (0 = only the drain snapshot).
+    pub snapshot_every: u64,
+    /// Bounded retries per actuation failure.
+    pub control_retries: u32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            overrun: OverrunPolicy::Skip,
+            stale_after_epochs: 3,
+            disturbances: None,
+            metrics_buffer: 1024,
+            snapshot_every: 10,
+            control_retries: 2,
+        }
+    }
+}
+
+/// Serve's own mutable state alongside the engine's [`LoopState`] —
+/// snapshotted with it so counters and the feed cursor survive a crash.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServeSideState {
+    /// Ticks driven (== epochs entered, across resumes).
+    pub ticks: u64,
+    /// Ticks that overran their deadline budget.
+    pub overrun_ticks: u64,
+    /// Epochs the driver declared telemetry-stale.
+    pub stale_epochs: u64,
+    /// Metrics lines dropped to backpressure.
+    pub dropped_metrics_lines: u64,
+    /// Actuation retries consumed (across all servers).
+    pub actuation_retries: u64,
+    /// Actuation attempts that exhausted their retries.
+    pub actuation_failures: u64,
+    /// Epoch-server pairs clamped to Normal by the serve watchdog.
+    pub control_clamped: u64,
+    /// Next unread feed line (sim-time file feeds).
+    pub feed_cursor: u64,
+    /// Malformed feed lines skipped.
+    pub feed_malformed: u64,
+    /// Consecutive epochs without a fresh feed sample.
+    pub feed_stale_streak: u32,
+    /// Last good feed reading, held while the streak is short.
+    pub last_feed_w: Option<f64>,
+    /// Per-server consecutive actuation-failure streaks.
+    pub fail_streaks: Vec<u32>,
+}
+
+/// A serve checkpoint: engine state plus serve state plus enough
+/// configuration to restart with no flags beyond `--resume`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Always [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// Build/config fingerprint of `cfg` (recomputed and checked on load).
+    pub fingerprint: String,
+    /// The engine configuration the daemon is serving.
+    pub cfg: EngineConfig,
+    /// The deterministic serve options.
+    pub options: ServeOptions,
+    /// The engine's captured loop state.
+    pub state: LoopState,
+    /// Serve's own captured state.
+    pub serve: ServeSideState,
+}
+
+impl ServeSnapshot {
+    /// Parse and verify a snapshot: schema must match and the embedded
+    /// fingerprint must equal the one recomputed from the embedded
+    /// config under *this* build.
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        let snap: ServeSnapshot = serde_json::from_str(text)
+            .map_err(|e| ServeError::Snapshot(format!("unparseable serve snapshot: {e}")))?;
+        if snap.schema != SERVE_SCHEMA {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot schema {:?} is not {SERVE_SCHEMA:?}",
+                snap.schema
+            )));
+        }
+        let expect = serve_fingerprint(&snap.cfg);
+        if snap.fingerprint != expect {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot fingerprint {} does not match this build/config ({expect})",
+                snap.fingerprint
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+/// The fingerprint a [`ServeSnapshot`] carries for `cfg`.
+pub fn serve_fingerprint(cfg: &EngineConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    config_fingerprint(&json)
+}
+
+/// Which control plane the applied settings are mirrored onto.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlBackend {
+    /// No mirroring (pure simulation).
+    None,
+    /// In-memory [`SimControl`] per server.
+    Sim,
+    /// Sysfs-format trees under `root/server<i>/` (created if missing).
+    Sysfs(PathBuf),
+}
+
+/// Everything the CLI hands to [`serve`]. Paths and pacing are runtime
+/// knobs; [`ServeArgs::options`] is the deterministic half.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// The engine configuration (measurement is forced to Analytic).
+    pub cfg: EngineConfig,
+    /// Deterministic serve options (ignored on resume — the snapshot's
+    /// embedded options win).
+    pub options: ServeOptions,
+    /// Full-speed deterministic mode (no wall clock in the stream).
+    pub sim_time: bool,
+    /// Sim-seconds per wall-second in real-time mode.
+    pub rate: f64,
+    /// Extra sleep per tick in milliseconds (pacing only — lets tests
+    /// SIGKILL a `--sim-time` run mid-flight; never enters the stream).
+    pub throttle_ms: u64,
+    /// Tick deadline budget in wall milliseconds (real-time mode only;
+    /// in sim-time, overruns come only from the disturbance plan).
+    pub tick_budget_ms: Option<u64>,
+    /// JSON-lines metrics stream (appended; `None` = discard).
+    pub metrics_path: Option<PathBuf>,
+    /// Heartbeat file rewritten atomically each tick.
+    pub heartbeat_path: Option<PathBuf>,
+    /// Snapshot file rewritten atomically every `snapshot_every` epochs
+    /// and on drain.
+    pub snapshot_path: Option<PathBuf>,
+    /// Line-delimited supply feed (`Some("-")` = stdin).
+    pub feed_path: Option<PathBuf>,
+    /// Control plane to mirror applied settings onto.
+    pub control: ControlBackend,
+    /// Resume from this [`ServeSnapshot`] file.
+    pub resume_path: Option<PathBuf>,
+    /// Stop gracefully after this many executed epochs (this run).
+    pub drain_after_epochs: Option<u64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            cfg: EngineConfig::default(),
+            options: ServeOptions::default(),
+            sim_time: true,
+            rate: 1.0,
+            throttle_ms: 0,
+            tick_budget_ms: None,
+            metrics_path: None,
+            heartbeat_path: None,
+            snapshot_path: None,
+            feed_path: None,
+            control: ControlBackend::None,
+            resume_path: None,
+            drain_after_epochs: None,
+        }
+    }
+}
+
+/// Why serve could not run (or finish).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration or flag combination.
+    Config(String),
+    /// A snapshot that failed to load or verify.
+    Snapshot(String),
+    /// An I/O failure on a serve-owned file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(s) => write!(f, "serve config error: {s}"),
+            ServeError::Snapshot(s) => write!(f, "serve snapshot error: {s}"),
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The end-of-run report printed by the CLI (stdout, never the metrics
+/// stream).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Epochs executed across the run's whole life (resumes included).
+    pub epochs_executed: u64,
+    /// Epoch the run resumed from (`None` for a fresh start).
+    pub resumed_from_epoch: Option<u64>,
+    /// True if the run stopped at a drain boundary instead of finishing.
+    pub drained: bool,
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Deadline overruns.
+    pub overrun_ticks: u64,
+    /// Driver-declared stale-telemetry epochs.
+    pub stale_epochs: u64,
+    /// Engine safe-mode epochs (driver-declared staleness lands here).
+    pub safe_mode_epochs: usize,
+    /// Metrics lines dropped to backpressure.
+    pub dropped_metrics_lines: u64,
+    /// Actuation retries consumed.
+    pub actuation_retries: u64,
+    /// Actuation attempts that exhausted their retries.
+    pub actuation_failures: u64,
+    /// Serve-watchdog clamps to Normal.
+    pub control_clamped: u64,
+    /// Malformed feed lines skipped.
+    pub feed_malformed: u64,
+    /// Runtime invariant-audit violations (must be zero).
+    pub audit_violations: usize,
+    /// Peak failover-ladder level reached.
+    pub ladder_level: usize,
+    /// Guardrail event log.
+    pub guardrail_events: Vec<String>,
+    /// Normal-floor judgment over the full window (`None` when drained
+    /// early — the truncated window has no comparable baseline).
+    pub floor_held: Option<bool>,
+    /// Mean goodput over executed epochs (rps per server).
+    pub mean_goodput_rps: f64,
+}
+
+/// SIGTERM latch. Registering a handler that only stores an atomic is
+/// async-signal-safe; the loop polls it at each epoch boundary.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Atomic file replace: write to a sibling tmp, fsync, rename.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// One metrics line: the epoch record plus serve's per-epoch robustness
+/// annotations. Every field derives from the epoch index, the engine
+/// record, and the disturbance plan — never from a wall clock — so the
+/// line bytes are identical across interrupted and uninterrupted runs.
+#[derive(Serialize)]
+struct MetricsLine {
+    epoch: u64,
+    overrun: bool,
+    stale: bool,
+    retries: u64,
+    failures: u64,
+    clamped: u64,
+    record: EpochRecord,
+}
+
+/// Bounded drop-oldest metrics buffer over an append-only file.
+struct MetricsSink {
+    path: Option<PathBuf>,
+    buf: VecDeque<String>,
+    cap: usize,
+}
+
+impl MetricsSink {
+    fn new(path: Option<PathBuf>, cap: usize) -> Self {
+        MetricsSink {
+            path,
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue a line; returns how many old lines were dropped to make
+    /// room. Never blocks, never errors.
+    fn push(&mut self, line: String) -> u64 {
+        let mut dropped = 0;
+        while self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            dropped += 1;
+        }
+        self.buf.push_back(line);
+        dropped
+    }
+
+    /// Append every buffered line to the file. A write error leaves the
+    /// unwritten tail buffered for the next attempt — the control path
+    /// never sees it.
+    fn drain(&mut self) -> bool {
+        let Some(path) = &self.path else {
+            self.buf.clear();
+            return true;
+        };
+        if self.buf.is_empty() {
+            return true;
+        }
+        let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return false;
+        };
+        while let Some(line) = self.buf.front() {
+            if writeln!(f, "{line}").is_err() {
+                return false;
+            }
+            self.buf.pop_front();
+        }
+        f.sync_all().is_ok()
+    }
+}
+
+/// The telemetry feed: pre-read lines in sim-time (deterministic cursor),
+/// a reader thread in real time.
+enum FeedSource {
+    /// All lines up front; `ServeSideState::feed_cursor` indexes it.
+    Preloaded(Vec<String>),
+    /// Live channel drained non-blockingly each tick.
+    Live(mpsc::Receiver<String>),
+}
+
+fn parse_feed_line(line: &str) -> Option<f64> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    if let Ok(v) = line.parse::<f64>() {
+        return v.is_finite().then_some(v.max(0.0));
+    }
+    let v: serde_json::Value = serde_json::from_str(line).ok()?;
+    let w = v.get("supply_w").or_else(|| v.get("re_supply_w"))?;
+    let w = w.as_number()?.as_f64();
+    w.is_finite().then_some(w.max(0.0))
+}
+
+fn open_feed(path: &Path, sim_time: bool) -> Result<FeedSource, ServeError> {
+    let is_stdin = path.as_os_str() == "-";
+    if sim_time {
+        let text = if is_stdin {
+            let mut s = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)?;
+            s
+        } else {
+            fs::read_to_string(path)?
+        };
+        Ok(FeedSource::Preloaded(
+            text.lines().map(str::to_string).collect(),
+        ))
+    } else {
+        let (tx, rx) = mpsc::channel();
+        if is_stdin {
+            std::thread::spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines().map_while(Result::ok) {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            });
+        } else {
+            let file = fs::File::open(path)?;
+            std::thread::spawn(move || {
+                let reader = std::io::BufReader::new(file);
+                for line in reader.lines().map_while(Result::ok) {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        Ok(FeedSource::Live(rx))
+    }
+}
+
+/// A control backend per server, wrapped for deterministic fault
+/// injection.
+enum AnyControl {
+    Sim(SimControl),
+    Sysfs(SysfsControl),
+}
+
+impl ServerControl for AnyControl {
+    fn apply(&mut self, setting: ServerSetting) -> Result<(), gs_cluster::ControlError> {
+        match self {
+            AnyControl::Sim(c) => c.apply(setting),
+            AnyControl::Sysfs(c) => c.apply(setting),
+        }
+    }
+    fn read(&self) -> Result<ServerSetting, gs_cluster::ControlError> {
+        match self {
+            AnyControl::Sim(c) => c.read(),
+            AnyControl::Sysfs(c) => c.read(),
+        }
+    }
+}
+
+/// The serve driver: implements [`EpochHooks`] over the engine loop.
+struct ServeDriver {
+    opts: ServeOptions,
+    cfg_fingerprint: String,
+    cfg: EngineConfig,
+    sim_time: bool,
+    rate: f64,
+    throttle: Duration,
+    tick_budget: Option<Duration>,
+    tick_started: Option<Instant>,
+    feed: Option<FeedSource>,
+    metrics: MetricsSink,
+    heartbeat_path: Option<PathBuf>,
+    snapshot_path: Option<PathBuf>,
+    controls: Vec<FlakyControl<AnyControl>>,
+    side: ServeSideState,
+    /// Suppress metrics emission for epochs below this (already durable
+    /// from the interrupted run).
+    emit_from: u64,
+    /// Stop after this many epochs executed *this process*.
+    drain_after: Option<u64>,
+    executed_this_run: u64,
+    epochs_executed: u64,
+    drained: bool,
+    /// Stale/overrun annotation for the epoch in flight (before_epoch
+    /// decides, after_epoch records).
+    cur_stale: bool,
+    cur_overrun: bool,
+    /// One epoch of sim time in seconds (cached from the config).
+    epoch_secs: f64,
+}
+
+impl ServeDriver {
+    fn take_feed_sample(&mut self) -> Option<f64> {
+        let feed = self.feed.as_mut()?;
+        let mut fresh: Option<f64> = None;
+        match feed {
+            FeedSource::Preloaded(lines) => {
+                if let Some(line) = lines.get(self.side.feed_cursor as usize) {
+                    self.side.feed_cursor += 1;
+                    match parse_feed_line(line) {
+                        Some(w) => fresh = Some(w),
+                        None => self.side.feed_malformed += 1,
+                    }
+                }
+            }
+            FeedSource::Live(rx) => {
+                // Drain everything pending; the newest reading wins.
+                while let Ok(line) = rx.try_recv() {
+                    self.side.feed_cursor += 1;
+                    match parse_feed_line(&line) {
+                        Some(w) => fresh = Some(w),
+                        None => self.side.feed_malformed += 1,
+                    }
+                }
+            }
+        }
+        match fresh {
+            Some(w) => {
+                self.side.feed_stale_streak = 0;
+                self.side.last_feed_w = Some(w);
+                Some(w)
+            }
+            None => {
+                self.side.feed_stale_streak = self.side.feed_stale_streak.saturating_add(1);
+                // Short silences serve the held reading (a delayed
+                // sensor, not a dead one); past the threshold the
+                // directive declares staleness instead.
+                if self.side.feed_stale_streak < self.opts.stale_after_epochs {
+                    self.side.last_feed_w
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn feed_is_stale(&self) -> bool {
+        self.feed.is_some() && self.side.feed_stale_streak >= self.opts.stale_after_epochs
+    }
+
+    fn write_heartbeat(&self, k: u64, t: SimTime) {
+        let Some(path) = &self.heartbeat_path else {
+            return;
+        };
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let line = format!(
+            "{{\"epoch\":{k},\"sim_time_s\":{:.3},\"ticks\":{},\"wall_unix_ms\":{unix_ms}}}\n",
+            t.as_secs_f64(),
+            self.side.ticks
+        );
+        // Liveness is advisory: a failed heartbeat write must not take
+        // down the control loop it is supposed to vouch for.
+        let _ = write_atomic(path, &line);
+    }
+
+    fn actuate(&mut self, k: u64, settings: &[ServerSetting]) {
+        if self.controls.is_empty() {
+            return;
+        }
+        let injected = self
+            .opts
+            .disturbances
+            .as_ref()
+            .map_or(0, |p| p.actuation_failures(k));
+        let policy = RetryPolicy::with_retries(self.opts.control_retries);
+        let real_time = !self.sim_time;
+        for (i, control) in self.controls.iter_mut().enumerate() {
+            if injected > 0 {
+                control.fail_applies(injected, std::io::ErrorKind::Interrupted);
+            }
+            let clamped = self
+                .side
+                .fail_streaks
+                .get(i)
+                .is_some_and(|&s| s >= CLAMP_AFTER_FAILURES);
+            let want = if clamped {
+                ServerSetting::normal()
+            } else {
+                settings
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(ServerSetting::normal)
+            };
+            if clamped {
+                self.side.control_clamped += 1;
+            }
+            let mut sleeper = |ms: u64| {
+                if real_time {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            };
+            match apply_with_retry(control, want, policy, &mut sleeper) {
+                Ok(retries) => {
+                    self.side.actuation_retries += u64::from(retries);
+                    if let Some(s) = self.side.fail_streaks.get_mut(i) {
+                        *s = 0;
+                    }
+                }
+                Err(_) => {
+                    // Bounded failure: count it, advance the watchdog
+                    // streak, and keep the loop alive. The engine's own
+                    // actuation watchdog handles the modelled side.
+                    self.side.actuation_retries += u64::from(policy.max_retries);
+                    self.side.actuation_failures += 1;
+                    if let Some(s) = self.side.fail_streaks.get_mut(i) {
+                        *s = s.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pace(&mut self, epoch: Duration) {
+        if !self.throttle.is_zero() {
+            std::thread::sleep(self.throttle);
+        }
+        if self.sim_time {
+            return;
+        }
+        // Real-time replay: one epoch of sim time per (epoch / rate) of
+        // wall time, measured from the previous tick's start.
+        let target = epoch.div_f64(self.rate.max(1e-9));
+        if let Some(started) = self.tick_started {
+            let elapsed = started.elapsed();
+            if elapsed < target {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        self.tick_started = Some(Instant::now());
+    }
+}
+
+impl EpochHooks for ServeDriver {
+    fn before_epoch(&mut self, k: u64, t: SimTime) -> TickDirective {
+        self.side.ticks += 1;
+        // Deadline check for the *previous* tick in real time; plan-driven
+        // in sim time so the stream stays deterministic.
+        let mut overrun = self
+            .opts
+            .disturbances
+            .as_ref()
+            .is_some_and(|p| p.is_overrun(k));
+        if let (false, Some(budget), Some(started)) =
+            (self.sim_time, self.tick_budget, self.tick_started)
+        {
+            if started.elapsed() > budget {
+                overrun = true;
+            }
+        }
+        self.cur_overrun = overrun;
+        if overrun {
+            self.side.overrun_ticks += 1;
+        }
+
+        let supply_w = self.take_feed_sample();
+        let plan_stale = self
+            .opts
+            .disturbances
+            .as_ref()
+            .is_some_and(|p| p.is_stale(k));
+        let stale = plan_stale || self.feed_is_stale();
+        self.cur_stale = stale;
+        if stale {
+            self.side.stale_epochs += 1;
+        }
+
+        self.write_heartbeat(k, t);
+
+        TickDirective {
+            supply_w: if stale { None } else { supply_w },
+            telemetry_stale: stale,
+            demote: (overrun && self.opts.overrun == OverrunPolicy::Degrade)
+                .then(|| "tick deadline overrun".to_string()),
+        }
+    }
+
+    fn after_epoch(&mut self, k: u64, rec: &EpochRecord, settings: &[ServerSetting]) -> bool {
+        let retries_before = self.side.actuation_retries;
+        let failures_before = self.side.actuation_failures;
+        let clamped_before = self.side.control_clamped;
+        self.actuate(k, settings);
+
+        if k >= self.emit_from {
+            let line = MetricsLine {
+                epoch: k,
+                overrun: self.cur_overrun,
+                stale: self.cur_stale,
+                retries: self.side.actuation_retries - retries_before,
+                failures: self.side.actuation_failures - failures_before,
+                clamped: self.side.control_clamped - clamped_before,
+                record: *rec,
+            };
+            let json = serde_json::to_string(&line).expect("metrics line serializes");
+            self.side.dropped_metrics_lines += self.metrics.push(json);
+            let stalled = self
+                .opts
+                .disturbances
+                .as_ref()
+                .is_some_and(|p| p.is_stalled(k));
+            if !stalled {
+                self.metrics.drain();
+            }
+        }
+
+        self.executed_this_run += 1;
+        self.epochs_executed += 1;
+        let drain = TERM_REQUESTED.load(Ordering::SeqCst)
+            || self
+                .drain_after
+                .is_some_and(|d| self.executed_this_run >= d);
+        if drain {
+            self.drained = true;
+            return false;
+        }
+        self.pace(Duration::from_secs_f64(self.epoch_secs));
+        true
+    }
+
+    fn on_snapshot(&mut self, state: &LoopState) {
+        // Flush-before-snapshot: every epoch the snapshot believes
+        // executed must already be durable in the metrics file, or a
+        // crash right after this write would leave a gap no resume can
+        // fill. A stalled sink therefore skips the snapshot too.
+        if !self.metrics.drain() {
+            return;
+        }
+        let Some(path) = &self.snapshot_path else {
+            return;
+        };
+        let snap = ServeSnapshot {
+            schema: SERVE_SCHEMA.to_string(),
+            fingerprint: self.cfg_fingerprint.clone(),
+            cfg: self.cfg.clone(),
+            options: self.opts.clone(),
+            state: state.clone(),
+            serve: self.side.clone(),
+        };
+        let Ok(text) = serde_json::to_string(&snap) else {
+            return;
+        };
+        let _ = write_atomic(path, &text);
+    }
+}
+
+/// Trim a metrics file to its last complete line (a SIGKILL can land
+/// mid-write) and return the last durable epoch index, if any.
+fn prepare_metrics_for_resume(path: &Path) -> Result<Option<u64>, ServeError> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Ok(None); // no file yet — nothing durable
+    };
+    let complete = match text.rfind('\n') {
+        Some(pos) => &text[..=pos],
+        None => "",
+    };
+    if complete.len() != text.len() {
+        fs::write(path, complete)?;
+    }
+    let last_epoch = complete
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .and_then(|l| serde_json::from_str::<serde_json::Value>(l).ok())
+        .and_then(|v| {
+            v.get("epoch")
+                .and_then(|e| e.as_number())
+                .and_then(|n| n.as_u64())
+        });
+    Ok(last_epoch)
+}
+
+/// Run the serve daemon to completion (or drain). See the module docs
+/// for the architecture; the CLI wraps this with flag parsing and exit
+/// codes.
+pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
+    // The snapshot layer requires analytic measurement; serve inherits
+    // the constraint (and documents it) rather than offering a mode that
+    // cannot restart.
+    args.cfg.measurement = MeasurementMode::Analytic;
+    args.cfg
+        .validate()
+        .map_err(|e| ServeError::Config(e.to_string()))?;
+
+    // Resume: the snapshot's embedded config and options win wholesale.
+    let mut resume_state: Option<LoopState> = None;
+    let mut side = ServeSideState::default();
+    let mut resumed_from = None;
+    if let Some(path) = &args.resume_path {
+        let text = fs::read_to_string(path)
+            .map_err(|e| ServeError::Snapshot(format!("cannot read {}: {e}", path.display())))?;
+        let snap = ServeSnapshot::from_json(&text)?;
+        let mut cfg = snap.cfg;
+        cfg.measurement = MeasurementMode::Analytic;
+        args.cfg = cfg;
+        args.options = snap.options;
+        resumed_from = Some(snap.state.next_epoch);
+        resume_state = Some(snap.state);
+        side = snap.serve;
+    }
+    if args.options.overrun == OverrunPolicy::Degrade && !args.cfg.guardrail.enabled {
+        return Err(ServeError::Config(
+            "--overrun degrade needs the failover ladder: pass --guardrail on".to_string(),
+        ));
+    }
+
+    let n = args.cfg.green.green_servers;
+    let n_epochs = args
+        .cfg
+        .burst_duration
+        .div_duration(args.cfg.epoch)
+        .ok_or_else(|| ServeError::Config("burst duration must be whole epochs".to_string()))?;
+
+    // Durable-metrics reconciliation: emission restarts one line after
+    // the last complete line already on disk. The flush-before-snapshot
+    // invariant guarantees last_epoch >= next_epoch - 1; anything less
+    // means the file was tampered with — warn, then emit the gap's
+    // epochs fresh (they are recomputed identically anyway).
+    let mut emit_from = 0u64;
+    if resume_state.is_none() {
+        // A fresh start owns its metrics file: stale lines from an
+        // earlier run would corrupt the byte-identity contract.
+        if let Some(path) = &args.metrics_path {
+            if path.exists() {
+                fs::write(path, "")?;
+            }
+        }
+    } else {
+        if let Some(path) = &args.metrics_path {
+            if let Some(last) = prepare_metrics_for_resume(path)? {
+                emit_from = last + 1;
+            }
+        }
+        let next = resume_state.as_ref().map_or(0, |s| s.next_epoch);
+        if emit_from < next {
+            eprintln!(
+                "serve: warning: metrics file ends at epoch {} but snapshot resumes at {} — \
+                 re-emitting the missing lines",
+                emit_from as i64 - 1,
+                next
+            );
+        }
+    }
+
+    let feed = match &args.feed_path {
+        Some(p) => Some(open_feed(p, args.sim_time)?),
+        None => None,
+    };
+
+    let controls: Vec<FlakyControl<AnyControl>> = match &args.control {
+        ControlBackend::None => Vec::new(),
+        ControlBackend::Sim => (0..n)
+            .map(|_| FlakyControl::new(AnyControl::Sim(SimControl::new())))
+            .collect(),
+        ControlBackend::Sysfs(root) => (0..n)
+            .map(|i| {
+                let dir = root.join(format!("server{i}"));
+                let c = if dir.join("cpu0").exists() {
+                    SysfsControl::new(&dir)
+                } else {
+                    SysfsControl::create_fake_tree(&dir)?
+                };
+                Ok(FlakyControl::new(AnyControl::Sysfs(c)))
+            })
+            .collect::<Result<_, std::io::Error>>()?,
+    };
+    if side.fail_streaks.len() != n {
+        side.fail_streaks = vec![0; n];
+    }
+
+    install_sigterm_handler();
+    TERM_REQUESTED.store(false, Ordering::SeqCst);
+
+    let epoch_secs = args.cfg.epoch.as_secs_f64();
+    let mut driver = ServeDriver {
+        cfg_fingerprint: serve_fingerprint(&args.cfg),
+        cfg: args.cfg.clone(),
+        sim_time: args.sim_time,
+        rate: args.rate,
+        throttle: Duration::from_millis(args.throttle_ms),
+        tick_budget: args.tick_budget_ms.map(Duration::from_millis),
+        tick_started: None,
+        feed,
+        metrics: MetricsSink::new(args.metrics_path.clone(), args.options.metrics_buffer),
+        heartbeat_path: args.heartbeat_path.clone(),
+        snapshot_path: args.snapshot_path.clone(),
+        controls,
+        emit_from,
+        drain_after: args.drain_after_epochs,
+        executed_this_run: 0,
+        epochs_executed: resume_state.as_ref().map_or(0, |s| s.next_epoch),
+        drained: false,
+        cur_stale: false,
+        cur_overrun: false,
+        epoch_secs,
+        opts: args.options.clone(),
+        side,
+    };
+
+    let profiles = ProfileTable::cached(args.cfg.app);
+    let mut scratch = EngineScratch::new();
+    let (outcome, _monitor, _policy) = run_once_resumable(
+        &args.cfg,
+        args.cfg.strategy,
+        profiles,
+        resume_state,
+        args.options.snapshot_every,
+        &mut |_| {},
+        &mut scratch,
+        &mut driver,
+    );
+
+    // Whatever the loop left buffered goes out now; a run that ends
+    // cleanly (or drains) leaves no line hostage to the buffer.
+    driver.metrics.drain();
+
+    let drained = driver.drained || outcome.epochs.len() < n_epochs as usize;
+    // Floor judgment needs a like-for-like Normal baseline; a drained
+    // run's truncated window has none, so the field stays None there.
+    let judged = if drained {
+        None
+    } else {
+        let baseline = run_once(&args.cfg, Strategy::Normal, profiles, &mut scratch).0;
+        Some(judge(&args.cfg, outcome.clone(), Some(baseline)))
+    };
+    let floor_held = judged.as_ref().map(|j| j.floor_held);
+    let report = judged.unwrap_or(outcome);
+
+    Ok(ServeSummary {
+        epochs_executed: driver.epochs_executed,
+        resumed_from_epoch: resumed_from,
+        drained,
+        ticks: driver.side.ticks,
+        overrun_ticks: driver.side.overrun_ticks,
+        stale_epochs: driver.side.stale_epochs,
+        safe_mode_epochs: report.safe_mode_epochs,
+        dropped_metrics_lines: driver.side.dropped_metrics_lines,
+        actuation_retries: driver.side.actuation_retries,
+        actuation_failures: driver.side.actuation_failures,
+        control_clamped: driver.side.control_clamped,
+        feed_malformed: driver.side.feed_malformed,
+        audit_violations: report.audit_violations.len(),
+        ladder_level: report.ladder_level,
+        guardrail_events: report.guardrail_events.clone(),
+        floor_held,
+        mean_goodput_rps: report.mean_goodput_rps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disturbance_plan_is_a_pure_function_of_seed() {
+        let a = DisturbancePlan::generate(42, 100);
+        let b = DisturbancePlan::generate(42, 100);
+        assert_eq!(a, b);
+        let c = DisturbancePlan::generate(43, 100);
+        assert_ne!(a, c, "different seeds should differ");
+        // Lists come back sorted + deduplicated so binary_search lookups hold.
+        for list in [&a.stale, &a.overruns, &a.stalls] {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "{list:?}");
+            assert!(list.iter().all(|&k| k < 100));
+        }
+        // Every category is non-empty: a generated plan always exercises
+        // each robustness path at least once.
+        assert!(!a.stale.is_empty() && !a.overruns.is_empty());
+        assert!(!a.stalls.is_empty() && !a.actuation.is_empty());
+    }
+
+    #[test]
+    fn disturbance_plan_survives_a_json_roundtrip() {
+        let plan = DisturbancePlan::generate(7, 30);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: DisturbancePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn metrics_sink_drops_oldest_and_counts() {
+        let mut sink = MetricsSink::new(None, 3);
+        assert_eq!(sink.push("a".into()), 0);
+        assert_eq!(sink.push("b".into()), 0);
+        assert_eq!(sink.push("c".into()), 0);
+        assert_eq!(sink.push("d".into()), 1, "capacity 3: the oldest goes");
+        assert_eq!(
+            sink.buf.iter().cloned().collect::<Vec<_>>(),
+            vec!["b", "c", "d"],
+            "drop-oldest keeps the newest lines"
+        );
+    }
+
+    #[test]
+    fn metrics_sink_unwritable_path_keeps_lines_buffered() {
+        let dir = std::env::temp_dir().join("gs_serve_sink_test_dir");
+        let _ = fs::create_dir_all(&dir);
+        // The path is a directory: open-for-append fails, drain reports
+        // the stall, and nothing is lost from the buffer.
+        let mut sink = MetricsSink::new(Some(dir.clone()), 8);
+        sink.push("line".into());
+        assert!(!sink.drain());
+        assert_eq!(sink.buf.len(), 1, "failed drain must not discard");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn feed_lines_parse_plain_json_and_garbage() {
+        assert_eq!(parse_feed_line("412.5"), Some(412.5));
+        assert_eq!(parse_feed_line("  300 "), Some(300.0));
+        assert_eq!(parse_feed_line("-17"), Some(0.0), "supply clamps at zero");
+        assert_eq!(parse_feed_line("{\"supply_w\": 250.0}"), Some(250.0));
+        assert_eq!(parse_feed_line("{\"re_supply_w\": 99}"), Some(99.0));
+        assert_eq!(parse_feed_line(""), None);
+        assert_eq!(parse_feed_line("potato"), None);
+        assert_eq!(parse_feed_line("{\"watts\": 5}"), None);
+        assert_eq!(parse_feed_line("NaN"), None);
+    }
+
+    #[test]
+    fn resume_trims_a_torn_metrics_tail() {
+        let path = std::env::temp_dir().join("gs_serve_trim_test.jsonl");
+        fs::write(
+            &path,
+            "{\"epoch\":0,\"x\":1}\n{\"epoch\":1,\"x\":2}\n{\"epoch\":2,\"x\"",
+        )
+        .unwrap();
+        let last = prepare_metrics_for_resume(&path).unwrap();
+        assert_eq!(last, Some(1), "the torn line does not count");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("{\"epoch\":1,\"x\":2}\n"), "{text:?}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_a_missing_metrics_file_is_a_fresh_stream() {
+        let path = std::env::temp_dir().join("gs_serve_no_such_file.jsonl");
+        let _ = fs::remove_file(&path);
+        assert_eq!(prepare_metrics_for_resume(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn serve_snapshot_rejects_schema_and_fingerprint_drift() {
+        let dir = std::env::temp_dir().join("gs_serve_snaptest");
+        let _ = fs::create_dir_all(&dir);
+        let snap_path = dir.join("snap.json");
+        let args = ServeArgs {
+            snapshot_path: Some(snap_path.clone()),
+            drain_after_epochs: Some(1),
+            ..ServeArgs::default()
+        };
+        let summary = serve(args).expect("drain serve runs");
+        assert!(summary.drained);
+        let json = fs::read_to_string(&snap_path).unwrap();
+        let snap = ServeSnapshot::from_json(&json).expect("a real snapshot verifies");
+        assert_eq!(snap.state.next_epoch, 1);
+
+        let bad_schema = json.replacen(SERVE_SCHEMA, "gs-serve-0", 1);
+        assert!(matches!(
+            ServeSnapshot::from_json(&bad_schema),
+            Err(ServeError::Snapshot(_))
+        ));
+
+        let mut tampered: ServeSnapshot = serde_json::from_str(&json).unwrap();
+        tampered.fingerprint = "0000000000000000".to_string();
+        let tampered_json = serde_json::to_string(&tampered).unwrap();
+        assert!(matches!(
+            ServeSnapshot::from_json(&tampered_json),
+            Err(ServeError::Snapshot(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degrade_without_guardrail_is_a_config_error() {
+        let args = ServeArgs {
+            options: ServeOptions {
+                overrun: OverrunPolicy::Degrade,
+                ..ServeOptions::default()
+            },
+            ..ServeArgs::default()
+        };
+        assert!(matches!(serve(args), Err(ServeError::Config(_))));
+    }
+}

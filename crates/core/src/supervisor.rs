@@ -519,4 +519,91 @@ mod tests {
         assert_eq!(backoff_ms(2), 100);
         assert_eq!(backoff_ms(100), backoff_ms(6));
     }
+
+    #[test]
+    fn backoff_full_schedule_is_pinned() {
+        // The complete retry-timing table: doubling from 50 ms, capped at
+        // 1600 ms. Pinned exactly so a schedule change is a deliberate,
+        // reviewed act — these sleeps gate how fast a flapping task can
+        // burn its retry budget under serve-style epoch deadlines.
+        let want = [50, 100, 200, 400, 800, 1600, 1600, 1600];
+        for (i, &ms) in want.iter().enumerate() {
+            assert_eq!(backoff_ms(i as u32 + 1), ms, "attempt {}", i + 1);
+        }
+        // Saturation: no overflow panic at absurd attempt counts.
+        assert_eq!(backoff_ms(u32::MAX), 1600);
+    }
+
+    #[test]
+    fn backoff_matches_control_plane_retry_schedule() {
+        // The supervisor (task retries) and the control plane (actuation
+        // retries) deliberately share one backoff curve, so a serve
+        // deployment has a single retry-timing story to reason about.
+        let policy = gs_cluster::control::RetryPolicy::default();
+        for attempt in 0..10 {
+            assert_eq!(
+                backoff_ms(attempt),
+                policy.backoff_ms(attempt),
+                "schedules diverge at attempt {attempt}"
+            );
+        }
+    }
+
+    #[test]
+    fn over_budget_tasks_consume_no_retries() {
+        // Serve-style budgets reject up front: a task whose epoch budget
+        // exceeds the deadline is failed before its first attempt, so the
+        // retry ledger stays empty — no backoff sleeps, no wasted work.
+        let policy = SupervisorPolicy {
+            max_retries: 2,
+            task_timeout_epochs: 4, // a 5-min Greedy burst needs 10
+        };
+        let (results, report) = run_supervised_sweep(
+            vec![SweepPoint::burst("big", quick_cfg(Strategy::Greedy))],
+            7,
+            1,
+            &policy,
+            &HashSet::new(),
+            None,
+            |_| {},
+        );
+        assert!(results[0].outcome.is_failed());
+        assert!(report.retried.is_empty(), "no attempts were made");
+        assert_eq!(report.failed.len(), 1);
+        assert!(
+            report.failed[0].error.contains("epoch budget exceeded"),
+            "{}",
+            report.failed[0].error
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_jobs_invariant_under_epoch_budgets() {
+        // Budgeted *and* poisoned: the budget admits the task, every
+        // attempt panics, and the exhaustion record must not depend on
+        // worker count even with the timeout check in the path.
+        let policy = SupervisorPolicy {
+            max_retries: 1,
+            task_timeout_epochs: 100,
+        };
+        let grid = || {
+            vec![
+                poisoned_point(),
+                SweepPoint::burst("ok", quick_cfg(Strategy::Greedy)),
+            ]
+        };
+        let run =
+            |jobs| run_supervised_sweep(grid(), 7, jobs, &policy, &HashSet::new(), None, |_| {});
+        let (want_results, want_report) = run(1);
+        assert!(want_report.failed[0].error.contains("all 2 attempts"));
+        for jobs in [2, 4] {
+            let (results, report) = run(jobs);
+            assert_eq!(
+                serde_json::to_string(&results).unwrap(),
+                serde_json::to_string(&want_results).unwrap(),
+                "{jobs} workers changed the result bytes"
+            );
+            assert_eq!(report.failed, want_report.failed);
+        }
+    }
 }

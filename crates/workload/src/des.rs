@@ -27,7 +27,7 @@ const LATENCY_RESERVOIR: usize = 20_000;
 /// The set of in-service requests, popped in completion order.
 ///
 /// The pop order contract is min `(done, arrival FIFO)`. Requests enter
-/// service strictly in arrival order ([`ServerSimWith::fill_cores`] pops the
+/// service strictly in arrival order (`ServerSimWith::fill_cores` pops the
 /// FIFO wait queue), so a queue that breaks completion-time ties by
 /// *insertion* order (the calendar queue's sequence numbers) produces the
 /// identical pop sequence to one that breaks ties by *arrival time* (the

@@ -16,6 +16,12 @@
 //!                   [--fleet] [--crashes N] [--flaps N] [--stragglers N]
 //!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
 //!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
+//! greensprint serve [--sim-time] [--rate F] [--throttle-ms N] [--tick-budget-ms N]
+//!                   [--overrun skip|degrade] [--stale-after N] [--disturb-seed N]
+//!                   [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]
+//!                   [--feed FILE|-] [--control none|sim|sysfs] [--sysfs-root DIR] [--retries N]
+//!                   [--resume FILE] [--drain-after N] [--metrics-buffer N]
+//!                   [--app ...] [--strategy ...] [--guardrail on] [--scenario FILE.json]
 //! greensprint resume FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
 //! greensprint qtable (validate|dump) FILE
 //! greensprint trace (solar|wind) [--days N] [--seed N] --out FILE.csv
@@ -27,7 +33,7 @@ use greensprint_repro::power::trace_io;
 use greensprint_repro::power::wind::WindModel;
 use greensprint_repro::prelude::*;
 use std::collections::{HashMap, HashSet};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 fn main() {
@@ -42,6 +48,7 @@ fn main() {
         "campaign" => campaign(&flags),
         "sweep" => sweep(&flags),
         "chaos" => chaos(&flags),
+        "serve" => serve_cmd(&flags),
         "resume" => resume_cmd(&positional, &flags),
         "qtable" => qtable(&positional),
         "trace" => trace(&positional, &flags),
@@ -966,12 +973,23 @@ fn git_short_sha() -> String {
         .unwrap_or_else(|| String::from("unknown"))
 }
 
-/// Peak resident set size in kB, from `/proc/self/status` `VmHWM`
-/// (Linux only; `None` elsewhere).
+/// Peak resident set size in kB, from `/proc/self/status` `VmHWM`.
+/// Degrades to `None` — never an error, never a misleading `0` — when
+/// the file is absent (non-Linux), the field is missing (old kernels,
+/// hardened procfs), or the value is unparsable; the bench artifact
+/// serializes that as JSON `null`.
 fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm_kb(&status)
+}
+
+/// Extract `VmHWM` in kB from `/proc/self/status` text. A reported 0 is
+/// treated as unavailable: a live process has touched at least one page,
+/// so 0 only appears on broken or stubbed procfs.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    (kb > 0).then_some(kb)
 }
 
 /// Time `body` `reps` times after one untimed warm-up call, returning the
@@ -1151,6 +1169,84 @@ fn bench(flags: &HashMap<String, String>) {
     println!("wrote {out_path}");
 }
 
+/// `greensprint serve`: the epoch loop as a crash-tolerant rack-controller
+/// daemon. Flag parsing and exit codes only — all behavior lives in
+/// `greensprint::serve`.
+fn serve_cmd(flags: &HashMap<String, String>) {
+    let cfg = engine_cfg(flags);
+    let sim_time = flags.contains_key("sim-time");
+    let rate: f64 = get(flags, "rate", 1.0);
+    if rate <= 0.0 || rate.is_nan() {
+        usage("--rate must be positive");
+    }
+
+    let overrun = match flags.get("overrun").map(String::as_str).unwrap_or("skip") {
+        "skip" => OverrunPolicy::Skip,
+        "degrade" => OverrunPolicy::Degrade,
+        other => usage(&format!("--overrun takes skip|degrade, got {other}")),
+    };
+    let n_epochs = cfg.burst_duration.div_duration(cfg.epoch).unwrap_or(0);
+    let disturbances = flags
+        .get("disturb-seed")
+        .map(|_| DisturbancePlan::generate(get(flags, "disturb-seed", 0_u64), n_epochs));
+    let options = ServeOptions {
+        overrun,
+        stale_after_epochs: get(flags, "stale-after", 3_u32),
+        disturbances,
+        metrics_buffer: get(flags, "metrics-buffer", 1024_usize),
+        snapshot_every: get(flags, "snapshot-every", 10_u64),
+        control_retries: get(flags, "retries", 2_u32),
+    };
+    if options.metrics_buffer == 0 {
+        usage("--metrics-buffer must be at least 1");
+    }
+
+    let control = match flags.get("control").map(String::as_str).unwrap_or("none") {
+        "none" => ControlBackend::None,
+        "sim" => ControlBackend::Sim,
+        "sysfs" => {
+            let root = flags
+                .get("sysfs-root")
+                .unwrap_or_else(|| usage("--control sysfs needs --sysfs-root DIR"));
+            ControlBackend::Sysfs(PathBuf::from(root))
+        }
+        other => usage(&format!("--control takes none|sim|sysfs, got {other}")),
+    };
+
+    let args = ServeArgs {
+        cfg,
+        options,
+        sim_time,
+        rate,
+        throttle_ms: get(flags, "throttle-ms", 0_u64),
+        tick_budget_ms: flags
+            .contains_key("tick-budget-ms")
+            .then(|| get(flags, "tick-budget-ms", 0_u64)),
+        metrics_path: flags.get("metrics").map(PathBuf::from),
+        heartbeat_path: flags.get("heartbeat").map(PathBuf::from),
+        snapshot_path: flags.get("snapshot").map(PathBuf::from),
+        feed_path: flags.get("feed").map(PathBuf::from),
+        control,
+        resume_path: flags.get("resume").map(PathBuf::from),
+        drain_after_epochs: flags
+            .contains_key("drain-after")
+            .then(|| get(flags, "drain-after", 0_u64)),
+    };
+
+    let summary = serve(args).unwrap_or_else(|e| match e {
+        ServeError::Config(_) => usage(&e.to_string()),
+        _ => fatal(&e.to_string()),
+    });
+    let text = serde_json::to_string_pretty(&summary)
+        .unwrap_or_else(|e| fatal(&format!("cannot serialize serve summary: {e}")));
+    println!("{text}");
+    // A completed run that lost the Normal floor or tripped the auditor is
+    // an operational failure, same contract as `chaos`.
+    if summary.audit_violations > 0 || summary.floor_held == Some(false) {
+        exit(1);
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -1182,6 +1278,19 @@ usage:
                        (crashes, power flaps, stragglers) with --crashes/--flaps/
                        --stragglers picking the per-plan mix (2/1/1); dead servers shed
                        their load to the survivors and rejoin after a clean streak
+  greensprint serve    [--sim-time] [--rate F] [--throttle-ms N] [--tick-budget-ms N]
+                       [--overrun skip|degrade] [--stale-after N] [--disturb-seed N]
+                       [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]
+                       [--feed FILE|-] [--control none|sim|sysfs] [--sysfs-root DIR] [--retries N]
+                       [--resume FILE] [--drain-after N] [--metrics-buffer N] [engine flags]
+                       run the controller as a crash-tolerant daemon: trace replay at
+                       --rate sim-seconds per wall-second (or --sim-time at full speed),
+                       an optional line-delimited supply feed whose silence routes into
+                       PSS safe mode after --stale-after epochs, per-tick deadline
+                       budgets with an explicit overrun policy, bounded deterministic
+                       actuation retries, a drop-oldest metrics buffer, a heartbeat
+                       file, SIGTERM drain, and --resume restart from the last snapshot
+                       with a byte-identical --sim-time metrics stream
   greensprint resume   FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
                        continue an interrupted run from its checkpoint: a sweep/chaos
                        journal re-runs only the missing points and prints the full result
@@ -1220,4 +1329,34 @@ robustness flags:
   --snapshot-every N       epochs between engine snapshots (10)"
     );
     exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_vm_hwm_kb;
+
+    #[test]
+    fn vm_hwm_parses_normal_status() {
+        let status =
+            "Name:\tgreensprint\nVmPeak:\t  201844 kB\nVmHWM:\t   73216 kB\nVmRSS:\t   73216 kB\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(73216));
+    }
+
+    #[test]
+    fn vm_hwm_missing_field_is_none() {
+        let status = "Name:\tgreensprint\nVmPeak:\t  201844 kB\nVmRSS:\t   73216 kB\n";
+        assert_eq!(parse_vm_hwm_kb(status), None);
+    }
+
+    #[test]
+    fn vm_hwm_empty_or_garbage_is_none() {
+        assert_eq!(parse_vm_hwm_kb(""), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tpotato kB\n"), None);
+    }
+
+    #[test]
+    fn vm_hwm_zero_is_unavailable_not_zero() {
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\t       0 kB\n"), None);
+    }
 }

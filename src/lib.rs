@@ -67,6 +67,10 @@ pub mod prelude {
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
     pub use greensprint::qlearning::{PolicyError, QLearner, TableStats};
+    pub use greensprint::serve::{
+        serve, ControlBackend, DisturbancePlan, OverrunPolicy, ServeArgs, ServeError, ServeOptions,
+        ServeSnapshot, ServeSummary,
+    };
     pub use greensprint::supervisor::{
         epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
     };

@@ -1,0 +1,253 @@
+//! End-to-end tests for `greensprint serve`: the kill/restart contract
+//! (an interrupted-then-resumed `--sim-time` serve emits a metrics
+//! stream byte-identical to an uninterrupted run) and the fault-storm
+//! acceptance bar (stale telemetry + actuation failures + a mid-run
+//! server crash: no panic, Normal floor held, zero audit violations,
+//! every robustness counter reported in the summary).
+
+use greensprint_repro::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gs-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn serve_cfg(minutes: u64) -> EngineConfig {
+    EngineConfig {
+        burst_duration: SimDuration::from_mins(minutes),
+        measurement: MeasurementMode::Analytic,
+        seed: 11,
+        ..EngineConfig::default()
+    }
+}
+
+fn sim_args(cfg: EngineConfig, disturb_seed: u64) -> ServeArgs {
+    let n_epochs = cfg.burst_duration.div_duration(cfg.epoch).unwrap();
+    ServeArgs {
+        cfg,
+        options: ServeOptions {
+            disturbances: Some(DisturbancePlan::generate(disturb_seed, n_epochs)),
+            snapshot_every: 5,
+            ..ServeOptions::default()
+        },
+        sim_time: true,
+        control: ControlBackend::Sim,
+        ..ServeArgs::default()
+    }
+}
+
+#[test]
+fn drained_then_resumed_stream_is_byte_identical() {
+    let dir = tmp_dir("drain");
+    let full = dir.join("full.jsonl");
+    let part = dir.join("part.jsonl");
+    let snap = dir.join("snap.json");
+
+    let mut uninterrupted = sim_args(serve_cfg(20), 3);
+    uninterrupted.metrics_path = Some(full.clone());
+    let want = serve(uninterrupted).expect("uninterrupted serve");
+    assert!(!want.drained);
+    assert_eq!(want.epochs_executed, 20);
+    assert_eq!(want.audit_violations, 0);
+
+    let mut first = sim_args(serve_cfg(20), 3);
+    first.metrics_path = Some(part.clone());
+    first.snapshot_path = Some(snap.clone());
+    first.drain_after_epochs = Some(7);
+    let drained = serve(first).expect("drained serve");
+    assert!(drained.drained);
+    assert_eq!(drained.epochs_executed, 7);
+    assert_eq!(
+        drained.floor_held, None,
+        "a truncated window has no comparable Normal baseline"
+    );
+
+    // Resume needs nothing beyond the snapshot: config and options ride
+    // inside it.
+    let resumed = serve(ServeArgs {
+        metrics_path: Some(part.clone()),
+        resume_path: Some(snap.clone()),
+        control: ControlBackend::Sim,
+        sim_time: true,
+        ..ServeArgs::default()
+    })
+    .expect("resumed serve");
+    assert_eq!(resumed.resumed_from_epoch, Some(7));
+    assert_eq!(resumed.epochs_executed, 20);
+
+    let want_bytes = std::fs::read(&full).unwrap();
+    let got_bytes = std::fs::read(&part).unwrap();
+    assert!(!want_bytes.is_empty());
+    assert_eq!(
+        want_bytes, got_bytes,
+        "drain + resume changed the metrics stream bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_then_resumed_stream_is_byte_identical() {
+    let dir = tmp_dir("sigkill");
+    let full = dir.join("full.jsonl");
+    let part = dir.join("part.jsonl");
+    let snap = dir.join("snap.json");
+    let hb = dir.join("heartbeat.json");
+    let base = [
+        "serve",
+        "--sim-time",
+        "--analytic",
+        "--minutes",
+        "30",
+        "--seed",
+        "11",
+        "--disturb-seed",
+        "3",
+        "--control",
+        "sim",
+        "--snapshot-every",
+        "5",
+    ];
+
+    let status = Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(base)
+        .args(["--metrics", full.to_str().unwrap()])
+        .status()
+        .expect("uninterrupted run");
+    assert!(status.success());
+
+    // The throttled run is paced (~40 ms/epoch) purely so SIGKILL lands
+    // mid-stream; the throttle never enters the metrics bytes.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args(base)
+        .args(["--metrics", part.to_str().unwrap()])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .args(["--heartbeat", hb.to_str().unwrap()])
+        .args(["--throttle-ms", "40"])
+        .spawn()
+        .expect("throttled run");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    assert!(
+        snap.exists(),
+        "the run died before its first snapshot; raise the sleep"
+    );
+    let hb_before = std::fs::read_to_string(&hb).expect("heartbeat written");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_greensprint"))
+        .args([
+            "serve",
+            "--sim-time",
+            "--control",
+            "sim",
+            "--resume",
+            snap.to_str().unwrap(),
+            "--metrics",
+            part.to_str().unwrap(),
+            "--heartbeat",
+            hb.to_str().unwrap(),
+        ])
+        .status()
+        .expect("resumed run");
+    assert!(status.success());
+
+    let want_bytes = std::fs::read(&full).unwrap();
+    let got_bytes = std::fs::read(&part).unwrap();
+    assert_eq!(
+        want_bytes, got_bytes,
+        "SIGKILL + resume changed the metrics stream bytes"
+    );
+
+    // Liveness advanced across the restart.
+    let hb_after = std::fs::read_to_string(&hb).unwrap();
+    let epoch_of = |s: &str| -> u64 {
+        let tail = s.split("\"epoch\":").nth(1).expect("heartbeat has epoch");
+        tail.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        epoch_of(&hb_after) > epoch_of(&hb_before),
+        "heartbeat did not advance: {hb_before} -> {hb_after}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_storm_never_panics_and_holds_the_floor() {
+    // The acceptance storm: engine-level faults (stale RE telemetry, lost
+    // commands, a mid-run server crash) layered under serve-level
+    // disturbances (deadline overruns with the degrade policy, actuation
+    // failures, sink stalls against a 1-line buffer).
+    let start = SimTime::from_hours(11);
+    let mut cfg = serve_cfg(30);
+    cfg.guardrail.enabled = true;
+    cfg.fault_plan = Some(FaultPlan {
+        seed: 0,
+        events: vec![
+            FaultEvent {
+                at: start + SimDuration::from_mins(3),
+                duration: SimDuration::from_mins(6),
+                kind: FaultKind::ReSensorDropout,
+            },
+            FaultEvent {
+                at: start + SimDuration::from_mins(10),
+                duration: SimDuration::from_mins(5),
+                kind: FaultKind::CommandLoss { server: None },
+            },
+            FaultEvent {
+                at: start + SimDuration::from_mins(15),
+                duration: SimDuration::from_mins(1),
+                kind: FaultKind::ServerCrash {
+                    server: 2,
+                    down_epochs: 4,
+                },
+            },
+        ],
+    });
+
+    let dir = tmp_dir("storm");
+    let metrics = dir.join("m.jsonl");
+    let mut args = sim_args(cfg, 9);
+    args.options.overrun = OverrunPolicy::Degrade;
+    args.options.metrics_buffer = 1;
+    args.metrics_path = Some(metrics.clone());
+
+    let summary = serve(args).expect("the storm must not error the daemon");
+
+    assert_eq!(summary.epochs_executed, 30, "the daemon ran the window out");
+    assert_eq!(
+        summary.audit_violations, 0,
+        "invariant auditor stayed clean"
+    );
+    assert_eq!(
+        summary.floor_held,
+        Some(true),
+        "the Normal floor must hold through the storm"
+    );
+    // Every robustness counter is reported and the storm actually
+    // exercised it.
+    assert!(summary.overrun_ticks > 0, "plan guarantees overruns");
+    assert!(summary.stale_epochs > 0, "plan guarantees staleness");
+    assert!(summary.actuation_retries > 0, "plan guarantees retries");
+    assert!(
+        summary.dropped_metrics_lines > 0,
+        "1-line buffer + stalls guarantee drops"
+    );
+    assert!(
+        summary.ladder_level > 0,
+        "degrade policy demoted at least one rung"
+    );
+    // The degrade demotions are visible in the guardrail event log.
+    assert!(summary
+        .guardrail_events
+        .iter()
+        .any(|e| e.contains("tick deadline overrun")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
