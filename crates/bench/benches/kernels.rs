@@ -157,6 +157,7 @@ fn bench_scale_out(c: &mut Criterion) {
                     measurement: MeasurementMode::Analytic,
                     ..EngineConfig::default()
                 },
+                site_fault_plan: None,
             };
             b.iter(|| black_box(run_datacenter(&cfg)))
         });

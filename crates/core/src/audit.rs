@@ -63,6 +63,23 @@ pub struct EpochFlows {
     pub goodput_capacity: Option<(f64, f64)>,
 }
 
+/// One epoch's settled cross-rack routing state, as the datacenter broker
+/// booked it. The broker feeds one of these per epoch to
+/// [`InvariantAuditor::check_site_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteFlows {
+    /// Which epoch of the run this is (for violation messages).
+    pub epoch_index: usize,
+    /// The load factor the broker *computed* for each rack this epoch
+    /// (stale applied factors under link delay are counted separately,
+    /// not treated as conservation violations).
+    pub factors: Vec<f64>,
+    /// True for racks the broker believes fully dark (zero live servers).
+    pub dark: Vec<bool>,
+    /// Each rack's settled power demand this epoch (W).
+    pub rack_demand_w: Vec<f64>,
+}
+
 /// Relative tolerance for the energy-conservation balance. The settlement
 /// arithmetic is exact up to floating-point rounding, so anything beyond
 /// parts-per-million is a genuine accounting bug, not noise.
@@ -75,6 +92,9 @@ const GRID_CAP_TOL_W: f64 = 1e-6;
 /// Negative-energy slack: settlement never produces meaningful negatives,
 /// but `a - b` of equal floats can land a hair below zero.
 const NEG_TOL_WH: f64 = 1e-9;
+/// Watts of slack on a blacked-out rack's settled demand: a dark rack's
+/// servers are all crashed, so its draw is exactly zero up to rounding.
+const SITE_DARK_TOL_W: f64 = 1e-6;
 
 /// Accumulates invariant violations across a run.
 ///
@@ -219,6 +239,50 @@ impl InvariantAuditor {
                      live-capacity ceiling {ceiling:.6} req/s \
                      ({} live server(s))",
                     f.live_servers
+                ));
+            }
+        }
+    }
+
+    /// Check one epoch's site-level routing state from the datacenter
+    /// broker: routed load is conserved across the fleet, every factor is a
+    /// finite non-negative scale, and a blacked-out rack draws no power.
+    // Negated comparisons again so NaN factors land in the violation branch.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn check_site_epoch(&mut self, f: &SiteFlows) {
+        let k = f.epoch_index;
+        let n = f.factors.len();
+
+        let mut sum = 0.0;
+        for (r, &factor) in f.factors.iter().enumerate() {
+            if !(factor.is_finite() && factor >= -ENERGY_REL_TOL) {
+                self.violations.push(format!(
+                    "epoch {k}: rack {r} routed factor {factor} is not a \
+                     finite non-negative scale"
+                ));
+            }
+            sum += factor;
+        }
+
+        // Conservation of routed load: scaling one rack up must have come
+        // out of another rack's share. The broker hands out exactly the
+        // fleet's nominal demand, N rack-units, every epoch.
+        let expected = n as f64;
+        let tol = ENERGY_REL_TOL * expected.max(1.0);
+        if !((sum - expected).abs() <= tol) {
+            self.violations.push(format!(
+                "epoch {k}: routed load not conserved: factors sum to \
+                 {sum:.9} across {n} rack(s), expected {expected:.9}"
+            ));
+        }
+
+        // A blacked-out rack has no inverter output and no live servers:
+        // any settled demand against it means the site bookkeeping and the
+        // rack settlement disagree.
+        for (r, (&dark, &demand_w)) in f.dark.iter().zip(f.rack_demand_w.iter()).enumerate() {
+            if dark && !(demand_w.abs() <= SITE_DARK_TOL_W) {
+                self.violations.push(format!(
+                    "epoch {k}: blacked-out rack {r} drew {demand_w:.9} W"
                 ));
             }
         }
@@ -408,6 +472,72 @@ mod tests {
         f.goodput_capacity = Some((f64::NAN, 1_000.0));
         aud.check_epoch(&f);
         assert_eq!(aud.violations().len(), 1);
+    }
+
+    fn site_balanced() -> SiteFlows {
+        SiteFlows {
+            epoch_index: 7,
+            factors: vec![1.2, 0.8, 1.0],
+            dark: vec![false, false, false],
+            rack_demand_w: vec![900.0, 650.0, 780.0],
+        }
+    }
+
+    #[test]
+    fn clean_site_flows_pass() {
+        let mut aud = InvariantAuditor::new();
+        for _ in 0..10 {
+            aud.check_site_epoch(&site_balanced());
+        }
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn unconserved_routed_load_fires() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = site_balanced();
+        // A tenth of a rack-unit of load vanishes in routing.
+        f.factors[1] = 0.7;
+        aud.check_site_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("routed load not conserved"), "{v:?}");
+    }
+
+    #[test]
+    fn degenerate_site_factors_fire() {
+        // Negative factor: fails the per-factor check AND throws the sum
+        // off, so two violations land.
+        let mut aud = InvariantAuditor::new();
+        let mut f = site_balanced();
+        f.factors[0] = -0.5;
+        aud.check_site_epoch(&f);
+        assert_eq!(aud.violations().len(), 2, "{:?}", aud.violations());
+
+        // NaN factor poisons the per-factor check and the sum.
+        let mut aud = InvariantAuditor::new();
+        let mut f = site_balanced();
+        f.factors[2] = f64::NAN;
+        aud.check_site_epoch(&f);
+        assert_eq!(aud.violations().len(), 2, "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn dark_rack_drawing_power_fires() {
+        let mut aud = InvariantAuditor::new();
+        let mut f = site_balanced();
+        f.dark[1] = true;
+        f.factors = vec![1.5, 0.0, 1.5];
+        f.rack_demand_w[1] = 0.0;
+        aud.check_site_epoch(&f);
+        assert!(aud.violations().is_empty(), "{:?}", aud.violations());
+
+        // Same shape but the dark rack's meter shows real watts.
+        f.rack_demand_w[1] = 120.0;
+        aud.check_site_epoch(&f);
+        let v = aud.into_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("blacked-out rack 1 drew"), "{v:?}");
     }
 
     #[test]

@@ -45,6 +45,11 @@ use std::path::{Path, PathBuf};
 /// instead of deserializing into nonsense.
 pub const CHECKPOINT_SCHEMA: &str = "gs-ckpt-1";
 
+/// As [`CHECKPOINT_SCHEMA`], for datacenter (broker + per-rack) snapshots
+/// — bumped when [`crate::broker::BrokerState`] or [`LoopState`] changes
+/// incompatibly.
+pub const DC_CHECKPOINT_SCHEMA: &str = "gs-dc-ckpt-1";
+
 /// FNV-1a over the given parts, rendered as a compact hex tag.
 pub fn fingerprint(parts: &[&str]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -4,11 +4,16 @@
 //! a *data center* ("provisioning renewable energy on the PDU level allows
 //! us to apply computational sprinting in a data center on a per-rack
 //! basis", §II). This module runs many racks — possibly hosting different
-//! applications and strategies — against the same weather, each with its
-//! own PDU-level PV array and batteries, and aggregates the result. Racks
-//! are independent given the sky, so they parallelize across threads.
+//! applications and strategies — against the same weather, and aggregates
+//! the result. Racks step in lockstep under the [`crate::broker`]: a
+//! deterministic coordinator that routes the fleet's offered load toward
+//! racks with renewable surplus and rides through site-level faults
+//! (rack blackouts, broker↔rack partitions, lossy/laggy control links)
+//! declared in [`DatacenterConfig::site_fault_plan`].
 
-use crate::engine::{BurstOutcome, Engine, EngineConfig};
+use crate::broker::{rack_engine_config, try_run_datacenter, RackRouteStats};
+use crate::engine::{BurstOutcome, EngineConfig};
+use crate::faults::FaultPlan;
 use crate::pmk::Strategy;
 use gs_workload::apps::Application;
 use serde::{Deserialize, Serialize};
@@ -30,8 +35,48 @@ pub struct DatacenterConfig {
     /// The racks.
     pub racks: Vec<RackSpec>,
     /// Everything else (availability, burst, epoch, measurement, seed) is
-    /// taken from this template; its app/green/strategy are ignored.
+    /// taken from this template; its app/green/strategy are ignored. A
+    /// template `fault_plan` (rack-local kinds only) replicates to every
+    /// rack.
     pub template: EngineConfig,
+    /// Site-level fault schedule: rack blackouts, inverter derates,
+    /// broker↔rack partitions, link loss/delay (the site kinds of
+    /// [`crate::faults::FaultKind`]), plus rack-local kinds replicated to
+    /// every rack. `None` runs the site fault-free. Absent in pre-broker
+    /// serialized configs.
+    #[serde(default)]
+    pub site_fault_plan: Option<FaultPlan>,
+}
+
+impl DatacenterConfig {
+    /// Validate the whole datacenter: at least one rack, every rack's
+    /// derived engine configuration valid (including its translated fault
+    /// plan), and the site fault plan well-formed for this rack list.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.racks.is_empty() {
+            return Err("datacenter needs at least one rack".to_string());
+        }
+        if self.racks.len() > usize::from(u8::MAX) {
+            return Err(format!(
+                "datacenter supports at most {} racks, got {}",
+                u8::MAX,
+                self.racks.len()
+            ));
+        }
+        if let Some(site) = &self.site_fault_plan {
+            site.validate()
+                .map_err(|e| format!("site fault plan: {e}"))?;
+            let sizes: Vec<usize> = self.racks.iter().map(|r| r.green.green_servers).collect();
+            site.validate_for_racks(&sizes)
+                .map_err(|e| format!("site fault plan: {e}"))?;
+        }
+        for i in 0..self.racks.len() {
+            rack_engine_config(self, i)
+                .validate()
+                .map_err(|e| format!("rack {i}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 /// Aggregated datacenter outcome.
@@ -39,7 +84,7 @@ pub struct DatacenterConfig {
 pub struct DatacenterOutcome {
     /// Per-rack results, in configuration order.
     pub racks: Vec<BurstOutcome>,
-    /// Goodput-weighted mean speedup across racks.
+    /// Mean speedup across racks.
     pub mean_speedup: f64,
     /// Total renewable energy used (Wh).
     pub re_used_wh: f64,
@@ -47,49 +92,58 @@ pub struct DatacenterOutcome {
     pub battery_used_wh: f64,
     /// Total curtailed renewable energy (Wh).
     pub curtailed_wh: f64,
+    /// Rack-epochs spent partitioned from the broker. Absent in
+    /// pre-broker serialized outcomes (like every field below).
+    #[serde(default)]
+    pub partition_epochs: usize,
+    /// Rack-epochs run degraded: partitioned, on rejoin probation, or
+    /// applying a held factor after directive loss.
+    #[serde(default)]
+    pub degraded_epochs: usize,
+    /// Rack-epochs inside an active rack-blackout event.
+    #[serde(default)]
+    pub blackout_epochs: usize,
+    /// Rack-epochs that applied a stale (link-delayed) factor.
+    #[serde(default)]
+    pub stale_factor_epochs: usize,
+    /// Epochs in which load was re-routed away from a drained rack.
+    #[serde(default)]
+    pub rerouted_epochs: usize,
+    /// Directive retransmissions attempted on lossy links.
+    #[serde(default)]
+    pub link_retries: usize,
+    /// Virtual retransmission latency accumulated from
+    /// [`crate::supervisor::backoff_ms`] (bookkeeping only).
+    #[serde(default)]
+    pub link_latency_ms: u64,
+    /// Racks re-admitted to routing after probationary hysteresis.
+    #[serde(default)]
+    pub rejoins: usize,
+    /// Human-readable partition/degrade/rejoin log.
+    #[serde(default)]
+    pub site_events: Vec<String>,
+    /// Site-level audit violations (routed-load conservation, factor
+    /// sanity, dark racks drawing power). Empty on a healthy run.
+    #[serde(default)]
+    pub site_audit_violations: Vec<String>,
+    /// Per-rack routing statistics, in configuration order.
+    #[serde(default)]
+    pub route_stats: Vec<RackRouteStats>,
+    /// The broker's computed (conserved) factors, one row per epoch.
+    #[serde(default)]
+    pub factors: Vec<Vec<f64>>,
+    /// The factors each rack actually applied, one row per epoch.
+    #[serde(default)]
+    pub applied_factors: Vec<Vec<f64>>,
 }
 
-/// Run every rack (in parallel across OS threads — racks are independent
-/// given the shared sky) and aggregate.
+/// Run every rack through the stepped broker (racks parallelize across OS
+/// threads; results are byte-identical at any parallelism) and aggregate.
+/// Panics on an invalid configuration — use
+/// [`crate::broker::try_run_datacenter`] to handle untrusted input.
 pub fn run_datacenter(cfg: &DatacenterConfig) -> DatacenterOutcome {
-    assert!(!cfg.racks.is_empty(), "datacenter needs at least one rack");
-    let outcomes: Vec<BurstOutcome> = std::thread::scope(|s| {
-        let handles: Vec<_> = cfg
-            .racks
-            .iter()
-            .enumerate()
-            .map(|(i, rack)| {
-                let template = cfg.template.clone();
-                let rack = rack.clone();
-                s.spawn(move || {
-                    let engine_cfg = EngineConfig {
-                        app: rack.app,
-                        green: rack.green,
-                        strategy: rack.strategy,
-                        // Decorrelate racks while keeping the whole
-                        // datacenter reproducible from the template seed.
-                        seed: template.seed.wrapping_add(i as u64 * 0x9E37_79B9),
-                        ..template
-                    };
-                    Engine::new(engine_cfg).run()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rack simulation panicked"))
-            .collect()
-    });
-
-    let mean_speedup =
-        outcomes.iter().map(|o| o.speedup_vs_normal).sum::<f64>() / outcomes.len() as f64;
-    DatacenterOutcome {
-        mean_speedup,
-        re_used_wh: outcomes.iter().map(|o| o.re_used_wh).sum(),
-        battery_used_wh: outcomes.iter().map(|o| o.battery_used_wh).sum(),
-        curtailed_wh: outcomes.iter().map(|o| o.curtailed_wh).sum(),
-        racks: outcomes,
-    }
+    try_run_datacenter(cfg, crate::sweep::default_jobs())
+        .unwrap_or_else(|e| panic!("invalid datacenter configuration: {e}"))
 }
 
 #[cfg(test)]
@@ -134,6 +188,7 @@ mod tests {
         let out = run_datacenter(&DatacenterConfig {
             racks: mixed_racks(),
             template: template(),
+            site_fault_plan: None,
         });
         assert_eq!(out.racks.len(), 3);
         for (rack, o) in mixed_racks().iter().zip(&out.racks) {
@@ -146,6 +201,16 @@ mod tests {
         }
         assert!(out.mean_speedup > 3.5);
         assert!(out.re_used_wh > 0.0);
+        // A healthy fleet routes cleanly: factors stay conserved, no rack
+        // degrades, nothing is audited as wrong.
+        assert!(
+            out.site_audit_violations.is_empty(),
+            "{:?}",
+            out.site_audit_violations
+        );
+        assert_eq!(out.partition_epochs, 0);
+        assert_eq!(out.degraded_epochs, 0);
+        assert_eq!(out.route_stats.len(), 3);
     }
 
     #[test]
@@ -153,6 +218,7 @@ mod tests {
         let cfg = DatacenterConfig {
             racks: mixed_racks(),
             template: template(),
+            site_fault_plan: None,
         };
         let a = run_datacenter(&cfg);
         let b = run_datacenter(&cfg);
@@ -180,6 +246,7 @@ mod tests {
                 measurement: MeasurementMode::Des,
                 ..template()
             },
+            site_fault_plan: None,
         };
         let out = run_datacenter(&cfg);
         assert_ne!(out.racks[0].mean_goodput_rps, out.racks[1].mean_goodput_rps);
@@ -197,6 +264,7 @@ mod tests {
         let out = run_datacenter(&DatacenterConfig {
             racks,
             template: template(),
+            site_fault_plan: None,
         });
         assert_eq!(out.racks.len(), 16);
         assert!(out.mean_speedup > 3.0);
@@ -208,6 +276,38 @@ mod tests {
         run_datacenter(&DatacenterConfig {
             racks: vec![],
             template: template(),
+            site_fault_plan: None,
         });
+    }
+
+    #[test]
+    fn validate_rejects_bad_racks_and_site_plans() {
+        // A rack whose engine config is invalid names the rack.
+        let mut cfg = DatacenterConfig {
+            racks: mixed_racks(),
+            template: template(),
+            site_fault_plan: None,
+        };
+        cfg.racks[1].green.green_servers = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("rack 1"), "{err}");
+
+        // A site plan targeting a rack the datacenter does not have.
+        let mut cfg = DatacenterConfig {
+            racks: mixed_racks(),
+            template: template(),
+            site_fault_plan: Some(crate::faults::FaultPlan::new(vec![
+                crate::faults::FaultEvent {
+                    at: gs_sim::SimTime::from_hours(11),
+                    duration: SimDuration::from_mins(1),
+                    kind: crate::faults::FaultKind::RackBlackout { rack: 9, epochs: 2 },
+                },
+            ])),
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("site fault plan"), "{err}");
+        assert!(err.contains("rack 9"), "{err}");
+        cfg.site_fault_plan = None;
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -879,6 +879,11 @@ pub(crate) struct TickDirective {
     /// plans (serve's `--overrun degrade` policy). Ignored when the
     /// guardrail is off or already at the Normal floor.
     pub demote: Option<String>,
+    /// Scale the window's nominal offered load by this factor for the
+    /// epoch (clamped non-negative). The datacenter broker's routing
+    /// seam: `Some(0.0)` drains a rack, `Some(2.0)` doubles its share.
+    /// `None` leaves the nominal stream untouched.
+    pub load_factor: Option<f64>,
 }
 
 /// Driver hooks for the epoch loop: the seam `greensprint serve` uses to
@@ -1335,7 +1340,14 @@ pub(crate) fn run_window_resumable(
                 safe_supply.planning_supply_w()
             }
         };
-        let offered = (window.offered_rps)(t);
+        // The broker's routing seam: a driver-supplied load factor scales
+        // the nominal offered stream (None — every batch path — is exactly
+        // the nominal stream, so routing-free runs stay byte-identical).
+        let route_factor = dir.load_factor.map(|f| f.max(0.0));
+        let offered = (window.offered_rps)(t) * route_factor.unwrap_or(1.0);
+        if let Some(f) = route_factor {
+            monitor.record_route(t, f);
+        }
 
         // Predictions (fall back to the live observation on the first
         // epoch — the Monitor publishes it either way). In safe mode every

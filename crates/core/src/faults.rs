@@ -29,6 +29,14 @@
 //!   straggles at a fraction of its goodput while drawing full power
 //!   ([`FaultKind::ServerStraggler`]). The engine re-plans around the
 //!   surviving capacity and rejoins recovered servers hysteretically.
+//! * **Site** — whole racks and the broker↔rack control links fail: a rack
+//!   goes dark ([`FaultKind::RackBlackout`]), its inverter derates
+//!   ([`FaultKind::RackInverterDerate`]), the broker link partitions
+//!   ([`FaultKind::BrokerPartition`]), or directives are lost/delayed
+//!   ([`FaultKind::LinkLoss`], [`FaultKind::LinkDelay`]). Site kinds are
+//!   consumed by the datacenter broker (`greensprint::broker`), never by a
+//!   single rack's engine; [`FaultPlan::generate_site`] seeds them and
+//!   [`FaultPlan::validate_for_racks`] shape-checks multi-rack plans.
 //!
 //! Graceful degradation means two invariants hold under *every* plan:
 //! goodput never falls below the Normal-mode floor, and the sprint never
@@ -136,6 +144,85 @@ pub enum FaultKind {
         /// Delivered / nominal goodput ratio in `(0, 1]`.
         goodput_factor: f64,
     },
+    /// **Site fault**: every server of `rack` loses power when the event
+    /// first overlaps an epoch and stays dark for `epochs` epochs — a PDU
+    /// failure or a rack-level breaker opening. The broker translates this
+    /// into per-server [`FaultKind::ServerCrash`] events on the target
+    /// rack, so the engine's dead-server accounting (0 W, load shed to
+    /// survivors, hysteretic rejoin) applies wholesale.
+    RackBlackout {
+        /// Target rack index in the datacenter's rack list.
+        rack: u8,
+        /// Epochs the whole rack stays dark.
+        epochs: u32,
+    },
+    /// **Site fault**: `rack`'s inverter delivers only `factor ×` its
+    /// nominal output while the event is active. Translated into an
+    /// engine-level [`FaultKind::InverterDerate`] on the target rack only.
+    RackInverterDerate {
+        /// Target rack index in the datacenter's rack list.
+        rack: u8,
+        /// Delivered / nominal ratio in `[0, 1]`.
+        factor: f64,
+    },
+    /// **Site fault**: the broker↔rack control link is partitioned in both
+    /// directions for `epochs` epochs starting at the epoch containing the
+    /// event's start. The rack degrades to local autonomy (holds its
+    /// last-good routed-load allocation) and rejoins routing only after
+    /// probationary hysteresis once the link heals.
+    BrokerPartition {
+        /// Target rack index in the datacenter's rack list.
+        rack: u8,
+        /// Epochs the link stays down.
+        epochs: u32,
+    },
+    /// **Site fault**: each broker→rack directive to `rack` is lost with
+    /// probability `p` while the event is active; the broker retries with
+    /// deterministic backoff, and an epoch whose retries are exhausted
+    /// degrades the rack to its last-good allocation.
+    LinkLoss {
+        /// Target rack index in the datacenter's rack list.
+        rack: u8,
+        /// Per-attempt loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// **Site fault**: directives to `rack` arrive `epochs` epochs late
+    /// while the event is active; the rack applies a stale (but conserved
+    /// at computation time) allocation.
+    LinkDelay {
+        /// Target rack index in the datacenter's rack list.
+        rack: u8,
+        /// Delivery lag in epochs.
+        epochs: u32,
+    },
+}
+
+impl FaultKind {
+    /// True for the site-level kinds only a datacenter broker can apply
+    /// (rack blackout, rack inverter derate, partitions, link loss/delay).
+    /// A single-rack engine plan containing one is malformed.
+    pub fn is_site(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::RackBlackout { .. }
+                | FaultKind::RackInverterDerate { .. }
+                | FaultKind::BrokerPartition { .. }
+                | FaultKind::LinkLoss { .. }
+                | FaultKind::LinkDelay { .. }
+        )
+    }
+
+    /// The rack a site-level kind targets; `None` for rack-local kinds.
+    pub fn site_rack(&self) -> Option<u8> {
+        match *self {
+            FaultKind::RackBlackout { rack, .. }
+            | FaultKind::RackInverterDerate { rack, .. }
+            | FaultKind::BrokerPartition { rack, .. }
+            | FaultKind::LinkLoss { rack, .. }
+            | FaultKind::LinkDelay { rack, .. } => Some(rack),
+            _ => None,
+        }
+    }
 }
 
 /// One scheduled fault: `kind` is active during `[at, at + duration)`.
@@ -329,6 +416,70 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Generate a site-fault plan for an `n_racks` datacenter: 2–5 events
+    /// drawn from the site-level kinds (rack blackout, rack inverter
+    /// derate, broker partition, link loss, link delay), landing in the
+    /// first half of `[start, start + window)` so re-routing, link
+    /// healing, and probationary rejoin all fit inside the run. Kept
+    /// separate from [`FaultPlan::generate`] on purpose — adding kinds to
+    /// that selector would reshuffle every existing seeded plan stream.
+    /// Pure function of the arguments; empty when `n_racks == 0` or the
+    /// window is shorter than one default epoch.
+    pub fn generate_site(seed: u64, start: SimTime, window: SimDuration, n_racks: u8) -> Self {
+        if n_racks == 0 || window < SimDuration::from_secs(60) {
+            return FaultPlan {
+                seed,
+                events: Vec::new(),
+            };
+        }
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0073_6974_6521); // "site!"
+        let n_events = 2 + rng.index(4); // 2..=5
+        let span_s = window.as_secs_f64();
+        let events = (0..n_events)
+            .map(|_| {
+                let at = start + SimDuration::from_secs_f64(span_s * rng.uniform_range(0.0, 0.5));
+                let rack = rng.index(n_racks as usize) as u8;
+                let kind = match rng.index(5) {
+                    0 => FaultKind::RackBlackout {
+                        rack,
+                        epochs: 1 + rng.index(3) as u32, // 1..=3
+                    },
+                    1 => FaultKind::RackInverterDerate {
+                        rack,
+                        factor: rng.uniform_range(0.0, 0.9),
+                    },
+                    2 => FaultKind::BrokerPartition {
+                        rack,
+                        epochs: 2 + rng.index(3) as u32, // 2..=4
+                    },
+                    3 => FaultKind::LinkLoss {
+                        rack,
+                        p: rng.uniform_range(0.1, 0.9),
+                    },
+                    _ => FaultKind::LinkDelay {
+                        rack,
+                        epochs: 1 + rng.index(2) as u32, // 1..=2
+                    },
+                };
+                // Epoch-counted kinds apply from the epoch containing `at`;
+                // the duration spans the counted epochs so `overlaps` and
+                // the epoch arithmetic agree. Time-windowed kinds get a
+                // bounded window of their own.
+                let duration = match kind {
+                    FaultKind::RackBlackout { epochs, .. }
+                    | FaultKind::BrokerPartition { epochs, .. } => {
+                        SimDuration::from_secs(60 * u64::from(epochs))
+                    }
+                    _ => {
+                        SimDuration::from_secs_f64((span_s * rng.uniform_range(0.1, 0.4)).max(60.0))
+                    }
+                };
+                FaultEvent { at, duration, kind }
+            })
+            .collect();
+        FaultPlan { seed, events }
+    }
+
     /// Check every event is physically meaningful: factors finite and in
     /// range, durations non-zero, crash countdowns non-degenerate.
     /// Returns a description of the first offending event.
@@ -357,6 +508,19 @@ impl FaultPlan {
                 FaultKind::ServerStraggler { goodput_factor, .. } => {
                     check("server-straggler", goodput_factor, 0.01, 1.0)?
                 }
+                FaultKind::RackBlackout { epochs: 0, .. } => {
+                    return Err(format!("event {i}: rack-blackout with epochs 0"));
+                }
+                FaultKind::RackInverterDerate { factor, .. } => {
+                    check("rack-inverter-derate", factor, 0.0, 1.0)?
+                }
+                FaultKind::BrokerPartition { epochs: 0, .. } => {
+                    return Err(format!("event {i}: broker-partition with epochs 0"));
+                }
+                FaultKind::LinkLoss { p, .. } => check("link-loss", p, 0.0, 1.0)?,
+                FaultKind::LinkDelay { epochs: 0, .. } => {
+                    return Err(format!("event {i}: link-delay with epochs 0"));
+                }
                 _ => {}
             }
         }
@@ -370,20 +534,60 @@ impl FaultPlan {
     pub fn validate_for(&self, n_servers: usize) -> Result<(), String> {
         self.validate()?;
         for (i, e) in self.events.iter().enumerate() {
-            let target = match e.kind {
-                FaultKind::CommandLoss { server: Some(s) } => Some(("command-loss", s)),
-                FaultKind::StuckServer { server } => Some(("stuck-server", server)),
-                FaultKind::ServerCrash { server, .. } => Some(("server-crash", server)),
-                FaultKind::ServerFlap { server } => Some(("server-flap", server)),
-                FaultKind::ServerStraggler { server, .. } => Some(("server-straggler", server)),
-                _ => None,
-            };
-            if let Some((name, s)) = target {
-                if usize::from(s) >= n_servers {
+            if e.kind.is_site() {
+                return Err(format!(
+                    "event {i}: site-level fault in a single-rack plan; \
+                     site kinds only apply through a datacenter's site_fault_plan"
+                ));
+            }
+            Self::check_server_target(i, &e.kind, n_servers)?;
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`] plus datacenter-shape checks for a site
+    /// plan: every site-level event must name a rack that exists, and —
+    /// because rack-local events in a site plan apply to *every* rack —
+    /// every server-targeted event must name a server that exists on each
+    /// rack's own shape, not just one representative rack.
+    pub fn validate_for_racks(&self, rack_sizes: &[usize]) -> Result<(), String> {
+        self.validate()?;
+        let n_racks = rack_sizes.len();
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(rack) = e.kind.site_rack() {
+                if usize::from(rack) >= n_racks {
                     return Err(format!(
-                        "event {i}: {name} targets server {s} on a {n_servers}-server rack"
+                        "event {i}: site fault targets rack {rack} in a {n_racks}-rack datacenter"
                     ));
                 }
+            } else {
+                // A rack-local event replicates onto every rack, so it has
+                // to fit the smallest one — check each shape by name.
+                for (r, &n_servers) in rack_sizes.iter().enumerate() {
+                    Self::check_server_target(i, &e.kind, n_servers)
+                        .map_err(|err| format!("{err} (rack {r})"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared rack-shape check: a server-targeted kind must name a server
+    /// that exists on an `n_servers` rack.
+    fn check_server_target(i: usize, kind: &FaultKind, n_servers: usize) -> Result<(), String> {
+        let target = match *kind {
+            FaultKind::CommandLoss { server: Some(s) } => Some(("command-loss", s)),
+            FaultKind::StuckServer { server } => Some(("stuck-server", server)),
+            FaultKind::ServerCrash { server, .. } => Some(("server-crash", server)),
+            FaultKind::ServerFlap { server } => Some(("server-flap", server)),
+            FaultKind::ServerStraggler { server, .. } => Some(("server-straggler", server)),
+            _ => None,
+        };
+        if let Some((name, s)) = target {
+            if usize::from(s) >= n_servers {
+                return Err(format!(
+                    "event {i}: {name} targets server {s} on a {n_servers}-server rack"
+                ));
             }
         }
         Ok(())
@@ -426,6 +630,15 @@ impl FaultPlan {
                     server,
                     goodput_factor,
                 } => active.stragglers.push((server, goodput_factor)),
+                // Site-level kinds are consumed by the datacenter broker
+                // (translated into engine kinds or simulated at the link),
+                // never by a single rack's epoch loop; `validate_for`
+                // rejects them from engine plans up front.
+                FaultKind::RackBlackout { .. }
+                | FaultKind::RackInverterDerate { .. }
+                | FaultKind::BrokerPartition { .. }
+                | FaultKind::LinkLoss { .. }
+                | FaultKind::LinkDelay { .. } => {}
             }
         }
         active
@@ -919,6 +1132,127 @@ mod tests {
         // Round trip keeps fleet kinds intact.
         let back = FaultPlan::from_json(&plan.to_json()).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn site_plans_are_pure_seeded_and_validate() {
+        let start = SimTime::from_hours(11);
+        let a = FaultPlan::generate_site(42, start, mins(10), 4);
+        let b = FaultPlan::generate_site(42, start, mins(10), 4);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate_site(43, start, mins(10), 4);
+        assert_ne!(a, c);
+        assert!((2..=5).contains(&a.events.len()));
+        assert!(a.validate().is_ok());
+        assert!(a.validate_for_racks(&[3, 3, 3, 3]).is_ok());
+        for e in &a.events {
+            // First half of the window, so recovery fits in the run.
+            assert!(e.at >= start && e.at < start + mins(5));
+            assert!(e.duration > SimDuration::ZERO);
+            assert!(e.kind.is_site());
+            assert!(e.kind.site_rack().unwrap() < 4);
+        }
+        // Site plans do not perturb the pre-existing generator streams.
+        assert_eq!(
+            FaultPlan::generate(42, start, mins(10), 3),
+            FaultPlan::generate(42, start, mins(10), 3),
+        );
+        assert_eq!(
+            FaultPlan::generate_poison(42, start, mins(10)),
+            FaultPlan::generate_poison(42, start, mins(10)),
+        );
+        assert_eq!(
+            FaultPlan::generate_fleet(42, start, mins(10), 4, FleetMix::default()),
+            FaultPlan::generate_fleet(42, start, mins(10), 4, FleetMix::default()),
+        );
+        // Degenerate inputs yield empty plans.
+        assert!(FaultPlan::generate_site(5, start, mins(10), 0)
+            .events
+            .is_empty());
+        assert!(
+            FaultPlan::generate_site(5, start, SimDuration::from_secs(59), 4)
+                .events
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn site_kinds_are_rejected_from_single_rack_plans() {
+        let mk = |kind| {
+            FaultPlan::new(vec![FaultEvent {
+                at: SimTime::from_mins(1),
+                duration: mins(1),
+                kind,
+            }])
+        };
+        let site = mk(FaultKind::RackBlackout { rack: 0, epochs: 2 });
+        assert!(site.validate().is_ok());
+        let err = site.validate_for(10).unwrap_err();
+        assert!(err.contains("site-level"), "{err}");
+        // JSON round trip keeps site kinds intact.
+        let back = FaultPlan::from_json(&site.to_json()).unwrap();
+        assert_eq!(site, back);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_site_events() {
+        let mk = |kind| {
+            FaultPlan::new(vec![FaultEvent {
+                at: SimTime::from_mins(1),
+                duration: mins(1),
+                kind,
+            }])
+        };
+        assert!(mk(FaultKind::RackBlackout { rack: 0, epochs: 0 })
+            .validate()
+            .unwrap_err()
+            .contains("epochs 0"));
+        assert!(mk(FaultKind::BrokerPartition { rack: 0, epochs: 0 })
+            .validate()
+            .is_err());
+        assert!(mk(FaultKind::LinkDelay { rack: 0, epochs: 0 })
+            .validate()
+            .is_err());
+        assert!(mk(FaultKind::LinkLoss { rack: 0, p: 1.5 })
+            .validate()
+            .is_err());
+        assert!(mk(FaultKind::RackInverterDerate {
+            rack: 0,
+            factor: f64::NAN
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validate_for_racks_checks_rack_and_per_rack_server_shapes() {
+        let mk = |kind| {
+            FaultPlan::new(vec![FaultEvent {
+                at: SimTime::from_mins(1),
+                duration: mins(1),
+                kind,
+            }])
+        };
+        // Site events must target an existing rack.
+        let bad_rack = mk(FaultKind::BrokerPartition { rack: 5, epochs: 2 });
+        let err = bad_rack.validate_for_racks(&[3, 3]).unwrap_err();
+        assert!(err.contains("rack 5"), "{err}");
+        assert!(bad_rack.validate_for_racks(&[3; 6]).is_ok());
+        // Rack-local events replicate onto every rack: the target must fit
+        // each rack's own server count, not just the biggest one.
+        let crash = mk(FaultKind::ServerCrash {
+            server: 2,
+            down_epochs: 1,
+        });
+        assert!(crash.validate_for_racks(&[3, 3]).is_ok());
+        let err = crash.validate_for_racks(&[3, 2]).unwrap_err();
+        assert!(
+            err.contains("2-server rack") && err.contains("rack 1"),
+            "{err}"
+        );
+        // Site kinds never hit the engine's per-epoch aggregation.
+        let active = bad_rack.active_during(SimTime::from_mins(1), SimTime::from_mins(2));
+        assert!(!active.any());
     }
 
     #[test]

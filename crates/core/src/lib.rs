@@ -42,6 +42,7 @@
 //! ```
 
 pub mod audit;
+pub mod broker;
 pub mod campaign;
 pub mod checkpoint;
 pub mod cluster_view;
@@ -61,7 +62,11 @@ pub mod serve;
 pub mod supervisor;
 pub mod sweep;
 
-pub use audit::{EpochFlows, InvariantAuditor};
+pub use audit::{EpochFlows, InvariantAuditor, SiteFlows};
+pub use broker::{
+    datacenter_fingerprint, resume_datacenter_snapshot, run_datacenter_with_snapshots,
+    try_run_datacenter, BrokerState, DatacenterSnapshot, RackBelief, RackRouteStats,
+};
 pub use campaign::{
     run_campaign, try_run_campaign, try_run_campaign_with_snapshots, CampaignConfig,
     CampaignOutcome,
@@ -69,6 +74,7 @@ pub use campaign::{
 pub use checkpoint::{
     config_fingerprint, fingerprint, points_digest, EngineSnapshot, Journal, JournalError,
     JournalHeader, LoadedJournal, LoopState, MainCarry, RunPhase, SnapshotScope,
+    DC_CHECKPOINT_SCHEMA,
 };
 pub use cluster_view::{run_cluster, ClusterOutcome, GridSprintPolicy};
 pub use config::{AvailabilityLevel, GreenConfig};
@@ -102,12 +108,17 @@ pub use sweep::{
 
 /// Everything a sweep-driving binary or notebook needs, in one import.
 pub mod prelude {
-    pub use crate::audit::{EpochFlows, InvariantAuditor};
+    pub use crate::audit::{EpochFlows, InvariantAuditor, SiteFlows};
+    pub use crate::broker::{
+        datacenter_fingerprint, resume_datacenter_snapshot, run_datacenter_with_snapshots,
+        try_run_datacenter, BrokerState, DatacenterSnapshot, RackRouteStats,
+    };
     pub use crate::campaign::{run_campaign, try_run_campaign, CampaignConfig, CampaignOutcome};
     pub use crate::checkpoint::{
         config_fingerprint, EngineSnapshot, Journal, JournalError, JournalHeader, LoadedJournal,
     };
     pub use crate::config::{AvailabilityLevel, GreenConfig};
+    pub use crate::datacenter::{run_datacenter, DatacenterConfig, DatacenterOutcome, RackSpec};
     pub use crate::engine::{resume_snapshot, ResumedRun};
     pub use crate::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,

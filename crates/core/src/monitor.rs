@@ -55,6 +55,10 @@ fn fleet_series() -> TimeSeries {
     TimeSeries::new("fleet_live")
 }
 
+fn route_series() -> TimeSeries {
+    TimeSeries::new("route_factor")
+}
+
 /// Time-series retention of every observation stream.
 ///
 /// Deserializes with container-level defaults so serialized monitors from
@@ -96,6 +100,11 @@ pub struct Monitor {
     /// recording.
     #[serde(default)]
     server_live: Vec<TimeSeries>,
+    /// The broker-routed load factor applied per epoch (1.0 = the nominal
+    /// stream). Only populated when a datacenter broker steers the rack;
+    /// absent in older serialized monitors.
+    #[serde(default = "route_series")]
+    route_factor: TimeSeries,
 }
 
 impl Default for Monitor {
@@ -121,6 +130,7 @@ impl Monitor {
             ladder: ladder_series(),
             fleet_live: fleet_series(),
             server_live: Vec::new(),
+            route_factor: route_series(),
         }
     }
 
@@ -203,6 +213,16 @@ impl Monitor {
         self.stale_re_epochs
     }
 
+    /// Record the broker-routed load factor applied to one epoch.
+    pub fn record_route(&mut self, t: SimTime, factor: f64) {
+        self.route_factor.push(t, factor);
+    }
+
+    /// Routed-load-factor stream (empty outside datacenter runs).
+    pub fn route_factor(&self) -> &TimeSeries {
+        &self.route_factor
+    }
+
     /// Record the guardrail's failover-ladder level for one epoch.
     pub fn record_ladder(&mut self, t: SimTime, level: usize) {
         self.ladder.push(t, level as f64);
@@ -251,6 +271,7 @@ impl Monitor {
             &mut self.re_quality,
             &mut self.ladder,
             &mut self.fleet_live,
+            &mut self.route_factor,
         ] {
             s.reserve(epochs);
         }
@@ -414,5 +435,25 @@ mod tests {
         assert_ne!(json, stripped);
         let old: Monitor = serde_json::from_str(&stripped).unwrap();
         assert_eq!(old.ladder().len(), 0);
+    }
+
+    #[test]
+    fn route_stream_is_optional_and_records_factors() {
+        let mut m = Monitor::new();
+        assert_eq!(m.route_factor().len(), 0);
+        m.record_route(SimTime::from_secs(60), 1.0);
+        m.record_route(SimTime::from_secs(120), 1.4);
+        assert_eq!(m.route_factor().len(), 2);
+        assert_eq!(m.route_factor().points().last().unwrap().1, 1.4);
+        // Pre-broker serialized monitors deserialize with an empty route
+        // stream rather than failing.
+        let json = serde_json::to_string(&Monitor::new()).unwrap();
+        let stripped = json.replace(
+            ",\"route_factor\":{\"points\":[],\"name\":\"route_factor\"}",
+            "",
+        );
+        assert_ne!(json, stripped);
+        let old: Monitor = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.route_factor().len(), 0);
     }
 }

@@ -2,6 +2,7 @@
 //! presentation the CLI, the examples, and the experiment harness share.
 
 use crate::campaign::CampaignOutcome;
+use crate::datacenter::DatacenterOutcome;
 use crate::engine::BurstOutcome;
 use std::fmt::Write as _;
 
@@ -81,6 +82,53 @@ pub fn campaign_summary(out: &CampaignOutcome) -> String {
     s
 }
 
+/// Render a datacenter outcome: fleet aggregates, per-rack routing
+/// lines, and the site fault counters.
+pub fn datacenter_summary(out: &DatacenterOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "racks             : {}", out.racks.len());
+    let _ = writeln!(s, "mean speedup      : {:.2}x", out.mean_speedup);
+    let _ = writeln!(
+        s,
+        "energy            : {:.1} Wh renewable + {:.1} Wh battery ({:.1} Wh curtailed)",
+        out.re_used_wh, out.battery_used_wh, out.curtailed_wh
+    );
+    let _ = writeln!(
+        s,
+        "site faults       : {} partition, {} degraded, {} blackout rack-epochs",
+        out.partition_epochs, out.degraded_epochs, out.blackout_epochs
+    );
+    let _ = writeln!(
+        s,
+        "links             : {} retries ({} ms virtual latency), {} stale-factor epochs",
+        out.link_retries, out.link_latency_ms, out.stale_factor_epochs
+    );
+    let _ = writeln!(
+        s,
+        "routing           : {} rerouted epochs, {} rejoins",
+        out.rerouted_epochs, out.rejoins
+    );
+    for (r, (o, rs)) in out.racks.iter().zip(&out.route_stats).enumerate() {
+        let _ = writeln!(
+            s,
+            "rack {r:<2}           : {:.2}x, factor {:.2} [{:.2}, {:.2}], floor {}",
+            o.speedup_vs_normal,
+            rs.mean_factor,
+            rs.min_factor,
+            rs.max_factor,
+            if o.floor_held { "held" } else { "BROKEN" },
+        );
+    }
+    if !out.site_audit_violations.is_empty() {
+        let _ = writeln!(
+            s,
+            "AUDIT             : {} site violation(s)",
+            out.site_audit_violations.len()
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +167,43 @@ mod tests {
         assert_eq!(table.lines().count(), 1 + out.epochs.len());
         assert!(table.contains("12c@2.0GHz"));
         assert!(table.contains("green-only"));
+    }
+
+    #[test]
+    fn datacenter_summary_renders_per_rack_routing() {
+        let out = crate::datacenter::run_datacenter(&crate::datacenter::DatacenterConfig {
+            racks: vec![
+                crate::datacenter::RackSpec {
+                    app: gs_workload::apps::Application::SpecJbb,
+                    green: GreenConfig::re_batt(),
+                    strategy: Strategy::Hybrid,
+                },
+                crate::datacenter::RackSpec {
+                    app: gs_workload::apps::Application::WebSearch,
+                    green: GreenConfig::re_sbatt(),
+                    strategy: Strategy::Pacing,
+                },
+            ],
+            template: EngineConfig {
+                availability: AvailabilityLevel::Maximum,
+                burst_duration: SimDuration::from_mins(5),
+                measurement: MeasurementMode::Analytic,
+                ..EngineConfig::default()
+            },
+            site_fault_plan: None,
+        });
+        let s = datacenter_summary(&out);
+        for needle in [
+            "racks",
+            "mean speedup",
+            "site faults",
+            "rack 0",
+            "rack 1",
+            "held",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+        assert!(!s.contains("AUDIT"), "{s}");
     }
 
     #[test]

@@ -808,6 +808,7 @@ impl EpochHooks for ServeDriver {
             telemetry_stale: stale,
             demote: (overrun && self.opts.overrun == OverrunPolicy::Degrade)
                 .then(|| "tick deadline overrun".to_string()),
+            load_factor: None,
         }
     }
 

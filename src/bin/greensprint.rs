@@ -16,6 +16,10 @@
 //!                   [--fleet] [--crashes N] [--flaps N] [--stragglers N]
 //!                   [--app ...] [--strategy ...] [--availability ...] [--minutes N] [--analytic]
 //!                   [--checkpoint FILE | --resume FILE] [--retries N] [--task-timeout-epochs N]
+//! greensprint datacenter [--racks N] [--apps A,B] [--configs C,..] [--strategies S,..]
+//!                   [--availability min|med|max] [--minutes N] [--intensity K] [--seed N]
+//!                   [--analytic] [--jobs N] [--site-plan FILE.json | --site-seed N]
+//!                   [--checkpoint FILE | --resume FILE] [--snapshot-every N]
 //! greensprint serve [--sim-time] [--rate F] [--throttle-ms N] [--tick-budget-ms N]
 //!                   [--overrun skip|degrade] [--stale-after N] [--disturb-seed N]
 //!                   [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]
@@ -48,6 +52,7 @@ fn main() {
         "campaign" => campaign(&flags),
         "sweep" => sweep(&flags),
         "chaos" => chaos(&flags),
+        "datacenter" => datacenter(&flags),
         "serve" => serve_cmd(&flags),
         "resume" => resume_cmd(&positional, &flags),
         "qtable" => qtable(&positional),
@@ -689,6 +694,188 @@ fn chaos(flags: &HashMap<String, String>) {
     chaos_gate(&results);
 }
 
+/// Durably replace a datacenter checkpoint (write-then-rename, like
+/// [`write_snapshot`]).
+fn write_dc_snapshot(path: &str, snap: &DatacenterSnapshot) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, snap.to_json())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|e| fatal(&format!("cannot write checkpoint {path}: {e}")));
+}
+
+/// Build the [`DatacenterConfig`] from the flag grid: `--racks N` racks
+/// cycling through the `--apps`/`--configs`/`--strategies` axes, a shared
+/// template for everything else, and an optional site fault plan from
+/// `--site-plan FILE` or a seeded `--site-seed` generator.
+fn datacenter_cfg(flags: &HashMap<String, String>) -> DatacenterConfig {
+    let n_racks: usize = get(flags, "racks", 4);
+    if n_racks == 0 {
+        usage("--racks must be at least 1");
+    }
+    let apps: Vec<Application> = axis(flags, "apps", "jbb,websearch,memcached")
+        .iter()
+        .map(|s| parse_app(s))
+        .collect();
+    let greens: Vec<GreenConfig> = axis(flags, "configs", "re-batt")
+        .iter()
+        .map(|s| parse_green(s))
+        .collect();
+    let strategies: Vec<Strategy> = axis(flags, "strategies", "hybrid")
+        .iter()
+        .map(|s| parse_strategy(s))
+        .collect();
+    if apps.is_empty() || greens.is_empty() || strategies.is_empty() {
+        usage("--apps/--configs/--strategies need at least one entry each");
+    }
+    let racks: Vec<RackSpec> = (0..n_racks)
+        .map(|i| RackSpec {
+            app: apps[i % apps.len()],
+            green: greens[i % greens.len()].clone(),
+            strategy: strategies[i % strategies.len()],
+        })
+        .collect();
+    let template = EngineConfig {
+        availability: availability_of(flags),
+        burst_duration: SimDuration::from_mins(get(flags, "minutes", 10_u64)),
+        burst_intensity_cores: get(flags, "intensity", 12_u8),
+        measurement: if flags.contains_key("analytic") {
+            MeasurementMode::Analytic
+        } else {
+            MeasurementMode::Des
+        },
+        seed: get(flags, "seed", 7_u64),
+        ..EngineConfig::default()
+    };
+    if flags.contains_key("site-plan") && flags.contains_key("site-seed") {
+        usage("--site-plan and --site-seed both name a site fault plan; pick one");
+    }
+    let site_fault_plan = if let Some(path) = flags.get("site-plan") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read site fault plan {path}: {e}")));
+        Some(
+            FaultPlan::from_json(&text)
+                .unwrap_or_else(|e| usage(&format!("invalid site fault plan {path}: {e}"))),
+        )
+    } else if flags.contains_key("site-seed") {
+        let start = SimTime::from_secs_f64(template.burst_start_hour * 3_600.0);
+        let n = n_racks.min(u8::MAX as usize) as u8;
+        Some(FaultPlan::generate_site(
+            get(flags, "site-seed", 42_u64),
+            start,
+            template.burst_duration,
+            n,
+        ))
+    } else {
+        None
+    };
+    DatacenterConfig {
+        racks,
+        template,
+        site_fault_plan,
+    }
+}
+
+/// Print a completed datacenter run — one JSON line per rack, the
+/// human summary on stderr — and apply the chaos-style gate: exit 1 when
+/// any rack lost the Normal floor, overdrew the grid, tripped its own
+/// invariant auditor, or the site-level audit recorded a violation.
+fn report_datacenter(out: &DatacenterOutcome) {
+    #[derive(serde::Serialize)]
+    struct RackLine {
+        rack: usize,
+        outcome: BurstOutcome,
+        route: Option<RackRouteStats>,
+    }
+    for (i, o) in out.racks.iter().enumerate() {
+        let line = RackLine {
+            rack: i,
+            outcome: o.clone(),
+            route: out.route_stats.get(i).cloned(),
+        };
+        let text = serde_json::to_string(&line)
+            .unwrap_or_else(|e| fatal(&format!("cannot serialize rack result: {e}")));
+        println!("{text}");
+    }
+    eprint!(
+        "{}",
+        greensprint_repro::core::report::datacenter_summary(out)
+    );
+    let broken = out.racks.iter().filter(|o| !o.floor_held).count();
+    let overloads = out
+        .racks
+        .iter()
+        .filter(|o| o.grid_overload_wh != 0.0)
+        .count();
+    let rack_violations: usize = out.racks.iter().map(|o| o.audit_violations.len()).sum();
+    if broken > 0 || overloads > 0 || rack_violations > 0 || !out.site_audit_violations.is_empty() {
+        if broken > 0 {
+            eprintln!("error: {broken} rack(s) lost the Normal floor");
+        }
+        if overloads > 0 {
+            eprintln!("error: {overloads} rack(s) overdrew the grid cap");
+        }
+        if rack_violations > 0 {
+            eprintln!("error: {rack_violations} rack-level invariant audit violation(s)");
+        }
+        for v in &out.site_audit_violations {
+            eprintln!("error: site audit: {v}");
+        }
+        exit(1);
+    }
+    eprintln!(
+        "datacenter: {} rack(s), all held the Normal floor with a clean site audit",
+        out.racks.len()
+    );
+}
+
+/// `greensprint datacenter` — run a multi-rack fleet through the
+/// partition-tolerant broker, optionally under a site-level fault plan
+/// (rack blackouts, broker partitions, lossy/laggy control links).
+/// Flag parsing and exit codes only — behavior lives in
+/// `greensprint::broker`.
+fn datacenter(flags: &HashMap<String, String>) {
+    let jobs: usize = get(flags, "jobs", default_jobs());
+    if jobs == 0 {
+        usage("--jobs must be at least 1");
+    }
+    if let Some(path) = flags.get("resume") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read checkpoint {path}: {e}")));
+        let snap = DatacenterSnapshot::from_json(&text)
+            .unwrap_or_else(|e| usage(&format!("invalid datacenter checkpoint {path}: {e}")));
+        eprintln!(
+            "resume: {path} — continuing at epoch {}",
+            snap.broker.next_epoch
+        );
+        let every = snapshot_every(flags);
+        let path = path.clone();
+        let out =
+            resume_datacenter_snapshot(snap, jobs, every, &mut |s| write_dc_snapshot(&path, s))
+                .unwrap_or_else(|e| usage(&e));
+        report_datacenter(&out);
+        return;
+    }
+    let cfg = datacenter_cfg(flags);
+    if let Err(e) = cfg.validate() {
+        usage(&e);
+    }
+    let out = match flags.get("checkpoint") {
+        None => try_run_datacenter(&cfg, jobs),
+        Some(path) => {
+            if Path::new(path).exists() {
+                usage(&format!(
+                    "checkpoint {path} already exists; `greensprint datacenter --resume {path}` \
+                     continues it, or remove the file to start over"
+                ));
+            }
+            let every = snapshot_every(flags);
+            run_datacenter_with_snapshots(&cfg, jobs, every, &mut |s| write_dc_snapshot(path, s))
+        }
+    }
+    .unwrap_or_else(|e| usage(&e));
+    report_datacenter(&out);
+}
+
 /// `greensprint resume FILE` — continue an interrupted run from its
 /// checkpoint. The file kind is detected: a sweep/chaos journal re-runs
 /// the missing points (appending to the journal) and prints the *full*
@@ -932,6 +1119,7 @@ struct BenchArtifact {
     epoch_loop: EpochLoopBench,
     des: DesBench,
     sweep: SweepBench,
+    datacenter: DatacenterBench,
 }
 
 #[derive(serde::Serialize)]
@@ -958,6 +1146,16 @@ struct SweepBench {
     jobs: usize,
     best_wall_s: f64,
     points_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DatacenterBench {
+    racks: usize,
+    servers_per_rack: usize,
+    epochs: u64,
+    jobs: usize,
+    best_wall_s: f64,
+    rack_epochs_per_sec: f64,
 }
 
 /// The current git short sha, for stamping bench artifacts. Falls back
@@ -1135,6 +1333,59 @@ fn bench(flags: &HashMap<String, String>) {
          {sweep_wall:.3} s best-of-{reps} = {points_per_sec:.1} points/s"
     );
 
+    // Workload 4 — datacenter broker: racks of 10 servers stepped in
+    // lockstep through the partition-tolerant broker under a seeded site
+    // fault plan (blackouts, partitions, lossy/laggy links), so the
+    // number tracks the broker's routing + messaging machinery, not just
+    // the per-rack epoch loop. Each run is the strategy pass plus the
+    // per-rack baseline replays.
+    let dc_racks: usize = if quick { 3 } else { 8 };
+    let dc_minutes: u64 = if quick { 5 } else { 10 };
+    let dc_cfg = || {
+        let template = EngineConfig {
+            strategy: Strategy::Pacing,
+            availability: AvailabilityLevel::Medium,
+            burst_duration: SimDuration::from_mins(dc_minutes),
+            measurement: MeasurementMode::Analytic,
+            thermal: ThermalModel::Disabled,
+            ..EngineConfig::default()
+        };
+        let start = SimTime::from_secs_f64(template.burst_start_hour * 3_600.0);
+        DatacenterConfig {
+            racks: (0..dc_racks)
+                .map(|i| RackSpec {
+                    app: Application::ALL[i % Application::ALL.len()],
+                    green: GreenConfig {
+                        name: "bench".into(),
+                        green_servers: 10,
+                        panels: 10,
+                        battery_ah: 10.0,
+                    },
+                    strategy: Strategy::Pacing,
+                })
+                .collect(),
+            site_fault_plan: Some(FaultPlan::generate_site(
+                42,
+                start,
+                template.burst_duration,
+                dc_racks as u8,
+            )),
+            template,
+        }
+    };
+    let dc_jobs = default_jobs();
+    let dc_epochs = 2 * dc_minutes;
+    let dc_wall = best_wall_s(reps, || {
+        let out = try_run_datacenter(&dc_cfg(), dc_jobs)
+            .unwrap_or_else(|e| fatal(&format!("bench datacenter: {e}")));
+        assert!(out.mean_speedup.is_finite());
+    });
+    let rack_epochs_per_sec = (dc_racks as u64 * dc_epochs) as f64 / dc_wall;
+    eprintln!(
+        "bench: datacenter  {dc_racks} racks x 10 servers x {dc_epochs} epochs on {dc_jobs} jobs: \
+         {dc_wall:.3} s best-of-{reps} = {rack_epochs_per_sec:.1} rack-epochs/s"
+    );
+
     let artifact = BenchArtifact {
         schema: "greensprint-bench/v1",
         git_sha: sha,
@@ -1160,6 +1411,14 @@ fn bench(flags: &HashMap<String, String>) {
             jobs,
             best_wall_s: sweep_wall,
             points_per_sec,
+        },
+        datacenter: DatacenterBench {
+            racks: dc_racks,
+            servers_per_rack: 10,
+            epochs: dc_epochs,
+            jobs: dc_jobs,
+            best_wall_s: dc_wall,
+            rack_epochs_per_sec,
         },
     };
     let text = serde_json::to_string_pretty(&artifact)
@@ -1278,6 +1537,21 @@ usage:
                        (crashes, power flaps, stragglers) with --crashes/--flaps/
                        --stragglers picking the per-plan mix (2/1/1); dead servers shed
                        their load to the survivors and rejoin after a clean streak
+  greensprint datacenter [--racks N] [--apps A,B] [--configs C,..] [--strategies S,..]
+                       [--availability min|med|max] [--minutes N] [--intensity K] [--seed N]
+                       [--analytic] [--jobs N] [--site-plan FILE.json | --site-seed N]
+                       [--checkpoint FILE | --resume FILE] [--snapshot-every N]
+                       run --racks racks (cycling the app/config/strategy axes) under
+                       the partition-tolerant broker: load routes toward racks with
+                       renewable surplus, partitioned racks degrade to local autonomy
+                       and rejoin through probation, blacked-out racks shed their load
+                       to the survivors. --site-seed generates a seeded site fault
+                       plan (blackouts, partitions, lossy/laggy links); --site-plan
+                       loads one from JSON. One JSON line per rack, byte-identical
+                       for any --jobs; --checkpoint snapshots the whole fleet
+                       (Analytic mode) and --resume finishes it byte-identically.
+                       Exits 1 if any rack loses the Normal floor, overdraws the
+                       grid, or the rack/site invariant audits record a violation
   greensprint serve    [--sim-time] [--rate F] [--throttle-ms N] [--tick-budget-ms N]
                        [--overrun skip|degrade] [--stale-after N] [--disturb-seed N]
                        [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]

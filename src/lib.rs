@@ -46,6 +46,11 @@ pub use gs_workload as workload;
 
 /// The commonly-used types in one import.
 pub mod prelude {
+    pub use greensprint::audit::{EpochFlows, InvariantAuditor, SiteFlows};
+    pub use greensprint::broker::{
+        datacenter_fingerprint, resume_datacenter_snapshot, run_datacenter_with_snapshots,
+        try_run_datacenter, BrokerState, DatacenterSnapshot, RackRouteStats,
+    };
     pub use greensprint::campaign::{
         run_campaign, try_run_campaign, try_run_campaign_with_snapshots, CampaignConfig,
         CampaignOutcome,
@@ -55,6 +60,9 @@ pub mod prelude {
         LoadedJournal,
     };
     pub use greensprint::config::{AvailabilityLevel, GreenConfig};
+    pub use greensprint::datacenter::{
+        run_datacenter, DatacenterConfig, DatacenterOutcome, RackSpec,
+    };
     pub use greensprint::engine::{resume_snapshot, ResumedRun};
     pub use greensprint::engine::{
         BurstOutcome, Engine, EngineConfig, EngineError, MeasurementMode, ThermalModel,

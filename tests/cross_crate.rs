@@ -233,6 +233,7 @@ fn extension_outcomes_serialize_to_json() {
             strategy: Strategy::Hybrid,
         }],
         template: template.clone(),
+        site_fault_plan: None,
     });
     let json = serde_json::to_string(&dc).unwrap();
     let back: greensprint_repro::core::datacenter::DatacenterOutcome =
