@@ -53,6 +53,7 @@ pub mod faults;
 pub mod fleet;
 pub mod guardrail;
 pub mod monitor;
+pub mod net;
 pub mod pmk;
 pub mod predictor;
 pub mod profiler;
@@ -90,6 +91,10 @@ pub use guardrail::{
     QuarantineRecord,
 };
 pub use monitor::Monitor;
+pub use net::{
+    admin_request, parse_frame, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultOp,
+    NetFaultPlan, NetHarnessReport, NetPlane, NetSummary,
+};
 pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
@@ -125,6 +130,10 @@ pub mod prelude {
     };
     pub use crate::faults::{ActiveFaults, FaultEvent, FaultKind, FaultPlan};
     pub use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord};
+    pub use crate::net::{
+        admin_request, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultPlan,
+        NetPlane, NetSummary,
+    };
     pub use crate::pmk::Strategy;
     pub use crate::profiler::ProfileTable;
     pub use crate::qlearning::{PolicyError, QLearner};

@@ -4,6 +4,7 @@
 use crate::campaign::CampaignOutcome;
 use crate::datacenter::DatacenterOutcome;
 use crate::engine::BurstOutcome;
+use crate::net::NetSummary;
 use std::fmt::Write as _;
 
 /// Render a burst outcome as an aligned multi-line summary.
@@ -129,6 +130,32 @@ pub fn datacenter_summary(out: &DatacenterOutcome) -> String {
     s
 }
 
+/// Render the serve network-plane counters.
+pub fn net_plane_summary(n: &NetSummary) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "net conns         : {} accepted, {} dropped, {} timed out",
+        n.conns_accepted, n.conns_dropped, n.conns_timed_out
+    );
+    let _ = writeln!(
+        s,
+        "net frames        : {} received, {} malformed, {} discarded",
+        n.frames_received, n.malformed_frames, n.frames_discarded
+    );
+    let _ = writeln!(
+        s,
+        "net subscribers   : {} total, {} lines dropped",
+        n.subscribers, n.subscriber_drops
+    );
+    let _ = writeln!(
+        s,
+        "net admin         : {} auth rejects, {} drains",
+        n.auth_rejects, n.drain_requests
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +231,26 @@ mod tests {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
         assert!(!s.contains("AUDIT"), "{s}");
+    }
+
+    #[test]
+    fn net_plane_summary_renders_every_counter_group() {
+        let s = net_plane_summary(&NetSummary {
+            conns_accepted: 7,
+            malformed_frames: 3,
+            subscriber_drops: 2,
+            auth_rejects: 1,
+            ..NetSummary::default()
+        });
+        for needle in [
+            "net conns",
+            "7 accepted",
+            "3 malformed",
+            "2 lines dropped",
+            "1 auth rejects",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
     }
 
     #[test]

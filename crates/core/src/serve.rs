@@ -42,6 +42,7 @@ use std::io::{BufRead, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gs_cluster::control::{
@@ -57,6 +58,7 @@ use crate::engine::{
     TickDirective,
 };
 use crate::fleet::EngineScratch;
+use crate::net::{parse_frame, NetConfig, NetPlane, NetShared, NetSummary, DEFAULT_MAX_LINE_LEN};
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
 
@@ -176,6 +178,10 @@ pub struct ServeOptions {
     pub snapshot_every: u64,
     /// Bounded retries per actuation failure.
     pub control_retries: u32,
+    /// Max accepted telemetry line length in bytes; longer feed frames
+    /// count as malformed (the network plane enforces its own copy of
+    /// this cap at the socket layer).
+    pub max_line_len: usize,
 }
 
 impl Default for ServeOptions {
@@ -187,6 +193,7 @@ impl Default for ServeOptions {
             metrics_buffer: 1024,
             snapshot_every: 10,
             control_retries: 2,
+            max_line_len: DEFAULT_MAX_LINE_LEN,
         }
     }
 }
@@ -266,7 +273,10 @@ impl ServeSnapshot {
 
 /// The fingerprint a [`ServeSnapshot`] carries for `cfg`.
 pub fn serve_fingerprint(cfg: &EngineConfig) -> String {
-    let json = serde_json::to_string(cfg).expect("config serializes");
+    // A config that cannot serialize fingerprints as the empty string —
+    // deterministic on both the write and verify sides, so it still
+    // round-trips instead of panicking the daemon.
+    let json = serde_json::to_string(cfg).unwrap_or_default();
     config_fingerprint(&json)
 }
 
@@ -315,6 +325,9 @@ pub struct ServeArgs {
     pub resume_path: Option<PathBuf>,
     /// Stop gracefully after this many executed epochs (this run).
     pub drain_after_epochs: Option<u64>,
+    /// TCP network plane (`None` = no listeners). Runtime-only: network
+    /// activity never shapes the `--sim-time` metrics stream.
+    pub net: Option<NetConfig>,
 }
 
 impl Default for ServeArgs {
@@ -333,6 +346,7 @@ impl Default for ServeArgs {
             control: ControlBackend::None,
             resume_path: None,
             drain_after_epochs: None,
+            net: None,
         }
     }
 }
@@ -405,6 +419,9 @@ pub struct ServeSummary {
     pub floor_held: Option<bool>,
     /// Mean goodput over executed epochs (rps per server).
     pub mean_goodput_rps: f64,
+    /// Network-plane counters (`None` when no listener was configured).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub net: Option<NetSummary>,
 }
 
 /// SIGTERM latch. Registering a handler that only stores an atomic is
@@ -430,9 +447,12 @@ fn install_sigterm_handler() {
 #[cfg(not(unix))]
 fn install_sigterm_handler() {}
 
-/// Atomic file replace: write to a sibling tmp, fsync, rename.
+/// Atomic file replace: write to a sibling tmp, fsync, rename. The tmp
+/// name carries the pid so two daemons pointed at the same path can
+/// never interleave halves of each other's writes; a reader (watchdog,
+/// subscriber replay) sees either the old file or the new one, whole.
 fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     {
         let mut f = fs::File::create(&tmp)?;
         f.write_all(contents.as_bytes())?;
@@ -517,20 +537,6 @@ enum FeedSource {
     Live(mpsc::Receiver<String>),
 }
 
-fn parse_feed_line(line: &str) -> Option<f64> {
-    let line = line.trim();
-    if line.is_empty() {
-        return None;
-    }
-    if let Ok(v) = line.parse::<f64>() {
-        return v.is_finite().then_some(v.max(0.0));
-    }
-    let v: serde_json::Value = serde_json::from_str(line).ok()?;
-    let w = v.get("supply_w").or_else(|| v.get("re_supply_w"))?;
-    let w = w.as_number()?.as_f64();
-    w.is_finite().then_some(w.max(0.0))
-}
-
 fn open_feed(path: &Path, sim_time: bool) -> Result<FeedSource, ServeError> {
     let is_stdin = path.as_os_str() == "-";
     if sim_time {
@@ -592,6 +598,13 @@ impl ServerControl for AnyControl {
     }
 }
 
+/// The serve driver's handle on a running network plane: the shared
+/// state for publish/drain/counters, plus the bounded ingest channel.
+struct NetHandle {
+    shared: Arc<NetShared>,
+    rx: mpsc::Receiver<f64>,
+}
+
 /// The serve driver: implements [`EpochHooks`] over the engine loop.
 struct ServeDriver {
     opts: ServeOptions,
@@ -603,6 +616,7 @@ struct ServeDriver {
     tick_budget: Option<Duration>,
     tick_started: Option<Instant>,
     feed: Option<FeedSource>,
+    net: Option<NetHandle>,
     metrics: MetricsSink,
     heartbeat_path: Option<PathBuf>,
     snapshot_path: Option<PathBuf>,
@@ -625,14 +639,36 @@ struct ServeDriver {
 }
 
 impl ServeDriver {
-    fn take_feed_sample(&mut self) -> Option<f64> {
+    /// Drain the network ingest channel. In sim-time the frames were
+    /// already validated and counted by the plane but may not shape the
+    /// deterministic stream, so the freshest reading is discarded here;
+    /// in real time it outranks the file feed (a socket sensor is the
+    /// more live source).
+    fn poll_net_sample(&mut self) -> Option<f64> {
+        let net = self.net.as_ref()?;
+        let mut fresh: Option<f64> = None;
+        while let Ok(w) = net.rx.try_recv() {
+            fresh = Some(w);
+        }
+        if self.sim_time {
+            None
+        } else {
+            fresh
+        }
+    }
+
+    /// Drain the `--feed` source: one line per tick from a preloaded
+    /// file (deterministic cursor), everything pending from a live
+    /// reader. Oversized and unparseable lines count as malformed.
+    fn poll_feed_sample(&mut self) -> Option<f64> {
         let feed = self.feed.as_mut()?;
+        let cap = self.opts.max_line_len;
         let mut fresh: Option<f64> = None;
         match feed {
             FeedSource::Preloaded(lines) => {
                 if let Some(line) = lines.get(self.side.feed_cursor as usize) {
                     self.side.feed_cursor += 1;
-                    match parse_feed_line(line) {
+                    match (line.len() <= cap).then(|| parse_frame(line)).flatten() {
                         Some(w) => fresh = Some(w),
                         None => self.side.feed_malformed += 1,
                     }
@@ -642,14 +678,30 @@ impl ServeDriver {
                 // Drain everything pending; the newest reading wins.
                 while let Ok(line) = rx.try_recv() {
                     self.side.feed_cursor += 1;
-                    match parse_feed_line(&line) {
+                    match (line.len() <= cap).then(|| parse_frame(&line)).flatten() {
                         Some(w) => fresh = Some(w),
                         None => self.side.feed_malformed += 1,
                     }
                 }
             }
         }
-        match fresh {
+        fresh
+    }
+
+    /// True when any telemetry source can go stale: a feed, or the
+    /// network ingest in real time (sim-time network frames are counted
+    /// but deliberately outside the stream).
+    fn live_telemetry(&self) -> bool {
+        self.feed.is_some() || (self.net.is_some() && !self.sim_time)
+    }
+
+    fn take_telemetry_sample(&mut self) -> Option<f64> {
+        let net_fresh = self.poll_net_sample();
+        let feed_fresh = self.poll_feed_sample();
+        if !self.live_telemetry() {
+            return None;
+        }
+        match net_fresh.or(feed_fresh) {
             Some(w) => {
                 self.side.feed_stale_streak = 0;
                 self.side.last_feed_w = Some(w);
@@ -669,8 +721,8 @@ impl ServeDriver {
         }
     }
 
-    fn feed_is_stale(&self) -> bool {
-        self.feed.is_some() && self.side.feed_stale_streak >= self.opts.stale_after_epochs
+    fn telemetry_is_stale(&self) -> bool {
+        self.live_telemetry() && self.side.feed_stale_streak >= self.opts.stale_after_epochs
     }
 
     fn write_heartbeat(&self, k: u64, t: SimTime) {
@@ -680,8 +732,15 @@ impl ServeDriver {
         let unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_millis() as u64);
+        // The heartbeat carries the network counters so a watchdog sees
+        // plane health without opening a socket of its own.
+        let net_part = self
+            .net
+            .as_ref()
+            .and_then(|n| serde_json::to_string(&n.shared.summary()).ok())
+            .map_or(String::new(), |j| format!(",\"net\":{j}"));
         let line = format!(
-            "{{\"epoch\":{k},\"sim_time_s\":{:.3},\"ticks\":{},\"wall_unix_ms\":{unix_ms}}}\n",
+            "{{\"epoch\":{k},\"sim_time_s\":{:.3},\"ticks\":{},\"wall_unix_ms\":{unix_ms}{net_part}}}\n",
             t.as_secs_f64(),
             self.side.ticks
         );
@@ -789,13 +848,13 @@ impl EpochHooks for ServeDriver {
             self.side.overrun_ticks += 1;
         }
 
-        let supply_w = self.take_feed_sample();
+        let supply_w = self.take_telemetry_sample();
         let plan_stale = self
             .opts
             .disturbances
             .as_ref()
             .is_some_and(|p| p.is_stale(k));
-        let stale = plan_stale || self.feed_is_stale();
+        let stale = plan_stale || self.telemetry_is_stale();
         self.cur_stale = stale;
         if stale {
             self.side.stale_epochs += 1;
@@ -828,8 +887,19 @@ impl EpochHooks for ServeDriver {
                 clamped: self.side.control_clamped - clamped_before,
                 record: *rec,
             };
-            let json = serde_json::to_string(&line).expect("metrics line serializes");
-            self.side.dropped_metrics_lines += self.metrics.push(json);
+            match serde_json::to_string(&line) {
+                Ok(json) => {
+                    // Fan the identical bytes out to TCP subscribers;
+                    // publish never blocks (drop-oldest per subscriber).
+                    if let Some(net) = &self.net {
+                        net.shared.publish(k, json.clone());
+                    }
+                    self.side.dropped_metrics_lines += self.metrics.push(json);
+                }
+                // A line that cannot serialize is a dropped line, not a
+                // dead control loop.
+                Err(_) => self.side.dropped_metrics_lines += 1,
+            }
             let stalled = self
                 .opts
                 .disturbances
@@ -845,7 +915,11 @@ impl EpochHooks for ServeDriver {
         let drain = TERM_REQUESTED.load(Ordering::SeqCst)
             || self
                 .drain_after
-                .is_some_and(|d| self.executed_this_run >= d);
+                .is_some_and(|d| self.executed_this_run >= d)
+            || self
+                .net
+                .as_ref()
+                .is_some_and(|n| n.shared.drain_requested());
         if drain {
             self.drained = true;
             return false;
@@ -982,6 +1056,29 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         None => None,
     };
 
+    // The network plane starts after the fresh-start metrics truncation
+    // above, so `?from_epoch=` replay can never serve a stale run's
+    // lines. Telemetry frames flow through a bounded channel; overflow
+    // is counted by the plane, never blocking a sender or the loop.
+    let mut net_plane: Option<NetPlane> = None;
+    let mut net_handle: Option<NetHandle> = None;
+    if let Some(netcfg) = &args.net {
+        netcfg.validate().map_err(ServeError::Config)?;
+        let (tx, rx) = mpsc::sync_channel(1024);
+        let plane = NetPlane::start(netcfg, tx, args.metrics_path.clone())?;
+        if let Some(a) = plane.addrs.listen {
+            eprintln!("serve: listening on {a}");
+        }
+        if let Some(a) = plane.addrs.metrics {
+            eprintln!("serve: metrics listener on {a}");
+        }
+        net_handle = Some(NetHandle {
+            shared: plane.shared(),
+            rx,
+        });
+        net_plane = Some(plane);
+    }
+
     let controls: Vec<FlakyControl<AnyControl>> = match &args.control {
         ControlBackend::None => Vec::new(),
         ControlBackend::Sim => (0..n)
@@ -1016,6 +1113,7 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         tick_budget: args.tick_budget_ms.map(Duration::from_millis),
         tick_started: None,
         feed,
+        net: net_handle,
         metrics: MetricsSink::new(args.metrics_path.clone(), args.options.metrics_buffer),
         heartbeat_path: args.heartbeat_path.clone(),
         snapshot_path: args.snapshot_path.clone(),
@@ -1049,6 +1147,11 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
     // cleanly (or drains) leaves no line hostage to the buffer.
     driver.metrics.drain();
 
+    // Stop the plane after the final drain: subscribers get every
+    // emitted line flushed before the FIN, reader connections are
+    // slammed, every thread joins (bounded by the connection timeouts).
+    let net_summary = net_plane.map(NetPlane::stop);
+
     let drained = driver.drained || outcome.epochs.len() < n_epochs as usize;
     // Floor judgment needs a like-for-like Normal baseline; a drained
     // run's truncated window has none, so the field stays None there.
@@ -1079,6 +1182,7 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         guardrail_events: report.guardrail_events.clone(),
         floor_held,
         mean_goodput_rps: report.mean_goodput_rps,
+        net: net_summary,
     })
 }
 
@@ -1140,16 +1244,37 @@ mod tests {
     }
 
     #[test]
-    fn feed_lines_parse_plain_json_and_garbage() {
-        assert_eq!(parse_feed_line("412.5"), Some(412.5));
-        assert_eq!(parse_feed_line("  300 "), Some(300.0));
-        assert_eq!(parse_feed_line("-17"), Some(0.0), "supply clamps at zero");
-        assert_eq!(parse_feed_line("{\"supply_w\": 250.0}"), Some(250.0));
-        assert_eq!(parse_feed_line("{\"re_supply_w\": 99}"), Some(99.0));
-        assert_eq!(parse_feed_line(""), None);
-        assert_eq!(parse_feed_line("potato"), None);
-        assert_eq!(parse_feed_line("{\"watts\": 5}"), None);
-        assert_eq!(parse_feed_line("NaN"), None);
+    fn atomic_writes_never_expose_a_torn_file() {
+        let dir = std::env::temp_dir().join("gs_serve_atomic_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("heartbeat.json");
+        // Two payloads of very different lengths: a torn write would
+        // show a prefix of the long one or a mix of both.
+        let short = "{\"epoch\":1}\n".to_string();
+        let long = format!("{{\"epoch\":2,\"pad\":\"{}\"}}\n", "x".repeat(4096));
+        write_atomic(&path, &short).unwrap();
+        let writer = {
+            let (path, short, long) = (path.clone(), short.clone(), long.clone());
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    let payload = if i % 2 == 0 { &long } else { &short };
+                    write_atomic(&path, payload).unwrap();
+                }
+            })
+        };
+        let mut reads = 0u32;
+        while !writer.is_finished() {
+            let text = fs::read_to_string(&path).unwrap();
+            assert!(
+                text == short || text == long,
+                "torn heartbeat observed ({} bytes)",
+                text.len()
+            );
+            reads += 1;
+        }
+        writer.join().unwrap();
+        assert!(reads > 0, "the reader must actually race the writer");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

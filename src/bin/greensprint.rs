@@ -1455,6 +1455,11 @@ fn serve_cmd(flags: &HashMap<String, String>) {
         metrics_buffer: get(flags, "metrics-buffer", 1024_usize),
         snapshot_every: get(flags, "snapshot-every", 10_u64),
         control_retries: get(flags, "retries", 2_u32),
+        max_line_len: get(
+            flags,
+            "max-line-len",
+            greensprint::net::DEFAULT_MAX_LINE_LEN,
+        ),
     };
     if options.metrics_buffer == 0 {
         usage("--metrics-buffer must be at least 1");
@@ -1471,6 +1476,35 @@ fn serve_cmd(flags: &HashMap<String, String>) {
         }
         other => usage(&format!("--control takes none|sim|sysfs, got {other}")),
     };
+
+    // Network plane: any of the listener flags turns it on; the knob
+    // flags are validated here (exit 2) before the daemon starts.
+    let net_flags_used = ["listen", "metrics-listen", "admin-token"]
+        .iter()
+        .any(|f| flags.contains_key(*f));
+    let net = net_flags_used.then(|| {
+        let netcfg = NetConfig {
+            listen: flags.get("listen").cloned(),
+            metrics_listen: flags.get("metrics-listen").cloned(),
+            admin_token: flags.get("admin-token").cloned(),
+            max_conns: get(flags, "max-conns", greensprint::net::DEFAULT_MAX_CONNS),
+            conn_timeout_ms: get(
+                flags,
+                "conn-timeout-ms",
+                greensprint::net::DEFAULT_CONN_TIMEOUT_MS,
+            ),
+            max_line_len: options.max_line_len,
+            ..NetConfig::default()
+        };
+        if let Err(e) = netcfg.validate() {
+            usage(&e);
+        }
+        netcfg
+    });
+    if !net_flags_used && (flags.contains_key("max-conns") || flags.contains_key("conn-timeout-ms"))
+    {
+        usage("--max-conns/--conn-timeout-ms need a listener: pass --listen or --metrics-listen");
+    }
 
     let args = ServeArgs {
         cfg,
@@ -1490,6 +1524,7 @@ fn serve_cmd(flags: &HashMap<String, String>) {
         drain_after_epochs: flags
             .contains_key("drain-after")
             .then(|| get(flags, "drain-after", 0_u64)),
+        net,
     };
 
     let summary = serve(args).unwrap_or_else(|e| match e {
@@ -1499,6 +1534,9 @@ fn serve_cmd(flags: &HashMap<String, String>) {
     let text = serde_json::to_string_pretty(&summary)
         .unwrap_or_else(|e| fatal(&format!("cannot serialize serve summary: {e}")));
     println!("{text}");
+    if let Some(n) = &summary.net {
+        eprint!("{}", greensprint::report::net_plane_summary(n));
+    }
     // A completed run that lost the Normal floor or tripped the auditor is
     // an operational failure, same contract as `chaos`.
     if summary.audit_violations > 0 || summary.floor_held == Some(false) {
@@ -1556,7 +1594,9 @@ usage:
                        [--overrun skip|degrade] [--stale-after N] [--disturb-seed N]
                        [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]
                        [--feed FILE|-] [--control none|sim|sysfs] [--sysfs-root DIR] [--retries N]
-                       [--resume FILE] [--drain-after N] [--metrics-buffer N] [engine flags]
+                       [--resume FILE] [--drain-after N] [--metrics-buffer N]
+                       [--listen ADDR] [--metrics-listen ADDR] [--admin-token SECRET]
+                       [--max-conns N] [--conn-timeout-ms N] [engine flags]
                        run the controller as a crash-tolerant daemon: trace replay at
                        --rate sim-seconds per wall-second (or --sim-time at full speed),
                        an optional line-delimited supply feed whose silence routes into
@@ -1564,7 +1604,12 @@ usage:
                        budgets with an explicit overrun policy, bounded deterministic
                        actuation retries, a drop-oldest metrics buffer, a heartbeat
                        file, SIGTERM drain, and --resume restart from the last snapshot
-                       with a byte-identical --sim-time metrics stream
+                       with a byte-identical --sim-time metrics stream. --listen opens
+                       the TCP network plane (JSON-lines telemetry ingest in the --feed
+                       formats, SUB [?from_epoch=N] metrics fan-out with gap-free
+                       catch-up replay, STATUS/DRAIN admin gated by --admin-token),
+                       bounded by --max-conns (>= 1) and --conn-timeout-ms (> 0);
+                       network activity never perturbs the --sim-time metrics stream
   greensprint resume   FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
                        continue an interrupted run from its checkpoint: a sweep/chaos
                        journal re-runs only the missing points and prints the full result

@@ -72,6 +72,10 @@ pub mod prelude {
     pub use greensprint::guardrail::{
         Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord,
     };
+    pub use greensprint::net::{
+        admin_request, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultOp,
+        NetFaultPlan, NetHarnessReport, NetPlane, NetSummary,
+    };
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
     pub use greensprint::qlearning::{PolicyError, QLearner, TableStats};

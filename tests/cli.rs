@@ -453,6 +453,61 @@ fn malformed_trace_csv_is_a_usage_error() {
 }
 
 #[test]
+fn serve_net_flags_validate_with_exit_2() {
+    // Each bad knob is a usage error (exit 2) before any socket binds.
+    let cases: [(&[&str], &str); 4] = [
+        (
+            &[
+                "serve",
+                "--sim-time",
+                "--listen",
+                "127.0.0.1:0",
+                "--max-conns",
+                "0",
+            ],
+            "--max-conns must be >= 1",
+        ),
+        (
+            &[
+                "serve",
+                "--sim-time",
+                "--listen",
+                "127.0.0.1:0",
+                "--conn-timeout-ms",
+                "0",
+            ],
+            "--conn-timeout-ms must be > 0",
+        ),
+        (
+            &[
+                "serve",
+                "--sim-time",
+                "--listen",
+                "127.0.0.1:0",
+                "--max-line-len",
+                "8",
+            ],
+            "max line length must be >= 64",
+        ),
+        // Net knobs without a listener are a contradiction, not a no-op.
+        (
+            &["serve", "--sim-time", "--max-conns", "4"],
+            "need a listener",
+        ),
+    ];
+    for (args, want) in cases {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_greensprint"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(want), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let (_, stderr, ok) = run(&["simulate", "--app", "quake"]);
     assert!(!ok);

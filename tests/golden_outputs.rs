@@ -196,6 +196,92 @@ fn golden_chaos_lines_are_byte_identical() {
     check("chaos.jsonl", &jsonl(&results));
 }
 
+/// The `serve --sim-time` metrics stream for a disturbed run, captured
+/// as golden bytes — then reproduced byte-for-byte with the network
+/// plane listening and a client injecting frames mid-run. Sim-time
+/// ingest is counted by the plane but never routed into the stream;
+/// this is the determinism contract the net layer must honor.
+#[test]
+fn golden_serve_metrics_are_byte_identical_with_and_without_networking() {
+    use std::sync::{Arc, OnceLock};
+
+    let dir = std::env::temp_dir().join(format!("gs-golden-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let cfg = EngineConfig {
+        burst_duration: SimDuration::from_mins(30),
+        measurement: MeasurementMode::Analytic,
+        seed: SEEDS[0],
+        ..EngineConfig::default()
+    };
+    let n_epochs = cfg.burst_duration.div_duration(cfg.epoch).unwrap();
+    let args = |metrics: PathBuf| ServeArgs {
+        cfg: cfg.clone(),
+        options: ServeOptions {
+            disturbances: Some(DisturbancePlan::generate(3, n_epochs)),
+            ..ServeOptions::default()
+        },
+        sim_time: true,
+        control: ControlBackend::Sim,
+        metrics_path: Some(metrics),
+        ..ServeArgs::default()
+    };
+
+    let quiet = dir.join("quiet.jsonl");
+    let summary = serve(args(quiet.clone())).expect("quiet serve");
+    assert_eq!(summary.audit_violations, 0);
+    let quiet_text = std::fs::read_to_string(&quiet).expect("metrics written");
+    check("serve_metrics.jsonl", &quiet_text);
+
+    // Same run with listeners up and a client hammering the ingest
+    // port: the stream must still hit the same golden bytes.
+    let ready: Arc<OnceLock<NetAddrs>> = Arc::new(OnceLock::new());
+    let client = {
+        let ready = ready.clone();
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+            let addr = loop {
+                if let Some(a) = ready.get().and_then(|a| a.listen) {
+                    break a;
+                }
+                assert!(std::time::Instant::now() < deadline, "plane never bound");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            };
+            let mut s = std::net::TcpStream::connect(addr).expect("connect");
+            for k in 0..20 {
+                let frame: &[u8] = if k % 3 == 2 {
+                    b"gibberish\n"
+                } else {
+                    b"123.0\n"
+                };
+                if s.write_all(frame).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+    let noisy = dir.join("noisy.jsonl");
+    let mut noisy_args = args(noisy.clone());
+    noisy_args.throttle_ms = 5; // pacing only; never enters the stream
+    noisy_args.net = Some(NetConfig {
+        listen: Some("127.0.0.1:0".to_string()),
+        ready: Some(ready.clone()),
+        ..NetConfig::default()
+    });
+    let summary = serve(noisy_args).expect("noisy serve");
+    client.join().expect("client thread");
+    let net = summary.net.expect("net summary present");
+    assert!(
+        net.frames_received > 0,
+        "the client's frames landed: {net:?}"
+    );
+    let noisy_text = std::fs::read_to_string(&noisy).expect("metrics written");
+    check("serve_metrics.jsonl", &noisy_text);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn golden_outcomes_survive_snapshot_resume() {
     // One seed per family: snapshot mid-run, resume from the captured

@@ -179,6 +179,63 @@ fn sigkilled_then_resumed_stream_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// An empty `--feed` file is a live-but-silent sensor: nothing parses,
+/// nothing crashes, and the PSS staleness path engages once the silence
+/// outlasts `stale_after_epochs`. No disturbance plan here, so the
+/// staleness arithmetic is exact.
+#[test]
+fn empty_feed_file_counts_nothing_and_goes_stale() {
+    let dir = tmp_dir("feed-empty");
+    let feed = dir.join("feed.txt");
+    std::fs::write(&feed, "").unwrap();
+
+    let mut args = sim_args(serve_cfg(20), 3);
+    args.options.disturbances = None;
+    args.feed_path = Some(feed);
+    let summary = serve(args).expect("empty feed must not error");
+
+    assert_eq!(summary.epochs_executed, 20);
+    assert_eq!(summary.feed_malformed, 0, "an empty file has no bad lines");
+    // The silence streak hits stale_after_epochs (3) at epoch 2 and
+    // never recovers: 18 of 20 epochs are declared stale.
+    assert_eq!(summary.stale_epochs, 18, "{summary:?}");
+    assert_eq!(summary.audit_violations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Oversized frames, interleaved garbage, and an EOF-mid-line tail are
+/// counted as malformed — never fatal — while the valid lines between
+/// them keep telemetry fresh and short silences ride the held reading.
+#[test]
+fn malformed_feed_lines_are_counted_not_fatal() {
+    let dir = tmp_dir("feed-bad");
+    let feed = dir.join("feed.txt");
+    let oversized = "9".repeat(300); // digits, so only the cap rejects it
+                                     // 6 malformed: oversized, corrupt JSON, prose, an empty line, a JSON
+                                     // frame without a supply field, and a line truncated by EOF.
+    let mut text = format!(
+        "250.0\n{oversized}\n{{\"supply_w\": bogus}}\n275.5\nnot a number\n\n\
+         {{\"epoch\": 7}}\n{{\"supply_w\":300.0}}\n"
+    );
+    text.push_str("{\"supply_w\": 2"); // EOF mid-line, no newline
+    std::fs::write(&feed, text).unwrap();
+
+    let mut args = sim_args(serve_cfg(20), 3);
+    args.options.disturbances = None;
+    args.options.max_line_len = 128;
+    args.feed_path = Some(feed);
+    let summary = serve(args).expect("malformed feed must not error");
+
+    assert_eq!(summary.epochs_executed, 20);
+    assert_eq!(summary.feed_malformed, 6, "{summary:?}");
+    // Valid samples land at epochs 0, 3, and 7 (one line per epoch);
+    // the malformed runs around them stay under the 3-epoch threshold
+    // except epoch 6, and the post-EOF silence goes stale from epoch 10.
+    assert_eq!(summary.stale_epochs, 11, "{summary:?}");
+    assert_eq!(summary.audit_violations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fault_storm_never_panics_and_holds_the_floor() {
     // The acceptance storm: engine-level faults (stale RE telemetry, lost
