@@ -56,11 +56,11 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::fleet::EngineScratch;
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
-use crate::supervisor::backoff_ms;
+use crate::supervisor::{backoff_ms, panic_message};
 use gs_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// EWMA-style smoothing weight on the surplus-driven share: a factor is
 /// `(1 − β)` of an even split plus `β` of the rack's surplus share, so
@@ -77,8 +77,9 @@ const LINK_RETRIES: u32 = 3;
 /// decorrelated from every engine and generator stream.
 const LINK_SALT: u64 = 0x006c_696e_6b21;
 /// A computed factor at or below this is treated as "drained" when
-/// counting re-routed epochs.
-const REROUTE_EPS: f64 = 0.01;
+/// counting re-routed epochs. Shared with [`crate::serve`]'s multi-rack
+/// orchestrator so both planes count reroutes identically.
+pub(crate) const REROUTE_EPS: f64 = 0.01;
 
 /// The broker's belief about one rack, refreshed from telemetry each
 /// epoch (or held stale across a partition).
@@ -100,7 +101,7 @@ pub struct RackBelief {
 
 impl RackBelief {
     /// The pre-telemetry belief for a healthy rack of `n` servers.
-    fn initial(n: usize) -> Self {
+    pub(crate) fn initial(n: usize) -> Self {
         RackBelief {
             re_supply_w: 0.0,
             battery_soc: 1.0,
@@ -218,9 +219,11 @@ pub struct DatacenterSnapshot {
 }
 
 impl DatacenterSnapshot {
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("datacenter snapshot serializes")
+    /// Serialize to JSON. Serialization of a plain data snapshot only
+    /// fails on allocator-level trouble; the error is surfaced (not
+    /// panicked) so a checkpoint writer can log and continue the run.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("datacenter snapshot serialize: {e}"))
     }
 
     /// Parse a snapshot from JSON.
@@ -234,7 +237,9 @@ impl DatacenterSnapshot {
 /// a code or config change fails fast instead of continuing a run whose
 /// physics changed underneath it.
 pub fn datacenter_fingerprint(cfg: &DatacenterConfig) -> String {
-    let json = serde_json::to_string(cfg).expect("datacenter config serializes");
+    // A config that cannot serialize fingerprints as "" on both the
+    // write and the resume side, so the comparison still behaves.
+    let json = serde_json::to_string(cfg).unwrap_or_default();
     fingerprint(&[DC_CHECKPOINT_SCHEMA, env!("CARGO_PKG_VERSION"), &json])
 }
 
@@ -393,16 +398,19 @@ impl JobGate {
         }
     }
 
+    // The gate only ever holds a counter, so a poisoned lock (some rack
+    // panicked while holding it) still carries a usable value: ride the
+    // poison rather than cascading the panic into every sibling rack.
     fn acquire(&self) {
-        let mut p = self.permits.lock().expect("job gate poisoned");
+        let mut p = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
         while *p == 0 {
-            p = self.cv.wait(p).expect("job gate poisoned");
+            p = self.cv.wait(p).unwrap_or_else(PoisonError::into_inner);
         }
         *p -= 1;
     }
 
     fn release(&self) {
-        *self.permits.lock().expect("job gate poisoned") += 1;
+        *self.permits.lock().unwrap_or_else(PoisonError::into_inner) += 1;
         self.cv.notify_one();
     }
 }
@@ -437,7 +445,11 @@ struct RackHooks<'a> {
 
 impl EpochHooks for RackHooks<'_> {
     fn before_epoch(&mut self, _k: u64, _t: SimTime) -> TickDirective {
-        let dir = self.dir_rx.recv().expect("broker disconnected mid-run");
+        // A closed directive channel means the broker died mid-run. The
+        // rack degrades to local autonomy (exactly as for a lost link)
+        // and runs its window out, so the broker's error path can still
+        // join every rack and report one coherent failure.
+        let dir = self.dir_rx.recv().unwrap_or(RackDirective::Lost);
         self.gate.acquire();
         let f = match dir {
             RackDirective::Deliver(f) => {
@@ -470,9 +482,9 @@ impl EpochHooks for RackHooks<'_> {
 
 /// The baseline driver: replay the applied factors of the strategy run so
 /// the Normal floor is judged like-for-like through blackouts and
-/// partitions.
-struct ReplayHooks<'a> {
-    factors: &'a [f64],
+/// partitions. Shared with [`crate::serve`]'s multi-rack floor judgment.
+pub(crate) struct ReplayHooks<'a> {
+    pub(crate) factors: &'a [f64],
 }
 
 impl EpochHooks for ReplayHooks<'_> {
@@ -489,26 +501,39 @@ impl EpochHooks for ReplayHooks<'_> {
 /// (their load re-routes to survivors), and each survivor's share blends
 /// an even split with its renewable-surplus share.
 fn compute_factors(st: &BrokerState, cfg: &DatacenterConfig) -> Vec<f64> {
-    let n = cfg.racks.len();
-    if !st.has_telemetry {
+    let rack_servers: Vec<usize> = cfg.racks.iter().map(|r| r.green.green_servers).collect();
+    conserved_factors(&st.beliefs, &rack_servers, st.has_telemetry)
+}
+
+/// The conserved-allocation core shared by the batch broker and
+/// [`crate::serve`]'s multi-rack orchestrator: given per-rack beliefs
+/// and rack sizes, produce factors summing to exactly the rack count,
+/// with dark racks at zero and survivors blending an even split with
+/// their renewable-surplus share.
+pub(crate) fn conserved_factors(
+    beliefs: &[RackBelief],
+    rack_servers: &[usize],
+    has_telemetry: bool,
+) -> Vec<f64> {
+    let n = beliefs.len();
+    if !has_telemetry {
         return vec![1.0; n];
     }
-    let scores: Vec<f64> = st
-        .beliefs
+    let scores: Vec<f64> = beliefs
         .iter()
         .enumerate()
         .map(|(r, b)| {
             if b.live_servers == 0 {
                 0.0
             } else {
-                let n_srv = cfg.racks[r].green.green_servers as f64;
+                let n_srv = rack_servers.get(r).copied().unwrap_or(1) as f64;
                 let live_frac = b.live_servers as f64 / n_srv.max(1.0);
                 (b.re_supply_w.max(0.0) + SOC_WEIGHT_W * b.battery_soc.clamp(0.0, 1.0) * n_srv)
                     * live_frac
             }
         })
         .collect();
-    let alive: Vec<usize> = (0..n).filter(|&r| st.beliefs[r].live_servers > 0).collect();
+    let alive: Vec<usize> = (0..n).filter(|&r| beliefs[r].live_servers > 0).collect();
     if alive.is_empty() {
         // The whole fleet is believed dark: there is nowhere to shed load,
         // so every rack keeps its nominal share.
@@ -629,7 +654,7 @@ fn run_stepped(
     let mut dir_txs: Vec<mpsc::Sender<RackDirective>> = Vec::with_capacity(n);
     let mut msg_rxs: Vec<mpsc::Receiver<RackMsg>> = Vec::with_capacity(n);
 
-    let mains: Vec<(BurstOutcome, crate::monitor::Monitor, Option<String>)> =
+    let mains: Result<Vec<(BurstOutcome, crate::monitor::Monitor, Option<String>)>, String> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|i| {
@@ -667,18 +692,33 @@ fn run_stepped(
                 })
                 .collect();
 
-            for k in start_k..n_epochs {
+            // A rack death (panicked worker, closed channel, protocol
+            // slip) aborts the epoch loop with a typed failure; the
+            // joined panic messages are appended below so the caller
+            // sees one coherent error instead of a broker panic.
+            let mut failure: Option<String> = None;
+            'epochs: for k in start_k..n_epochs {
                 // Snapshot boundary: every rack captures its LoopState at
                 // the top of epoch k (before receiving the directive), so
                 // the broker pairs those captures with its own
                 // pre-epoch-k state.
                 if snapshot_every > 0 && k > start_k && k % snapshot_every == 0 {
                     let mut rack_states = Vec::with_capacity(n);
-                    for rx in msg_rxs.iter() {
-                        match rx.recv().expect("rack disconnected at snapshot") {
-                            RackMsg::Snapshot(s) => rack_states.push(*s),
-                            RackMsg::Report(_) => {
-                                unreachable!("telemetry before snapshot at epoch boundary")
+                    for (r, rx) in msg_rxs.iter().enumerate() {
+                        match rx.recv() {
+                            Ok(RackMsg::Snapshot(s)) => rack_states.push(*s),
+                            Ok(RackMsg::Report(_)) => {
+                                failure = Some(format!(
+                                    "protocol error: rack {r} sent telemetry in place of its \
+                                     epoch {k} boundary snapshot"
+                                ));
+                                break 'epochs;
+                            }
+                            Err(_) => {
+                                failure = Some(format!(
+                                    "rack {r} disconnected at the epoch {k} snapshot boundary"
+                                ));
+                                break 'epochs;
                             }
                         }
                     }
@@ -760,7 +800,12 @@ fn run_stepped(
                         (RackDirective::Deliver(computed_k[r]), computed_k[r])
                     };
                     applied_k[r] = applied;
-                    dir_txs[r].send(directive).expect("rack disconnected");
+                    if dir_txs[r].send(directive).is_err() {
+                        failure = Some(format!(
+                            "rack {r} disconnected receiving its epoch {k} directive"
+                        ));
+                        break 'epochs;
+                    }
                 }
                 if computed_k.iter().any(|&f| f <= REROUTE_EPS)
                     && computed_k.iter().any(|&f| f > 1.0 + REROUTE_EPS)
@@ -773,10 +818,18 @@ fn run_stepped(
                 // Telemetry in rack-index order: the aggregation order —
                 // not thread completion order — defines the result.
                 for (r, rx) in msg_rxs.iter().enumerate() {
-                    let rec = match rx.recv().expect("rack disconnected mid-epoch") {
-                        RackMsg::Report(rec) => rec,
-                        RackMsg::Snapshot(_) => {
-                            unreachable!("snapshot in place of telemetry")
+                    let rec = match rx.recv() {
+                        Ok(RackMsg::Report(rec)) => rec,
+                        Ok(RackMsg::Snapshot(_)) => {
+                            failure = Some(format!(
+                                "protocol error: rack {r} sent a snapshot in place of its \
+                                 epoch {k} telemetry"
+                            ));
+                            break 'epochs;
+                        }
+                        Err(_) => {
+                            failure = Some(format!("rack {r} disconnected during epoch {k}"));
+                            break 'epochs;
                         }
                     };
                     if partitioned(site, k, r, start, epoch) {
@@ -817,14 +870,28 @@ fn run_stepped(
                 st.next_epoch = k + 1;
             }
 
-            // All directives delivered; dropping the senders lets any
-            // still-blocked rack fail loudly instead of hanging.
+            // All directives delivered (or the loop aborted); dropping
+            // the senders releases any still-blocked rack into local
+            // autonomy so every thread can be joined.
             drop(dir_txs);
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rack simulation panicked"))
-                .collect()
+            let mut outs = Vec::with_capacity(n);
+            let mut panics: Vec<String> = Vec::new();
+            for (r, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(out) => outs.push(out),
+                    Err(p) => {
+                        panics.push(format!("rack {r} panicked: {}", panic_message(p.as_ref())));
+                    }
+                }
+            }
+            match (failure, panics.is_empty()) {
+                (None, true) => Ok(outs),
+                (Some(msg), true) => Err(msg),
+                (None, false) => Err(panics.join("; ")),
+                (Some(msg), false) => Err(format!("{msg}: {}", panics.join("; "))),
+            }
         });
+    let mains = mains?;
 
     // Baseline phase: replay each rack's applied factors under Normal so
     // the floor judgment is like-for-like through site faults. A Normal
@@ -835,7 +902,7 @@ fn run_stepped(
         .map(|r| st.applied.iter().map(|row| row[r]).collect())
         .collect();
     let gate = JobGate::new(jobs);
-    let baselines: Vec<Option<BurstOutcome>> = std::thread::scope(|scope| {
+    let baselines: Result<Vec<Option<BurstOutcome>>, String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|r| {
                 let cfg_r = &rack_cfgs[r];
@@ -864,11 +931,24 @@ fn run_stepped(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("baseline simulation panicked"))
-            .collect()
+        let mut outs = Vec::with_capacity(n);
+        let mut panics: Vec<String> = Vec::new();
+        for (r, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outs.push(out),
+                Err(p) => panics.push(format!(
+                    "rack {r} baseline panicked: {}",
+                    panic_message(p.as_ref())
+                )),
+            }
+        }
+        if panics.is_empty() {
+            Ok(outs)
+        } else {
+            Err(panics.join("; "))
+        }
     });
+    let baselines = baselines?;
 
     let outcomes: Vec<BurstOutcome> = mains
         .into_iter()
@@ -1153,12 +1233,51 @@ mod tests {
         assert_eq!(mid.broker.next_epoch, 4);
         assert!(mid.broker.pinned[0].is_some(), "not mid-partition");
         // Round-trip through JSON, as a real crash recovery would.
-        let restored = DatacenterSnapshot::from_json(&mid.to_json()).unwrap();
+        let restored = DatacenterSnapshot::from_json(&mid.to_json().unwrap()).unwrap();
         let resumed = resume_datacenter_snapshot(restored, 3, 2, &mut |_| {}).unwrap();
         assert_eq!(
             serde_json::to_string(&uninterrupted).unwrap(),
             serde_json::to_string(&resumed).unwrap()
         );
+    }
+
+    #[test]
+    fn resume_mid_probation_replays_the_identical_rejoin_epoch() {
+        let mut cfg = fleet(3);
+        cfg.site_fault_plan = Some(FaultPlan::new(vec![site_event(
+            2,
+            FaultKind::BrokerPartition { rack: 0, epochs: 2 },
+        )]));
+        let mut snaps: Vec<DatacenterSnapshot> = Vec::new();
+        let uninterrupted =
+            run_datacenter_with_snapshots(&cfg, 2, 5, &mut |s| snaps.push(s.clone())).unwrap();
+        // One boundary at epoch 5: the partition (epochs 2..4) has
+        // healed, but rack 0 is still pinned, serving out its rejoin
+        // probation — the resume must replay the held-factor epochs and
+        // the identical rejoin epoch.
+        assert_eq!(snaps.len(), 1);
+        let mid = snaps[0].clone();
+        assert_eq!(mid.broker.next_epoch, 5);
+        assert!(mid.broker.pinned[0].is_some(), "not pinned mid-probation");
+        assert!(
+            mid.broker.probation_left[0] > 0 && mid.broker.probation_left[0] < REJOIN_EPOCHS,
+            "snapshot not mid-probation: {} epochs left",
+            mid.broker.probation_left[0]
+        );
+        let restored = DatacenterSnapshot::from_json(&mid.to_json().unwrap()).unwrap();
+        let resumed = resume_datacenter_snapshot(restored, 2, 5, &mut |_| {}).unwrap();
+        assert_eq!(
+            serde_json::to_string(&uninterrupted).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
+        assert_eq!(resumed.rejoins, 1);
+        // Local autonomy held one factor from the partition through the
+        // end of probation (epochs 2..=6), then fresh allocations flow.
+        let held = resumed.applied_factors[2][0];
+        for k in 2..=6usize {
+            assert_eq!(resumed.applied_factors[k][0], held, "epoch {k}");
+        }
+        assert_eq!(resumed.applied_factors[7][0], resumed.factors[7][0]);
     }
 
     #[test]

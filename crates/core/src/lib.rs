@@ -93,18 +93,19 @@ pub use guardrail::{
 pub use monitor::Monitor;
 pub use net::{
     admin_request, parse_frame, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultOp,
-    NetFaultPlan, NetHarnessReport, NetPlane, NetSummary,
+    NetFaultPlan, NetHarnessReport, NetPlane, NetSummary, RackStat,
 };
 pub use pmk::Strategy;
 pub use predictor::{ClearSkyIndexedPredictor, Predictor};
 pub use profiler::ProfileTable;
 pub use qlearning::{PolicyError, QLearner, TableStats};
 pub use serve::{
-    serve, ControlBackend, DisturbancePlan, OverrunPolicy, ServeArgs, ServeError, ServeOptions,
-    ServeSnapshot, ServeSummary,
+    serve, ControlBackend, DirectiveRow, DisturbancePlan, OverrunPolicy, ServeArgs,
+    ServeDcSideState, ServeError, ServeOptions, ServeSnapshot, ServeSummary, SERVE_SCHEMA_V2,
 };
 pub use supervisor::{
-    epoch_budget, run_supervised_sweep, FailureRecord, RetryRecord, SupervisorPolicy, SweepReport,
+    epoch_budget, panic_message, run_supervised_sweep, FailureRecord, RackHealth, RackSupervisor,
+    RetryRecord, SupervisorPolicy, SweepReport,
 };
 pub use sweep::{
     default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,
@@ -132,13 +133,14 @@ pub mod prelude {
     pub use crate::guardrail::{Guardrail, GuardrailConfig, GuardrailState, QuarantineRecord};
     pub use crate::net::{
         admin_request, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultPlan,
-        NetPlane, NetSummary,
+        NetPlane, NetSummary, RackStat,
     };
     pub use crate::pmk::Strategy;
     pub use crate::profiler::ProfileTable;
     pub use crate::qlearning::{PolicyError, QLearner};
     pub use crate::supervisor::{
-        epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
+        epoch_budget, run_supervised_sweep, RackHealth, RackSupervisor, SupervisorPolicy,
+        SweepReport,
     };
     pub use crate::sweep::{
         default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,

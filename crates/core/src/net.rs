@@ -16,12 +16,22 @@
 //!   through a bounded per-subscriber drop-oldest queue, so one slow
 //!   client can never stall the tick loop. `?from_epoch=` replays the
 //!   catch-up window from the metrics file plus an in-memory replay
-//!   ring, so a reconnecting subscriber sees a gap-free stream.
+//!   ring, so a reconnecting subscriber sees a gap-free stream. Under
+//!   `--racks N` the plane also carries per-rack topic lines (prefixed
+//!   `{"rack":R,`): the default stream filters them out so existing
+//!   tooling keeps seeing only the site aggregate, while
+//!   `SUB ?rack=R` (combinable as `?from_epoch=N&rack=R`) selects one
+//!   rack's topic. Rack topics are hub/ring-only — never in the durable
+//!   file — so their catch-up window is bounded by the replay ring.
 //! * **Control/admin** — `STATUS [token]` returns a one-line JSON
-//!   status; `DRAIN token` requests a graceful drain that rides the
-//!   same path as SIGTERM. `DRAIN` always requires a configured shared
-//!   secret; a mismatch is counted in `auth_rejects`. Requests are
-//!   subject to the same line-length cap.
+//!   status (including per-rack health under `--racks N`); `DRAIN
+//!   token` requests a graceful drain that rides the same path as
+//!   SIGTERM; `KILL-RACK R token` marks rack `R` for a worker kill at
+//!   the next epoch (exercising the supervised restart path) and
+//!   `RESTART-RACK R token` re-admits a quarantined rack. Every
+//!   mutating verb requires a configured shared secret; a mismatch is
+//!   counted in `auth_rejects`. Requests are subject to the same
+//!   line-length cap.
 //!
 //! All I/O lives on dedicated threads. Telemetry flows to the tick loop
 //! through a bounded channel (overflow counted, never blocking); metrics
@@ -214,6 +224,10 @@ pub struct NetSummary {
     pub auth_rejects: u64,
     /// Accepted `DRAIN` commands.
     pub drain_requests: u64,
+    /// Accepted `KILL-RACK` commands.
+    pub kill_rack_requests: u64,
+    /// Accepted `RESTART-RACK` commands.
+    pub restart_rack_requests: u64,
 }
 
 #[derive(Default)]
@@ -228,6 +242,8 @@ struct NetCounters {
     subscriber_drops: AtomicU64,
     auth_rejects: AtomicU64,
     drain_requests: AtomicU64,
+    kill_rack_requests: AtomicU64,
+    restart_rack_requests: AtomicU64,
 }
 
 impl NetCounters {
@@ -243,8 +259,24 @@ impl NetCounters {
             subscriber_drops: self.subscriber_drops.load(Ordering::Relaxed),
             auth_rejects: self.auth_rejects.load(Ordering::Relaxed),
             drain_requests: self.drain_requests.load(Ordering::Relaxed),
+            kill_rack_requests: self.kill_rack_requests.load(Ordering::Relaxed),
+            restart_rack_requests: self.restart_rack_requests.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One rack's live health as published to `STATUS` clients. Runtime
+/// observability only: nothing here enters the deterministic stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct RackStat {
+    /// Rack index.
+    pub rack: u32,
+    /// Supervision ladder rung: `live`, `degraded`, or `quarantined`.
+    pub health: String,
+    /// Restarts consumed out of the per-rack budget.
+    pub restarts: u32,
+    /// The rack's routed load factor this epoch.
+    pub factor: f64,
 }
 
 /// One subscriber's bounded drop-oldest queue.
@@ -301,6 +333,12 @@ pub(crate) struct NetShared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     ingest: SyncSender<f64>,
+    /// Racks marked for a worker kill (`KILL-RACK`), drained per epoch.
+    kill_requests: Mutex<Vec<u32>>,
+    /// Quarantined racks marked for re-admission (`RESTART-RACK`).
+    restart_requests: Mutex<Vec<u32>>,
+    /// The serve loop's last per-rack health mirror for `STATUS`.
+    rack_status: Mutex<Option<Vec<RackStat>>>,
 }
 
 impl NetShared {
@@ -335,6 +373,21 @@ impl NetShared {
 
     pub(crate) fn summary(&self) -> NetSummary {
         self.counters.summary()
+    }
+
+    /// Drain the queued admin rack requests: `(kills, re-admissions)`.
+    /// The serve loop takes these once per epoch; rack indices beyond
+    /// the fleet are ignored by the consumer.
+    pub(crate) fn take_rack_requests(&self) -> (Vec<u32>, Vec<u32>) {
+        (
+            std::mem::take(&mut *lock(&self.kill_requests)),
+            std::mem::take(&mut *lock(&self.restart_requests)),
+        )
+    }
+
+    /// Refresh the per-rack health mirror returned by `STATUS`.
+    pub(crate) fn set_rack_status(&self, racks: Vec<RackStat>) {
+        *lock(&self.rack_status) = Some(racks);
     }
 }
 
@@ -380,6 +433,9 @@ impl NetPlane {
             conns: Mutex::new(HashMap::new()),
             workers: Mutex::new(Vec::new()),
             ingest,
+            kill_requests: Mutex::new(Vec::new()),
+            restart_requests: Mutex::new(Vec::new()),
+            rack_status: Mutex::new(None),
         });
         let mut acceptors = Vec::new();
         let mut addrs = NetAddrs::default();
@@ -543,6 +599,8 @@ fn conn_main(shared: &Arc<NetShared>, stream: TcpStream, id: u64) {
         Some("SUB") => subscriber_main(shared, stream, id, toks.next()),
         Some("STATUS") => admin_status(shared, stream, toks.next()),
         Some("DRAIN") => admin_drain(shared, stream, toks.next()),
+        Some("KILL-RACK") => admin_rack(shared, stream, toks.next(), toks.next(), true),
+        Some("RESTART-RACK") => admin_rack(shared, stream, toks.next(), toks.next(), false),
         _ => ingest_main(shared, &mut reader, &first),
     }
 }
@@ -603,6 +661,8 @@ struct StatusReply {
     drain_pending: bool,
     active_conns: usize,
     subscribers_live: usize,
+    /// Per-rack supervision ladder (`null` unless serving `--racks N`).
+    racks: Option<Vec<RackStat>>,
     net: NetSummary,
 }
 
@@ -627,6 +687,7 @@ fn admin_status(shared: &Arc<NetShared>, stream: TcpStream, token: Option<&str>)
         drain_pending: shared.drain.load(Ordering::SeqCst),
         active_conns: shared.active_conns.load(Ordering::SeqCst),
         subscribers_live: lock(&shared.hub).subs.len(),
+        racks: lock(&shared.rack_status).clone(),
         net: shared.counters.summary(),
     };
     match serde_json::to_string(&reply) {
@@ -653,22 +714,78 @@ fn admin_drain(shared: &Arc<NetShared>, stream: TcpStream, token: Option<&str>) 
     let _ = s.write_all(b"ok drain\n");
 }
 
+/// `KILL-RACK R token` / `RESTART-RACK R token`: queue a rack request
+/// for the serve loop to apply at its next epoch. Token-gated exactly
+/// like `DRAIN` — both verbs mutate the fleet.
+fn admin_rack(
+    shared: &Arc<NetShared>,
+    stream: TcpStream,
+    rack: Option<&str>,
+    token: Option<&str>,
+    kill: bool,
+) {
+    let mut s = stream;
+    let ok = matches!((&shared.admin_token, token), (Some(want), Some(got)) if want == got);
+    if !ok {
+        bump(&shared.counters.auth_rejects);
+        let _ = s.write_all(b"err unauthorized\n");
+        return;
+    }
+    let Some(r) = rack.and_then(|v| v.parse::<u32>().ok()) else {
+        let _ = s.write_all(b"err bad rack\n");
+        return;
+    };
+    if kill {
+        lock(&shared.kill_requests).push(r);
+        bump(&shared.counters.kill_rack_requests);
+        let _ = writeln!(s, "ok kill-rack {r}");
+    } else {
+        lock(&shared.restart_requests).push(r);
+        bump(&shared.counters.restart_rack_requests);
+        let _ = writeln!(s, "ok restart-rack {r}");
+    }
+}
+
+/// The parsed options of a `SUB` request.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct SubOptions {
+    from_epoch: Option<u64>,
+    rack: Option<u32>,
+}
+
+/// Parse `SUB` options: nothing, `?from_epoch=N`, `?rack=R`, or both
+/// joined with `&` in either order. `None` on anything else.
+fn parse_sub_options(arg: Option<&str>) -> Option<SubOptions> {
+    let mut opts = SubOptions::default();
+    let Some(a) = arg else { return Some(opts) };
+    for part in a.strip_prefix('?')?.split('&') {
+        if let Some(v) = part.strip_prefix("from_epoch=") {
+            opts.from_epoch = Some(v.parse().ok()?);
+        } else if let Some(v) = part.strip_prefix("rack=") {
+            opts.rack = Some(v.parse().ok()?);
+        } else {
+            return None;
+        }
+    }
+    Some(opts)
+}
+
 fn subscriber_main(shared: &Arc<NetShared>, stream: TcpStream, id: u64, arg: Option<&str>) {
     let c = &shared.counters;
-    let from_epoch = match arg {
-        None => None,
-        Some(a) => match a
-            .strip_prefix("?from_epoch=")
-            .and_then(|v| v.parse::<u64>().ok())
-        {
-            Some(n) => Some(n),
-            None => {
-                bump(&c.malformed_frames);
-                let mut s = stream;
-                let _ = s.write_all(b"err bad subscribe\n");
-                return;
-            }
-        },
+    let Some(opts) = parse_sub_options(arg) else {
+        bump(&c.malformed_frames);
+        let mut s = stream;
+        let _ = s.write_all(b"err bad subscribe\n");
+        return;
+    };
+    let from_epoch = opts.from_epoch;
+    // Topic selection: `?rack=R` keeps only that rack's lines; the
+    // default stream keeps only non-rack (aggregate) lines, so adding
+    // `--racks N` never changes what existing subscribers receive.
+    let rack_prefix = opts.rack.map(|r| format!("{{\"rack\":{r},"));
+    let keep = |line: &str| match &rack_prefix {
+        Some(p) => line.starts_with(p.as_str()),
+        None => !line.starts_with("{\"rack\":"),
     };
     bump(&c.subscribers);
     // This socket now belongs to the graceful-flush path; the
@@ -695,7 +812,11 @@ fn subscriber_main(shared: &Arc<NetShared>, stream: TcpStream, id: u64, arg: Opt
                 if let Ok(text) = std::fs::read_to_string(path) {
                     for line in text.lines() {
                         let Some(e) = line_epoch(line) else { continue };
-                        if e >= from && e < ring_first && writeln!(out, "{line}").is_err() {
+                        if e >= from
+                            && e < ring_first
+                            && keep(line)
+                            && writeln!(out, "{line}").is_err()
+                        {
                             write_failed = true;
                             break;
                         }
@@ -705,7 +826,7 @@ fn subscriber_main(shared: &Arc<NetShared>, stream: TcpStream, id: u64, arg: Opt
         }
         if !write_failed {
             for (e, l) in &ring {
-                if *e >= from && writeln!(out, "{l}").is_err() {
+                if *e >= from && keep(l) && writeln!(out, "{l}").is_err() {
                     write_failed = true;
                     break;
                 }
@@ -733,7 +854,7 @@ fn subscriber_main(shared: &Arc<NetShared>, stream: TcpStream, id: u64, arg: Opt
         };
         match next {
             Some(l) => {
-                if writeln!(out, "{l}").is_err() || out.flush().is_err() {
+                if keep(&l) && (writeln!(out, "{l}").is_err() || out.flush().is_err()) {
                     write_failed = true;
                 }
             }
@@ -1427,6 +1548,58 @@ mod tests {
     }
 
     #[test]
+    fn torn_final_file_line_is_skipped_without_a_gap() {
+        // A SIGKILL mid-write leaves the durable metrics file ending in
+        // a torn (truncated-JSON) line. The file replay must skip the
+        // fragment — `line_epoch` refuses it — and the ring re-serves
+        // that epoch intact, so `?from_epoch=0` stays gap-free and no
+        // corrupt bytes ever reach a subscriber.
+        let dir = std::env::temp_dir().join("gs_net_torn_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let metrics = dir.join("metrics.jsonl");
+        let mut text = String::new();
+        for k in 0..5u64 {
+            text.push_str(&format!("{{\"epoch\":{k},\"src\":\"file\"}}\n"));
+        }
+        text.push_str("{\"epoch\":5,\"src\":\"fi"); // torn: no close, no newline
+        std::fs::write(&metrics, text).unwrap();
+        let (tx, _rx) = mpsc::sync_channel(64);
+        let cfg = NetConfig {
+            replay_ring_cap: 4,
+            ..test_cfg()
+        };
+        let plane = NetPlane::start(&cfg, tx, Some(metrics.clone())).expect("plane binds");
+        let addr = plane.addrs.listen.unwrap();
+        // The epoch the torn line belonged to, plus its successors, all
+        // land in the ring before the subscriber connects.
+        for k in 5..9u64 {
+            plane.publish(k, format!("{{\"epoch\":{k},\"src\":\"ring\"}}"));
+        }
+        let collector = std::thread::spawn(move || {
+            subscribe_collect(addr, Some(0), Duration::from_secs(5)).expect("collect")
+        });
+        wait_until("subscriber registered", || plane.subscriber_count() == 1);
+        plane.stop();
+        let lines = collector.join().expect("collector thread");
+        let epochs: Vec<u64> = lines.iter().filter_map(|l| line_epoch(l)).collect();
+        assert_eq!(
+            epochs,
+            (0..9).collect::<Vec<u64>>(),
+            "gap-free despite the torn tail: {lines:?}"
+        );
+        assert!(
+            lines.iter().all(|l| l.ends_with('}')),
+            "the torn fragment leaked to a subscriber: {lines:?}"
+        );
+        assert_eq!(
+            line_epoch("{\"epoch\":5,\"src\":\"fi"),
+            None,
+            "a torn line must never parse to an epoch"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn admin_status_and_drain_enforce_the_shared_secret() {
         let cfg = NetConfig {
             admin_token: Some("s3cret".to_string()),
@@ -1462,6 +1635,116 @@ mod tests {
         let summary = plane.stop();
         assert_eq!(summary.auth_rejects, 2);
         assert_eq!(summary.drain_requests, 1);
+    }
+
+    #[test]
+    fn sub_options_parse_each_shape_and_reject_garbage() {
+        assert_eq!(parse_sub_options(None), Some(SubOptions::default()));
+        assert_eq!(
+            parse_sub_options(Some("?from_epoch=7")),
+            Some(SubOptions {
+                from_epoch: Some(7),
+                rack: None
+            })
+        );
+        assert_eq!(
+            parse_sub_options(Some("?rack=2")),
+            Some(SubOptions {
+                from_epoch: None,
+                rack: Some(2)
+            })
+        );
+        assert_eq!(
+            parse_sub_options(Some("?rack=2&from_epoch=7")),
+            Some(SubOptions {
+                from_epoch: Some(7),
+                rack: Some(2)
+            })
+        );
+        for bad in ["from_epoch=7", "?from_epoch=x", "?rack=", "?bogus=1"] {
+            assert_eq!(parse_sub_options(Some(bad)), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn rack_verbs_queue_requests_and_enforce_the_shared_secret() {
+        let cfg = NetConfig {
+            admin_token: Some("s3cret".to_string()),
+            ..test_cfg()
+        };
+        let (plane, _rx) = start_plane(cfg);
+        let addr = plane.addrs.listen.unwrap();
+        let t = Duration::from_secs(2);
+        assert_eq!(
+            admin_request(addr, "KILL-RACK 1 wrong", t).unwrap(),
+            "err unauthorized"
+        );
+        assert_eq!(
+            admin_request(addr, "KILL-RACK zero s3cret", t).unwrap(),
+            "err bad rack"
+        );
+        assert_eq!(
+            admin_request(addr, "KILL-RACK 1 s3cret", t).unwrap(),
+            "ok kill-rack 1"
+        );
+        assert_eq!(
+            admin_request(addr, "RESTART-RACK 3 s3cret", t).unwrap(),
+            "ok restart-rack 3"
+        );
+        let (kills, readmits) = plane.shared.take_rack_requests();
+        assert_eq!(kills, vec![1]);
+        assert_eq!(readmits, vec![3]);
+        let (kills, readmits) = plane.shared.take_rack_requests();
+        assert!(kills.is_empty() && readmits.is_empty(), "take drains");
+        let summary = plane.stop();
+        assert_eq!(summary.kill_rack_requests, 1);
+        assert_eq!(summary.restart_rack_requests, 1);
+        assert_eq!(summary.auth_rejects, 1);
+    }
+
+    #[test]
+    fn rack_topic_lines_are_filtered_by_subscription() {
+        // Topic filtering happens at write time, so every published line
+        // transits each subscriber queue: the cap must cover the whole
+        // burst or drop-oldest races the writer threads.
+        let (plane, _rx) = start_plane(NetConfig {
+            sub_queue_cap: 64,
+            ..test_cfg()
+        });
+        let addr = plane.addrs.listen.unwrap();
+        let agg = std::thread::spawn(move || {
+            subscribe_collect(addr, None, Duration::from_secs(5)).expect("collect")
+        });
+        let rack1 = std::thread::spawn(move || {
+            let s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut w = s.try_clone().unwrap();
+            writeln!(w, "SUB ?from_epoch=0&rack=1").unwrap();
+            let mut r = BufReader::new(s);
+            let mut out = Vec::new();
+            loop {
+                let mut line = String::new();
+                match r.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => out.push(line.trim_end().to_string()),
+                }
+            }
+            out
+        });
+        wait_until("subscribers registered", || plane.subscriber_count() == 2);
+        for k in 0..3u64 {
+            plane.publish(k, format!("{{\"epoch\":{k},\"src\":\"agg\"}}"));
+            for rack in 0..2u64 {
+                plane.publish(k, format!("{{\"rack\":{rack},\"epoch\":{k}}}"));
+            }
+        }
+        plane.stop();
+        let agg_lines = agg.join().expect("agg thread");
+        assert_eq!(agg_lines.len(), 3, "{agg_lines:?}");
+        assert!(agg_lines.iter().all(|l| l.contains("\"src\":\"agg\"")));
+        let rack_lines = rack1.join().expect("rack thread");
+        assert_eq!(rack_lines.len(), 3, "{rack_lines:?}");
+        assert!(rack_lines.iter().all(|l| l.starts_with("{\"rack\":1,")));
     }
 
     #[test]

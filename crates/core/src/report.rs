@@ -5,6 +5,7 @@ use crate::campaign::CampaignOutcome;
 use crate::datacenter::DatacenterOutcome;
 use crate::engine::BurstOutcome;
 use crate::net::NetSummary;
+use crate::serve::ServeSummary;
 use std::fmt::Write as _;
 
 /// Render a burst outcome as an aligned multi-line summary.
@@ -130,6 +131,31 @@ pub fn datacenter_summary(out: &DatacenterOutcome) -> String {
     s
 }
 
+/// Render the multi-rack serve supervision counters: one fleet line,
+/// one health line per rack, and the tail of the supervision event log.
+pub fn rack_fleet_summary(s: &ServeSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "racks             : {} served, {} restart(s), {} quarantined",
+        s.racks, s.rack_restarts, s.racks_quarantined
+    );
+    let _ = writeln!(
+        out,
+        "rack deaths       : {} panic(s), {} stall(s); {} rerouted epoch(s)",
+        s.rack_panics, s.rack_stalls, s.rerouted_epochs
+    );
+    for (r, h) in s.rack_health.iter().enumerate() {
+        let _ = writeln!(out, "  rack {r}          : {h}");
+    }
+    // The last few supervision events tell the operator what happened
+    // without re-reading the whole journal.
+    for e in s.rack_events.iter().rev().take(5).rev() {
+        let _ = writeln!(out, "  event           : {e}");
+    }
+    out
+}
+
 /// Render the serve network-plane counters.
 pub fn net_plane_summary(n: &NetSummary) -> String {
     let mut s = String::new();
@@ -231,6 +257,40 @@ mod tests {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
         assert!(!s.contains("AUDIT"), "{s}");
+    }
+
+    #[test]
+    fn rack_fleet_summary_renders_health_and_events() {
+        let s = rack_fleet_summary(&ServeSummary {
+            racks: 3,
+            rack_restarts: 2,
+            rack_panics: 1,
+            rack_stalls: 1,
+            racks_quarantined: 1,
+            rerouted_epochs: 4,
+            rack_health: vec![
+                crate::supervisor::RackHealth::Live,
+                crate::supervisor::RackHealth::Quarantined,
+                crate::supervisor::RackHealth::Degraded,
+            ],
+            rack_events: vec!["rack 1: quarantined after 0 restart(s)".to_string()],
+            ..ServeSummary::default()
+        });
+        for needle in [
+            "3 served",
+            "2 restart(s)",
+            "1 quarantined",
+            "1 panic(s)",
+            "1 stall(s)",
+            "4 rerouted",
+            "rack 0",
+            "live",
+            "quarantined",
+            "degraded",
+            "event",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 use std::collections::VecDeque;
 use std::fs;
 use std::io::{BufRead, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -49,25 +50,41 @@ use gs_cluster::control::{
     apply_with_retry, FlakyControl, RetryPolicy, ServerControl, SimControl, SysfsControl,
 };
 use gs_cluster::ServerSetting;
-use gs_sim::{SimRng, SimTime};
+use gs_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{InvariantAuditor, SiteFlows};
+use crate::broker::{conserved_factors, RackBelief, REROUTE_EPS};
 use crate::checkpoint::{config_fingerprint, LoopState};
 use crate::engine::{
-    judge, run_once, run_once_resumable, EngineConfig, EpochHooks, EpochRecord, MeasurementMode,
-    TickDirective,
+    judge, run_once, run_once_resumable, BurstOutcome, EngineConfig, EpochHooks, EpochRecord,
+    MeasurementMode, TickDirective,
 };
 use crate::fleet::EngineScratch;
-use crate::net::{parse_frame, NetConfig, NetPlane, NetShared, NetSummary, DEFAULT_MAX_LINE_LEN};
+use crate::net::{
+    parse_frame, NetConfig, NetPlane, NetShared, NetSummary, RackStat, DEFAULT_MAX_LINE_LEN,
+};
 use crate::pmk::Strategy;
 use crate::profiler::ProfileTable;
+use crate::supervisor::{panic_message, RackHealth, RackSupervisor};
 
-/// Schema tag of a [`ServeSnapshot`] file.
+/// Schema tag of a single-rack [`ServeSnapshot`] file.
 pub const SERVE_SCHEMA: &str = "gs-serve-1";
+
+/// Schema tag of a multi-rack [`ServeSnapshot`]: the whole-daemon
+/// checkpoint embedding every rack's [`LoopState`] plus the
+/// orchestrator's [`ServeDcSideState`], so SIGKILL + `--resume` is
+/// byte-identical even mid-rack-outage.
+pub const SERVE_SCHEMA_V2: &str = "gs-serve-2";
 
 /// Serve-level watchdog: consecutive actuation failures on one server
 /// before serve stops commanding sprint settings to it.
 const CLAMP_AFTER_FAILURES: u32 = 3;
+
+/// Tick watchdog: a tick that exceeds this multiple of its deadline
+/// budget is a *stall* (a wedged feed reader or actuation backend), not
+/// a mere overrun — counted separately and demoted one ladder rung.
+const WATCHDOG_FACTOR: u32 = 4;
 
 /// What to do when a tick overruns its deadline budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +113,18 @@ pub struct DisturbancePlan {
     /// `(epoch, failures)`: injected transient actuation failures per
     /// server on that epoch.
     pub actuation: Vec<(u64, u32)>,
+    /// `(epoch, rack)`: panic that rack's worker thread at the top of
+    /// that epoch (multi-rack serve only; ignored single-rack).
+    pub rack_panics: Vec<(u64, u32)>,
+    /// `(epoch, rack)`: wedge that rack's worker thread at the top of
+    /// that epoch. Serve cannot un-wedge a thread, so a stall is
+    /// surfaced the same way as a panic (the worker dies) but counted
+    /// separately.
+    pub rack_stalls: Vec<(u64, u32)>,
+    /// Epochs whose site tick is wedged past the watchdog threshold
+    /// (deterministic stand-in for a real-time tick exceeding
+    /// `WATCHDOG_FACTOR`× its deadline budget).
+    pub wedges: Vec<u64>,
 }
 
 impl DisturbancePlan {
@@ -132,12 +161,17 @@ impl DisturbancePlan {
                 (k, fails)
             })
             .collect();
+        // Rack-fault fields stay empty here: generating them would spend
+        // extra RNG draws and silently shift every existing golden
+        // stream keyed to a seed. Multi-rack fault tests write them
+        // explicitly.
         DisturbancePlan {
             seed,
             stale,
             overruns,
             stalls,
             actuation,
+            ..DisturbancePlan::default()
         }
     }
 
@@ -155,6 +189,17 @@ impl DisturbancePlan {
             .iter()
             .find(|&&(e, _)| e == k)
             .map_or(0, |&(_, f)| f)
+    }
+    // The rack-fault lists may be hand-written (and so unsorted): scan,
+    // don't binary-search.
+    fn rack_panic_at(&self, k: u64, rack: u32) -> bool {
+        self.rack_panics.iter().any(|&(e, r)| e == k && r == rack)
+    }
+    fn rack_stall_at(&self, k: u64, rack: u32) -> bool {
+        self.rack_stalls.iter().any(|&(e, r)| e == k && r == rack)
+    }
+    fn is_wedged(&self, k: u64) -> bool {
+        self.wedges.contains(&k)
     }
 }
 
@@ -182,6 +227,17 @@ pub struct ServeOptions {
     /// count as malformed (the network plane enforces its own copy of
     /// this cap at the socket layer).
     pub max_line_len: usize,
+    /// Racks served by this daemon. `1` is the classic single-rack path;
+    /// `>= 2` runs each rack's epoch loop on a supervised worker thread
+    /// with the conserved-routing broker math between them.
+    pub racks: u32,
+    /// Restarts allowed per rack worker before it is quarantined and its
+    /// load rerouted to the survivors.
+    pub rack_restarts: u32,
+    /// Per-rack [`LoopState`] capture cadence in epochs (0 = use
+    /// `snapshot_every`). Rack captures and whole-daemon v2 snapshots
+    /// share this cadence so every checkpoint is mutually consistent.
+    pub rack_snapshot_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -194,6 +250,9 @@ impl Default for ServeOptions {
             snapshot_every: 10,
             control_retries: 2,
             max_line_len: DEFAULT_MAX_LINE_LEN,
+            racks: 1,
+            rack_restarts: 2,
+            rack_snapshot_every: 0,
         }
     }
 }
@@ -227,13 +286,70 @@ pub struct ServeSideState {
     pub last_feed_w: Option<f64>,
     /// Per-server consecutive actuation-failure streaks.
     pub fail_streaks: Vec<u32>,
+    /// Ticks the watchdog judged wedged (>= `WATCHDOG_FACTOR`× the
+    /// deadline budget, or plan-scheduled in sim time).
+    pub watchdog_stalls: u64,
+}
+
+/// One epoch's orchestrator directive, logged so a restarted (or
+/// resumed) rack worker can deterministically replay the epochs it
+/// missed: the same supply override, staleness verdict, demotion, and
+/// routed load factors the live run applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectiveRow {
+    /// Live supply override handed to every rack (None = trace).
+    pub supply_w: Option<f64>,
+    /// Telemetry declared stale this epoch.
+    pub stale: bool,
+    /// Forced ladder demotion, if any.
+    pub demote: Option<String>,
+    /// Per-rack conserved load factors.
+    pub factors: Vec<f64>,
+}
+
+/// The multi-rack orchestrator's snapshot-persisted state: everything
+/// beyond the per-rack [`LoopState`]s that shapes the deterministic
+/// stream or the restart ladder.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServeDcSideState {
+    /// Next epoch the orchestrator will execute. Explicit rather than
+    /// derived from a rack state: every rack could be quarantined.
+    pub next_epoch: u64,
+    /// Last settled telemetry per rack (drives the routing factors).
+    pub beliefs: Vec<RackBelief>,
+    /// False until the first epoch settles (epoch 0 routes evenly).
+    pub has_telemetry: bool,
+    /// Per-rack health ladder position.
+    pub health: Vec<RackHealth>,
+    /// Per-rack restarts consumed.
+    pub restarts_used: Vec<u32>,
+    /// Per-rack probation epochs remaining.
+    pub probation_left: Vec<u32>,
+    /// Full directive history from epoch 0 (indexed by epoch), kept for
+    /// restart replay and the end-of-run baseline comparison.
+    pub rows: Vec<DirectiveRow>,
+    /// Worker restarts performed.
+    pub rack_restarts: u64,
+    /// Worker deaths classified as panics.
+    pub rack_panics_seen: u64,
+    /// Worker deaths classified as stalls.
+    pub rack_stalls_seen: u64,
+    /// Racks pushed to quarantine (restart budget exhausted).
+    pub racks_quarantined: u64,
+    /// Epochs in which load was actively rerouted around a dead rack.
+    pub rerouted_epochs: u64,
+    /// Site-level conservation audit violations (must stay empty).
+    pub site_audit_violations: Vec<String>,
+    /// Human-readable supervision event log.
+    pub events: Vec<String>,
 }
 
 /// A serve checkpoint: engine state plus serve state plus enough
 /// configuration to restart with no flags beyond `--resume`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeSnapshot {
-    /// Always [`SERVE_SCHEMA`].
+    /// [`SERVE_SCHEMA`] (single-rack) or [`SERVE_SCHEMA_V2`] (multi-rack).
     pub schema: String,
     /// Build/config fingerprint of `cfg` (recomputed and checked on load).
     pub fingerprint: String,
@@ -241,8 +357,17 @@ pub struct ServeSnapshot {
     pub cfg: EngineConfig,
     /// The deterministic serve options.
     pub options: ServeOptions,
-    /// The engine's captured loop state.
-    pub state: LoopState,
+    /// The engine's captured loop state (single-rack schema; `None` in
+    /// v2 snapshots, which carry `racks` instead).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub state: Option<LoopState>,
+    /// Per-rack captured loop states (v2; `None` for a rack quarantined
+    /// before its first capture).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub racks: Vec<Option<LoopState>>,
+    /// Orchestrator state (v2 only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dc: Option<ServeDcSideState>,
     /// Serve's own captured state.
     pub serve: ServeSideState,
 }
@@ -254,11 +379,27 @@ impl ServeSnapshot {
     pub fn from_json(text: &str) -> Result<Self, ServeError> {
         let snap: ServeSnapshot = serde_json::from_str(text)
             .map_err(|e| ServeError::Snapshot(format!("unparseable serve snapshot: {e}")))?;
-        if snap.schema != SERVE_SCHEMA {
-            return Err(ServeError::Snapshot(format!(
-                "snapshot schema {:?} is not {SERVE_SCHEMA:?}",
-                snap.schema
-            )));
+        match snap.schema.as_str() {
+            s if s == SERVE_SCHEMA => {
+                if snap.state.is_none() {
+                    return Err(ServeError::Snapshot(
+                        "single-rack snapshot is missing its engine state".to_string(),
+                    ));
+                }
+            }
+            s if s == SERVE_SCHEMA_V2 => {
+                if snap.racks.is_empty() || snap.dc.is_none() {
+                    return Err(ServeError::Snapshot(
+                        "multi-rack snapshot is missing its rack states or orchestrator state"
+                            .to_string(),
+                    ));
+                }
+            }
+            other => {
+                return Err(ServeError::Snapshot(format!(
+                    "snapshot schema {other:?} is neither {SERVE_SCHEMA:?} nor {SERVE_SCHEMA_V2:?}"
+                )));
+            }
         }
         let expect = serve_fingerprint(&snap.cfg);
         if snap.fingerprint != expect {
@@ -382,7 +523,7 @@ impl From<std::io::Error> for ServeError {
 
 /// The end-of-run report printed by the CLI (stdout, never the metrics
 /// stream).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ServeSummary {
     /// Epochs executed across the run's whole life (resumes included).
     pub epochs_executed: u64,
@@ -419,6 +560,33 @@ pub struct ServeSummary {
     pub floor_held: Option<bool>,
     /// Mean goodput over executed epochs (rps per server).
     pub mean_goodput_rps: f64,
+    /// Ticks the watchdog judged wedged.
+    #[serde(default)]
+    pub watchdog_stalls: u64,
+    /// Racks this daemon served.
+    #[serde(default)]
+    pub racks: u32,
+    /// Rack-worker restarts performed.
+    #[serde(default)]
+    pub rack_restarts: u64,
+    /// Rack-worker deaths classified as panics.
+    #[serde(default)]
+    pub rack_panics: u64,
+    /// Rack-worker deaths classified as stalls.
+    #[serde(default)]
+    pub rack_stalls: u64,
+    /// Racks quarantined after restart exhaustion.
+    #[serde(default)]
+    pub racks_quarantined: u64,
+    /// Epochs in which load was actively rerouted around a dead rack.
+    #[serde(default)]
+    pub rerouted_epochs: u64,
+    /// Final per-rack health ladder positions.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub rack_health: Vec<RackHealth>,
+    /// Supervision event log (restarts, quarantines, re-admissions).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub rack_events: Vec<String>,
     /// Network-plane counters (`None` when no listener was configured).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub net: Option<NetSummary>,
@@ -826,8 +994,12 @@ impl ServeDriver {
     }
 }
 
-impl EpochHooks for ServeDriver {
-    fn before_epoch(&mut self, k: u64, t: SimTime) -> TickDirective {
+impl ServeDriver {
+    /// One site tick: deadline/watchdog accounting, telemetry sampling,
+    /// staleness, heartbeat. The single-rack path calls this through
+    /// [`EpochHooks::before_epoch`]; the multi-rack orchestrator calls
+    /// it directly, once per epoch for the whole site.
+    fn tick_directive(&mut self, k: u64, t: SimTime) -> TickDirective {
         self.side.ticks += 1;
         // Deadline check for the *previous* tick in real time; plan-driven
         // in sim time so the stream stays deterministic.
@@ -836,12 +1008,28 @@ impl EpochHooks for ServeDriver {
             .disturbances
             .as_ref()
             .is_some_and(|p| p.is_overrun(k));
+        // Watchdog: a tick that blew far past its budget (or a
+        // plan-scheduled wedge in sim time) is a stall, not a mere
+        // overrun — counted separately and always worth a ladder rung.
+        let mut wedged = self
+            .opts
+            .disturbances
+            .as_ref()
+            .is_some_and(|p| p.is_wedged(k));
         if let (false, Some(budget), Some(started)) =
             (self.sim_time, self.tick_budget, self.tick_started)
         {
-            if started.elapsed() > budget {
+            let elapsed = started.elapsed();
+            if elapsed > budget {
                 overrun = true;
             }
+            if elapsed > budget.saturating_mul(WATCHDOG_FACTOR) {
+                wedged = true;
+            }
+        }
+        if wedged {
+            overrun = true;
+            self.side.watchdog_stalls += 1;
         }
         self.cur_overrun = overrun;
         if overrun {
@@ -862,13 +1050,78 @@ impl EpochHooks for ServeDriver {
 
         self.write_heartbeat(k, t);
 
+        // A wedge demotes even under `--overrun skip`: a tick that sat
+        // at WATCHDOG_FACTOR× its budget is evidence the control path
+        // itself is unhealthy, not just late. With the guardrail off the
+        // engine ignores the demotion (the counter still records it).
+        let demote = if wedged {
+            Some(format!(
+                "watchdog stall: tick exceeded {WATCHDOG_FACTOR}x its deadline budget"
+            ))
+        } else if overrun && self.opts.overrun == OverrunPolicy::Degrade {
+            Some("tick deadline overrun".to_string())
+        } else {
+            None
+        };
         TickDirective {
             supply_w: if stale { None } else { supply_w },
             telemetry_stale: stale,
-            demote: (overrun && self.opts.overrun == OverrunPolicy::Degrade)
-                .then(|| "tick deadline overrun".to_string()),
+            demote,
             load_factor: None,
         }
+    }
+
+    /// Serialize and emit one epoch's metrics line — TCP fan-out plus
+    /// the durable sink — honoring the resume emission gate and
+    /// plan-scheduled sink stalls. Shared by the single-rack hook path
+    /// and the multi-rack orchestrator (which emits the aggregate).
+    fn emit_record(
+        &mut self,
+        k: u64,
+        rec: &EpochRecord,
+        retries: u64,
+        failures: u64,
+        clamped: u64,
+    ) {
+        if k < self.emit_from {
+            return;
+        }
+        let line = MetricsLine {
+            epoch: k,
+            overrun: self.cur_overrun,
+            stale: self.cur_stale,
+            retries,
+            failures,
+            clamped,
+            record: *rec,
+        };
+        match serde_json::to_string(&line) {
+            Ok(json) => {
+                // Fan the identical bytes out to TCP subscribers;
+                // publish never blocks (drop-oldest per subscriber).
+                if let Some(net) = &self.net {
+                    net.shared.publish(k, json.clone());
+                }
+                self.side.dropped_metrics_lines += self.metrics.push(json);
+            }
+            // A line that cannot serialize is a dropped line, not a
+            // dead control loop.
+            Err(_) => self.side.dropped_metrics_lines += 1,
+        }
+        let stalled = self
+            .opts
+            .disturbances
+            .as_ref()
+            .is_some_and(|p| p.is_stalled(k));
+        if !stalled {
+            self.metrics.drain();
+        }
+    }
+}
+
+impl EpochHooks for ServeDriver {
+    fn before_epoch(&mut self, k: u64, t: SimTime) -> TickDirective {
+        self.tick_directive(k, t)
     }
 
     fn after_epoch(&mut self, k: u64, rec: &EpochRecord, settings: &[ServerSetting]) -> bool {
@@ -876,39 +1129,13 @@ impl EpochHooks for ServeDriver {
         let failures_before = self.side.actuation_failures;
         let clamped_before = self.side.control_clamped;
         self.actuate(k, settings);
-
-        if k >= self.emit_from {
-            let line = MetricsLine {
-                epoch: k,
-                overrun: self.cur_overrun,
-                stale: self.cur_stale,
-                retries: self.side.actuation_retries - retries_before,
-                failures: self.side.actuation_failures - failures_before,
-                clamped: self.side.control_clamped - clamped_before,
-                record: *rec,
-            };
-            match serde_json::to_string(&line) {
-                Ok(json) => {
-                    // Fan the identical bytes out to TCP subscribers;
-                    // publish never blocks (drop-oldest per subscriber).
-                    if let Some(net) = &self.net {
-                        net.shared.publish(k, json.clone());
-                    }
-                    self.side.dropped_metrics_lines += self.metrics.push(json);
-                }
-                // A line that cannot serialize is a dropped line, not a
-                // dead control loop.
-                Err(_) => self.side.dropped_metrics_lines += 1,
-            }
-            let stalled = self
-                .opts
-                .disturbances
-                .as_ref()
-                .is_some_and(|p| p.is_stalled(k));
-            if !stalled {
-                self.metrics.drain();
-            }
-        }
+        self.emit_record(
+            k,
+            rec,
+            self.side.actuation_retries - retries_before,
+            self.side.actuation_failures - failures_before,
+            self.side.control_clamped - clamped_before,
+        );
 
         self.executed_this_run += 1;
         self.epochs_executed += 1;
@@ -944,7 +1171,9 @@ impl EpochHooks for ServeDriver {
             fingerprint: self.cfg_fingerprint.clone(),
             cfg: self.cfg.clone(),
             options: self.opts.clone(),
-            state: state.clone(),
+            state: Some(state.clone()),
+            racks: Vec::new(),
+            dc: None,
             serve: self.side.clone(),
         };
         let Ok(text) = serde_json::to_string(&snap) else {
@@ -979,6 +1208,933 @@ fn prepare_metrics_for_resume(path: &Path) -> Result<Option<u64>, ServeError> {
     Ok(last_epoch)
 }
 
+// ---------------------------------------------------------------------------
+// Multi-rack serving: one supervised worker thread per rack, the
+// conserved-routing broker math between them, deterministic
+// restart-from-snapshot, and a whole-daemon v2 checkpoint.
+// ---------------------------------------------------------------------------
+
+/// One epoch's command from the orchestrator to a rack worker.
+struct ServeRackDirective {
+    load_factor: f64,
+    supply_w: Option<f64>,
+    telemetry_stale: bool,
+    demote: Option<String>,
+    /// Drain at this epoch: capture a final state and exit cleanly.
+    last: bool,
+    /// Fault injection: panic the worker with this payload *before*
+    /// executing the epoch (the deterministic stand-in for a worker
+    /// crash — the epoch itself is never half-executed).
+    panic_with: Option<String>,
+}
+
+/// What a rack worker sends back on its message channel.
+enum RackWireMsg {
+    /// A boundary (or drain) [`LoopState`] capture.
+    Snapshot(Box<LoopState>),
+    /// The epoch settled: its record plus the applied settings.
+    Report(Box<EpochRecord>, Vec<ServerSetting>),
+    /// The worker is dying with this panic payload.
+    Died(String),
+}
+
+/// The worker-side hooks: every epoch blocks on a directive, applies
+/// it, and reports the settled record back. Snapshots ride the same
+/// channel so the orchestrator sees them in stream order.
+struct ServeRackHooks {
+    dir_rx: mpsc::Receiver<ServeRackDirective>,
+    msg_tx: mpsc::Sender<RackWireMsg>,
+    last: bool,
+}
+
+impl EpochHooks for ServeRackHooks {
+    fn before_epoch(&mut self, _k: u64, _t: SimTime) -> TickDirective {
+        // A vanished orchestrator is unrecoverable for a worker; the
+        // panic routes into the supervisor's catch_unwind like any other
+        // death.
+        let Ok(d) = self.dir_rx.recv() else {
+            panic!("orchestrator disconnected");
+        };
+        if let Some(msg) = d.panic_with {
+            panic!("{msg}");
+        }
+        self.last = d.last;
+        TickDirective {
+            supply_w: d.supply_w,
+            telemetry_stale: d.telemetry_stale,
+            demote: d.demote,
+            load_factor: Some(d.load_factor),
+        }
+    }
+
+    fn after_epoch(&mut self, _k: u64, rec: &EpochRecord, settings: &[ServerSetting]) -> bool {
+        let _ = self
+            .msg_tx
+            .send(RackWireMsg::Report(Box::new(*rec), settings.to_vec()));
+        !self.last
+    }
+
+    fn on_snapshot(&mut self, state: &LoopState) {
+        let _ = self
+            .msg_tx
+            .send(RackWireMsg::Snapshot(Box::new(state.clone())));
+    }
+}
+
+/// The orchestrator's handle on one rack worker thread.
+struct RackWorker {
+    dir_tx: mpsc::Sender<ServeRackDirective>,
+    msg_rx: mpsc::Receiver<RackWireMsg>,
+    handle: std::thread::JoinHandle<Option<BurstOutcome>>,
+}
+
+/// Spawn rack worker: the rack's engine loop on its own thread behind
+/// `catch_unwind`, resuming from `resume` when given. A panic anywhere
+/// inside becomes a [`RackWireMsg::Died`] on the message channel — the
+/// orchestrator's recv loop is the only place deaths surface.
+fn spawn_rack_worker(
+    cfg: &EngineConfig,
+    resume: Option<LoopState>,
+    snapshot_every: u64,
+) -> RackWorker {
+    let (dir_tx, dir_rx) = mpsc::channel();
+    let (msg_tx, msg_rx) = mpsc::channel();
+    let cfg = cfg.clone();
+    let death_tx = msg_tx.clone();
+    let handle = std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            let profiles = ProfileTable::cached(cfg.app);
+            let mut scratch = EngineScratch::new();
+            let mut hooks = ServeRackHooks {
+                dir_rx,
+                msg_tx,
+                last: false,
+            };
+            let (outcome, _monitor, _policy) = run_once_resumable(
+                &cfg,
+                cfg.strategy,
+                profiles,
+                resume,
+                snapshot_every,
+                &mut |_| {},
+                &mut scratch,
+                &mut hooks,
+            );
+            outcome
+        }));
+        match result {
+            Ok(outcome) => Some(outcome),
+            Err(p) => {
+                let _ = death_tx.send(RackWireMsg::Died(panic_message(p.as_ref())));
+                None
+            }
+        }
+    });
+    RackWorker {
+        dir_tx,
+        msg_rx,
+        handle,
+    }
+}
+
+/// Build rack `r`'s directive from a logged row.
+fn directive_from_row(
+    row: &DirectiveRow,
+    rack: usize,
+    last: bool,
+    panic_with: Option<String>,
+) -> ServeRackDirective {
+    ServeRackDirective {
+        load_factor: row.factors.get(rack).copied().unwrap_or(1.0),
+        supply_w: row.supply_w,
+        telemetry_stale: row.stale,
+        demote: row.demote.clone(),
+        last,
+        panic_with,
+    }
+}
+
+/// Baseline-replay hooks: feed a finished run's directive history back
+/// through a `Strategy::Normal` run of one rack, so the floor judgment
+/// compares like-for-like — same routed load factors, supply overrides,
+/// and staleness verdicts (ladder demotions don't apply at the floor).
+struct RowReplayHooks<'a> {
+    rows: &'a [DirectiveRow],
+    rack: usize,
+}
+
+impl EpochHooks for RowReplayHooks<'_> {
+    fn before_epoch(&mut self, k: u64, _t: SimTime) -> TickDirective {
+        match self.rows.get(k as usize) {
+            Some(row) => TickDirective {
+                supply_w: row.supply_w,
+                telemetry_stale: row.stale,
+                demote: None,
+                load_factor: Some(row.factors.get(self.rack).copied().unwrap_or(1.0)),
+            },
+            None => TickDirective::default(),
+        }
+    }
+}
+
+/// Render one per-rack metrics line for the TCP fan-out (the `?rack=N`
+/// topic), never written to the durable aggregate file. The `rack` key
+/// leads so every line starts `{"rack":N,` — the subscriber-side topic
+/// filter is a prefix match on these bytes.
+fn rack_metrics_line(rack: usize, epoch: u64, rec: &EpochRecord) -> Option<String> {
+    let record = serde_json::to_string(rec).ok()?;
+    Some(format!(
+        "{{\"rack\":{rack},\"epoch\":{epoch},\"record\":{record}}}"
+    ))
+}
+
+/// Where in the epoch protocol a rack worker died — decides how the
+/// restarted worker is re-synchronized with the fleet.
+#[derive(Clone, Copy)]
+enum DeathPhase {
+    /// Before sending its epoch-`k` boundary capture: the replay re-hits
+    /// the boundary and the replacement's capture stands in.
+    Boundary,
+    /// Before the epoch-`k` directive was sent (admin re-admission
+    /// catch-up): the replacement just waits for the directive.
+    PreTick,
+    /// Holding or executing the epoch-`k` directive: the directive is
+    /// re-sent (without injection) and the epoch re-executes.
+    Tick {
+        /// Whether the re-sent directive is the drain epoch.
+        last: bool,
+    },
+    /// During the drain capture after epoch `k` settled: the epoch
+    /// re-executes (its report is discarded — the aggregate already
+    /// includes it) and the drain capture is re-taken.
+    DrainCapture,
+}
+
+/// The orchestrator's mutable multi-rack state, bundled so the restart
+/// protocol can be a method instead of a 9-argument function.
+struct DcRun {
+    rack_cfgs: Vec<EngineConfig>,
+    every: u64,
+    workers: Vec<Option<RackWorker>>,
+    rack_states: Vec<Option<LoopState>>,
+    sup: RackSupervisor,
+    dc: ServeDcSideState,
+}
+
+impl DcRun {
+    /// Mirror the supervisor's ladder into the snapshot-persisted state.
+    fn sync_supervisor(&mut self) {
+        self.dc.health = self.sup.health.clone();
+        self.dc.restarts_used = self.sup.restarts_used.clone();
+        self.dc.probation_left = self.sup.probation_left.clone();
+    }
+
+    /// Spawn a fresh worker for rack `r` from its last captured state
+    /// and deterministically replay the logged directives up to (not
+    /// including) epoch `k`. Replayed reports are discarded — those
+    /// epochs already settled into the aggregate stream. Returns the
+    /// caught-up worker, or the death message if it died again.
+    fn catch_up(&mut self, r: usize, k: u64) -> Result<RackWorker, String> {
+        let w = spawn_rack_worker(&self.rack_cfgs[r], self.rack_states[r].clone(), self.every);
+        let from = self.rack_states[r].as_ref().map_or(0, |s| s.next_epoch);
+        for j in from..k {
+            let d = directive_from_row(&self.dc.rows[j as usize], r, false, None);
+            if w.dir_tx.send(d).is_err() {
+                return Err(format!(
+                    "rack {r} worker exited during its epoch {j} replay"
+                ));
+            }
+            loop {
+                match w.msg_rx.recv() {
+                    Ok(RackWireMsg::Snapshot(s)) => self.rack_states[r] = Some(*s),
+                    Ok(RackWireMsg::Report(..)) => break,
+                    Ok(RackWireMsg::Died(m)) => return Err(m),
+                    Err(_) => {
+                        return Err(format!(
+                            "rack {r} worker exited during its epoch {j} replay"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(w)
+    }
+
+    /// Re-synchronize a caught-up replacement worker with the fleet and
+    /// install it. On `Err` the replacement died too.
+    fn finish_restart(
+        &mut self,
+        w: RackWorker,
+        r: usize,
+        k: u64,
+        phase: DeathPhase,
+    ) -> Result<(), String> {
+        match phase {
+            DeathPhase::Boundary => match w.msg_rx.recv() {
+                Ok(RackWireMsg::Snapshot(s)) => self.rack_states[r] = Some(*s),
+                Ok(RackWireMsg::Report(..)) => {
+                    return Err(format!(
+                        "protocol error: rack {r} sent telemetry in place of its epoch {k} \
+                         boundary capture"
+                    ));
+                }
+                Ok(RackWireMsg::Died(m)) => return Err(m),
+                Err(_) => {
+                    return Err(format!(
+                        "rack {r} worker exited at the epoch {k} snapshot boundary"
+                    ));
+                }
+            },
+            DeathPhase::PreTick => {}
+            DeathPhase::Tick { last } => {
+                let d = directive_from_row(&self.dc.rows[k as usize], r, last, None);
+                w.dir_tx.send(d).map_err(|_| {
+                    format!("rack {r} worker exited before its re-sent epoch {k} directive")
+                })?;
+            }
+            DeathPhase::DrainCapture => {
+                let d = directive_from_row(&self.dc.rows[k as usize], r, true, None);
+                w.dir_tx.send(d).map_err(|_| {
+                    format!("rack {r} worker exited before its re-sent drain directive")
+                })?;
+                // The re-executed epoch's report is already aggregated.
+                loop {
+                    match w.msg_rx.recv() {
+                        Ok(RackWireMsg::Snapshot(s)) => self.rack_states[r] = Some(*s),
+                        Ok(RackWireMsg::Report(..)) => break,
+                        Ok(RackWireMsg::Died(m)) => return Err(m),
+                        Err(_) => {
+                            return Err(format!(
+                                "rack {r} worker exited re-executing its drain epoch {k}"
+                            ));
+                        }
+                    }
+                }
+                match w.msg_rx.recv() {
+                    Ok(RackWireMsg::Snapshot(s)) => self.rack_states[r] = Some(*s),
+                    Ok(RackWireMsg::Report(..)) => {
+                        return Err(format!(
+                            "protocol error: rack {r} sent telemetry in place of its drain \
+                             capture"
+                        ));
+                    }
+                    Ok(RackWireMsg::Died(m)) => return Err(m),
+                    Err(_) => {
+                        return Err(format!("rack {r} worker exited before its drain capture"));
+                    }
+                }
+            }
+        }
+        self.workers[r] = Some(w);
+        Ok(())
+    }
+
+    /// A worker for rack `r` died at epoch `k`: classify the death,
+    /// restart from the rack's last captured [`LoopState`] within the
+    /// budget (deterministically replaying every epoch it missed), or
+    /// quarantine it and zero its belief so the next factor computation
+    /// reroutes its share to the survivors. Returns true if the rack is
+    /// alive again.
+    fn handle_death(&mut self, r: usize, k: u64, mut msg: String, phase: DeathPhase) -> bool {
+        loop {
+            if msg.contains("injected rack stall") {
+                self.dc.rack_stalls_seen += 1;
+            } else {
+                self.dc.rack_panics_seen += 1;
+            }
+            // Reap the dead thread before spawning its replacement.
+            if let Some(w) = self.workers[r].take() {
+                drop(w.dir_tx);
+                let _ = w.handle.join();
+            }
+            if !self.sup.record_death(r, msg.clone()) {
+                self.dc.racks_quarantined += 1;
+                self.dc.events.push(format!(
+                    "epoch {k}: rack {r} quarantined after exhausting {} restarts: {msg}",
+                    self.sup.max_restarts
+                ));
+                self.dc.beliefs[r] = RackBelief {
+                    re_supply_w: 0.0,
+                    battery_soc: 0.0,
+                    live_servers: 0,
+                    demand_w: 0.0,
+                    goodput_rps: 0.0,
+                    stale: false,
+                };
+                if self.sup.live_count() == 0 {
+                    self.dc.events.push(format!(
+                        "epoch {k}: all racks quarantined; aggregate stream suspended"
+                    ));
+                }
+                return false;
+            }
+            self.dc.rack_restarts += 1;
+            let from = self.rack_states[r].as_ref().map_or(0, |s| s.next_epoch);
+            self.dc.events.push(format!(
+                "epoch {k}: rack {r} worker died ({msg}); restart {}/{} from snapshot epoch {from}",
+                self.sup.restarts_used[r], self.sup.max_restarts
+            ));
+            match self.catch_up(r, k) {
+                Ok(w) => match self.finish_restart(w, r, k, phase) {
+                    Ok(()) => return true,
+                    Err(m) => msg = m,
+                },
+                Err(m) => msg = m,
+            }
+        }
+    }
+
+    /// Wait for rack `r`'s drain capture (restarting on death).
+    fn await_drain_capture(&mut self, r: usize, k: u64) {
+        let msg = {
+            let Some(w) = self.workers[r].as_ref() else {
+                return;
+            };
+            match w.msg_rx.recv() {
+                Ok(RackWireMsg::Snapshot(s)) => {
+                    self.rack_states[r] = Some(*s);
+                    return;
+                }
+                Ok(RackWireMsg::Report(..)) => {
+                    format!("protocol error: rack {r} sent telemetry in place of its drain capture")
+                }
+                Ok(RackWireMsg::Died(m)) => m,
+                Err(_) => format!("rack {r} worker exited before its drain capture"),
+            }
+        };
+        // On success the restart protocol re-takes the capture itself.
+        let _ = self.handle_death(r, k, msg, DeathPhase::DrainCapture);
+    }
+
+    /// Collect rack `r`'s epoch-`k` report, restarting through deaths.
+    /// `None` means the rack exhausted its budget and was quarantined.
+    fn collect_report(
+        &mut self,
+        r: usize,
+        k: u64,
+        last: bool,
+    ) -> Option<(EpochRecord, Vec<ServerSetting>)> {
+        loop {
+            let msg = {
+                let w = self.workers[r].as_ref()?;
+                match w.msg_rx.recv() {
+                    Ok(RackWireMsg::Snapshot(s)) => {
+                        self.rack_states[r] = Some(*s);
+                        continue;
+                    }
+                    Ok(RackWireMsg::Report(rec, settings)) => return Some((*rec, settings)),
+                    Ok(RackWireMsg::Died(m)) => m,
+                    Err(_) => format!("rack {r} worker exited during epoch {k}"),
+                }
+            };
+            if !self.handle_death(r, k, msg, DeathPhase::Tick { last }) {
+                return None;
+            }
+        }
+    }
+}
+
+/// Write the whole-daemon v2 snapshot. Shares the single-rack
+/// flush-before-snapshot invariant: every epoch the snapshot believes
+/// executed is already durable in the metrics file, so a stalled sink
+/// skips the snapshot too.
+fn write_dc_snapshot(driver: &mut ServeDriver, run: &DcRun) {
+    if !driver.metrics.drain() {
+        return;
+    }
+    let Some(path) = &driver.snapshot_path else {
+        return;
+    };
+    let snap = ServeSnapshot {
+        schema: SERVE_SCHEMA_V2.to_string(),
+        fingerprint: driver.cfg_fingerprint.clone(),
+        cfg: driver.cfg.clone(),
+        options: driver.opts.clone(),
+        state: None,
+        racks: run.rack_states.clone(),
+        dc: Some(run.dc.clone()),
+        serve: driver.side.clone(),
+    };
+    let Ok(text) = serde_json::to_string(&snap) else {
+        return;
+    };
+    let _ = write_atomic(path, &text);
+}
+
+/// Sum the per-rack records into the site aggregate line (SoC is
+/// averaged). Every field derives from the rack records alone, so the
+/// aggregate is byte-identical whenever the per-rack records are.
+/// `None` when no rack reported (all quarantined).
+fn aggregate_reports(reports: &[Option<(EpochRecord, Vec<ServerSetting>)>]) -> Option<EpochRecord> {
+    let mut it = reports.iter().flatten();
+    let (first, _) = it.next()?;
+    let mut agg = *first;
+    let mut n = 1u32;
+    for (rec, _) in it {
+        agg.re_supply_w += rec.re_supply_w;
+        agg.re_used_w += rec.re_used_w;
+        agg.battery_w += rec.battery_w;
+        agg.demand_w += rec.demand_w;
+        agg.battery_soc += rec.battery_soc;
+        agg.offered_rps += rec.offered_rps;
+        agg.goodput_rps += rec.goodput_rps;
+        agg.sprinting_servers = agg.sprinting_servers.saturating_add(rec.sprinting_servers);
+        agg.live_servers = agg.live_servers.saturating_add(rec.live_servers);
+        agg.safe_mode |= rec.safe_mode;
+        agg.ladder_level = agg.ladder_level.max(rec.ladder_level);
+        n += 1;
+    }
+    agg.battery_soc /= f64::from(n);
+    Some(agg)
+}
+
+/// The multi-rack serve loop: drives the site tick once per epoch, the
+/// conserved routing factors between the rack workers, the supervision
+/// ladder over their deaths, and the aggregate + per-rack metrics
+/// fan-out. See DESIGN.md §8b for the thread/ownership picture.
+fn run_multi_rack(
+    mut driver: ServeDriver,
+    resume_dc: Option<ServeDcSideState>,
+    resume_racks: Vec<Option<LoopState>>,
+    resumed_from: Option<u64>,
+    n_epochs: u64,
+    net_plane: Option<NetPlane>,
+) -> Result<ServeSummary, ServeError> {
+    let n_racks = driver.opts.racks as usize;
+    let n_servers = driver.cfg.green.green_servers;
+    let rack_servers = vec![n_servers; n_racks];
+    let every = if driver.opts.rack_snapshot_every > 0 {
+        driver.opts.rack_snapshot_every
+    } else {
+        driver.opts.snapshot_every
+    };
+    // A homogeneous fleet of the served config with the broker's
+    // decorrelated-but-reproducible per-rack seed derivation.
+    let rack_cfgs: Vec<EngineConfig> = (0..n_racks)
+        .map(|i| EngineConfig {
+            seed: driver.cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            ..driver.cfg.clone()
+        })
+        .collect();
+
+    let (mut dc, rack_states) = match resume_dc {
+        Some(dc) => {
+            if resume_racks.len() != n_racks
+                || dc.health.len() != n_racks
+                || dc.beliefs.len() != n_racks
+            {
+                return Err(ServeError::Snapshot(
+                    "snapshot rack states do not match the embedded rack count".to_string(),
+                ));
+            }
+            if dc.rows.len() as u64 != dc.next_epoch {
+                return Err(ServeError::Snapshot(
+                    "snapshot directive log is not aligned with its resume epoch".to_string(),
+                ));
+            }
+            for (r, s) in resume_racks.iter().enumerate() {
+                if dc.health[r] != RackHealth::Quarantined
+                    && s.as_ref().map(|st| st.next_epoch) != Some(dc.next_epoch)
+                {
+                    return Err(ServeError::Snapshot(format!(
+                        "rack {r} state is not aligned with the snapshot epoch"
+                    )));
+                }
+            }
+            (dc, resume_racks)
+        }
+        None => (
+            ServeDcSideState {
+                beliefs: (0..n_racks)
+                    .map(|_| RackBelief::initial(n_servers))
+                    .collect(),
+                health: vec![RackHealth::Live; n_racks],
+                restarts_used: vec![0; n_racks],
+                probation_left: vec![0; n_racks],
+                ..ServeDcSideState::default()
+            },
+            (0..n_racks).map(|_| None).collect(),
+        ),
+    };
+    let start_k = dc.next_epoch;
+    let sup = RackSupervisor::restore(
+        driver.opts.rack_restarts,
+        std::mem::take(&mut dc.health),
+        std::mem::take(&mut dc.restarts_used),
+        std::mem::take(&mut dc.probation_left),
+    );
+    let workers: Vec<Option<RackWorker>> = (0..n_racks)
+        .map(|r| {
+            (!sup.quarantined(r))
+                .then(|| spawn_rack_worker(&rack_cfgs[r], rack_states[r].clone(), every))
+        })
+        .collect();
+    let mut run = DcRun {
+        rack_cfgs,
+        every,
+        workers,
+        rack_states,
+        sup,
+        dc,
+    };
+
+    let start_t = SimTime::from_secs_f64(driver.cfg.burst_start_hour * 3_600.0);
+    let epoch_d = driver.cfg.epoch;
+
+    for k in start_k..n_epochs {
+        // Boundary: collect every live rack's capture, then write the
+        // whole-daemon v2 snapshot — same cadence, mutually consistent.
+        if run.every > 0 && k > start_k && k % run.every == 0 {
+            for r in 0..n_racks {
+                if run.sup.quarantined(r) {
+                    continue;
+                }
+                let msg = {
+                    let Some(w) = run.workers[r].as_ref() else {
+                        continue;
+                    };
+                    match w.msg_rx.recv() {
+                        Ok(RackWireMsg::Snapshot(s)) => {
+                            run.rack_states[r] = Some(*s);
+                            continue;
+                        }
+                        Ok(RackWireMsg::Report(..)) => format!(
+                            "protocol error: rack {r} sent telemetry in place of its epoch {k} \
+                             boundary capture"
+                        ),
+                        Ok(RackWireMsg::Died(m)) => m,
+                        Err(_) => {
+                            format!("rack {r} worker exited at the epoch {k} snapshot boundary")
+                        }
+                    }
+                };
+                // Restarted (capture re-taken by the replay) or
+                // quarantined — either way this rack is settled.
+                let _ = run.handle_death(r, k, msg, DeathPhase::Boundary);
+            }
+            run.dc.next_epoch = k;
+            run.sync_supervisor();
+            write_dc_snapshot(&mut driver, &run);
+        }
+
+        // One site tick for the whole fleet: deadline/watchdog, feed
+        // sampling, staleness, heartbeat.
+        let t = start_t + SimDuration::from_micros(epoch_d.as_micros() * k);
+        let tick = driver.tick_directive(k, t);
+
+        // Admin plane: re-admissions first (a lifted rack catches up and
+        // takes this epoch's directive), then kill marks.
+        let (kills, readmits) = driver
+            .net
+            .as_ref()
+            .map_or((Vec::new(), Vec::new()), |n| n.shared.take_rack_requests());
+        for r in readmits {
+            let r = r as usize;
+            if r < n_racks && run.sup.quarantined(r) {
+                run.sup.lift_quarantine(r);
+                run.dc.events.push(format!(
+                    "epoch {k}: admin re-admitted rack {r}; replaying from its last snapshot"
+                ));
+                match run.catch_up(r, k) {
+                    Ok(w) => run.workers[r] = Some(w),
+                    Err(m) => {
+                        let _ = run.handle_death(r, k, m, DeathPhase::PreTick);
+                    }
+                }
+            }
+        }
+        let mut admin_kill = vec![false; n_racks];
+        for r in kills {
+            let r = r as usize;
+            if r < n_racks && !run.sup.quarantined(r) {
+                admin_kill[r] = true;
+                run.dc
+                    .events
+                    .push(format!("epoch {k}: admin kill for rack {r}"));
+            }
+        }
+
+        // Drain decision at the top of the tick so the directives can
+        // carry it (a directive already dispatched cannot be recalled).
+        let last = TERM_REQUESTED.load(Ordering::SeqCst)
+            || driver
+                .net
+                .as_ref()
+                .is_some_and(|n| n.shared.drain_requested())
+            || driver
+                .drain_after
+                .is_some_and(|d| driver.executed_this_run + 1 >= d);
+
+        // Conserved routing factors from the last settled beliefs, and
+        // the directive row every restart replay will reproduce.
+        let factors = conserved_factors(&run.dc.beliefs, &rack_servers, run.dc.has_telemetry);
+        if factors.iter().any(|&f| f <= REROUTE_EPS)
+            && factors.iter().any(|&f| f > 1.0 + REROUTE_EPS)
+        {
+            run.dc.rerouted_epochs += 1;
+        }
+        run.dc.rows.push(DirectiveRow {
+            supply_w: tick.supply_w,
+            stale: tick.telemetry_stale,
+            demote: tick.demote.clone(),
+            factors,
+        });
+        debug_assert_eq!(run.dc.rows.len() as u64, k + 1);
+
+        // Dispatch, then collect in rack order. Injected faults ride the
+        // directive so the worker dies *before* executing the epoch —
+        // the restart replays it identically and the stream never forks.
+        for (r, &kill) in admin_kill.iter().enumerate() {
+            if run.sup.quarantined(r) {
+                continue;
+            }
+            let inject = driver
+                .opts
+                .disturbances
+                .as_ref()
+                .and_then(|p| {
+                    if p.rack_stall_at(k, r as u32) {
+                        Some(format!("injected rack stall at epoch {k}"))
+                    } else if p.rack_panic_at(k, r as u32) {
+                        Some(format!("injected rack panic at epoch {k}"))
+                    } else {
+                        None
+                    }
+                })
+                .or_else(|| kill.then(|| format!("admin kill at epoch {k}")));
+            let d = directive_from_row(&run.dc.rows[k as usize], r, last, inject);
+            if let Some(w) = run.workers[r].as_ref() {
+                // A send to a just-died worker surfaces at collection.
+                let _ = w.dir_tx.send(d);
+            }
+        }
+        let mut reports: Vec<Option<(EpochRecord, Vec<ServerSetting>)>> =
+            (0..n_racks).map(|_| None).collect();
+        for (r, slot) in reports.iter_mut().enumerate() {
+            if !run.sup.quarantined(r) {
+                *slot = run.collect_report(r, k, last);
+            }
+        }
+
+        // Settle beliefs (quarantined racks stay dark) and walk the
+        // probation ladder on clean epochs.
+        for (r, rep) in reports.iter().enumerate() {
+            if let Some((rec, _)) = rep {
+                run.dc.beliefs[r] = RackBelief {
+                    re_supply_w: rec.re_supply_w,
+                    battery_soc: rec.battery_soc,
+                    live_servers: usize::from(rec.live_servers),
+                    demand_w: rec.demand_w,
+                    goodput_rps: rec.goodput_rps,
+                    stale: false,
+                };
+                if run.sup.record_clean_epoch(r) {
+                    run.dc
+                        .events
+                        .push(format!("epoch {k}: rack {r} finished probation; live"));
+                }
+            }
+        }
+        run.dc.has_telemetry = true;
+
+        // Actuate the site's concatenated settings, emit the aggregate
+        // line, then the per-rack topic lines (hub/ring only).
+        let mut all_settings: Vec<ServerSetting> = Vec::with_capacity(n_racks * n_servers);
+        for rep in &reports {
+            match rep {
+                Some((_, settings)) => {
+                    all_settings.extend(settings.iter().copied());
+                    let missing = n_servers.saturating_sub(settings.len());
+                    all_settings.extend(std::iter::repeat_n(ServerSetting::normal(), missing));
+                }
+                None => {
+                    all_settings.extend(std::iter::repeat_n(ServerSetting::normal(), n_servers))
+                }
+            }
+        }
+        let retries_before = driver.side.actuation_retries;
+        let failures_before = driver.side.actuation_failures;
+        let clamped_before = driver.side.control_clamped;
+        driver.actuate(k, &all_settings);
+        if let Some(agg) = aggregate_reports(&reports) {
+            driver.emit_record(
+                k,
+                &agg,
+                driver.side.actuation_retries - retries_before,
+                driver.side.actuation_failures - failures_before,
+                driver.side.control_clamped - clamped_before,
+            );
+            if k >= driver.emit_from {
+                if let Some(net) = &driver.net {
+                    for (r, rep) in reports.iter().enumerate() {
+                        if let Some((rec, _)) = rep {
+                            if let Some(json) = rack_metrics_line(r, k, rec) {
+                                net.shared.publish(k, json);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        driver.executed_this_run += 1;
+        driver.epochs_executed += 1;
+
+        // Site conservation audit: the factor row must route exactly the
+        // fleet's load, and a dark rack must draw nothing.
+        let mut aud =
+            InvariantAuditor::with_violations(std::mem::take(&mut run.dc.site_audit_violations));
+        aud.check_site_epoch(&SiteFlows {
+            epoch_index: k as usize,
+            factors: run.dc.rows[k as usize].factors.clone(),
+            dark: run.dc.beliefs.iter().map(|b| b.live_servers == 0).collect(),
+            rack_demand_w: run.dc.beliefs.iter().map(|b| b.demand_w).collect(),
+        });
+        run.dc.site_audit_violations = aud.into_violations();
+
+        // Live rack-health mirror for the admin STATUS verb (runtime
+        // observability only — never enters the deterministic stream).
+        if let Some(net) = &driver.net {
+            net.shared.set_rack_status(
+                (0..n_racks)
+                    .map(|r| RackStat {
+                        rack: r as u32,
+                        health: run.sup.health[r].to_string(),
+                        restarts: run.sup.restarts_used[r],
+                        factor: run.dc.rows[k as usize]
+                            .factors
+                            .get(r)
+                            .copied()
+                            .unwrap_or(0.0),
+                    })
+                    .collect(),
+            );
+        }
+
+        run.dc.next_epoch = k + 1;
+        if last {
+            for r in 0..n_racks {
+                if !run.sup.quarantined(r) {
+                    run.await_drain_capture(r, k);
+                }
+            }
+            driver.drained = true;
+            run.sync_supervisor();
+            write_dc_snapshot(&mut driver, &run);
+            break;
+        }
+        driver.pace(Duration::from_secs_f64(driver.epoch_secs));
+    }
+
+    // Join the fleet for its outcomes (quarantined racks have none).
+    let mut rack_outs: Vec<Option<BurstOutcome>> = (0..n_racks).map(|_| None).collect();
+    for (r, out) in rack_outs.iter_mut().enumerate() {
+        if let Some(w) = run.workers[r].take() {
+            drop(w.dir_tx);
+            if let Ok(Some(o)) = w.handle.join() {
+                *out = Some(o);
+            }
+        }
+    }
+
+    driver.metrics.drain();
+    let net_summary = net_plane.map(NetPlane::stop);
+    let drained = driver.drained;
+
+    // Floor judgment: replay each surviving rack's directive history
+    // under Strategy::Normal for a like-for-like baseline. A drained
+    // run's truncated window has none, exactly as single-rack — and a
+    // resumed run's outcomes cover only the tail window, so they have
+    // no comparable full-window baseline either.
+    let mut per_rack: Vec<(usize, BurstOutcome)> = Vec::new();
+    let mut floor_all = true;
+    let mut floor_any = false;
+    let mut scratch = EngineScratch::new();
+    for (r, out) in rack_outs.into_iter().enumerate() {
+        let Some(main) = out else { continue };
+        if drained || start_k > 0 {
+            per_rack.push((r, main));
+            continue;
+        }
+        let profiles = ProfileTable::cached(run.rack_cfgs[r].app);
+        let mut hooks = RowReplayHooks {
+            rows: &run.dc.rows,
+            rack: r,
+        };
+        let (baseline, _monitor, _policy) = run_once_resumable(
+            &run.rack_cfgs[r],
+            Strategy::Normal,
+            profiles,
+            None,
+            0,
+            &mut |_| {},
+            &mut scratch,
+            &mut hooks,
+        );
+        let judged = judge(&run.rack_cfgs[r], main, Some(baseline));
+        floor_all &= judged.floor_held;
+        floor_any = true;
+        per_rack.push((r, judged));
+    }
+    let floor_held = (!drained && floor_any).then_some(floor_all);
+
+    let audit_violations = run.dc.site_audit_violations.len()
+        + per_rack
+            .iter()
+            .map(|(_, o)| o.audit_violations.len())
+            .sum::<usize>();
+    let mut guardrail_events = Vec::new();
+    for (r, o) in &per_rack {
+        guardrail_events.extend(o.guardrail_events.iter().map(|e| format!("rack {r}: {e}")));
+    }
+    let mean_goodput_rps = if per_rack.is_empty() {
+        0.0
+    } else {
+        per_rack
+            .iter()
+            .map(|(_, o)| o.mean_goodput_rps)
+            .sum::<f64>()
+            / per_rack.len() as f64
+    };
+
+    Ok(ServeSummary {
+        epochs_executed: driver.epochs_executed,
+        resumed_from_epoch: resumed_from,
+        drained,
+        ticks: driver.side.ticks,
+        overrun_ticks: driver.side.overrun_ticks,
+        stale_epochs: driver.side.stale_epochs,
+        safe_mode_epochs: per_rack
+            .iter()
+            .map(|(_, o)| o.safe_mode_epochs)
+            .max()
+            .unwrap_or(0),
+        dropped_metrics_lines: driver.side.dropped_metrics_lines,
+        actuation_retries: driver.side.actuation_retries,
+        actuation_failures: driver.side.actuation_failures,
+        control_clamped: driver.side.control_clamped,
+        feed_malformed: driver.side.feed_malformed,
+        audit_violations,
+        ladder_level: per_rack
+            .iter()
+            .map(|(_, o)| o.ladder_level)
+            .max()
+            .unwrap_or(0),
+        guardrail_events,
+        floor_held,
+        mean_goodput_rps,
+        watchdog_stalls: driver.side.watchdog_stalls,
+        racks: driver.opts.racks,
+        rack_restarts: run.dc.rack_restarts,
+        rack_panics: run.dc.rack_panics_seen,
+        rack_stalls: run.dc.rack_stalls_seen,
+        racks_quarantined: run.dc.racks_quarantined,
+        rerouted_epochs: run.dc.rerouted_epochs,
+        rack_health: run.sup.health.clone(),
+        rack_events: run.dc.events.clone(),
+        net: net_summary,
+    })
+}
+
 /// Run the serve daemon to completion (or drain). See the module docs
 /// for the architecture; the CLI wraps this with flag parsing and exit
 /// codes.
@@ -992,7 +2148,11 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         .map_err(|e| ServeError::Config(e.to_string()))?;
 
     // Resume: the snapshot's embedded config and options win wholesale.
+    // A v1 snapshot carries one engine state; a v2 snapshot carries the
+    // per-rack states plus the datacenter-side orchestrator state.
     let mut resume_state: Option<LoopState> = None;
+    let mut resume_racks: Vec<Option<LoopState>> = Vec::new();
+    let mut resume_dc: Option<ServeDcSideState> = None;
     let mut side = ServeSideState::default();
     let mut resumed_from = None;
     if let Some(path) = &args.resume_path {
@@ -1003,8 +2163,22 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         cfg.measurement = MeasurementMode::Analytic;
         args.cfg = cfg;
         args.options = snap.options;
-        resumed_from = Some(snap.state.next_epoch);
-        resume_state = Some(snap.state);
+        match snap.dc {
+            Some(dc) => {
+                resumed_from = Some(dc.next_epoch);
+                resume_racks = snap.racks;
+                resume_dc = Some(dc);
+            }
+            None => {
+                let state = snap.state.ok_or_else(|| {
+                    ServeError::Snapshot(
+                        "single-rack snapshot is missing its engine state".to_string(),
+                    )
+                })?;
+                resumed_from = Some(state.next_epoch);
+                resume_state = Some(state);
+            }
+        }
         side = snap.serve;
     }
     if args.options.overrun == OverrunPolicy::Degrade && !args.cfg.guardrail.enabled {
@@ -1012,8 +2186,23 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
             "--overrun degrade needs the failover ladder: pass --guardrail on".to_string(),
         ));
     }
+    if args.options.racks == 0 {
+        return Err(ServeError::Config("--racks must be at least 1".to_string()));
+    }
+    let n_racks = args.options.racks as usize;
+    if resumed_from.is_some() && (n_racks >= 2) != resume_dc.is_some() {
+        return Err(ServeError::Snapshot(
+            "snapshot schema does not match the rack count it was taken with".to_string(),
+        ));
+    }
+    if n_racks >= 2 && matches!(args.control, ControlBackend::Sysfs(_)) {
+        return Err(ServeError::Config(
+            "--control sysfs drives one physical rack; it cannot serve --racks >= 2".to_string(),
+        ));
+    }
 
-    let n = args.cfg.green.green_servers;
+    // Multi-rack runs actuate the site's concatenated settings.
+    let n = args.cfg.green.green_servers * n_racks;
     let n_epochs = args
         .cfg
         .burst_duration
@@ -1026,7 +2215,7 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
     // means the file was tampered with — warn, then emit the gap's
     // epochs fresh (they are recomputed identically anyway).
     let mut emit_from = 0u64;
-    if resume_state.is_none() {
+    if resumed_from.is_none() {
         // A fresh start owns its metrics file: stale lines from an
         // earlier run would corrupt the byte-identity contract.
         if let Some(path) = &args.metrics_path {
@@ -1040,7 +2229,7 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
                 emit_from = last + 1;
             }
         }
-        let next = resume_state.as_ref().map_or(0, |s| s.next_epoch);
+        let next = resumed_from.unwrap_or(0);
         if emit_from < next {
             eprintln!(
                 "serve: warning: metrics file ends at epoch {} but snapshot resumes at {} — \
@@ -1121,7 +2310,7 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         emit_from,
         drain_after: args.drain_after_epochs,
         executed_this_run: 0,
-        epochs_executed: resume_state.as_ref().map_or(0, |s| s.next_epoch),
+        epochs_executed: resumed_from.unwrap_or(0),
         drained: false,
         cur_stale: false,
         cur_overrun: false,
@@ -1129,6 +2318,17 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         opts: args.options.clone(),
         side,
     };
+
+    if n_racks >= 2 {
+        return run_multi_rack(
+            driver,
+            resume_dc,
+            resume_racks,
+            resumed_from,
+            n_epochs,
+            net_plane,
+        );
+    }
 
     let profiles = ProfileTable::cached(args.cfg.app);
     let mut scratch = EngineScratch::new();
@@ -1182,6 +2382,15 @@ pub fn serve(mut args: ServeArgs) -> Result<ServeSummary, ServeError> {
         guardrail_events: report.guardrail_events.clone(),
         floor_held,
         mean_goodput_rps: report.mean_goodput_rps,
+        watchdog_stalls: driver.side.watchdog_stalls,
+        racks: 1,
+        rack_restarts: 0,
+        rack_panics: 0,
+        rack_stalls: 0,
+        racks_quarantined: 0,
+        rerouted_epochs: 0,
+        rack_health: Vec::new(),
+        rack_events: Vec::new(),
         net: net_summary,
     })
 }
@@ -1313,7 +2522,7 @@ mod tests {
         assert!(summary.drained);
         let json = fs::read_to_string(&snap_path).unwrap();
         let snap = ServeSnapshot::from_json(&json).expect("a real snapshot verifies");
-        assert_eq!(snap.state.next_epoch, 1);
+        assert_eq!(snap.state.as_ref().expect("v1 state").next_epoch, 1);
 
         let bad_schema = json.replacen(SERVE_SCHEMA, "gs-serve-0", 1);
         assert!(matches!(

@@ -21,6 +21,7 @@
 
 use crate::checkpoint::Journal;
 use crate::sweep::{derive_seed, SweepOutcome, SweepPoint, SweepResult, SweepTask};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -174,13 +175,147 @@ fn run_supervised_task(
 }
 
 /// Extract a human-readable message from a caught panic payload.
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Where a supervised rack worker sits on the health ladder.
+///
+/// `Live → Degraded → Quarantined`: a worker death demotes the rack to
+/// [`RackHealth::Degraded`] while the supervisor restarts it from its
+/// last snapshot; exhausting the restart budget demotes it to
+/// [`RackHealth::Quarantined`], where the broker reroutes its load to
+/// survivors. A rack climbs back from `Degraded` to `Live` after
+/// [`crate::engine::REJOIN_EPOCHS`] clean epochs, mirroring the fleet's
+/// server-rejoin hysteresis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RackHealth {
+    /// Healthy and serving fresh allocations.
+    Live,
+    /// Recently restarted; on probation until it proves itself.
+    Degraded,
+    /// Restart budget exhausted; load rerouted to survivors.
+    Quarantined,
+}
+
+/// Restart bookkeeping for a fleet of supervised rack workers: the
+/// health ladder, per-rack restart budgets, and the last panic message
+/// seen per rack. Thread and channel orchestration stays with the
+/// caller ([`mod@crate::serve`]); this type only decides *whether* a dead
+/// rack may restart and tracks where each rack sits on the ladder —
+/// keeping the decision logic deterministic and separately testable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackSupervisor {
+    /// Restarts allowed per rack before quarantine.
+    pub max_restarts: u32,
+    /// Per-rack ladder position.
+    pub health: Vec<RackHealth>,
+    /// Per-rack restarts consumed so far.
+    pub restarts_used: Vec<u32>,
+    /// Per-rack clean epochs still required before a `Degraded` rack is
+    /// re-promoted to `Live` (0 when not on probation).
+    pub probation_left: Vec<u32>,
+    /// The last panic message each rack died with, if any.
+    pub last_panic: Vec<Option<String>>,
+}
+
+impl RackSupervisor {
+    /// A fresh supervisor for `n` live racks.
+    pub fn new(n: usize, max_restarts: u32) -> Self {
+        RackSupervisor {
+            max_restarts,
+            health: vec![RackHealth::Live; n],
+            restarts_used: vec![0; n],
+            probation_left: vec![0; n],
+            last_panic: vec![None; n],
+        }
+    }
+
+    /// Rebuild mid-run from checkpointed ladder state (lengths must
+    /// agree; the caller validates rack counts against its config).
+    pub fn restore(
+        max_restarts: u32,
+        health: Vec<RackHealth>,
+        restarts_used: Vec<u32>,
+        probation_left: Vec<u32>,
+    ) -> Self {
+        let n = health.len();
+        RackSupervisor {
+            max_restarts,
+            health,
+            restarts_used,
+            probation_left,
+            last_panic: vec![None; n],
+        }
+    }
+
+    /// Record a worker death. Returns `true` if the rack may restart
+    /// (it drops to `Degraded` and enters probation), `false` if its
+    /// budget is exhausted (it is quarantined).
+    pub fn record_death(&mut self, rack: usize, message: String) -> bool {
+        self.last_panic[rack] = Some(message);
+        self.restarts_used[rack] += 1;
+        if self.restarts_used[rack] > self.max_restarts {
+            self.health[rack] = RackHealth::Quarantined;
+            self.probation_left[rack] = 0;
+            false
+        } else {
+            self.health[rack] = RackHealth::Degraded;
+            self.probation_left[rack] = crate::engine::REJOIN_EPOCHS;
+            true
+        }
+    }
+
+    /// Record one clean epoch for `rack`; a `Degraded` rack whose
+    /// probation runs out is re-promoted to `Live`. Returns `true` on
+    /// the epoch the promotion happens.
+    pub fn record_clean_epoch(&mut self, rack: usize) -> bool {
+        if self.health[rack] != RackHealth::Degraded {
+            return false;
+        }
+        self.probation_left[rack] = self.probation_left[rack].saturating_sub(1);
+        if self.probation_left[rack] == 0 {
+            self.health[rack] = RackHealth::Live;
+            return true;
+        }
+        false
+    }
+
+    /// Manually lift a quarantine (admin `RESTART-RACK`): the budget
+    /// resets and the rack re-enters as `Degraded`, on probation.
+    pub fn lift_quarantine(&mut self, rack: usize) {
+        self.health[rack] = RackHealth::Degraded;
+        self.restarts_used[rack] = 0;
+        self.probation_left[rack] = crate::engine::REJOIN_EPOCHS;
+    }
+
+    /// True if `rack` is quarantined.
+    pub fn quarantined(&self, rack: usize) -> bool {
+        self.health[rack] == RackHealth::Quarantined
+    }
+
+    /// Racks not currently quarantined.
+    pub fn live_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|&&h| h != RackHealth::Quarantined)
+            .count()
+    }
+}
+
+impl std::fmt::Display for RackHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RackHealth::Live => "live",
+            RackHealth::Degraded => "degraded",
+            RackHealth::Quarantined => "quarantined",
+        })
     }
 }
 
@@ -575,6 +710,46 @@ mod tests {
             "{}",
             report.failed[0].error
         );
+    }
+
+    #[test]
+    fn rack_ladder_walks_live_degraded_quarantined() {
+        let mut sup = RackSupervisor::new(2, 1);
+        assert_eq!(sup.live_count(), 2);
+        assert!(sup.record_death(0, "boom".into()), "first death restarts");
+        assert_eq!(sup.health[0], RackHealth::Degraded);
+        assert!(
+            !sup.record_death(0, "boom again".into()),
+            "budget of 1 exhausted"
+        );
+        assert!(sup.quarantined(0));
+        assert_eq!(sup.live_count(), 1);
+        assert_eq!(sup.last_panic[0].as_deref(), Some("boom again"));
+        sup.lift_quarantine(0);
+        assert_eq!(sup.health[0], RackHealth::Degraded);
+        assert_eq!(sup.restarts_used[0], 0);
+    }
+
+    #[test]
+    fn zero_restart_budget_quarantines_on_first_death() {
+        let mut sup = RackSupervisor::new(1, 0);
+        assert!(!sup.record_death(0, "only chance".into()));
+        assert!(sup.quarantined(0));
+    }
+
+    #[test]
+    fn probation_repromotes_after_clean_epochs() {
+        let mut sup = RackSupervisor::new(1, 3);
+        assert!(sup.record_death(0, "x".into()));
+        let mut promoted_at = None;
+        for i in 0..crate::engine::REJOIN_EPOCHS {
+            if sup.record_clean_epoch(0) {
+                promoted_at = Some(i);
+            }
+        }
+        assert_eq!(promoted_at, Some(crate::engine::REJOIN_EPOCHS - 1));
+        assert_eq!(sup.health[0], RackHealth::Live);
+        assert!(!sup.record_clean_epoch(0), "already live");
     }
 
     #[test]

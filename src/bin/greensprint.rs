@@ -698,7 +698,10 @@ fn chaos(flags: &HashMap<String, String>) {
 /// [`write_snapshot`]).
 fn write_dc_snapshot(path: &str, snap: &DatacenterSnapshot) {
     let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, snap.to_json())
+    let json = snap
+        .to_json()
+        .unwrap_or_else(|e| fatal(&format!("cannot serialize checkpoint {path}: {e}")));
+    std::fs::write(&tmp, json)
         .and_then(|()| std::fs::rename(&tmp, path))
         .unwrap_or_else(|e| fatal(&format!("cannot write checkpoint {path}: {e}")));
 }
@@ -1460,9 +1463,15 @@ fn serve_cmd(flags: &HashMap<String, String>) {
             "max-line-len",
             greensprint::net::DEFAULT_MAX_LINE_LEN,
         ),
+        racks: get(flags, "racks", 1_u32),
+        rack_restarts: get(flags, "rack-restarts", 2_u32),
+        rack_snapshot_every: get(flags, "rack-snapshot-every", 0_u64),
     };
     if options.metrics_buffer == 0 {
         usage("--metrics-buffer must be at least 1");
+    }
+    if options.racks == 0 {
+        usage("--racks must be at least 1");
     }
 
     let control = match flags.get("control").map(String::as_str).unwrap_or("none") {
@@ -1534,6 +1543,9 @@ fn serve_cmd(flags: &HashMap<String, String>) {
     let text = serde_json::to_string_pretty(&summary)
         .unwrap_or_else(|e| fatal(&format!("cannot serialize serve summary: {e}")));
     println!("{text}");
+    if summary.racks >= 2 {
+        eprint!("{}", greensprint::report::rack_fleet_summary(&summary));
+    }
     if let Some(n) = &summary.net {
         eprint!("{}", greensprint::report::net_plane_summary(n));
     }
@@ -1595,21 +1607,32 @@ usage:
                        [--metrics FILE] [--heartbeat FILE] [--snapshot FILE] [--snapshot-every N]
                        [--feed FILE|-] [--control none|sim|sysfs] [--sysfs-root DIR] [--retries N]
                        [--resume FILE] [--drain-after N] [--metrics-buffer N]
+                       [--racks N] [--rack-restarts N] [--rack-snapshot-every N]
                        [--listen ADDR] [--metrics-listen ADDR] [--admin-token SECRET]
                        [--max-conns N] [--conn-timeout-ms N] [engine flags]
                        run the controller as a crash-tolerant daemon: trace replay at
                        --rate sim-seconds per wall-second (or --sim-time at full speed),
                        an optional line-delimited supply feed whose silence routes into
                        PSS safe mode after --stale-after epochs, per-tick deadline
-                       budgets with an explicit overrun policy, bounded deterministic
-                       actuation retries, a drop-oldest metrics buffer, a heartbeat
-                       file, SIGTERM drain, and --resume restart from the last snapshot
-                       with a byte-identical --sim-time metrics stream. --listen opens
-                       the TCP network plane (JSON-lines telemetry ingest in the --feed
-                       formats, SUB [?from_epoch=N] metrics fan-out with gap-free
-                       catch-up replay, STATUS/DRAIN admin gated by --admin-token),
-                       bounded by --max-conns (>= 1) and --conn-timeout-ms (> 0);
-                       network activity never perturbs the --sim-time metrics stream
+                       budgets with an explicit overrun policy (a tick wedged past 4x
+                       its budget also trips the watchdog: counted, guardrail-logged,
+                       one ladder demotion), bounded deterministic actuation retries, a
+                       drop-oldest metrics buffer, a heartbeat file, SIGTERM drain, and
+                       --resume restart from the last snapshot with a byte-identical
+                       --sim-time metrics stream. --racks N drives N racks as
+                       supervised worker threads: a crashed or admin-killed worker
+                       restarts from its last rack snapshot within --rack-restarts
+                       attempts (deterministic replay — the aggregate stream stays
+                       byte-identical), then is quarantined with its load rerouted to
+                       the survivors; rack snapshots ride --rack-snapshot-every (0 =
+                       follow --snapshot-every) and the whole fleet checkpoints into
+                       one v2 --snapshot for mid-outage --resume. --listen opens the
+                       TCP network plane (JSON-lines telemetry ingest in the --feed
+                       formats, SUB [?from_epoch=N][&rack=R] metrics fan-out with
+                       gap-free catch-up replay, STATUS/DRAIN/KILL-RACK/RESTART-RACK
+                       admin gated by --admin-token), bounded by --max-conns (>= 1)
+                       and --conn-timeout-ms (> 0); network activity never perturbs
+                       the --sim-time metrics stream
   greensprint resume   FILE [--jobs N] [--retries N] [--task-timeout-epochs N] [--snapshot-every N]
                        continue an interrupted run from its checkpoint: a sweep/chaos
                        journal re-runs only the missing points and prints the full result

@@ -74,17 +74,18 @@ pub mod prelude {
     };
     pub use greensprint::net::{
         admin_request, run_fault_plan, subscribe_collect, NetAddrs, NetConfig, NetFaultOp,
-        NetFaultPlan, NetHarnessReport, NetPlane, NetSummary,
+        NetFaultPlan, NetHarnessReport, NetPlane, NetSummary, RackStat,
     };
     pub use greensprint::pmk::Strategy;
     pub use greensprint::profiler::ProfileTable;
     pub use greensprint::qlearning::{PolicyError, QLearner, TableStats};
     pub use greensprint::serve::{
-        serve, ControlBackend, DisturbancePlan, OverrunPolicy, ServeArgs, ServeError, ServeOptions,
-        ServeSnapshot, ServeSummary,
+        serve, ControlBackend, DirectiveRow, DisturbancePlan, OverrunPolicy, ServeArgs,
+        ServeDcSideState, ServeError, ServeOptions, ServeSnapshot, ServeSummary, SERVE_SCHEMA_V2,
     };
     pub use greensprint::supervisor::{
-        epoch_budget, run_supervised_sweep, SupervisorPolicy, SweepReport,
+        epoch_budget, run_supervised_sweep, RackHealth, RackSupervisor, SupervisorPolicy,
+        SweepReport,
     };
     pub use greensprint::sweep::{
         default_jobs, derive_seed, run_sweep, run_sweep_streaming, SweepOutcome, SweepPoint,

@@ -195,7 +195,8 @@ fn resume_through_a_partition_is_byte_identical() {
         .iter()
         .find(|s| s.broker.pinned[0].is_some())
         .expect("no snapshot landed inside the partition");
-    let back = DatacenterSnapshot::from_json(&mid.to_json()).expect("round trip");
+    let back =
+        DatacenterSnapshot::from_json(&mid.to_json().expect("serialize")).expect("round trip");
     let resumed = resume_datacenter_snapshot(back, 1, 2, &mut |_| {}).expect("resume");
     assert_eq!(
         serde_json::to_string(&golden).unwrap(),
